@@ -1,0 +1,136 @@
+// E4 — §5.2's flattening argument, measured. The set-valued Children
+// attribute lives as ONE object in STDM/GSDM; the relational encoding
+// flattens it into one tuple per child, so reassembling a family costs a
+// selection over the whole relation (or an index probe plus per-tuple
+// work), and the subset test needs explicit set reconstruction.
+//
+// Expected shape: STDM wins on direct access by a large factor vs. the
+// unindexed relation; an index narrows but does not close the gap
+// (probe + projection + materialization per child remains).
+
+#include <benchmark/benchmark.h>
+
+#include "relational/relational.h"
+#include "stdm/stdm_value.h"
+
+using namespace gemstone;  // NOLINT
+
+namespace {
+
+constexpr int kChildrenPerFamily = 3;
+
+// STDM: {P0: {Name: ..., Children: {...}}, P1: ...}
+stdm::StdmValue BuildStdmFamilies(int families) {
+  stdm::StdmValue people = stdm::StdmValue::Set();
+  for (int f = 0; f < families; ++f) {
+    stdm::StdmValue person = stdm::StdmValue::Set();
+    (void)person.Put("Name",
+                     stdm::StdmValue::String("family" + std::to_string(f)));
+    stdm::StdmValue children = stdm::StdmValue::Set();
+    for (int c = 0; c < kChildrenPerFamily; ++c) {
+      children.Add(stdm::StdmValue::String("child" + std::to_string(f) +
+                                           "-" + std::to_string(c)));
+    }
+    (void)person.Put("Children", std::move(children));
+    (void)people.Put("P" + std::to_string(f), std::move(person));
+  }
+  return people;
+}
+
+// Relational: Children(Parent, Child) — one tuple per child.
+relational::Table BuildFlattened(int families) {
+  relational::Table table({"Parent", "Child"});
+  for (int f = 0; f < families; ++f) {
+    for (int c = 0; c < kChildrenPerFamily; ++c) {
+      (void)table.Insert({std::string("family" + std::to_string(f)),
+                          std::string("child" + std::to_string(f) + "-" +
+                                      std::to_string(c))});
+    }
+  }
+  return table;
+}
+
+void BM_StdmChildrenAccess(benchmark::State& state) {
+  const int families = static_cast<int>(state.range(0));
+  stdm::StdmValue people = BuildStdmFamilies(families);
+  // Entity identity: the application already holds the person; the
+  // question is the cost of reaching the children from it.
+  const stdm::StdmValue* person =
+      people.Get("P" + std::to_string(families / 2));
+  for (auto _ : state) {
+    // The set of children is one element: direct access, no reassembly.
+    const stdm::StdmValue* children = person->Get("Children");
+    benchmark::DoNotOptimize(children->size());
+  }
+  state.SetLabel("families=" + std::to_string(families));
+}
+
+void BM_RelationalChildrenScan(benchmark::State& state) {
+  const int families = static_cast<int>(state.range(0));
+  relational::Table table = BuildFlattened(families);
+  const std::string target = "family" + std::to_string(families / 2);
+  for (auto _ : state) {
+    relational::Table result = relational::Select(
+        table, [&](const relational::Tuple& row) {
+          return std::get<std::string>(row[0]) == target;
+        });
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+
+void BM_RelationalChildrenIndexed(benchmark::State& state) {
+  const int families = static_cast<int>(state.range(0));
+  relational::Table table = BuildFlattened(families);
+  (void)table.CreateIndex("Parent");
+  const relational::Field target =
+      std::string("family" + std::to_string(families / 2));
+  for (auto _ : state) {
+    auto result = relational::SelectEq(table, "Parent", target);
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+
+// "stipulating one set is the subset of another set requires two
+// quantifiers in relational calculus" — subset as a primitive vs.
+// reassemble-then-compare.
+void BM_StdmSubsetTest(benchmark::State& state) {
+  const int families = static_cast<int>(state.range(0));
+  stdm::StdmValue people = BuildStdmFamilies(families);
+  const std::string a = "P" + std::to_string(families / 2);
+  const stdm::StdmValue* children = people.Get(a)->Get("Children");
+  stdm::StdmValue probe = stdm::StdmValue::SetOf(
+      {stdm::StdmValue::String("child" + std::to_string(families / 2) +
+                               "-1")});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe.SubsetOf(*children));
+  }
+}
+
+void BM_RelationalSubsetTest(benchmark::State& state) {
+  const int families = static_cast<int>(state.range(0));
+  relational::Table table = BuildFlattened(families);
+  (void)table.CreateIndex("Parent");
+  const relational::Field parent =
+      std::string("family" + std::to_string(families / 2));
+  const std::string probe_child =
+      "child" + std::to_string(families / 2) + "-1";
+  for (auto _ : state) {
+    // Reassemble the target family's children, then test containment.
+    auto family = relational::SelectEq(table, "Parent", parent);
+    bool contained = false;
+    for (const relational::Tuple& row : family->rows()) {
+      contained = contained || std::get<std::string>(row[1]) == probe_child;
+    }
+    benchmark::DoNotOptimize(contained);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StdmChildrenAccess)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_RelationalChildrenScan)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_RelationalChildrenIndexed)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_StdmSubsetTest)->Arg(1000);
+BENCHMARK(BM_RelationalSubsetTest)->Arg(1000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// F1 — Figure 1 ("A Database with History") as a benchmark: the cost of
+// reading the current state vs. a past state through the full OPAL stack,
+// as the president's history grows.
+
+#include <benchmark/benchmark.h>
+
+#include "executor/executor.h"
+
+using namespace gemstone;  // NOLINT
+
+namespace {
+
+struct Figure1Fixture {
+  executor::Executor server;
+  SessionId session;
+  TxnTime mid_time = 0;
+
+  explicit Figure1Fixture(int history_length) {
+    session = server.Login().ValueOrDie();
+    auto run = [&](const std::string& src) {
+      auto r = server.Execute(session, src);
+      if (!r.ok()) std::abort();
+    };
+    run("Object subclass: 'Company' instVarNames: #('president')");
+    run("Acme := Company new. System commitTransaction");
+    for (int i = 0; i < history_length; ++i) {
+      run("Acme!president := 'president-" + std::to_string(i) +
+          "'. System commitTransaction");
+      if (i == history_length / 2) mid_time = server.transactions().Now();
+    }
+  }
+};
+
+void BM_ReadCurrentPresident(benchmark::State& state) {
+  Figure1Fixture fixture(static_cast<int>(state.range(0)));
+  auto* interp = fixture.server.interpreter(fixture.session);
+  auto* memory = &fixture.server.memory();
+  opal::Compiler compiler(memory);
+  auto body = compiler.CompileBody("Acme!president").ValueOrDie();
+  for (auto _ : state) {
+    auto r = interp->Run(body);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("history=" + std::to_string(state.range(0)));
+}
+
+void BM_ReadPastPresident(benchmark::State& state) {
+  Figure1Fixture fixture(static_cast<int>(state.range(0)));
+  auto* interp = fixture.server.interpreter(fixture.session);
+  opal::Compiler compiler(&fixture.server.memory());
+  auto body = compiler
+                  .CompileBody("Acme!president@" +
+                               std::to_string(fixture.mid_time))
+                  .ValueOrDie();
+  for (auto _ : state) {
+    auto r = interp->Run(body);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("history=" + std::to_string(state.range(0)) + " @t=" +
+                 std::to_string(fixture.mid_time));
+}
+
+void BM_TimeDialReplay(benchmark::State& state) {
+  Figure1Fixture fixture(static_cast<int>(state.range(0)));
+  fixture.server.session(fixture.session)->SetTimeDial(fixture.mid_time);
+  auto* interp = fixture.server.interpreter(fixture.session);
+  opal::Compiler compiler(&fixture.server.memory());
+  auto body = compiler.CompileBody("Acme!president").ValueOrDie();
+  for (auto _ : state) {
+    auto r = interp->Run(body);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReadCurrentPresident)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_ReadPastPresident)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_TimeDialReplay)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// C6 — GOOP resolution vs. the primary physical path (§6): "Where an
+// object is an element of more than one set, one logical path is chosen
+// as the basis for the physical access path, and other references to the
+// object use a global object-oriented pointer (GOOP). The GOOP is
+// resolved through a global object table."
+//
+// Expected shape: the primary path (a held pointer within the chosen
+// physical layout) is a dereference; the GOOP route pays a hash probe of
+// the global object table per hop. Both are O(1) — the design's point is
+// that the *common* case (strict tree paths) avoids even that probe.
+
+#include <benchmark/benchmark.h>
+
+#include "object/object_memory.h"
+
+using namespace gemstone;  // NOLINT
+
+namespace {
+
+struct Chain {
+  ObjectMemory memory;
+  std::vector<Oid> oids;
+  std::vector<const GsObject*> primary;  // primary-path pointers
+  SymbolId next_sym;
+
+  explicit Chain(int length) {
+    next_sym = memory.symbols().Intern("next");
+    Oid previous = kNilOid;
+    for (int i = 0; i < length; ++i) {
+      Oid oid = memory.AllocateOid();
+      GsObject object(oid, memory.kernel().object);
+      if (!previous.IsNil()) {
+        object.WriteNamed(next_sym, 1, Value::Ref(previous));
+      }
+      (void)memory.Insert(std::move(object));
+      oids.push_back(oid);
+      previous = oid;
+    }
+    for (Oid oid : oids) primary.push_back(memory.Find(oid));
+  }
+};
+
+// Traversal where every hop resolves through the global object table.
+void BM_GoopResolutionChain(benchmark::State& state) {
+  Chain chain(static_cast<int>(state.range(0)));
+  const Oid head = chain.oids.back();
+  for (auto _ : state) {
+    Oid current = head;
+    int hops = 0;
+    while (!current.IsNil()) {
+      const GsObject* object = chain.memory.Find(current);  // GOOP table
+      const Value* next = object->ReadNamed(chain.next_sym, kTimeNow);
+      current = (next != nullptr && next->IsRef()) ? next->ref() : kNilOid;
+      ++hops;
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// Traversal along the primary physical path: pointers already resolved
+// (objects stored along their chosen access path).
+void BM_PrimaryPathChain(benchmark::State& state) {
+  Chain chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    int hops = 0;
+    // Walk the held pointers in reverse order — the physical layout of
+    // the primary path.
+    for (auto it = chain.primary.rbegin(); it != chain.primary.rend(); ++it) {
+      const Value* next = (*it)->ReadNamed(chain.next_sym, kTimeNow);
+      benchmark::DoNotOptimize(next);
+      ++hops;
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// One GOOP resolution in isolation, across table sizes (hash behavior).
+void BM_SingleGoopResolve(benchmark::State& state) {
+  Chain chain(static_cast<int>(state.range(0)));
+  const Oid target = chain.oids[chain.oids.size() / 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.memory.Find(target));
+  }
+  state.SetLabel("table_size=" + std::to_string(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_GoopResolutionChain)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_PrimaryPathChain)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SingleGoopResolve)->Arg(1000)->Arg(1000000);
+
+BENCHMARK_MAIN();

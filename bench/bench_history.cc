@@ -1,0 +1,85 @@
+// C5 — the cost of keeping history (§5.3/§6): association tables grow
+// forever ("no garbage collection need be done on database objects");
+// reads at any time are a binary search over the element's history.
+// Expected shape: read cost grows logarithmically with history length,
+// storage bytes linearly — the design bets both are acceptable, which is
+// what falling storage prices were about (§2E).
+
+#include <benchmark/benchmark.h>
+
+#include "object/gs_object.h"
+#include "object/object_memory.h"
+#include "storage/serializer.h"
+
+using namespace gemstone;  // NOLINT
+
+namespace {
+
+GsObject BuildHistory(ObjectMemory& memory, int versions) {
+  GsObject object{Oid(100), memory.kernel().object};
+  const SymbolId salary = memory.symbols().Intern("salary");
+  for (int v = 1; v <= versions; ++v) {
+    object.WriteNamed(salary, static_cast<TxnTime>(v),
+                      Value::Integer(24000 + v));
+  }
+  return object;
+}
+
+void BM_ReadCurrent(benchmark::State& state) {
+  ObjectMemory memory;
+  GsObject object = BuildHistory(memory, static_cast<int>(state.range(0)));
+  const SymbolId salary = memory.symbols().Intern("salary");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(object.ReadNamed(salary, kTimeNow));
+  }
+  state.SetLabel("history=" + std::to_string(state.range(0)));
+}
+
+void BM_ReadPast(benchmark::State& state) {
+  ObjectMemory memory;
+  const int versions = static_cast<int>(state.range(0));
+  GsObject object = BuildHistory(memory, versions);
+  const SymbolId salary = memory.symbols().Intern("salary");
+  const TxnTime probe = static_cast<TxnTime>(versions / 3 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(object.ReadNamed(salary, probe));
+  }
+  state.SetLabel("history=" + std::to_string(state.range(0)));
+}
+
+void BM_WriteNewVersion(benchmark::State& state) {
+  ObjectMemory memory;
+  const int versions = static_cast<int>(state.range(0));
+  GsObject object = BuildHistory(memory, versions);
+  const SymbolId salary = memory.symbols().Intern("salary");
+  TxnTime t = static_cast<TxnTime>(versions);
+  for (auto _ : state) {
+    object.WriteNamed(salary, ++t, Value::Integer(1));
+  }
+}
+
+// Storage growth: serialized image size vs history length ("Database
+// objects in the past never go away").
+void BM_ImageBytesPerVersion(benchmark::State& state) {
+  ObjectMemory memory;
+  const int versions = static_cast<int>(state.range(0));
+  GsObject object = BuildHistory(memory, versions);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto image = storage::SerializeObject(object, memory.symbols());
+    bytes = image.size();
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["image_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_version"] =
+      static_cast<double>(bytes) / static_cast<double>(versions);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReadCurrent)->Arg(1)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_ReadPast)->Arg(1)->Arg(100)->Arg(10000)->Arg(1000000);
+BENCHMARK(BM_WriteNewVersion)->Arg(1000);
+BENCHMARK(BM_ImageBytesPerVersion)->Arg(10)->Arg(1000)->Arg(100000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// C7 — impedance mismatch (§2F): "we can access a relational database
+// using SQL from COBOL, but when the time comes to do some computation,
+// COBOL can only operate at the tuple level."
+//
+// Three ways to compute "employees with salary above a threshold whose
+// department is Sales":
+//   1. OPAL in-engine, declarative (selectWhere:) — single language,
+//      no boundary crossed.
+//   2. OPAL in-engine, procedural (select: with message dispatch).
+//   3. The two-language style: the "database" answers flat tuples which
+//      an application loop copies into host structs, re-parses, and
+//      filters — structure reflected back at the interface.
+//
+// Expected shape: (1) beats (2) (no per-element dispatch), and both
+// in-engine forms beat the extract-then-filter loop as data grows, since
+// (3) pays materialization for every tuple whether or not it qualifies.
+
+#include <benchmark/benchmark.h>
+
+#include "executor/executor.h"
+#include "relational/relational.h"
+
+using namespace gemstone;  // NOLINT
+
+namespace {
+
+constexpr const char* kSchema =
+    "Object subclass: 'Emp' instVarNames: #('name' 'salary' 'dept')";
+
+executor::Executor* BuildImage(int employees, SessionId* session) {
+  auto* server = new executor::Executor();
+  *session = server->Login().ValueOrDie();
+  auto run = [&](const std::string& src) {
+    auto r = server->Execute(*session, src);
+    if (!r.ok()) std::abort();
+  };
+  run(kSchema);
+  run("Emps := Set new");
+  run("1 to: " + std::to_string(employees) +
+      " do: [:i | | e | e := Emp new. "
+      "e instVarNamed: 'name' put: 'emp' , i printString. "
+      "e instVarNamed: 'salary' put: i. "
+      "e instVarNamed: 'dept' put: (i \\\\ 2 = 0 "
+      "ifTrue: ['Sales'] ifFalse: ['Research']). "
+      "Emps add: e]");
+  run("System commitTransaction");
+  return server;
+}
+
+void BM_InEngineDeclarative(benchmark::State& state) {
+  SessionId session;
+  std::unique_ptr<executor::Executor> server(
+      BuildImage(static_cast<int>(state.range(0)), &session));
+  opal::Compiler compiler(&server->memory());
+  auto body = compiler
+                  .CompileBody("(Emps selectWhere: [:e | (e!salary > " +
+                               std::to_string(state.range(0) / 2) +
+                               ") & (e!dept = 'Sales')]) size")
+                  .ValueOrDie();
+  auto* interp = server->interpreter(session);
+  interp->ResetStats();
+  for (auto _ : state) {
+    auto r = interp->Run(body);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["message_sends_per_query"] =
+      static_cast<double>(interp->stats().message_sends) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_InEngineProcedural(benchmark::State& state) {
+  SessionId session;
+  std::unique_ptr<executor::Executor> server(
+      BuildImage(static_cast<int>(state.range(0)), &session));
+  opal::Compiler compiler(&server->memory());
+  auto body = compiler
+                  .CompileBody("(Emps select: [:e | (e!salary > " +
+                               std::to_string(state.range(0) / 2) +
+                               ") & (e!dept = 'Sales')]) size")
+                  .ValueOrDie();
+  auto* interp = server->interpreter(session);
+  interp->ResetStats();
+  for (auto _ : state) {
+    auto r = interp->Run(body);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["message_sends_per_query"] =
+      static_cast<double>(interp->stats().message_sends) /
+      static_cast<double>(state.iterations());
+}
+
+// The application-side struct the tuple must be reflected into.
+struct HostEmployee {
+  std::string name;
+  std::int64_t salary;
+  std::string dept;
+};
+
+void BM_TupleAtATimeExtraction(benchmark::State& state) {
+  const int employees = static_cast<int>(state.range(0));
+  relational::Table table({"Name", "Salary", "Dept"});
+  for (int i = 1; i <= employees; ++i) {
+    (void)table.Insert({std::string("emp" + std::to_string(i)),
+                        std::int64_t{i},
+                        std::string(i % 2 == 0 ? "Sales" : "Research")});
+  }
+  const std::int64_t threshold = employees / 2;
+  for (auto _ : state) {
+    // The cursor loop: every tuple crosses the language boundary and is
+    // copied into a host structure before the host can compute on it.
+    std::vector<HostEmployee> extracted;
+    extracted.reserve(table.size());
+    for (const relational::Tuple& row : table.rows()) {
+      HostEmployee host;
+      host.name = std::get<std::string>(row[0]);
+      host.salary = std::get<std::int64_t>(row[1]);
+      host.dept = std::get<std::string>(row[2]);
+      extracted.push_back(std::move(host));
+    }
+    int hits = 0;
+    for (const HostEmployee& e : extracted) {
+      if (e.salary > threshold && e.dept == "Sales") ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_InEngineDeclarative)->Arg(200)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InEngineProcedural)->Arg(200)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TupleAtATimeExtraction)->Arg(200)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

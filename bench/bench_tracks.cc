@@ -1,0 +1,106 @@
+// C2 — track-granular storage and Boxer clustering (§6): "Disk access
+// will always be by entire tracks" and objects committed together land on
+// adjacent tracks, so "physical access paths parallel logical access".
+//
+// Expected shape: reading a logically-related batch that was committed
+// together touches ~batch_bytes/track_capacity tracks with few seeks;
+// the same objects committed one-per-transaction scatter, costing one or
+// more tracks (and a seek) per object.
+
+#include <benchmark/benchmark.h>
+
+#include "object/object_memory.h"
+#include "storage/storage_engine.h"
+
+using namespace gemstone;  // NOLINT
+
+namespace {
+
+GsObject MakeRecord(ObjectMemory& memory, std::uint64_t oid, int payload) {
+  GsObject object{Oid(oid), memory.kernel().object};
+  object.WriteNamed(memory.symbols().Intern("name"), 1,
+                    Value::String("record-" + std::to_string(oid)));
+  object.WriteNamed(memory.symbols().Intern("payload"), 1,
+                    Value::Integer(payload));
+  return object;
+}
+
+void BM_ClusteredBatchRead(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  storage::SimulatedDisk disk(16384, 8192);
+  storage::StorageEngine engine(&disk);
+  if (!engine.Format().ok()) return;
+  ObjectMemory memory;
+
+  // One commit: the Boxer packs the whole batch onto adjacent tracks.
+  std::vector<GsObject> objects;
+  std::vector<const GsObject*> ptrs;
+  for (int i = 0; i < batch; ++i) {
+    objects.push_back(MakeRecord(memory, 100 + static_cast<unsigned>(i), i));
+  }
+  for (const auto& o : objects) ptrs.push_back(&o);
+  if (!engine.CommitObjects(ptrs, memory.symbols()).ok()) return;
+
+  std::vector<Oid> wanted;
+  for (int i = 0; i < batch; ++i) {
+    wanted.push_back(Oid(100 + static_cast<unsigned>(i)));
+  }
+  disk.ResetStats();
+  for (auto _ : state) {
+    auto loaded = engine.LoadObjects(wanted, &memory.symbols());
+    if (!loaded.ok()) state.SkipWithError(loaded.status().ToString().c_str());
+    benchmark::DoNotOptimize(loaded);
+  }
+  const storage::DiskStats stats = disk.stats();
+  state.counters["tracks_read_per_object"] =
+      static_cast<double>(stats.tracks_read) /
+      static_cast<double>(state.iterations() * batch);
+  state.counters["seeks_per_object"] =
+      static_cast<double>(stats.seeks) /
+      static_cast<double>(state.iterations() * batch);
+}
+
+void BM_ScatteredBatchRead(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  storage::SimulatedDisk disk(16384, 8192);
+  storage::StorageEngine engine(&disk);
+  if (!engine.Format().ok()) return;
+  ObjectMemory memory;
+
+  // One commit per object, interleaved with unrelated churn so related
+  // records land far apart.
+  std::vector<GsObject> churn_keepalive;
+  for (int i = 0; i < batch; ++i) {
+    GsObject object = MakeRecord(memory, 100 + static_cast<unsigned>(i), i);
+    if (!engine.CommitObjects({&object}, memory.symbols()).ok()) return;
+    churn_keepalive.push_back(
+        MakeRecord(memory, 100000 + static_cast<unsigned>(i), i));
+    GsObject* churn = &churn_keepalive.back();
+    if (!engine.CommitObjects({churn}, memory.symbols()).ok()) return;
+  }
+
+  std::vector<Oid> wanted;
+  for (int i = 0; i < batch; ++i) {
+    wanted.push_back(Oid(100 + static_cast<unsigned>(i)));
+  }
+  disk.ResetStats();
+  for (auto _ : state) {
+    auto loaded = engine.LoadObjects(wanted, &memory.symbols());
+    if (!loaded.ok()) state.SkipWithError(loaded.status().ToString().c_str());
+    benchmark::DoNotOptimize(loaded);
+  }
+  const storage::DiskStats stats = disk.stats();
+  state.counters["tracks_read_per_object"] =
+      static_cast<double>(stats.tracks_read) /
+      static_cast<double>(state.iterations() * batch);
+  state.counters["seeks_per_object"] =
+      static_cast<double>(stats.seeks) /
+      static_cast<double>(state.iterations() * batch);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClusteredBatchRead)->Arg(64)->Arg(512);
+BENCHMARK(BM_ScatteredBatchRead)->Arg(64)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// An OPAL read-eval-print loop over the Executor — the closest thing to
+// the paper's host-terminal experience. Each line (or block ended by an
+// empty line) is one §6 "block of OPAL source code".
+//
+// Usage:
+//   ./opal_repl                     # interactive
+//   echo "3 + 4" | ./opal_repl     # scripted
+//   ./opal_repl --image db.img     # (not implemented: in-memory only)
+//
+// A few REPL conveniences:
+//   :quit        leave
+//   :time        show the commit clock and SafeTime
+//   :stats       interpreter counters for this session
+
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+
+#include "executor/executor.h"
+
+using gemstone::SessionId;
+using gemstone::executor::Executor;
+
+int main() {
+  Executor server;
+  SessionId session = server.Login().ValueOrDie();
+  const bool interactive = false || isatty(0);
+
+  if (interactive) {
+    std::cout << "GemStone/84 OPAL — one statement per line, :quit to "
+                 "leave.\n";
+  }
+  std::string line;
+  while ((interactive && (std::cout << "opal> " << std::flush)),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit") break;
+    if (line == ":time") {
+      std::cout << "commit clock " << server.transactions().Now()
+                << ", SafeTime " << server.transactions().SafeTime()
+                << "\n";
+      continue;
+    }
+    if (line == ":stats") {
+      const auto& stats = server.interpreter(session)->stats();
+      std::cout << stats.message_sends << " sends, "
+                << stats.primitive_calls << " primitives, "
+                << stats.block_invocations << " block calls, "
+                << stats.bytecodes << " bytecodes\n";
+      continue;
+    }
+    auto result = server.ExecuteToString(session, line);
+    if (result.ok()) {
+      std::cout << "==> " << result.value() << "\n";
+    } else {
+      std::cout << "!! " << result.status().ToString() << "\n";
+    }
+  }
+  (void)server.Logout(session);
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "admin/authorization.h"
+
+namespace gemstone::admin {
+
+AuthorizationManager::AuthorizationManager() {
+  Segment default_segment;
+  default_segment.name = "default";
+  default_segment.owner = 0;  // the DBA
+  default_segment.world = AccessRight::kWrite;
+  segments_.emplace(0, std::move(default_segment));
+}
+
+SegmentId AuthorizationManager::CreateSegment(UserId owner,
+                                              std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SegmentId id = next_segment_++;
+  Segment segment;
+  segment.name = std::move(name);
+  segment.owner = owner;
+  segment.acl[owner] = AccessRight::kWrite;
+  segments_.emplace(id, std::move(segment));
+  return id;
+}
+
+Status AuthorizationManager::Grant(UserId grantor, SegmentId segment,
+                                   UserId user, AccessRight right) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return Status::NotFound("no such segment");
+  if (it->second.owner != grantor) {
+    return Status::AuthorizationDenied("only the segment owner may grant");
+  }
+  it->second.acl[user] = right;
+  return Status::OK();
+}
+
+Status AuthorizationManager::Revoke(UserId grantor, SegmentId segment,
+                                    UserId user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return Status::NotFound("no such segment");
+  if (it->second.owner != grantor) {
+    return Status::AuthorizationDenied("only the segment owner may revoke");
+  }
+  it->second.acl.erase(user);
+  return Status::OK();
+}
+
+Status AuthorizationManager::AssignObject(UserId actor, Oid oid,
+                                          SegmentId segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return Status::NotFound("no such segment");
+  if (it->second.owner != actor) {
+    return Status::AuthorizationDenied(
+        "only the segment owner may assign objects into it");
+  }
+  object_segment_[oid.raw] = segment;
+  return Status::OK();
+}
+
+SegmentId AuthorizationManager::SegmentOf(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = object_segment_.find(oid.raw);
+  return it == object_segment_.end() ? 0 : it->second;
+}
+
+AccessRight AuthorizationManager::RightOf(const Segment& segment,
+                                          UserId user) const {
+  if (segment.owner == user) return AccessRight::kWrite;
+  auto it = segment.acl.find(user);
+  if (it != segment.acl.end()) return it->second;
+  return segment.world;
+}
+
+Status AuthorizationManager::CheckRead(UserId user, Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto seg_it = object_segment_.find(oid.raw);
+  const SegmentId seg = seg_it == object_segment_.end() ? 0 : seg_it->second;
+  const Segment& segment = segments_.at(seg);
+  if (RightOf(segment, user) == AccessRight::kNone) {
+    return Status::AuthorizationDenied("user " + std::to_string(user) +
+                                       " may not read segment '" +
+                                       segment.name + "'");
+  }
+  return Status::OK();
+}
+
+Status AuthorizationManager::CheckWrite(UserId user, Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto seg_it = object_segment_.find(oid.raw);
+  const SegmentId seg = seg_it == object_segment_.end() ? 0 : seg_it->second;
+  const Segment& segment = segments_.at(seg);
+  if (RightOf(segment, user) != AccessRight::kWrite) {
+    return Status::AuthorizationDenied("user " + std::to_string(user) +
+                                       " may not write segment '" +
+                                       segment.name + "'");
+  }
+  return Status::OK();
+}
+
+void AuthorizationManager::SetDefaultSegmentWorldAccess(AccessRight right) {
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_.at(0).world = right;
+}
+
+std::size_t AuthorizationManager::segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+}  // namespace gemstone::admin

@@ -1,0 +1,78 @@
+#ifndef GEMSTONE_ADMIN_AUTHORIZATION_H_
+#define GEMSTONE_ADMIN_AUTHORIZATION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/access_control.h"
+#include "core/ids.h"
+#include "core/result.h"
+#include "core/status.h"
+
+namespace gemstone::admin {
+
+using gemstone::UserId;
+using SegmentId = std::uint32_t;
+
+enum class AccessRight : std::uint8_t { kNone = 0, kRead = 1, kWrite = 2 };
+
+/// Database-administrator authorization control (§6 lists authorization
+/// among the Object Manager's responsibilities; §4.3 notes ST80 "lacks
+/// ... database administrator control over replication, authorization").
+///
+/// Objects are grouped into *segments*; each segment carries an owner and
+/// an ACL of (user -> right). The TransactionManager consults the
+/// AuthorizationManager through a session adapter; unassigned objects
+/// fall into the world-readable default segment 0.
+class AuthorizationManager : public AccessController {
+ public:
+  AuthorizationManager();
+
+  /// Creates a segment owned by `owner` (owner gets write).
+  SegmentId CreateSegment(UserId owner, std::string name);
+
+  /// Grants `right` on `segment` to `user`. Only the owner may grant.
+  Status Grant(UserId grantor, SegmentId segment, UserId user,
+               AccessRight right);
+
+  /// Revokes all access of `user` on `segment`.
+  Status Revoke(UserId grantor, SegmentId segment, UserId user);
+
+  /// Assigns an object to a segment (DBA/owner operation).
+  Status AssignObject(UserId actor, Oid oid, SegmentId segment);
+
+  /// The segment an object belongs to (default 0).
+  SegmentId SegmentOf(Oid oid) const;
+
+  /// Checks that `user` may read/write `oid` (AccessController hooks).
+  Status CheckRead(UserId user, Oid oid) const override;
+  Status CheckWrite(UserId user, Oid oid) const override;
+
+  /// World access on the default segment (on by default; a locked-down
+  /// deployment turns it off).
+  void SetDefaultSegmentWorldAccess(AccessRight right);
+
+  std::size_t segment_count() const;
+
+ private:
+  struct Segment {
+    std::string name;
+    UserId owner;
+    AccessRight world = AccessRight::kNone;
+    std::unordered_map<UserId, AccessRight> acl;
+  };
+
+  AccessRight RightOf(const Segment& segment, UserId user) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<SegmentId, Segment> segments_;
+  std::unordered_map<std::uint64_t, SegmentId> object_segment_;
+  SegmentId next_segment_ = 1;
+};
+
+}  // namespace gemstone::admin
+
+#endif  // GEMSTONE_ADMIN_AUTHORIZATION_H_

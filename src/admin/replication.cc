@@ -1,0 +1,72 @@
+#include "admin/replication.h"
+
+namespace gemstone::admin {
+
+Status ReplicatedStore::CommitObjects(
+    const std::vector<const GsObject*>& objects, const SymbolTable& symbols) {
+  std::size_t accepted = 0;
+  Status last_error;
+  for (storage::StorageEngine* replica : replicas_) {
+    Status s = replica->CommitObjects(objects, symbols);
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      last_error = s;
+    }
+  }
+  if (accepted == 0) {
+    return last_error.ok()
+               ? Status::IoError("no replicas configured")
+               : last_error;
+  }
+  ++stats_.writes;
+  if (accepted < replicas_.size()) ++stats_.degraded_writes;
+  return Status::OK();
+}
+
+Result<GsObject> ReplicatedStore::LoadObject(Oid oid, SymbolTable* symbols) {
+  Status last_error = Status::NotFound("no replicas configured");
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    auto result = replicas_[i]->LoadObject(oid, symbols);
+    if (result.ok()) {
+      if (i != 0) ++stats_.failovers;
+      return result;
+    }
+    last_error = result.status();
+  }
+  return last_error;
+}
+
+Status ReplicatedStore::RepairReplica(std::size_t replica_index,
+                                      SymbolTable* symbols) {
+  if (replica_index >= replicas_.size()) {
+    return Status::OutOfRange("no such replica");
+  }
+  storage::StorageEngine* target = replicas_[replica_index];
+  // Union of every healthy replica's catalog.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == replica_index) continue;
+    storage::StorageEngine* source = replicas_[i];
+    std::vector<const GsObject*> batch;
+    std::vector<GsObject> storage_for_batch;
+    storage_for_batch.reserve(source->CatalogOids().size());
+    for (Oid oid : source->CatalogOids()) {
+      const storage::Extent* have = target->catalog().Find(oid);
+      const storage::Extent* want = source->catalog().Find(oid);
+      if (have != nullptr && have->checksum == want->checksum) continue;
+      auto object = source->LoadObject(oid, symbols);
+      if (!object.ok()) continue;  // try another source replica
+      storage_for_batch.push_back(std::move(object).value());
+      ++stats_.repaired_objects;
+    }
+    for (const GsObject& object : storage_for_batch) {
+      batch.push_back(&object);
+    }
+    if (!batch.empty()) {
+      GS_RETURN_IF_ERROR(target->CommitObjects(batch, *symbols));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gemstone::admin

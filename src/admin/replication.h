@@ -1,0 +1,55 @@
+#ifndef GEMSTONE_ADMIN_REPLICATION_H_
+#define GEMSTONE_ADMIN_REPLICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "storage/storage_engine.h"
+
+namespace gemstone::admin {
+
+struct ReplicationStats {
+  std::uint64_t writes = 0;
+  std::uint64_t degraded_writes = 0;  // committed with >=1 replica down
+  std::uint64_t failovers = 0;        // reads served by a non-primary
+  std::uint64_t repaired_objects = 0;
+};
+
+/// DBA-controlled replication (§4.3/§6: "database administrator control
+/// over replication"). Writes mirror the commit group to every replica
+/// engine; reads fail over down the replica list; a recovered replica is
+/// resynchronized object-by-object from a healthy peer.
+///
+/// A commit succeeds if at least one replica accepts it (degraded mode is
+/// counted); readers therefore always see the newest accepted state on
+/// some replica.
+class ReplicatedStore {
+ public:
+  explicit ReplicatedStore(std::vector<storage::StorageEngine*> replicas)
+      : replicas_(std::move(replicas)) {}
+
+  std::size_t replica_count() const { return replicas_.size(); }
+
+  /// Mirrors the commit to every replica. Fails only if *all* replicas
+  /// reject it.
+  Status CommitObjects(const std::vector<const GsObject*>& objects,
+                       const SymbolTable& symbols);
+
+  /// Reads from the first replica that can serve the object.
+  Result<GsObject> LoadObject(Oid oid, SymbolTable* symbols);
+
+  /// Copies every object present on a healthy replica but missing or
+  /// stale on `replica_index` (after the replica's device recovers).
+  Status RepairReplica(std::size_t replica_index, SymbolTable* symbols);
+
+  const ReplicationStats& stats() const { return stats_; }
+
+ private:
+  std::vector<storage::StorageEngine*> replicas_;
+  ReplicationStats stats_;
+};
+
+}  // namespace gemstone::admin
+
+#endif  // GEMSTONE_ADMIN_REPLICATION_H_

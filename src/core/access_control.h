@@ -1,0 +1,31 @@
+#ifndef GEMSTONE_CORE_ACCESS_CONTROL_H_
+#define GEMSTONE_CORE_ACCESS_CONTROL_H_
+
+#include <cstdint>
+
+#include "core/ids.h"
+#include "core/status.h"
+
+namespace gemstone {
+
+/// Identifies a database user (the DBA is user 0).
+using UserId = std::uint32_t;
+
+inline constexpr UserId kDbaUser = 0;
+
+/// Authorization hook consulted by the TransactionManager on every object
+/// access (§6 lists authorization among the Object Manager's duties).
+/// The concrete policy — segments with ACLs — lives in gs_admin; the
+/// transaction layer depends only on this interface.
+class AccessController {
+ public:
+  virtual ~AccessController() = default;
+
+  /// OK, or AuthorizationDenied.
+  virtual Status CheckRead(UserId user, Oid oid) const = 0;
+  virtual Status CheckWrite(UserId user, Oid oid) const = 0;
+};
+
+}  // namespace gemstone
+
+#endif  // GEMSTONE_CORE_ACCESS_CONTROL_H_

@@ -1,0 +1,65 @@
+#ifndef GEMSTONE_CORE_IDS_H_
+#define GEMSTONE_CORE_IDS_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gemstone {
+
+/// A globally unique object identifier ("OOP" in the paper's terms).
+///
+/// §5.4: "When an object is instantiated, it is given a globally unique
+/// identity. It lives forever with that identity." Oid equality is entity
+/// identity; structural equivalence is a separate operation on objects.
+struct Oid {
+  std::uint64_t raw = 0;
+
+  constexpr Oid() = default;
+  constexpr explicit Oid(std::uint64_t value) : raw(value) {}
+
+  constexpr bool IsNil() const { return raw == 0; }
+  friend constexpr auto operator<=>(const Oid&, const Oid&) = default;
+
+  std::string ToString() const { return "oid:" + std::to_string(raw); }
+};
+
+/// The distinguished identity of `nil` (class UndefinedObject).
+inline constexpr Oid kNilOid{};
+
+/// Transaction time: a monotonically increasing logical commit timestamp
+/// assigned by the TransactionManager. §5.3.1 chooses transaction time
+/// (not event time) as the system-maintained history dimension.
+using TxnTime = std::uint64_t;
+
+/// The pseudo-time denoting "the current state"; larger than any commit
+/// time the system will ever assign.
+inline constexpr TxnTime kTimeNow = ~static_cast<TxnTime>(0);
+
+/// Time zero predates every commit; reading the database @0 sees nothing.
+inline constexpr TxnTime kTimeOrigin = 0;
+
+/// Identifies a user session (Executor-managed).
+using SessionId = std::uint32_t;
+
+/// Interned symbol identifier (see object/symbol_table.h).
+using SymbolId = std::uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = ~static_cast<SymbolId>(0);
+
+}  // namespace gemstone
+
+template <>
+struct std::hash<gemstone::Oid> {
+  std::size_t operator()(const gemstone::Oid& oid) const noexcept {
+    // SplitMix64 finalizer: Oids are sequential, so scramble them before
+    // they feed bucket selection.
+    std::uint64_t x = oid.raw + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+#endif  // GEMSTONE_CORE_IDS_H_

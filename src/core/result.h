@@ -1,0 +1,81 @@
+#ifndef GEMSTONE_CORE_RESULT_H_
+#define GEMSTONE_CORE_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "core/status.h"
+
+namespace gemstone {
+
+/// A value-or-Status, modeled on arrow::Result. The invariant is that a
+/// Result either holds a value (and `ok()` is true) or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a logic error and is downgraded to an
+  /// Internal error so the invariant holds.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error (OK when the Result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors; must not be called unless `ok()`.
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or terminates the process if the Result is an
+  /// error. Reserved for tests and examples where failure is a bug.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::abort();
+    }
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success binds
+/// the value to `lhs`. Usage: GS_ASSIGN_OR_RETURN(auto v, Compute());
+#define GS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define GS_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define GS_ASSIGN_OR_RETURN_CONCAT(x, y) GS_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define GS_ASSIGN_OR_RETURN(lhs, expr) \
+  GS_ASSIGN_OR_RETURN_IMPL(            \
+      GS_ASSIGN_OR_RETURN_CONCAT(gs_result_, __LINE__), lhs, expr)
+
+}  // namespace gemstone
+
+#endif  // GEMSTONE_CORE_RESULT_H_

@@ -1,0 +1,239 @@
+#include "executor/executor.h"
+
+#include <algorithm>
+
+#include "storage/serializer.h"
+
+namespace gemstone::executor {
+
+namespace {
+// The system object's element holding the serialized schema and clock.
+constexpr const char* kSchemaElement = "schemaImage";
+// Kernel classes occupy oids below this; only user classes export.
+constexpr std::uint64_t kFirstUserOid = 64;
+}  // namespace
+
+Executor::Executor()
+    : directories_(&memory_), transactions_(&memory_, nullptr) {
+  Bootstrap();
+}
+
+Executor::Executor(storage::StorageEngine* engine)
+    : directories_(&memory_), transactions_(&memory_, engine) {
+  Bootstrap();
+}
+
+void Executor::Bootstrap() {
+  opal::InstallKernelPrimitives(&memory_);
+  // The System singleton is reachable as the global `System`.
+  globals_.Set(memory_.symbols().Intern("System"),
+               Value::Ref(memory_.kernel().system_object));
+}
+
+Result<SessionId> Executor::Login(UserId user) {
+  const SessionId id = next_session_++;
+  SessionEntry entry;
+  entry.session = std::make_unique<txn::Session>(&transactions_, id, user);
+  entry.interpreter = std::make_unique<opal::Interpreter>(
+      &memory_, entry.session.get(), &globals_);
+  entry.interpreter->set_directories(&directories_);
+  GS_RETURN_IF_ERROR(entry.session->Begin());
+  sessions_.emplace(id, std::move(entry));
+  return id;
+}
+
+Status Executor::Logout(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session));
+  }
+  if (it->second.session->InTransaction()) {
+    (void)it->second.session->Abort();
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+txn::Session* Executor::session(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.session.get();
+}
+
+opal::Interpreter* Executor::interpreter(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.interpreter.get();
+}
+
+Result<Value> Executor::Execute(SessionId session, std::string_view source) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session));
+  }
+  opal::Compiler compiler(&memory_);
+  GS_ASSIGN_OR_RETURN(auto body, compiler.CompileBody(source));
+  return it->second.interpreter->Run(std::move(body));
+}
+
+Result<std::string> Executor::ExecuteToString(SessionId session,
+                                              std::string_view source) {
+  GS_ASSIGN_OR_RETURN(Value result, Execute(session, source));
+  auto it = sessions_.find(session);
+  return it->second.interpreter->DefaultPrintString(result);
+}
+
+// --- Schema persistence --------------------------------------------------------
+
+std::string Executor::EncodeSchema() const {
+  using storage::ByteWriter;
+  ByteWriter out;
+  // Commit clock and oid high-water mark first.
+  out.PutU64(transactions_.Now());
+
+  // User classes in oid order (supers defined before subclasses because
+  // superclass oids are always smaller — DefineClass requires an existing
+  // superclass).
+  std::vector<const GsClass*> user_classes;
+  for (const std::string& name : memory_.classes().ClassNames()) {
+    const GsClass* cls = memory_.classes().FindByName(name);
+    if (cls->oid().raw >= kFirstUserOid) user_classes.push_back(cls);
+  }
+  std::sort(user_classes.begin(), user_classes.end(),
+            [](const GsClass* a, const GsClass* b) {
+              return a->oid() < b->oid();
+            });
+  out.PutU32(static_cast<std::uint32_t>(user_classes.size()));
+  for (const GsClass* cls : user_classes) {
+    out.PutU64(cls->oid().raw);
+    out.PutString(cls->name());
+    out.PutU64(cls->superclass().raw);
+    out.PutU8(static_cast<std::uint8_t>(cls->format()));
+    out.PutU32(static_cast<std::uint32_t>(cls->own_inst_vars().size()));
+    for (SymbolId var : cls->own_inst_vars()) {
+      out.PutString(memory_.symbols().Name(var));
+    }
+    out.PutU32(static_cast<std::uint32_t>(cls->method_sources().size()));
+    for (const auto& [selector, source] : cls->method_sources()) {
+      out.PutString(source);
+    }
+  }
+  const auto bytes = out.bytes();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Status Executor::DecodeSchema(const std::string& blob) {
+  using storage::ByteReader;
+  const auto* data = reinterpret_cast<const std::uint8_t*>(blob.data());
+  ByteReader in(std::span<const std::uint8_t>(data, blob.size()));
+  GS_ASSIGN_OR_RETURN(std::uint64_t clock, in.GetU64());
+  // Commits after the schema snapshot may have advanced the clock further;
+  // never move it backwards.
+  transactions_.RestoreClock(std::max<TxnTime>(clock, transactions_.Now()));
+
+  GS_ASSIGN_OR_RETURN(std::uint32_t count, in.GetU32());
+  struct PendingMethods {
+    Oid class_oid;
+    std::vector<std::string> sources;
+  };
+  std::vector<PendingMethods> pending;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GS_ASSIGN_OR_RETURN(std::uint64_t oid, in.GetU64());
+    GS_ASSIGN_OR_RETURN(std::string name, in.GetString());
+    GS_ASSIGN_OR_RETURN(std::uint64_t super, in.GetU64());
+    GS_ASSIGN_OR_RETURN(std::uint8_t format, in.GetU8());
+    GS_ASSIGN_OR_RETURN(std::uint32_t num_vars, in.GetU32());
+    std::vector<std::string> vars;
+    for (std::uint32_t v = 0; v < num_vars; ++v) {
+      GS_ASSIGN_OR_RETURN(std::string var, in.GetString());
+      vars.push_back(std::move(var));
+    }
+    GS_RETURN_IF_ERROR(memory_.classes()
+                           .DefineClass(Oid(oid), name, Oid(super),
+                                        static_cast<ObjectFormat>(format),
+                                        vars)
+                           .status());
+    memory_.EnsureOidAbove(oid);
+    GS_ASSIGN_OR_RETURN(std::uint32_t num_methods, in.GetU32());
+    PendingMethods methods;
+    methods.class_oid = Oid(oid);
+    for (std::uint32_t m = 0; m < num_methods; ++m) {
+      GS_ASSIGN_OR_RETURN(std::string source, in.GetString());
+      methods.sources.push_back(std::move(source));
+    }
+    pending.push_back(std::move(methods));
+  }
+  // Compile methods after every class exists (methods may reference any).
+  opal::Compiler compiler(&memory_);
+  for (const PendingMethods& methods : pending) {
+    GsClass* cls = memory_.classes().Get(methods.class_oid);
+    for (const std::string& source : methods.sources) {
+      GS_ASSIGN_OR_RETURN(
+          auto method, compiler.CompileMethodSource(source, cls->oid()));
+      const SymbolId selector =
+          memory_.symbols().Intern(method->selector);
+      cls->InstallMethod(selector, method);
+      cls->SetMethodSource(selector, source);
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::SaveSchema(SessionId session) {
+  txn::Session* s = this->session(session);
+  if (s == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session));
+  }
+  const SymbolId element = memory_.symbols().Intern(kSchemaElement);
+  GS_RETURN_IF_ERROR(s->WriteNamed(memory_.kernel().system_object, element,
+                                   Value::String(EncodeSchema())));
+  GS_RETURN_IF_ERROR(s->Commit());
+  return s->Begin();
+}
+
+Result<std::unique_ptr<Executor>> Executor::Recover(
+    storage::StorageEngine* engine) {
+  auto executor = std::unique_ptr<Executor>(new Executor(engine));
+  // Load every cataloged object; track the largest oid and commit time.
+  std::uint64_t max_oid = 0;
+  TxnTime max_time = 0;
+  std::string schema_blob;
+  const SymbolId schema_element =
+      executor->memory_.symbols().Intern(kSchemaElement);
+  for (Oid oid : engine->CatalogOids()) {
+    GS_ASSIGN_OR_RETURN(GsObject object,
+                        engine->LoadObject(oid, &executor->memory_.symbols()));
+    max_oid = std::max(max_oid, oid.raw);
+    for (const NamedElement& element : object.named_elements()) {
+      max_time = std::max(max_time, element.table.LastBoundAt());
+      if (oid == executor->memory_.kernel().system_object &&
+          element.name == schema_element) {
+        const Value* v = element.table.CurrentValue();
+        if (v != nullptr && v->IsString()) schema_blob = v->string();
+      }
+    }
+    for (std::size_t i = 0; i < object.indexed_capacity(); ++i) {
+      max_time = std::max(max_time, object.IndexedHistory(i)->LastBoundAt());
+    }
+    if (oid == executor->memory_.kernel().system_object) {
+      // The bootstrapped singleton already exists; merge the recovered
+      // history over it.
+      GsObject* system =
+          executor->memory_.FindMutable(executor->memory_.kernel()
+                                            .system_object);
+      for (const NamedElement& element : object.named_elements()) {
+        for (const Association& a : element.table.entries()) {
+          system->WriteNamed(element.name, a.time, a.value);
+        }
+      }
+      continue;
+    }
+    GS_RETURN_IF_ERROR(executor->memory_.Insert(std::move(object)));
+  }
+  executor->memory_.EnsureOidAbove(max_oid);
+  executor->transactions_.RestoreClock(max_time);
+  if (!schema_blob.empty()) {
+    GS_RETURN_IF_ERROR(executor->DecodeSchema(schema_blob));
+  }
+  return executor;
+}
+
+}  // namespace gemstone::executor

@@ -1,0 +1,108 @@
+#ifndef GEMSTONE_EXECUTOR_EXECUTOR_H_
+#define GEMSTONE_EXECUTOR_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/result.h"
+#include "index/directory.h"
+#include "object/object_memory.h"
+#include "opal/compiler.h"
+#include "opal/interpreter.h"
+#include "storage/storage_engine.h"
+#include "txn/session.h"
+#include "txn/transaction_manager.h"
+
+namespace gemstone::executor {
+
+/// The Executor (§6): "responsible for controlling sessions in the
+/// GemStone system on behalf of users on host machines ... receiving
+/// blocks of code, returning results and error messages. It maintains a
+/// Compiler and Interpreter for each active user."
+///
+/// The network link of the paper's deployment is replaced by an
+/// in-process API with the same unit of communication: a block of OPAL
+/// source in, a result (or error Status) out.
+///
+/// When constructed over a StorageEngine, commits persist through the
+/// Boxer/Linker/CommitManager pipeline, and `Recover` rebuilds the full
+/// image — objects, logical clock, user classes and their recompiled
+/// methods — from the platters.
+class Executor {
+ public:
+  /// Purely in-memory system.
+  Executor();
+
+  /// Durable system over an opened engine (Format/Open already done).
+  explicit Executor(storage::StorageEngine* engine);
+
+  /// Rebuilds an Executor from a recovered engine: loads every cataloged
+  /// object, replays the schema (class definitions and method sources)
+  /// and restores the commit clock.
+  static Result<std::unique_ptr<Executor>> Recover(
+      storage::StorageEngine* engine);
+
+  // --- Sessions ---------------------------------------------------------------
+
+  /// Opens a session (its own Interpreter and transaction workspace, §6)
+  /// and begins its first transaction. `user` is the identity every
+  /// authorization check runs against when an AccessController is set on
+  /// the TransactionManager.
+  Result<SessionId> Login(UserId user = kDbaUser);
+
+  /// Ends a session, aborting any open transaction.
+  Status Logout(SessionId session);
+
+  /// Compiles and runs one block of OPAL source in the session, answering
+  /// the block's value.
+  Result<Value> Execute(SessionId session, std::string_view source);
+
+  /// As Execute, but renders the result with printString semantics —
+  /// what a host terminal would display.
+  Result<std::string> ExecuteToString(SessionId session,
+                                      std::string_view source);
+
+  // --- Schema persistence -----------------------------------------------------
+
+  /// Persists user class definitions + method sources into the system
+  /// object (they ride the ordinary commit pipeline). Call after schema
+  /// changes when durability matters.
+  Status SaveSchema(SessionId session);
+
+  // --- Introspection ----------------------------------------------------------
+
+  ObjectMemory& memory() { return memory_; }
+  txn::TransactionManager& transactions() { return transactions_; }
+  index::DirectoryManager& directories() { return directories_; }
+  opal::GlobalEnv& globals() { return globals_; }
+  txn::Session* session(SessionId id);
+  opal::Interpreter* interpreter(SessionId id);
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  struct SessionEntry {
+    std::unique_ptr<txn::Session> session;
+    std::unique_ptr<opal::Interpreter> interpreter;
+  };
+
+  void Bootstrap();
+
+  /// Serializes user classes (names, superclasses, formats, instance
+  /// variables, method sources) for schema recovery.
+  std::string EncodeSchema() const;
+  Status DecodeSchema(const std::string& blob);
+
+  ObjectMemory memory_;
+  opal::GlobalEnv globals_;
+  index::DirectoryManager directories_;
+  txn::TransactionManager transactions_;
+
+  SessionId next_session_ = 1;
+  std::unordered_map<SessionId, SessionEntry> sessions_;
+};
+
+}  // namespace gemstone::executor
+
+#endif  // GEMSTONE_EXECUTOR_EXECUTOR_H_

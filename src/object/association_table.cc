@@ -1,0 +1,33 @@
+#include "object/association_table.h"
+
+#include <algorithm>
+
+namespace gemstone {
+
+namespace {
+bool TimeLess(const Association& a, TxnTime t) { return a.time < t; }
+}  // namespace
+
+void AssociationTable::Bind(TxnTime time, Value value) {
+  if (entries_.empty() || entries_.back().time < time) {
+    entries_.push_back(Association{time, std::move(value)});
+    return;
+  }
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), time, TimeLess);
+  if (it != entries_.end() && it->time == time) {
+    it->value = std::move(value);
+  } else {
+    entries_.insert(it, Association{time, std::move(value)});
+  }
+}
+
+const Value* AssociationTable::ValueAt(TxnTime time) const {
+  // Find the last entry with entry.time <= time.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), time,
+      [](TxnTime t, const Association& a) { return t < a.time; });
+  if (it == entries_.begin()) return nullptr;
+  return &std::prev(it)->value;
+}
+
+}  // namespace gemstone

@@ -1,0 +1,132 @@
+#include "object/class_registry.h"
+
+namespace gemstone {
+
+Result<Oid> ClassRegistry::DefineClass(
+    Oid oid, std::string_view name, Oid superclass, ObjectFormat format,
+    const std::vector<std::string>& inst_var_names) {
+  std::string key(name);
+  if (by_name_.count(key) != 0) {
+    return Status::AlreadyExists("class already defined: " + key);
+  }
+  if (!superclass.IsNil() && classes_.count(superclass.raw) == 0) {
+    return Status::NotFound("superclass does not exist: " +
+                            superclass.ToString());
+  }
+  auto cls = std::make_unique<GsClass>(oid, key, superclass, format);
+  for (const std::string& var : inst_var_names) {
+    SymbolId sym = symbols_->Intern(var);
+    if (cls->declares_inst_var(sym)) {
+      return Status::InvalidArgument("duplicate instance variable: " + var);
+    }
+    // Shadowing an inherited variable is disallowed (strict hierarchy).
+    for (Oid c = superclass; !c.IsNil();) {
+      const GsClass* ancestor = Get(c);
+      if (ancestor->declares_inst_var(sym)) {
+        return Status::InvalidArgument("instance variable '" + var +
+                                       "' already declared by ancestor " +
+                                       ancestor->name());
+      }
+      c = ancestor->superclass();
+    }
+    cls->add_inst_var(sym);
+  }
+  classes_.emplace(oid.raw, std::move(cls));
+  by_name_.emplace(std::move(key), oid);
+  return oid;
+}
+
+Status ClassRegistry::AddInstVar(Oid class_oid, std::string_view name) {
+  GsClass* cls = Get(class_oid);
+  if (cls == nullptr) {
+    return Status::NotFound("no such class: " + class_oid.ToString());
+  }
+  SymbolId sym = symbols_->Intern(name);
+  for (Oid c = class_oid; !c.IsNil();) {
+    const GsClass* ancestor = Get(c);
+    if (ancestor->declares_inst_var(sym)) {
+      return Status::AlreadyExists("instance variable exists: " +
+                                   std::string(name));
+    }
+    c = ancestor->superclass();
+  }
+  cls->add_inst_var(sym);
+  return Status::OK();
+}
+
+GsClass* ClassRegistry::Get(Oid oid) {
+  auto it = classes_.find(oid.raw);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+const GsClass* ClassRegistry::Get(Oid oid) const {
+  auto it = classes_.find(oid.raw);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+GsClass* ClassRegistry::FindByName(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : Get(it->second);
+}
+
+const GsClass* ClassRegistry::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : Get(it->second);
+}
+
+std::vector<SymbolId> ClassRegistry::AllInstVars(Oid class_oid) const {
+  // Collect the chain root-first so inherited variables come before own.
+  std::vector<const GsClass*> chain;
+  for (Oid c = class_oid; !c.IsNil();) {
+    const GsClass* cls = Get(c);
+    if (cls == nullptr) break;
+    chain.push_back(cls);
+    c = cls->superclass();
+  }
+  std::vector<SymbolId> all;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const auto& own = (*it)->own_inst_vars();
+    all.insert(all.end(), own.begin(), own.end());
+  }
+  return all;
+}
+
+bool ClassRegistry::IsKindOf(Oid class_oid, Oid ancestor) const {
+  for (Oid c = class_oid; !c.IsNil();) {
+    if (c == ancestor) return true;
+    const GsClass* cls = Get(c);
+    if (cls == nullptr) return false;
+    c = cls->superclass();
+  }
+  return false;
+}
+
+const MethodHandle* ClassRegistry::LookupMethod(Oid class_oid,
+                                                SymbolId selector) const {
+  Oid ignored;
+  return LookupMethodFrom(class_oid, selector, &ignored);
+}
+
+const MethodHandle* ClassRegistry::LookupMethodFrom(Oid class_oid,
+                                                    SymbolId selector,
+                                                    Oid* defining_class) const {
+  for (Oid c = class_oid; !c.IsNil();) {
+    const GsClass* cls = Get(c);
+    if (cls == nullptr) return nullptr;
+    if (const MethodHandle* method = cls->OwnMethod(selector)) {
+      *defining_class = c;
+      return method;
+    }
+    c = cls->superclass();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ClassRegistry::ClassNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, oid] : by_name_) names.push_back(name);
+  return names;
+}
+
+}  // namespace gemstone

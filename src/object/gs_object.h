@@ -1,0 +1,109 @@
+#ifndef GEMSTONE_OBJECT_GS_OBJECT_H_
+#define GEMSTONE_OBJECT_GS_OBJECT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "object/association_table.h"
+#include "object/value.h"
+
+namespace gemstone {
+
+/// One named element of an object: an element name plus the element's
+/// association table (§6: "An element is represented as an element name
+/// and a table of associations").
+struct NamedElement {
+  SymbolId name = kInvalidSymbol;
+  AssociationTable table;
+};
+
+/// A GemStone object: private memory with identity and history.
+///
+/// Structure follows §4.1 ("private memory is structured as a list of
+/// named or numbered instance variables") with §5.3's temporal extension:
+/// each element is an association table rather than a single slot.
+///
+/// - *Named* elements hold instance variables and the alias-named members
+///   of sets (§5.1: unlabeled set members get generated alias names).
+/// - *Indexed* elements hold array/string-like numbered slots.
+///
+/// Objects are value-copyable: a transaction workspace clones an object,
+/// mutates the clone, and the Linker folds dirty elements back into the
+/// permanent copy at commit time.
+class GsObject {
+ public:
+  GsObject() = default;
+  GsObject(Oid oid, Oid class_oid) : oid_(oid), class_oid_(class_oid) {}
+
+  Oid oid() const { return oid_; }
+  Oid class_oid() const { return class_oid_; }
+  void set_class_oid(Oid class_oid) { class_oid_ = class_oid; }
+
+  // --- Named elements -----------------------------------------------------
+
+  /// Binds `name` to `value` starting at `time`, creating the element on
+  /// first use (optional instance variables cost nothing until bound).
+  void WriteNamed(SymbolId name, TxnTime time, Value value);
+
+  /// The value of `name` visible at `time`; nullptr if the element was
+  /// never bound at or before `time`. A deleted element yields nil.
+  const Value* ReadNamed(SymbolId name, TxnTime time) const;
+
+  /// Full history of `name`, or nullptr if the element does not exist.
+  const AssociationTable* NamedHistory(SymbolId name) const;
+
+  bool HasNamed(SymbolId name) const { return NamedHistory(name) != nullptr; }
+
+  /// All named elements in creation order (stable display order).
+  const std::vector<NamedElement>& named_elements() const { return named_; }
+
+  /// Number of named elements whose value at `time` is bound and non-nil —
+  /// the cardinality of a set at `time`.
+  std::size_t CountBoundNamedAt(TxnTime time) const;
+
+  // --- Indexed elements ---------------------------------------------------
+
+  /// Writes slot `index` (0-based) at `time`, growing the object; slots
+  /// skipped over spring into existence bound to nil at `time`.
+  void WriteIndexed(std::size_t index, TxnTime time, Value value);
+
+  /// Appends a new slot bound at `time`; returns its index.
+  std::size_t AppendIndexed(TxnTime time, Value value);
+
+  /// The value of slot `index` at `time`; nullptr if the slot did not
+  /// exist at `time`.
+  const Value* ReadIndexed(std::size_t index, TxnTime time) const;
+
+  /// Number of slots that existed at `time`. Slot creation times are
+  /// non-decreasing by construction (appends carry commit times, which
+  /// increase), so this is a binary search.
+  std::size_t IndexedSizeAt(TxnTime time) const;
+
+  /// Total allocated slots across all times.
+  std::size_t indexed_capacity() const { return indexed_.size(); }
+
+  const AssociationTable* IndexedHistory(std::size_t index) const {
+    return index < indexed_.size() ? &indexed_[index] : nullptr;
+  }
+
+  // --- Accounting ----------------------------------------------------------
+
+  /// Total associations stored across every element (history bloat metric;
+  /// feeds the Boxer's track-packing estimate).
+  std::size_t TotalAssociations() const;
+
+  /// Rough serialized size in bytes, used by the Boxer to pack tracks.
+  std::size_t ApproximateByteSize() const;
+
+ private:
+  Oid oid_;
+  Oid class_oid_;
+  std::vector<NamedElement> named_;
+  std::vector<AssociationTable> indexed_;
+};
+
+}  // namespace gemstone
+
+#endif  // GEMSTONE_OBJECT_GS_OBJECT_H_

@@ -1,0 +1,243 @@
+#include "object/object_memory.h"
+
+#include <utility>
+
+namespace gemstone {
+
+namespace {
+// Kernel classes occupy a reserved low oid range.
+constexpr std::uint64_t kFirstUserOid = 64;
+}  // namespace
+
+ObjectMemory::ObjectMemory() : classes_(&symbols_) {
+  next_oid_.store(kFirstUserOid);
+  std::uint64_t next = 1;
+  auto define = [&](std::string_view name, Oid superclass, ObjectFormat fmt) {
+    Oid oid(next++);
+    auto result = classes_.DefineClass(oid, name, superclass, fmt, {});
+    return std::move(result).ValueOrDie();
+  };
+  kernel_.object = define("Object", kNilOid, ObjectFormat::kNamed);
+  kernel_.undefined_object =
+      define("UndefinedObject", kernel_.object, ObjectFormat::kNamed);
+  kernel_.boolean = define("Boolean", kernel_.object, ObjectFormat::kNamed);
+  kernel_.magnitude = define("Magnitude", kernel_.object, ObjectFormat::kNamed);
+  kernel_.number = define("Number", kernel_.magnitude, ObjectFormat::kNamed);
+  kernel_.integer = define("Integer", kernel_.number, ObjectFormat::kNamed);
+  kernel_.real = define("Float", kernel_.number, ObjectFormat::kNamed);
+  kernel_.string = define("String", kernel_.magnitude, ObjectFormat::kIndexed);
+  kernel_.symbol = define("Symbol", kernel_.string, ObjectFormat::kIndexed);
+  kernel_.collection =
+      define("Collection", kernel_.object, ObjectFormat::kNamed);
+  kernel_.set = define("Set", kernel_.collection, ObjectFormat::kSet);
+  kernel_.bag = define("Bag", kernel_.collection, ObjectFormat::kSet);
+  kernel_.dictionary =
+      define("Dictionary", kernel_.collection, ObjectFormat::kSet);
+  kernel_.array = define("Array", kernel_.collection, ObjectFormat::kIndexed);
+  kernel_.ordered_collection =
+      define("OrderedCollection", kernel_.collection, ObjectFormat::kIndexed);
+  kernel_.association =
+      define("Association", kernel_.object, ObjectFormat::kNamed);
+  kernel_.block = define("Block", kernel_.object, ObjectFormat::kNamed);
+  kernel_.metaclass = define("Class", kernel_.object, ObjectFormat::kNamed);
+  kernel_.system = define("System", kernel_.object, ObjectFormat::kNamed);
+  // The System singleton occupies a fixed reserved oid below the first
+  // user identity.
+  kernel_.system_object = Oid(62);
+  objects_.emplace(kernel_.system_object.raw, std::make_unique<GsObject>(
+                                                  kernel_.system_object,
+                                                  kernel_.system));
+}
+
+Status ObjectMemory::Insert(GsObject object) {
+  std::unique_lock lock(mu_);
+  const std::uint64_t key = object.oid().raw;
+  if (objects_.count(key) != 0) {
+    return Status::AlreadyExists("object already in permanent space: " +
+                                 object.oid().ToString());
+  }
+  objects_.emplace(key, std::make_unique<GsObject>(std::move(object)));
+  archived_.erase(key);  // a restored object is no longer archival-only
+  return Status::OK();
+}
+
+const GsObject* ObjectMemory::Find(Oid oid) const {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(oid.raw);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+GsObject* ObjectMemory::FindMutable(Oid oid) {
+  std::shared_lock lock(mu_);
+  auto it = objects_.find(oid.raw);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+bool ObjectMemory::Contains(Oid oid) const {
+  std::shared_lock lock(mu_);
+  return objects_.count(oid.raw) != 0;
+}
+
+Result<GsObject> ObjectMemory::Detach(Oid oid) {
+  std::unique_lock lock(mu_);
+  auto it = objects_.find(oid.raw);
+  if (it == objects_.end()) {
+    return Status::NotFound("cannot archive absent object: " + oid.ToString());
+  }
+  GsObject detached = std::move(*it->second);
+  objects_.erase(it);
+  archived_[oid.raw] = true;
+  return detached;
+}
+
+bool ObjectMemory::IsArchived(Oid oid) const {
+  std::shared_lock lock(mu_);
+  auto it = archived_.find(oid.raw);
+  return it != archived_.end() && it->second;
+}
+
+std::size_t ObjectMemory::NumObjects() const {
+  std::shared_lock lock(mu_);
+  return objects_.size();
+}
+
+std::vector<Oid> ObjectMemory::AllOids() const {
+  std::shared_lock lock(mu_);
+  std::vector<Oid> oids;
+  oids.reserve(objects_.size());
+  for (const auto& [raw, obj] : objects_) oids.push_back(Oid(raw));
+  return oids;
+}
+
+Result<Value> ObjectMemory::ReadNamed(Oid oid, SymbolId name,
+                                      TxnTime time) const {
+  const GsObject* object = Find(oid);
+  if (object == nullptr) {
+    if (IsArchived(oid)) {
+      return Status::Unavailable("object migrated to archival media: " +
+                                 oid.ToString());
+    }
+    return Status::NotFound("no such object: " + oid.ToString());
+  }
+  const Value* value = object->ReadNamed(name, time);
+  if (value == nullptr) {
+    return Status::NotFound("element not bound at requested time");
+  }
+  return *value;
+}
+
+Oid ObjectMemory::ClassOf(const Value& value) const {
+  switch (value.tag()) {
+    case ValueTag::kNil:
+      return kernel_.undefined_object;
+    case ValueTag::kBoolean:
+      return kernel_.boolean;
+    case ValueTag::kInteger:
+      return kernel_.integer;
+    case ValueTag::kFloat:
+      return kernel_.real;
+    case ValueTag::kString:
+      return kernel_.string;
+    case ValueTag::kSymbol:
+      return kernel_.symbol;
+    case ValueTag::kRef: {
+      const GsObject* object = Find(value.ref());
+      return object == nullptr ? kNilOid : object->class_oid();
+    }
+    case ValueTag::kHandle:
+      return kernel_.block;
+  }
+  return kNilOid;
+}
+
+bool ObjectMemory::DeepEquals(const Value& a, const Value& b,
+                              TxnTime time) const {
+  std::unordered_map<std::uint64_t, std::uint64_t> assumed;
+  return DeepEqualsRec(a, b, time, &assumed);
+}
+
+bool ObjectMemory::DeepEqualsRec(
+    const Value& a, const Value& b, TxnTime time,
+    std::unordered_map<std::uint64_t, std::uint64_t>* assumed) const {
+  if (!a.IsRef() || !b.IsRef()) return a == b;
+  if (a.ref() == b.ref()) return true;
+  // Cycle handling: if we are already comparing this pair higher in the
+  // recursion, assume equality (coinductive structural equivalence).
+  auto it = assumed->find(a.ref().raw);
+  if (it != assumed->end() && it->second == b.ref().raw) return true;
+
+  const GsObject* oa = Find(a.ref());
+  const GsObject* ob = Find(b.ref());
+  if (oa == nullptr || ob == nullptr) return false;
+  if (oa->class_oid() != ob->class_oid()) return false;
+
+  (*assumed)[a.ref().raw] = b.ref().raw;
+
+  // Named elements: each bound (non-nil) element in one must match the
+  // other. Alias-named elements (set members) compare as unordered sets.
+  const bool is_set =
+      classes_.Get(oa->class_oid()) != nullptr &&
+      classes_.Get(oa->class_oid())->format() == ObjectFormat::kSet;
+  if (is_set) {
+    if (oa->CountBoundNamedAt(time) != ob->CountBoundNamedAt(time)) {
+      assumed->erase(a.ref().raw);
+      return false;
+    }
+    for (const NamedElement& ea : oa->named_elements()) {
+      const Value* va = ea.table.ValueAt(time);
+      if (va == nullptr || va->IsNil()) continue;
+      bool found = false;
+      for (const NamedElement& eb : ob->named_elements()) {
+        const Value* vb = eb.table.ValueAt(time);
+        if (vb == nullptr || vb->IsNil()) continue;
+        if (DeepEqualsRec(*va, *vb, time, assumed)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        assumed->erase(a.ref().raw);
+        return false;
+      }
+    }
+  } else {
+    auto bound_matches = [&](const GsObject& x, const GsObject& y) {
+      for (const NamedElement& ex : x.named_elements()) {
+        const Value* vx = ex.table.ValueAt(time);
+        if (vx == nullptr || vx->IsNil()) continue;
+        const Value* vy = y.ReadNamed(ex.name, time);
+        Value nil;
+        if (vy == nullptr) vy = &nil;
+        if (!DeepEqualsRec(*vx, *vy, time, assumed)) return false;
+      }
+      return true;
+    };
+    if (!bound_matches(*oa, *ob) || !bound_matches(*ob, *oa)) {
+      assumed->erase(a.ref().raw);
+      return false;
+    }
+  }
+
+  // Indexed elements compare positionally over the slots alive at `time`.
+  const std::size_t na = oa->IndexedSizeAt(time);
+  const std::size_t nb = ob->IndexedSizeAt(time);
+  if (na != nb) {
+    assumed->erase(a.ref().raw);
+    return false;
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    const Value* va = oa->ReadIndexed(i, time);
+    const Value* vb = ob->ReadIndexed(i, time);
+    Value nil;
+    if (va == nullptr) va = &nil;
+    if (vb == nullptr) vb = &nil;
+    if (!DeepEqualsRec(*va, *vb, time, assumed)) {
+      assumed->erase(a.ref().raw);
+      return false;
+    }
+  }
+  assumed->erase(a.ref().raw);
+  return true;
+}
+
+}  // namespace gemstone

@@ -1,0 +1,72 @@
+#include "object/printer.h"
+
+#include <unordered_set>
+
+namespace gemstone {
+
+namespace {
+
+void PrintRec(const ObjectMemory& memory, const Value& value, TxnTime time,
+              int depth, std::unordered_set<std::uint64_t>* on_path,
+              std::string* out) {
+  if (!value.IsRef()) {
+    if (value.IsSymbol()) {
+      out->append("#").append(memory.symbols().Name(value.symbol()));
+      return;
+    }
+    out->append(value.ToString());
+    return;
+  }
+  const Oid oid = value.ref();
+  if (depth <= 0 || on_path->count(oid.raw) != 0) {
+    out->append("<").append(oid.ToString()).append(">");
+    return;
+  }
+  const GsObject* object = memory.Find(oid);
+  if (object == nullptr) {
+    out->append(memory.IsArchived(oid) ? "<archived>" : "<missing>");
+    return;
+  }
+  on_path->insert(oid.raw);
+  out->append("{");
+  bool first = true;
+  for (const NamedElement& element : object->named_elements()) {
+    const Value* v = element.table.ValueAt(time);
+    const bool is_alias = memory.symbols().IsAlias(element.name);
+    if (v == nullptr) continue;
+    if (is_alias && v->IsNil()) continue;  // departed set member
+    if (!first) out->append(", ");
+    first = false;
+    if (!is_alias) {
+      out->append(memory.symbols().Name(element.name)).append(": ");
+    }
+    PrintRec(memory, *v, time, depth - 1, on_path, out);
+  }
+  const std::size_t n = object->IndexedSizeAt(time);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!first) out->append(", ");
+    first = false;
+    const Value* v = object->ReadIndexed(i, time);
+    Value nil;
+    PrintRec(memory, v ? *v : nil, time, depth - 1, on_path, out);
+  }
+  out->append("}");
+  on_path->erase(oid.raw);
+}
+
+}  // namespace
+
+std::string PrintValue(const ObjectMemory& memory, const Value& value,
+                       TxnTime time, int max_depth) {
+  std::string out;
+  std::unordered_set<std::uint64_t> on_path;
+  PrintRec(memory, value, time, max_depth, &on_path, &out);
+  return out;
+}
+
+std::string PrintObject(const ObjectMemory& memory, Oid oid, TxnTime time,
+                        int max_depth) {
+  return PrintValue(memory, Value::Ref(oid), time, max_depth);
+}
+
+}  // namespace gemstone

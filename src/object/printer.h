@@ -1,0 +1,26 @@
+#ifndef GEMSTONE_OBJECT_PRINTER_H_
+#define GEMSTONE_OBJECT_PRINTER_H_
+
+#include <string>
+
+#include "core/ids.h"
+#include "object/object_memory.h"
+#include "object/value.h"
+
+namespace gemstone {
+
+/// Renders `value` as seen at `time` in the paper's STDM notation:
+/// `{Name: 'Sales', Managers: {'Nathen', 'Roberts'}, Budget: 142000}`.
+/// Alias element names are elided (as §5.1 does for sets of simple
+/// values); recursion stops at `max_depth` and on cycles (printed as
+/// `<oid:N>`), and unbound/nil set members are skipped.
+std::string PrintValue(const ObjectMemory& memory, const Value& value,
+                       TxnTime time, int max_depth = 8);
+
+/// Convenience overload for a whole object.
+std::string PrintObject(const ObjectMemory& memory, Oid oid, TxnTime time,
+                        int max_depth = 8);
+
+}  // namespace gemstone
+
+#endif  // GEMSTONE_OBJECT_PRINTER_H_

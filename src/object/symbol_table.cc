@@ -1,0 +1,57 @@
+#include "object/symbol_table.h"
+
+namespace gemstone {
+
+SymbolId SymbolTable::Intern(std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(text);
+  is_alias_.push_back(false);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Lookup(std::string_view text) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(text));
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& SymbolTable::Name(SymbolId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.at(id);
+}
+
+SymbolId SymbolTable::GenerateAlias() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name;
+  do {
+    name = "_a" + std::to_string(next_alias_++);
+  } while (ids_.count(name) != 0);
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.push_back(name);
+  is_alias_.push_back(true);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::InternAlias(std::string_view text) {
+  SymbolId id = Intern(text);
+  std::lock_guard<std::mutex> lock(mu_);
+  is_alias_[id] = true;
+  return id;
+}
+
+bool SymbolTable::IsAlias(SymbolId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < is_alias_.size() && is_alias_[id];
+}
+
+std::size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace gemstone

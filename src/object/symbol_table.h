@@ -1,0 +1,58 @@
+#ifndef GEMSTONE_OBJECT_SYMBOL_TABLE_H_
+#define GEMSTONE_OBJECT_SYMBOL_TABLE_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace gemstone {
+
+/// Interns strings into dense SymbolIds.
+///
+/// Element names, selectors and OPAL #symbols all live here, so symbol
+/// comparison anywhere in the system is an integer compare. Also mints
+/// the "arbitrary aliases" §5.1 requires as element names for unlabeled
+/// set members.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `text`, interning it on first sight.
+  SymbolId Intern(std::string_view text);
+
+  /// Returns the id for `text` if already interned, kInvalidSymbol otherwise.
+  SymbolId Lookup(std::string_view text) const;
+
+  /// The spelling of an interned symbol. `id` must be valid.
+  const std::string& Name(SymbolId id) const;
+
+  /// Mints a fresh, never-before-seen alias symbol ("_a1", "_a2", ...),
+  /// used as the element name of unlabeled set members (§5.1).
+  SymbolId GenerateAlias();
+
+  /// Interns `text` and marks it as an alias — used when recovering
+  /// serialized objects whose alias names must keep their alias-ness.
+  SymbolId InternAlias(std::string_view text);
+
+  /// True if `id` was produced by GenerateAlias.
+  bool IsAlias(SymbolId id) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::vector<bool> is_alias_;
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::uint64_t next_alias_ = 1;
+};
+
+}  // namespace gemstone
+
+#endif  // GEMSTONE_OBJECT_SYMBOL_TABLE_H_

@@ -1,0 +1,76 @@
+#include "object/value.h"
+
+#include <functional>
+
+namespace gemstone {
+
+std::string_view ValueTagToString(ValueTag tag) {
+  switch (tag) {
+    case ValueTag::kNil:
+      return "Nil";
+    case ValueTag::kBoolean:
+      return "Boolean";
+    case ValueTag::kInteger:
+      return "Integer";
+    case ValueTag::kFloat:
+      return "Float";
+    case ValueTag::kString:
+      return "String";
+    case ValueTag::kSymbol:
+      return "Symbol";
+    case ValueTag::kRef:
+      return "Ref";
+    case ValueTag::kHandle:
+      return "Handle";
+  }
+  return "Unknown";
+}
+
+std::string Value::ToString() const {
+  switch (tag()) {
+    case ValueTag::kNil:
+      return "nil";
+    case ValueTag::kBoolean:
+      return boolean() ? "true" : "false";
+    case ValueTag::kInteger:
+      return std::to_string(integer());
+    case ValueTag::kFloat:
+      return std::to_string(real());
+    case ValueTag::kString:
+      return "'" + string() + "'";
+    case ValueTag::kSymbol:
+      return "#sym" + std::to_string(symbol());
+    case ValueTag::kRef:
+      return ref().ToString();
+    case ValueTag::kHandle:
+      return "<block>";
+  }
+  return "?";
+}
+
+std::size_t ValueHash::operator()(const Value& v) const {
+  const std::size_t salt = static_cast<std::size_t>(v.tag()) * 0x9e3779b9u;
+  switch (v.tag()) {
+    case ValueTag::kNil:
+      return 0;
+    case ValueTag::kBoolean:
+      return salt ^ (v.boolean() ? 1u : 2u);
+    case ValueTag::kInteger:
+      // Integers hash like the equal-comparing float, so {1, 1.0} collide
+      // (required: they compare ==).
+      return std::hash<double>()(static_cast<double>(v.integer()));
+    case ValueTag::kFloat:
+      return std::hash<double>()(v.real());
+    case ValueTag::kString:
+      return salt ^ std::hash<std::string>()(v.string());
+    case ValueTag::kSymbol:
+      return salt ^ std::hash<SymbolId>()(v.symbol());
+    case ValueTag::kRef:
+      return salt ^ std::hash<Oid>()(v.ref());
+    case ValueTag::kHandle:
+      return salt ^ std::hash<const void*>()(v.handle().get());
+  }
+  return 0;
+}
+
+}  // namespace gemstone

@@ -1,0 +1,152 @@
+#ifndef GEMSTONE_OPAL_AST_H_
+#define GEMSTONE_OPAL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "object/value.h"
+
+namespace gemstone::opal {
+
+/// Abstract syntax for OPAL expressions. The shapes are Smalltalk-80's
+/// (literals, variables, assignments, unary/binary/keyword sends,
+/// cascades, blocks, ^-returns) plus OPAL's path expressions with optional
+/// time qualifiers (§4.3, §5.4).
+class Expr {
+ public:
+  enum class Kind : std::uint8_t {
+    kLiteral,
+    kArray,       // #(1 2 3) and { e1. e2 } both build Arrays
+    kVarRef,
+    kAssign,
+    kSend,
+    kCascade,
+    kBlock,
+    kPath,        // root!step!step@T...
+    kPathAssign,  // root!step!...!last := value
+    kReturn,      // ^value
+  };
+
+  explicit Expr(Kind kind, int line = 0) : kind(kind), line(line) {}
+  virtual ~Expr() = default;
+
+  const Kind kind;
+  int line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value value, int line = 0)
+      : Expr(Kind::kLiteral, line), value(std::move(value)) {}
+  Value value;
+};
+
+struct ArrayExpr : Expr {
+  explicit ArrayExpr(std::vector<ExprPtr> elements, int line = 0)
+      : Expr(Kind::kArray, line), elements(std::move(elements)) {}
+  std::vector<ExprPtr> elements;
+};
+
+struct VarRefExpr : Expr {
+  explicit VarRefExpr(std::string name, int line = 0)
+      : Expr(Kind::kVarRef, line), name(std::move(name)) {}
+  std::string name;
+};
+
+struct AssignExpr : Expr {
+  AssignExpr(std::string name, ExprPtr value, int line = 0)
+      : Expr(Kind::kAssign, line),
+        name(std::move(name)),
+        value(std::move(value)) {}
+  std::string name;
+  ExprPtr value;
+};
+
+struct SendExpr : Expr {
+  SendExpr(ExprPtr receiver, std::string selector, std::vector<ExprPtr> args,
+           bool to_super, int line = 0)
+      : Expr(Kind::kSend, line),
+        receiver(std::move(receiver)),
+        selector(std::move(selector)),
+        args(std::move(args)),
+        to_super(to_super) {}
+  ExprPtr receiver;
+  std::string selector;
+  std::vector<ExprPtr> args;
+  bool to_super;
+};
+
+struct CascadeExpr : Expr {
+  struct Message {
+    std::string selector;
+    std::vector<ExprPtr> args;
+  };
+  CascadeExpr(ExprPtr receiver, std::vector<Message> messages, int line = 0)
+      : Expr(Kind::kCascade, line),
+        receiver(std::move(receiver)),
+        messages(std::move(messages)) {}
+  /// All messages go to this receiver; the cascade's value is the last
+  /// message's result.
+  ExprPtr receiver;
+  std::vector<Message> messages;
+};
+
+struct BlockExpr : Expr {
+  BlockExpr(std::vector<std::string> params, std::vector<std::string> temps,
+            std::vector<ExprPtr> body, int line = 0)
+      : Expr(Kind::kBlock, line),
+        params(std::move(params)),
+        temps(std::move(temps)),
+        body(std::move(body)) {}
+  std::vector<std::string> params;
+  std::vector<std::string> temps;
+  std::vector<ExprPtr> body;
+};
+
+/// One `!name` step; `time` (may be null) is the `@` qualifier expression.
+struct PathStepAst {
+  std::string name;
+  ExprPtr time;
+};
+
+struct PathExpr : Expr {
+  PathExpr(ExprPtr root, std::vector<PathStepAst> steps, int line = 0)
+      : Expr(Kind::kPath, line),
+        root(std::move(root)),
+        steps(std::move(steps)) {}
+  ExprPtr root;
+  std::vector<PathStepAst> steps;
+};
+
+struct PathAssignExpr : Expr {
+  PathAssignExpr(ExprPtr root, std::vector<PathStepAst> steps, ExprPtr value,
+                 int line = 0)
+      : Expr(Kind::kPathAssign, line),
+        root(std::move(root)),
+        steps(std::move(steps)),
+        value(std::move(value)) {}
+  ExprPtr root;
+  std::vector<PathStepAst> steps;
+  ExprPtr value;
+};
+
+struct ReturnExpr : Expr {
+  explicit ReturnExpr(ExprPtr value, int line = 0)
+      : Expr(Kind::kReturn, line), value(std::move(value)) {}
+  ExprPtr value;
+};
+
+/// A parsed method: `messagePattern | temps | statements`.
+struct MethodAst {
+  std::string selector;
+  std::vector<std::string> params;
+  std::vector<std::string> temps;
+  std::vector<ExprPtr> body;
+};
+
+}  // namespace gemstone::opal
+
+#endif  // GEMSTONE_OPAL_AST_H_

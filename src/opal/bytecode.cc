@@ -1,0 +1,102 @@
+#include "opal/bytecode.h"
+
+namespace gemstone::opal {
+
+std::string_view OpToString(Op op) {
+  switch (op) {
+    case Op::kPushLiteral: return "pushLiteral";
+    case Op::kPushSelf: return "pushSelf";
+    case Op::kPushTemp: return "pushTemp";
+    case Op::kStoreTemp: return "storeTemp";
+    case Op::kPushGlobal: return "pushGlobal";
+    case Op::kStoreGlobal: return "storeGlobal";
+    case Op::kPushInstVar: return "pushInstVar";
+    case Op::kStoreInstVar: return "storeInstVar";
+    case Op::kPop: return "pop";
+    case Op::kDup: return "dup";
+    case Op::kSend: return "send";
+    case Op::kSuperSend: return "superSend";
+    case Op::kPushBlock: return "pushBlock";
+    case Op::kReturnTop: return "returnTop";
+    case Op::kLocalReturn: return "localReturn";
+    case Op::kPathGet: return "pathGet";
+    case Op::kPathSet: return "pathSet";
+    case Op::kMakeArray: return "makeArray";
+  }
+  return "?";
+}
+
+std::string CompiledMethod::Disassemble(const SymbolTable& symbols) const {
+  std::string out = (is_block ? "block" : "method ") +
+                    (is_block ? std::string() : selector) + " (args " +
+                    std::to_string(num_args) + ", slots " +
+                    std::to_string(num_slots) + ")\n";
+  std::size_t ip = 0;
+  auto u8 = [&]() { return code[ip++]; };
+  auto u16 = [&]() {
+    std::uint16_t v = static_cast<std::uint16_t>(code[ip]) |
+                      (static_cast<std::uint16_t>(code[ip + 1]) << 8);
+    ip += 2;
+    return v;
+  };
+  auto literal_text = [&](std::uint16_t index) {
+    const Value& v = literals[index];
+    if (v.IsSymbol()) return "#" + symbols.Name(v.symbol());
+    return v.ToString();
+  };
+  while (ip < code.size()) {
+    out += "  " + std::to_string(ip) + ": ";
+    const Op op = static_cast<Op>(u8());
+    out += OpToString(op);
+    switch (op) {
+      case Op::kPushLiteral:
+      case Op::kPushGlobal:
+      case Op::kStoreGlobal:
+      case Op::kPushInstVar:
+      case Op::kStoreInstVar:
+        out += " " + literal_text(u16());
+        break;
+      case Op::kPushTemp:
+      case Op::kStoreTemp: {
+        const std::uint8_t level = u8();
+        const std::uint16_t slot = u16();
+        out += " level=" + std::to_string(level) +
+               " slot=" + std::to_string(slot);
+        break;
+      }
+      case Op::kSend:
+      case Op::kSuperSend: {
+        const std::uint16_t selector_index = u16();
+        const std::uint8_t argc = u8();
+        out += " " + literal_text(selector_index) + " argc=" +
+               std::to_string(argc);
+        break;
+      }
+      case Op::kPushBlock:
+        out += " [" + std::to_string(u16()) + "]";
+        break;
+      case Op::kPathGet: {
+        const std::uint16_t name = u16();
+        const std::uint8_t timed = u8();
+        out += " " + literal_text(name) + (timed ? " @time" : "");
+        break;
+      }
+      case Op::kPathSet:
+        out += " " + literal_text(u16());
+        break;
+      case Op::kMakeArray:
+        out += " n=" + std::to_string(u16());
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    out += "block [" + std::to_string(i) + "]:\n" +
+           blocks[i]->Disassemble(symbols);
+  }
+  return out;
+}
+
+}  // namespace gemstone::opal

@@ -1,0 +1,107 @@
+#ifndef GEMSTONE_OPAL_BYTECODE_H_
+#define GEMSTONE_OPAL_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "object/class_registry.h"
+#include "object/symbol_table.h"
+#include "object/value.h"
+
+namespace gemstone::opal {
+
+/// The OPAL instruction set. §6: the Interpreter "is an abstract stack
+/// machine that executes compiledMethods consisting of sequences of
+/// bytecodes, much the same as the ST80 interpreter."
+///
+/// Operand widths: L = u16 literal index, T = u8 lexical level + u16 slot,
+/// A = u8 argument count, F = u8 flag.
+enum class Op : std::uint8_t {
+  kPushLiteral,   // L: push literals[L]
+  kPushSelf,      //    push the receiver
+  kPushTemp,      // T: push temp slot at lexical level
+  kStoreTemp,     // T: store top into temp slot (value stays on stack)
+  kPushGlobal,    // L: resolve global/class name (literal is a Symbol)
+  kStoreGlobal,   // L: store top into global (value stays)
+  kPushInstVar,   // L: read self's instance variable (Symbol literal)
+  kStoreInstVar,  // L: write self's instance variable (value stays)
+  kPop,           //    discard top
+  kDup,           //    duplicate top (cascade receivers)
+  kSend,          // L A: send selector literals[L] with A args
+  kSuperSend,     // L A: as kSend but lookup starts above defining class
+  kPushBlock,     // L: close blocks[L] over the current environment
+  kReturnTop,     //    method return (non-local when executed in a block)
+  kLocalReturn,   //    end-of-block return to the block's caller
+  kPathGet,       // L F: pop [time if F] then receiver; read element
+  kPathSet,       // L: pop value, receiver; write element (push value)
+  kMakeArray,     // A(u16): pop A values, build a new Array object
+};
+
+std::string_view OpToString(Op op);
+
+/// A compiled unit: a method, a `doIt` code body, or a block body.
+///
+/// Derives MethodHandle so method dictionaries in the object layer can
+/// hold it without knowing about bytecodes.
+class CompiledMethod : public MethodHandle {
+ public:
+  std::string selector;
+  std::uint8_t num_args = 0;
+  std::uint16_t num_slots = 0;  // args + temps
+  bool is_block = false;
+  std::vector<std::uint8_t> code;
+  std::vector<Value> literals;
+  std::vector<std::shared_ptr<const CompiledMethod>> blocks;
+
+  /// Filled by the compiler when a block body is a recognizable
+  /// conjunction of path comparisons over the block argument — the
+  /// declarative subset the query translator accepts (§6: "a large
+  /// addition is needed [to] translate calculus expressions into
+  /// procedural form"; we keep both forms). Structure:
+  /// each conjunct: `arg!path <op> literal` or `arg!path <op> arg!path2`.
+  struct PredicateConjunct {
+    std::vector<std::string> lhs_path;  // steps on the block argument
+    enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe } op;
+    Value rhs_literal;                  // used when rhs_path empty
+    std::vector<std::string> rhs_path;  // non-empty: path on the argument
+  };
+  std::vector<PredicateConjunct> declarative_conjuncts;
+  bool is_declarative = false;
+
+  /// Human-readable listing for tests and debugging.
+  std::string Disassemble(const SymbolTable& symbols) const;
+};
+
+/// A primitive method: C++ code installed in a method dictionary. The
+/// interpreter invokes `fn` with the receiver and evaluated arguments.
+class Interpreter;
+using PrimitiveFn = Result<Value> (*)(Interpreter&, const Value&,
+                                      std::vector<Value>&);
+
+class PrimitiveMethod : public MethodHandle {
+ public:
+  explicit PrimitiveMethod(PrimitiveFn fn) : fn(fn) {}
+  PrimitiveFn fn;
+};
+
+/// Bytecode emission helper used by the compiler.
+class Emitter {
+ public:
+  void Op8(Op op) { code_.push_back(static_cast<std::uint8_t>(op)); }
+  void U8(std::uint8_t v) { code_.push_back(v); }
+  void U16(std::uint16_t v) {
+    code_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    code_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  std::vector<std::uint8_t> Take() { return std::move(code_); }
+  std::size_t size() const { return code_.size(); }
+
+ private:
+  std::vector<std::uint8_t> code_;
+};
+
+}  // namespace gemstone::opal
+
+#endif  // GEMSTONE_OPAL_BYTECODE_H_

@@ -1,0 +1,370 @@
+#include "opal/compiler.h"
+
+#include <algorithm>
+
+#include "opal/parser.h"
+
+namespace gemstone::opal {
+
+/// Per-method/block compilation state. Units form a lexical chain through
+/// Compiler::scopes_ so blocks resolve outer temporaries by level.
+struct Compiler::Unit {
+  std::shared_ptr<CompiledMethod> method = std::make_shared<CompiledMethod>();
+  Emitter emitter;
+  std::vector<std::string> slot_names;  // args then temps
+
+  std::uint16_t AddLiteral(const Value& v) {
+    for (std::size_t i = 0; i < method->literals.size(); ++i) {
+      if (method->literals[i] == v &&
+          method->literals[i].tag() == v.tag()) {
+        return static_cast<std::uint16_t>(i);
+      }
+    }
+    method->literals.push_back(v);
+    return static_cast<std::uint16_t>(method->literals.size() - 1);
+  }
+
+  int SlotOf(const std::string& name) const {
+    for (std::size_t i = 0; i < slot_names.size(); ++i) {
+      if (slot_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+Result<std::shared_ptr<CompiledMethod>> Compiler::CompileBody(
+    std::string_view source, Oid class_oid) {
+  GS_ASSIGN_OR_RETURN(MethodAst ast, Parser::ParseBody(source, &memory_->symbols()));
+  return Compile(ast, class_oid);
+}
+
+Result<std::shared_ptr<CompiledMethod>> Compiler::CompileMethodSource(
+    std::string_view source, Oid class_oid) {
+  GS_ASSIGN_OR_RETURN(MethodAst ast,
+                      Parser::ParseMethodSource(source, &memory_->symbols()));
+  return Compile(ast, class_oid);
+}
+
+Result<std::shared_ptr<CompiledMethod>> Compiler::Compile(const MethodAst& ast,
+                                                          Oid class_oid) {
+  class_oid_ = class_oid;
+  scopes_.clear();
+
+  Unit unit;
+  unit.method->selector = ast.selector;
+  unit.method->num_args = static_cast<std::uint8_t>(ast.params.size());
+  for (const std::string& p : ast.params) unit.slot_names.push_back(p);
+  for (const std::string& t : ast.temps) unit.slot_names.push_back(t);
+  unit.method->num_slots = static_cast<std::uint16_t>(unit.slot_names.size());
+
+  scopes_.push_back(&unit);
+  Status s = CompileStatementList(ast.body, &unit, /*is_block=*/false);
+  scopes_.pop_back();
+  GS_RETURN_IF_ERROR(s);
+
+  unit.method->code = unit.emitter.Take();
+  return unit.method;
+}
+
+Status Compiler::CompileStatementList(const std::vector<ExprPtr>& body,
+                                      Unit* unit, bool is_block) {
+  bool explicit_return = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    GS_RETURN_IF_ERROR(CompileExpr(*body[i], unit));
+    explicit_return = body[i]->kind == Expr::Kind::kReturn;
+    const bool last = i + 1 == body.size();
+    if (!last && !explicit_return) unit->emitter.Op8(Op::kPop);
+  }
+  if (!explicit_return) {
+    if (body.empty()) {
+      unit->emitter.Op8(Op::kPushLiteral);
+      unit->emitter.U16(unit->AddLiteral(Value::Nil()));
+    }
+    // A block answers its last expression; a method body used as doIt
+    // answers its last expression too (ReturnTop below); a *method* in
+    // ST80 answers self, which the interpreter realizes because ^-less
+    // method bodies end with the last statement's value discarded and
+    // self pushed — we keep doIt semantics (answer last value), which
+    // subsumes both for a database server returning results.
+    unit->emitter.Op8(is_block ? Op::kLocalReturn : Op::kReturnTop);
+  }
+  return Status::OK();
+}
+
+Status Compiler::CompileVarLoad(const std::string& name, int line,
+                                Unit* unit) {
+  if (name == "self" || name == "super") {
+    unit->emitter.Op8(Op::kPushSelf);
+    return Status::OK();
+  }
+  // Lexical temporaries, innermost first.
+  for (std::size_t depth = 0; depth < scopes_.size(); ++depth) {
+    Unit* scope = scopes_[scopes_.size() - 1 - depth];
+    const int slot = scope->SlotOf(name);
+    if (slot >= 0) {
+      unit->emitter.Op8(Op::kPushTemp);
+      unit->emitter.U8(static_cast<std::uint8_t>(depth));
+      unit->emitter.U16(static_cast<std::uint16_t>(slot));
+      return Status::OK();
+    }
+  }
+  // Instance variables of the enclosing class.
+  if (!class_oid_.IsNil()) {
+    const SymbolId sym = memory_->symbols().Intern(name);
+    const auto vars = memory_->classes().AllInstVars(class_oid_);
+    if (std::find(vars.begin(), vars.end(), sym) != vars.end()) {
+      unit->emitter.Op8(Op::kPushInstVar);
+      unit->emitter.U16(unit->AddLiteral(Value::Symbol(sym)));
+      return Status::OK();
+    }
+  }
+  // Globals (class names and user globals), resolved at run time.
+  unit->emitter.Op8(Op::kPushGlobal);
+  unit->emitter.U16(
+      unit->AddLiteral(Value::Symbol(memory_->symbols().Intern(name))));
+  (void)line;
+  return Status::OK();
+}
+
+Status Compiler::CompileVarStore(const std::string& name, int line,
+                                 Unit* unit) {
+  if (name == "self" || name == "super") {
+    return Status::CompileError("cannot assign to self (line " +
+                                std::to_string(line) + ")");
+  }
+  for (std::size_t depth = 0; depth < scopes_.size(); ++depth) {
+    Unit* scope = scopes_[scopes_.size() - 1 - depth];
+    const int slot = scope->SlotOf(name);
+    if (slot >= 0) {
+      unit->emitter.Op8(Op::kStoreTemp);
+      unit->emitter.U8(static_cast<std::uint8_t>(depth));
+      unit->emitter.U16(static_cast<std::uint16_t>(slot));
+      return Status::OK();
+    }
+  }
+  if (!class_oid_.IsNil()) {
+    const SymbolId sym = memory_->symbols().Intern(name);
+    const auto vars = memory_->classes().AllInstVars(class_oid_);
+    if (std::find(vars.begin(), vars.end(), sym) != vars.end()) {
+      unit->emitter.Op8(Op::kStoreInstVar);
+      unit->emitter.U16(unit->AddLiteral(Value::Symbol(sym)));
+      return Status::OK();
+    }
+  }
+  unit->emitter.Op8(Op::kStoreGlobal);
+  unit->emitter.U16(
+      unit->AddLiteral(Value::Symbol(memory_->symbols().Intern(name))));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const CompiledMethod>> Compiler::CompileBlockExpr(
+    const BlockExpr& block, Unit* parent) {
+  (void)parent;
+  Unit unit;
+  unit.method->is_block = true;
+  unit.method->num_args = static_cast<std::uint8_t>(block.params.size());
+  for (const std::string& p : block.params) unit.slot_names.push_back(p);
+  for (const std::string& t : block.temps) unit.slot_names.push_back(t);
+  unit.method->num_slots = static_cast<std::uint16_t>(unit.slot_names.size());
+
+  scopes_.push_back(&unit);
+  Status s = CompileStatementList(block.body, &unit, /*is_block=*/true);
+  scopes_.pop_back();
+  GS_RETURN_IF_ERROR(s);
+
+  unit.method->code = unit.emitter.Take();
+  AnalyzeDeclarative(block, unit.method.get());
+  return std::shared_ptr<const CompiledMethod>(unit.method);
+}
+
+Status Compiler::CompileExpr(const Expr& expr, Unit* unit) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral: {
+      const auto& e = static_cast<const LiteralExpr&>(expr);
+      unit->emitter.Op8(Op::kPushLiteral);
+      unit->emitter.U16(unit->AddLiteral(e.value));
+      return Status::OK();
+    }
+    case Expr::Kind::kArray: {
+      const auto& e = static_cast<const ArrayExpr&>(expr);
+      for (const ExprPtr& element : e.elements) {
+        GS_RETURN_IF_ERROR(CompileExpr(*element, unit));
+      }
+      unit->emitter.Op8(Op::kMakeArray);
+      unit->emitter.U16(static_cast<std::uint16_t>(e.elements.size()));
+      return Status::OK();
+    }
+    case Expr::Kind::kVarRef: {
+      const auto& e = static_cast<const VarRefExpr&>(expr);
+      return CompileVarLoad(e.name, e.line, unit);
+    }
+    case Expr::Kind::kAssign: {
+      const auto& e = static_cast<const AssignExpr&>(expr);
+      GS_RETURN_IF_ERROR(CompileExpr(*e.value, unit));
+      return CompileVarStore(e.name, e.line, unit);
+    }
+    case Expr::Kind::kSend: {
+      const auto& e = static_cast<const SendExpr&>(expr);
+      GS_RETURN_IF_ERROR(CompileExpr(*e.receiver, unit));
+      for (const ExprPtr& arg : e.args) {
+        GS_RETURN_IF_ERROR(CompileExpr(*arg, unit));
+      }
+      unit->emitter.Op8(e.to_super ? Op::kSuperSend : Op::kSend);
+      unit->emitter.U16(unit->AddLiteral(
+          Value::Symbol(memory_->symbols().Intern(e.selector))));
+      unit->emitter.U8(static_cast<std::uint8_t>(e.args.size()));
+      return Status::OK();
+    }
+    case Expr::Kind::kCascade: {
+      const auto& e = static_cast<const CascadeExpr&>(expr);
+      GS_RETURN_IF_ERROR(CompileExpr(*e.receiver, unit));
+      for (std::size_t i = 0; i < e.messages.size(); ++i) {
+        const bool last = i + 1 == e.messages.size();
+        if (!last) unit->emitter.Op8(Op::kDup);
+        for (const ExprPtr& arg : e.messages[i].args) {
+          GS_RETURN_IF_ERROR(CompileExpr(*arg, unit));
+        }
+        unit->emitter.Op8(Op::kSend);
+        unit->emitter.U16(unit->AddLiteral(Value::Symbol(
+            memory_->symbols().Intern(e.messages[i].selector))));
+        unit->emitter.U8(static_cast<std::uint8_t>(e.messages[i].args.size()));
+        if (!last) unit->emitter.Op8(Op::kPop);
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kBlock: {
+      const auto& e = static_cast<const BlockExpr&>(expr);
+      GS_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledMethod> block,
+                          CompileBlockExpr(e, unit));
+      unit->method->blocks.push_back(std::move(block));
+      unit->emitter.Op8(Op::kPushBlock);
+      unit->emitter.U16(
+          static_cast<std::uint16_t>(unit->method->blocks.size() - 1));
+      return Status::OK();
+    }
+    case Expr::Kind::kPath: {
+      const auto& e = static_cast<const PathExpr&>(expr);
+      GS_RETURN_IF_ERROR(CompileExpr(*e.root, unit));
+      for (const PathStepAst& step : e.steps) {
+        const bool timed = step.time != nullptr;
+        if (timed) GS_RETURN_IF_ERROR(CompileExpr(*step.time, unit));
+        unit->emitter.Op8(Op::kPathGet);
+        unit->emitter.U16(unit->AddLiteral(
+            Value::Symbol(memory_->symbols().Intern(step.name))));
+        unit->emitter.U8(timed ? 1 : 0);
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kPathAssign: {
+      const auto& e = static_cast<const PathAssignExpr&>(expr);
+      if (e.steps.back().time != nullptr) {
+        return Status::CompileError("cannot assign into the past (line " +
+                                    std::to_string(e.line) + ")");
+      }
+      GS_RETURN_IF_ERROR(CompileExpr(*e.root, unit));
+      for (std::size_t i = 0; i + 1 < e.steps.size(); ++i) {
+        const PathStepAst& step = e.steps[i];
+        const bool timed = step.time != nullptr;
+        if (timed) GS_RETURN_IF_ERROR(CompileExpr(*step.time, unit));
+        unit->emitter.Op8(Op::kPathGet);
+        unit->emitter.U16(unit->AddLiteral(
+            Value::Symbol(memory_->symbols().Intern(step.name))));
+        unit->emitter.U8(timed ? 1 : 0);
+      }
+      GS_RETURN_IF_ERROR(CompileExpr(*e.value, unit));
+      unit->emitter.Op8(Op::kPathSet);
+      unit->emitter.U16(unit->AddLiteral(
+          Value::Symbol(memory_->symbols().Intern(e.steps.back().name))));
+      return Status::OK();
+    }
+    case Expr::Kind::kReturn: {
+      const auto& e = static_cast<const ReturnExpr&>(expr);
+      GS_RETURN_IF_ERROR(CompileExpr(*e.value, unit));
+      unit->emitter.Op8(Op::kReturnTop);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+namespace {
+
+/// Matches `arg!a!b` with no time qualifiers; fills `path`.
+bool MatchArgPath(const Expr& expr, const std::string& arg,
+                  std::vector<std::string>* path) {
+  if (expr.kind != Expr::Kind::kPath) return false;
+  const auto& p = static_cast<const PathExpr&>(expr);
+  if (p.root->kind != Expr::Kind::kVarRef) return false;
+  if (static_cast<const VarRefExpr&>(*p.root).name != arg) return false;
+  for (const PathStepAst& step : p.steps) {
+    if (step.time != nullptr) return false;
+    path->push_back(step.name);
+  }
+  return true;
+}
+
+bool MatchConjunct(const Expr& expr, const std::string& arg,
+                   CompiledMethod::PredicateConjunct* out) {
+  if (expr.kind != Expr::Kind::kSend) return false;
+  const auto& send = static_cast<const SendExpr&>(expr);
+  if (send.args.size() != 1) return false;
+  using CmpOp = CompiledMethod::PredicateConjunct::CmpOp;
+  CmpOp op;
+  if (send.selector == "=") {
+    op = CmpOp::kEq;
+  } else if (send.selector == "~=") {
+    op = CmpOp::kNe;
+  } else if (send.selector == "<") {
+    op = CmpOp::kLt;
+  } else if (send.selector == "<=") {
+    op = CmpOp::kLe;
+  } else if (send.selector == ">") {
+    op = CmpOp::kGt;
+  } else if (send.selector == ">=") {
+    op = CmpOp::kGe;
+  } else {
+    return false;
+  }
+  out->op = op;
+  if (!MatchArgPath(*send.receiver, arg, &out->lhs_path)) return false;
+  const Expr& rhs = *send.args[0];
+  if (rhs.kind == Expr::Kind::kLiteral) {
+    out->rhs_literal = static_cast<const LiteralExpr&>(rhs).value;
+    return true;
+  }
+  return MatchArgPath(rhs, arg, &out->rhs_path);
+}
+
+bool MatchConjunction(const Expr& expr, const std::string& arg,
+                      std::vector<CompiledMethod::PredicateConjunct>* out) {
+  // `(c1) & (c2)` recursively, or a single comparison.
+  if (expr.kind == Expr::Kind::kSend) {
+    const auto& send = static_cast<const SendExpr&>(expr);
+    if (send.selector == "&" && send.args.size() == 1) {
+      return MatchConjunction(*send.receiver, arg, out) &&
+             MatchConjunction(*send.args[0], arg, out);
+    }
+  }
+  CompiledMethod::PredicateConjunct conjunct;
+  if (!MatchConjunct(expr, arg, &conjunct)) return false;
+  out->push_back(std::move(conjunct));
+  return true;
+}
+
+}  // namespace
+
+void Compiler::AnalyzeDeclarative(const BlockExpr& block,
+                                  CompiledMethod* compiled) {
+  if (block.params.size() != 1 || !block.temps.empty() ||
+      block.body.size() != 1) {
+    return;
+  }
+  std::vector<CompiledMethod::PredicateConjunct> conjuncts;
+  if (!MatchConjunction(*block.body[0], block.params[0], &conjuncts)) {
+    return;
+  }
+  compiled->declarative_conjuncts = std::move(conjuncts);
+  compiled->is_declarative = true;
+}
+
+}  // namespace gemstone::opal

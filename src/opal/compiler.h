@@ -1,0 +1,60 @@
+#ifndef GEMSTONE_OPAL_COMPILER_H_
+#define GEMSTONE_OPAL_COMPILER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/result.h"
+#include "object/object_memory.h"
+#include "opal/ast.h"
+#include "opal/bytecode.h"
+
+namespace gemstone::opal {
+
+/// Compiles OPAL ASTs to bytecode. "The Compiler requires some
+/// modifications from the ST80 compiler. Most are small changes in syntax
+/// or for slightly different bytecodes, but a large addition is needed [to]
+/// translate calculus expressions into procedural form" (§6) — here, the
+/// large addition is the declarative-block analysis: blocks whose body is
+/// a conjunction of path comparisons over the block argument are flagged
+/// `is_declarative` and carry the extracted conjuncts, so `select:`-style
+/// primitives can run them through the set-algebra machinery (and
+/// directories) instead of per-element message dispatch.
+class Compiler {
+ public:
+  explicit Compiler(ObjectMemory* memory) : memory_(memory) {}
+
+  /// Compiles a method body in the context of `class_oid` (whose instance
+  /// variables are addressable by name). kNilOid compiles a plain `doIt`
+  /// body with no instance-variable scope.
+  Result<std::shared_ptr<CompiledMethod>> Compile(const MethodAst& ast,
+                                                  Oid class_oid);
+
+  /// Lex + parse + compile a `doIt` body.
+  Result<std::shared_ptr<CompiledMethod>> CompileBody(std::string_view source,
+                                                      Oid class_oid = kNilOid);
+
+  /// Lex + parse + compile a full method definition for `class_oid`.
+  Result<std::shared_ptr<CompiledMethod>> CompileMethodSource(
+      std::string_view source, Oid class_oid);
+
+ private:
+  struct Unit;
+
+  Status CompileExpr(const Expr& expr, Unit* unit);
+  Status CompileStatementList(const std::vector<ExprPtr>& body, Unit* unit,
+                              bool is_block);
+  Result<std::shared_ptr<const CompiledMethod>> CompileBlockExpr(
+      const BlockExpr& block, Unit* parent);
+  Status CompileVarLoad(const std::string& name, int line, Unit* unit);
+  Status CompileVarStore(const std::string& name, int line, Unit* unit);
+  void AnalyzeDeclarative(const BlockExpr& block, CompiledMethod* compiled);
+
+  ObjectMemory* memory_;
+  Oid class_oid_;
+  std::vector<Unit*> scopes_;  // innermost last
+};
+
+}  // namespace gemstone::opal
+
+#endif  // GEMSTONE_OPAL_COMPILER_H_

@@ -1,0 +1,255 @@
+#include "opal/lexer.h"
+
+#include <cctype>
+
+namespace gemstone::opal {
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kBinary: return "binary";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kSymbol: return "symbol";
+    case TokenKind::kCharacter: return "character";
+    case TokenKind::kLeftParen: return "(";
+    case TokenKind::kRightParen: return ")";
+    case TokenKind::kLeftBracket: return "[";
+    case TokenKind::kRightBracket: return "]";
+    case TokenKind::kLeftBrace: return "{";
+    case TokenKind::kRightBrace: return "}";
+    case TokenKind::kPeriod: return ".";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kCaret: return "^";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kAssign: return ":=";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kBang: return "!";
+    case TokenKind::kAt: return "@";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  std::string out(TokenKindToString(kind));
+  if (!text.empty()) out += "(" + text + ")";
+  return out;
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Binary-selector characters. Unlike ST80, `!` and `@` are reserved for
+// the OPAL path syntax and `|` for declarations.
+bool IsBinaryChar(char c) {
+  switch (c) {
+    case '+': case '-': case '*': case '/': case '~': case '<': case '>':
+    case '=': case '&': case ',': case '%': case '\\': case '?':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+char Lexer::Advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::ErrorHere(const std::string& message) const {
+  return Status::CompileError(message + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '"') {
+      Advance();
+      while (!AtEnd() && Peek() != '"') Advance();
+      if (!AtEnd()) Advance();  // closing quote
+    } else {
+      break;
+    }
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    GS_ASSIGN_OR_RETURN(Token token, Next());
+    const bool done = token.kind == TokenKind::kEnd;
+    tokens.push_back(std::move(token));
+    if (done) return tokens;
+  }
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token token;
+  token.line = line_;
+  token.column = column_;
+  if (AtEnd()) {
+    token.kind = TokenKind::kEnd;
+    return token;
+  }
+  char c = Peek();
+
+  if (IsIdentStart(c)) {
+    std::string text;
+    while (!AtEnd() && IsIdentBody(Peek())) text += Advance();
+    if (Peek() == ':' && Peek(1) != '=') {
+      Advance();
+      token.kind = TokenKind::kKeyword;
+      token.text = text + ":";
+    } else {
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::move(text);
+    }
+    return token;
+  }
+
+  if (IsDigit(c) || (c == '-' && IsDigit(Peek(1)))) {
+    // A leading '-' is part of the number only at expression positions;
+    // the parser handles `3 - 4` because the lexer sees '-' followed by a
+    // digit *with* preceding whitespace the same way. To keep Smalltalk
+    // semantics (binary minus), only treat '-' as a sign when it directly
+    // precedes a digit AND the previous character is not a digit or
+    // letter or ')'. Simplest robust rule: never lex a sign here; emit
+    // binary '-' and let the parser fold negative literals.
+    if (c == '-') {
+      token.kind = TokenKind::kBinary;
+      token.text = std::string(1, Advance());
+      while (!AtEnd() && IsBinaryChar(Peek())) token.text += Advance();
+      return token;
+    }
+    std::string digits;
+    while (!AtEnd() && IsDigit(Peek())) digits += Advance();
+    if (Peek() == '.' && IsDigit(Peek(1))) {
+      digits += Advance();  // '.'
+      while (!AtEnd() && IsDigit(Peek())) digits += Advance();
+      token.kind = TokenKind::kFloat;
+      token.float_value = std::stod(digits);
+    } else {
+      token.kind = TokenKind::kInteger;
+      token.int_value = std::stoll(digits);
+    }
+    token.text = std::move(digits);
+    return token;
+  }
+
+  if (c == '\'') {
+    Advance();
+    std::string text;
+    for (;;) {
+      if (AtEnd()) return ErrorHere("unterminated string literal");
+      char s = Advance();
+      if (s == '\'') {
+        if (Peek() == '\'') {
+          text += '\'';
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        text += s;
+      }
+    }
+    token.kind = TokenKind::kString;
+    token.text = std::move(text);
+    return token;
+  }
+
+  if (c == '#') {
+    Advance();
+    if (IsIdentStart(Peek())) {
+      std::string text;
+      while (!AtEnd() && (IsIdentBody(Peek()) || Peek() == ':')) {
+        text += Advance();
+      }
+      token.kind = TokenKind::kSymbol;
+      token.text = std::move(text);
+      return token;
+    }
+    if (IsBinaryChar(Peek())) {
+      std::string text;
+      while (!AtEnd() && IsBinaryChar(Peek())) text += Advance();
+      token.kind = TokenKind::kSymbol;
+      token.text = std::move(text);
+      return token;
+    }
+    if (Peek() == '(') {
+      // #( starts a literal array; hand back '#' as part of '(' handling.
+      Advance();
+      token.kind = TokenKind::kLeftParen;
+      token.text = "#(";
+      return token;
+    }
+    return ErrorHere("malformed symbol literal");
+  }
+
+  if (c == '$') {
+    Advance();
+    if (AtEnd()) return ErrorHere("malformed character literal");
+    token.kind = TokenKind::kCharacter;
+    token.text = std::string(1, Advance());
+    return token;
+  }
+
+  if (c == ':' && Peek(1) == '=') {
+    Advance();
+    Advance();
+    token.kind = TokenKind::kAssign;
+    return token;
+  }
+
+  switch (c) {
+    case '(': Advance(); token.kind = TokenKind::kLeftParen; return token;
+    case ')': Advance(); token.kind = TokenKind::kRightParen; return token;
+    case '[': Advance(); token.kind = TokenKind::kLeftBracket; return token;
+    case ']': Advance(); token.kind = TokenKind::kRightBracket; return token;
+    case '{': Advance(); token.kind = TokenKind::kLeftBrace; return token;
+    case '}': Advance(); token.kind = TokenKind::kRightBrace; return token;
+    case '.': Advance(); token.kind = TokenKind::kPeriod; return token;
+    case ';': Advance(); token.kind = TokenKind::kSemicolon; return token;
+    case '^': Advance(); token.kind = TokenKind::kCaret; return token;
+    case '|': Advance(); token.kind = TokenKind::kPipe; return token;
+    case ':': Advance(); token.kind = TokenKind::kColon; return token;
+    case '!': Advance(); token.kind = TokenKind::kBang; return token;
+    case '@': Advance(); token.kind = TokenKind::kAt; return token;
+    default:
+      break;
+  }
+
+  if (IsBinaryChar(c)) {
+    std::string text;
+    while (!AtEnd() && IsBinaryChar(Peek())) text += Advance();
+    token.kind = TokenKind::kBinary;
+    token.text = std::move(text);
+    return token;
+  }
+
+  return ErrorHere(std::string("unexpected character '") + c + "'");
+}
+
+}  // namespace gemstone::opal

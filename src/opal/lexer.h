@@ -1,0 +1,46 @@
+#ifndef GEMSTONE_OPAL_LEXER_H_
+#define GEMSTONE_OPAL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+#include "opal/token.h"
+
+namespace gemstone::opal {
+
+/// Tokenizes OPAL source: Smalltalk-80 lexical rules ("we have been able
+/// to incorporate declarative statements in OPAL without departing from
+/// Smalltalk syntax", §5.4) plus the two OPAL extensions: `!` for path
+/// navigation and `@` for the time qualifier.
+///
+/// Comments are double-quoted, as in ST80: "like this".
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  /// Tokenizes the whole input; fails with CompileError (carrying
+  /// line/column) on malformed literals.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  void SkipWhitespaceAndComments();
+  Status ErrorHere(const std::string& message) const;
+
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace gemstone::opal
+
+#endif  // GEMSTONE_OPAL_LEXER_H_

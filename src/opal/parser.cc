@@ -1,0 +1,406 @@
+#include "opal/parser.h"
+
+#include "opal/lexer.h"
+
+namespace gemstone::opal {
+
+const Token& Parser::Peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::CompileError(message + " near " + t.ToString() + " at line " +
+                              std::to_string(t.line));
+}
+
+Result<MethodAst> Parser::ParseBody(std::string_view source,
+                                    SymbolTable* symbols) {
+  Lexer lexer(source);
+  GS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), symbols);
+  return parser.ParseCodeBody();
+}
+
+Result<MethodAst> Parser::ParseMethodSource(std::string_view source,
+                                            SymbolTable* symbols) {
+  Lexer lexer(source);
+  GS_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), symbols);
+  return parser.ParseMethod();
+}
+
+Result<MethodAst> Parser::ParseCodeBody() {
+  MethodAst method;
+  method.selector = "doIt";
+  GS_RETURN_IF_ERROR(ParseTempDecls(&method.temps));
+  GS_RETURN_IF_ERROR(ParseStatements(&method.body, TokenKind::kEnd));
+  if (!Check(TokenKind::kEnd)) {
+    return ErrorHere("trailing tokens after statements");
+  }
+  return method;
+}
+
+Result<MethodAst> Parser::ParseMethod() {
+  MethodAst method;
+  // Message pattern.
+  if (Check(TokenKind::kIdentifier)) {
+    method.selector = Advance().text;
+  } else if (Check(TokenKind::kBinary)) {
+    method.selector = Advance().text;
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("binary method needs one parameter name");
+    }
+    method.params.push_back(Advance().text);
+  } else if (Check(TokenKind::kKeyword)) {
+    while (Check(TokenKind::kKeyword)) {
+      method.selector += Advance().text;
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorHere("keyword method needs a parameter name");
+      }
+      method.params.push_back(Advance().text);
+    }
+  } else {
+    return ErrorHere("expected a message pattern");
+  }
+  GS_RETURN_IF_ERROR(ParseTempDecls(&method.temps));
+  GS_RETURN_IF_ERROR(ParseStatements(&method.body, TokenKind::kEnd));
+  if (!Check(TokenKind::kEnd)) {
+    return ErrorHere("trailing tokens after method body");
+  }
+  return method;
+}
+
+Status Parser::ParseTempDecls(std::vector<std::string>* temps) {
+  if (!Check(TokenKind::kPipe)) return Status::OK();
+  Advance();
+  while (Check(TokenKind::kIdentifier)) temps->push_back(Advance().text);
+  if (!Match(TokenKind::kPipe)) {
+    return ErrorHere("expected '|' to close temporaries");
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseStatements(std::vector<ExprPtr>* body,
+                               TokenKind terminator) {
+  while (!Check(terminator) && !Check(TokenKind::kEnd)) {
+    GS_ASSIGN_OR_RETURN(ExprPtr statement, ParseStatement());
+    const bool was_return = statement->kind == Expr::Kind::kReturn;
+    body->push_back(std::move(statement));
+    if (!Match(TokenKind::kPeriod)) break;
+    if (was_return) break;  // nothing may follow ^ in a statement list
+  }
+  return Status::OK();
+}
+
+Result<ExprPtr> Parser::ParseStatement() {
+  if (Check(TokenKind::kCaret)) {
+    const int line = Advance().line;
+    GS_ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+    return ExprPtr(new ReturnExpr(std::move(value), line));
+  }
+  return ParseExpression();
+}
+
+Result<ExprPtr> Parser::ParseExpression() {
+  // identifier ':=' expression
+  if (Check(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kAssign) {
+    std::string name = Advance().text;
+    const int line = Advance().line;  // ':='
+    GS_ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+    return ExprPtr(new AssignExpr(std::move(name), std::move(value), line));
+  }
+  return ParseCascade();
+}
+
+Result<ExprPtr> Parser::ParseCascade() {
+  GS_ASSIGN_OR_RETURN(ExprPtr first, ParseKeywordMessage());
+  if (!Check(TokenKind::kSemicolon)) return first;
+  // Path assignment handled below keyword level; a cascade needs a send.
+  if (first->kind != Expr::Kind::kSend) {
+    return ErrorHere("cascade requires a message send before ';'");
+  }
+  auto* send = static_cast<SendExpr*>(first.get());
+  std::vector<CascadeExpr::Message> messages;
+  messages.push_back(
+      CascadeExpr::Message{send->selector, std::move(send->args)});
+  ExprPtr receiver = std::move(send->receiver);
+  const int line = first->line;
+  while (Match(TokenKind::kSemicolon)) {
+    CascadeExpr::Message message;
+    if (Check(TokenKind::kIdentifier)) {
+      message.selector = Advance().text;
+    } else if (Check(TokenKind::kBinary)) {
+      message.selector = Advance().text;
+      GS_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnaryMessage());
+      message.args.push_back(std::move(arg));
+    } else if (Check(TokenKind::kKeyword)) {
+      while (Check(TokenKind::kKeyword)) {
+        message.selector += Advance().text;
+        GS_ASSIGN_OR_RETURN(ExprPtr arg, ParseBinaryMessage());
+        message.args.push_back(std::move(arg));
+      }
+    } else {
+      return ErrorHere("expected a message after ';'");
+    }
+    messages.push_back(std::move(message));
+  }
+  return ExprPtr(
+      new CascadeExpr(std::move(receiver), std::move(messages), line));
+}
+
+Result<ExprPtr> Parser::ParseKeywordMessage() {
+  GS_ASSIGN_OR_RETURN(ExprPtr receiver, ParseBinaryMessage());
+  if (!Check(TokenKind::kKeyword)) return receiver;
+  const int line = Peek().line;
+  std::string selector;
+  std::vector<ExprPtr> args;
+  while (Check(TokenKind::kKeyword)) {
+    selector += Advance().text;
+    GS_ASSIGN_OR_RETURN(ExprPtr arg, ParseBinaryMessage());
+    args.push_back(std::move(arg));
+  }
+  const bool to_super = receiver->kind == Expr::Kind::kVarRef &&
+                        static_cast<VarRefExpr*>(receiver.get())->name ==
+                            "super";
+  return ExprPtr(new SendExpr(std::move(receiver), std::move(selector),
+                              std::move(args), to_super, line));
+}
+
+Result<ExprPtr> Parser::ParseBinaryMessage() {
+  GS_ASSIGN_OR_RETURN(ExprPtr receiver, ParseUnaryMessage());
+  while (Check(TokenKind::kBinary)) {
+    const Token& op = Advance();
+    GS_ASSIGN_OR_RETURN(ExprPtr arg, ParseUnaryMessage());
+    std::vector<ExprPtr> args;
+    args.push_back(std::move(arg));
+    const bool to_super = receiver->kind == Expr::Kind::kVarRef &&
+                          static_cast<VarRefExpr*>(receiver.get())->name ==
+                              "super";
+    receiver = ExprPtr(new SendExpr(std::move(receiver), op.text,
+                                    std::move(args), to_super, op.line));
+  }
+  return receiver;
+}
+
+Result<ExprPtr> Parser::ParseUnaryMessage() {
+  GS_ASSIGN_OR_RETURN(ExprPtr receiver, ParsePrimary());
+  for (;;) {
+    if (Check(TokenKind::kIdentifier) &&
+        Peek(1).kind != TokenKind::kAssign) {
+      const Token& selector = Advance();
+      const bool to_super = receiver->kind == Expr::Kind::kVarRef &&
+                            static_cast<VarRefExpr*>(receiver.get())->name ==
+                                "super";
+      receiver = ExprPtr(new SendExpr(std::move(receiver), selector.text, {},
+                                      to_super, selector.line));
+      continue;
+    }
+    if (Check(TokenKind::kBang)) {
+      const int line = Peek().line;
+      std::vector<PathStepAst> steps;
+      while (Match(TokenKind::kBang)) {
+        PathStepAst step;
+        if (Check(TokenKind::kIdentifier)) {
+          step.name = Advance().text;
+        } else if (Check(TokenKind::kString)) {
+          step.name = Advance().text;
+        } else if (Check(TokenKind::kInteger)) {
+          step.name = Advance().text;
+        } else {
+          return ErrorHere("expected an element name after '!'");
+        }
+        if (Match(TokenKind::kAt)) {
+          GS_ASSIGN_OR_RETURN(step.time, ParsePrimary());
+        }
+        steps.push_back(std::move(step));
+      }
+      // `root!a!b := e` is a path assignment (§4.3).
+      if (Check(TokenKind::kAssign)) {
+        Advance();
+        GS_ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+        return ExprPtr(new PathAssignExpr(std::move(receiver),
+                                          std::move(steps), std::move(value),
+                                          line));
+      }
+      receiver = ExprPtr(
+          new PathExpr(std::move(receiver), std::move(steps), line));
+      continue;
+    }
+    return receiver;
+  }
+}
+
+Result<Value> Parser::ParseLiteralArrayElement() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger:
+      Advance();
+      return Value::Integer(t.int_value);
+    case TokenKind::kFloat:
+      Advance();
+      return Value::Float(t.float_value);
+    case TokenKind::kString:
+      Advance();
+      return Value::String(t.text);
+    case TokenKind::kSymbol:
+      Advance();
+      return Value::Symbol(symbols_->Intern(t.text));
+    case TokenKind::kCharacter:
+      Advance();
+      return Value::String(t.text);
+    case TokenKind::kIdentifier:
+      // In literal arrays, bare words are symbols; true/false/nil special.
+      Advance();
+      if (t.text == "true") return Value::Boolean(true);
+      if (t.text == "false") return Value::Boolean(false);
+      if (t.text == "nil") return Value::Nil();
+      return Value::Symbol(symbols_->Intern(t.text));
+    case TokenKind::kBinary:
+      if (t.text == "-" &&
+          (Peek(1).kind == TokenKind::kInteger ||
+           Peek(1).kind == TokenKind::kFloat)) {
+        Advance();
+        const Token& num = Advance();
+        if (num.kind == TokenKind::kInteger) {
+          return Value::Integer(-num.int_value);
+        }
+        return Value::Float(-num.float_value);
+      }
+      return ErrorHere("unsupported literal array element");
+    default:
+      return ErrorHere("unsupported literal array element");
+  }
+}
+
+Result<ExprPtr> Parser::ParseBlock() {
+  const int line = Peek().line;
+  Advance();  // '['
+  std::vector<std::string> params;
+  while (Check(TokenKind::kColon)) {
+    Advance();
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorHere("expected block parameter name after ':'");
+    }
+    params.push_back(Advance().text);
+  }
+  if (!params.empty()) {
+    if (!Match(TokenKind::kPipe)) {
+      return ErrorHere("expected '|' after block parameters");
+    }
+  }
+  std::vector<std::string> temps;
+  GS_RETURN_IF_ERROR(ParseTempDecls(&temps));
+  std::vector<ExprPtr> body;
+  GS_RETURN_IF_ERROR(ParseStatements(&body, TokenKind::kRightBracket));
+  if (!Match(TokenKind::kRightBracket)) {
+    return ErrorHere("expected ']' to close block");
+  }
+  return ExprPtr(new BlockExpr(std::move(params), std::move(temps),
+                               std::move(body), line));
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInteger:
+      Advance();
+      return ExprPtr(new LiteralExpr(Value::Integer(t.int_value), t.line));
+    case TokenKind::kFloat:
+      Advance();
+      return ExprPtr(new LiteralExpr(Value::Float(t.float_value), t.line));
+    case TokenKind::kString:
+      Advance();
+      return ExprPtr(new LiteralExpr(Value::String(t.text), t.line));
+    case TokenKind::kSymbol:
+      Advance();
+      return ExprPtr(
+          new LiteralExpr(Value::Symbol(symbols_->Intern(t.text)), t.line));
+    case TokenKind::kCharacter:
+      Advance();
+      return ExprPtr(new LiteralExpr(Value::String(t.text), t.line));
+    case TokenKind::kIdentifier: {
+      Advance();
+      if (t.text == "true") {
+        return ExprPtr(new LiteralExpr(Value::Boolean(true), t.line));
+      }
+      if (t.text == "false") {
+        return ExprPtr(new LiteralExpr(Value::Boolean(false), t.line));
+      }
+      if (t.text == "nil") {
+        return ExprPtr(new LiteralExpr(Value::Nil(), t.line));
+      }
+      return ExprPtr(new VarRefExpr(t.text, t.line));
+    }
+    case TokenKind::kBinary:
+      // Negative numeric literal: fold '-' + number.
+      if (t.text == "-" &&
+          (Peek(1).kind == TokenKind::kInteger ||
+           Peek(1).kind == TokenKind::kFloat)) {
+        Advance();
+        const Token& num = Advance();
+        if (num.kind == TokenKind::kInteger) {
+          return ExprPtr(
+              new LiteralExpr(Value::Integer(-num.int_value), num.line));
+        }
+        return ExprPtr(
+            new LiteralExpr(Value::Float(-num.float_value), num.line));
+      }
+      return ErrorHere("unexpected binary selector");
+    case TokenKind::kLeftParen: {
+      if (t.text == "#(") {
+        // Literal array: flat literal elements only.
+        Advance();
+        std::vector<ExprPtr> elements;
+        while (!Check(TokenKind::kRightParen) && !Check(TokenKind::kEnd)) {
+          GS_ASSIGN_OR_RETURN(Value v, ParseLiteralArrayElement());
+          elements.push_back(ExprPtr(new LiteralExpr(std::move(v), t.line)));
+        }
+        if (!Match(TokenKind::kRightParen)) {
+          return ErrorHere("expected ')' to close literal array");
+        }
+        return ExprPtr(new ArrayExpr(std::move(elements), t.line));
+      }
+      Advance();
+      GS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpression());
+      if (!Match(TokenKind::kRightParen)) {
+        return ErrorHere("expected ')'");
+      }
+      return inner;
+    }
+    case TokenKind::kLeftBrace: {
+      Advance();
+      std::vector<ExprPtr> elements;
+      while (!Check(TokenKind::kRightBrace) && !Check(TokenKind::kEnd)) {
+        GS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
+        elements.push_back(std::move(e));
+        if (!Match(TokenKind::kPeriod)) break;
+      }
+      if (!Match(TokenKind::kRightBrace)) {
+        return ErrorHere("expected '}' to close array constructor");
+      }
+      return ExprPtr(new ArrayExpr(std::move(elements), t.line));
+    }
+    case TokenKind::kLeftBracket:
+      return ParseBlock();
+    default:
+      return ErrorHere("expected a primary expression");
+  }
+}
+
+}  // namespace gemstone::opal

@@ -1,0 +1,73 @@
+#ifndef GEMSTONE_OPAL_PARSER_H_
+#define GEMSTONE_OPAL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+#include "object/symbol_table.h"
+#include "opal/ast.h"
+#include "opal/token.h"
+
+namespace gemstone::opal {
+
+/// Recursive-descent parser for OPAL. Grammar is ST80's:
+///
+///   statements := (statement '.')* [statement]
+///   statement  := '^' expression | expression
+///   expression := identifier ':=' expression | cascade
+///   cascade    := keywordMsg (';' cascadePart)*
+///   keywordMsg := binaryMsg (keyword binaryMsg)*
+///   binaryMsg  := unaryMsg (binarySelector unaryMsg)*
+///   unaryMsg   := primary (unarySelector | '!' pathStep)*
+///   primary    := identifier | literal | block | '(' expression ')'
+///                 | '{' statements '}' | '#(' literals ')'
+///
+/// plus path assignment `p!a!b := e` (§4.3) and the `@time` qualifier
+/// after a path step.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable* symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  /// Parses a code block (an Executor unit): optional `| temps |` then
+  /// statements.
+  Result<MethodAst> ParseCodeBody();
+
+  /// Parses a full method definition: message pattern, temps, statements.
+  Result<MethodAst> ParseMethod();
+
+  /// Convenience: lex + parse a code body in one call.
+  static Result<MethodAst> ParseBody(std::string_view source,
+                                     SymbolTable* symbols);
+  /// Convenience: lex + parse a method in one call.
+  static Result<MethodAst> ParseMethodSource(std::string_view source,
+                                             SymbolTable* symbols);
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind);
+  Status ErrorHere(const std::string& message) const;
+
+  Status ParseTempDecls(std::vector<std::string>* temps);
+  Status ParseStatements(std::vector<ExprPtr>* body, TokenKind terminator);
+  Result<ExprPtr> ParseStatement();
+  Result<ExprPtr> ParseExpression();
+  Result<ExprPtr> ParseCascade();
+  Result<ExprPtr> ParseKeywordMessage();
+  Result<ExprPtr> ParseBinaryMessage();
+  Result<ExprPtr> ParseUnaryMessage();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseBlock();
+  Result<Value> ParseLiteralArrayElement();
+
+  std::vector<Token> tokens_;
+  SymbolTable* symbols_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gemstone::opal
+
+#endif  // GEMSTONE_OPAL_PARSER_H_

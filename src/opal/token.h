@@ -1,0 +1,53 @@
+#ifndef GEMSTONE_OPAL_TOKEN_H_
+#define GEMSTONE_OPAL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gemstone::opal {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdentifier,   // foo
+  kKeyword,      // foo:   (one segment of a keyword message)
+  kBinary,       // + - * / < > = ~ , % & ? (and combinations)
+  kInteger,      // 42
+  kFloat,        // 3.25
+  kString,       // 'text' (embedded '' escapes a quote)
+  kSymbol,       // #foo  #foo:bar:  #+
+  kCharacter,    // $a
+  kLeftParen,    // (
+  kRightParen,   // )
+  kLeftBracket,  // [
+  kRightBracket, // ]
+  kLeftBrace,    // {
+  kRightBrace,   // }
+  kPeriod,       // .
+  kSemicolon,    // ;
+  kCaret,        // ^
+  kPipe,         // | (temp declarations and block parameter bar)
+  kAssign,       // :=
+  kColon,        // : (block parameter introducer, as in [:x | ...])
+  kBang,         // !  (OPAL path navigation)
+  kAt,           // @  (OPAL path time qualifier)
+};
+
+std::string_view TokenKindToString(TokenKind kind);
+
+/// One lexical token with source position (1-based line/column) for
+/// compiler diagnostics.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier/keyword/selector/symbol spelling
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  int line = 0;
+  int column = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace gemstone::opal
+
+#endif  // GEMSTONE_OPAL_TOKEN_H_

@@ -1,0 +1,200 @@
+#include "relational/relational.h"
+
+#include <algorithm>
+
+namespace gemstone::relational {
+
+std::string FieldToString(const Field& field) {
+  if (const auto* i = std::get_if<std::int64_t>(&field)) {
+    return "i" + std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&field)) {
+    return "d" + std::to_string(*d);
+  }
+  return "s" + std::get<std::string>(field);
+}
+
+bool FieldLess(const Field& a, const Field& b) {
+  // Numeric kinds compare numerically across int/double; strings sort
+  // after numbers.
+  const bool a_num = !std::holds_alternative<std::string>(a);
+  const bool b_num = !std::holds_alternative<std::string>(b);
+  if (a_num != b_num) return a_num;
+  if (a_num) {
+    const double x = std::holds_alternative<std::int64_t>(a)
+                         ? static_cast<double>(std::get<std::int64_t>(a))
+                         : std::get<double>(a);
+    const double y = std::holds_alternative<std::int64_t>(b)
+                         ? static_cast<double>(std::get<std::int64_t>(b))
+                         : std::get<double>(b);
+    return x < y;
+  }
+  return std::get<std::string>(a) < std::get<std::string>(b);
+}
+
+int Table::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Insert(Tuple row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  const std::size_t id = rows_.size();
+  for (auto& [column, index] : indexes_) {
+    index.emplace(FieldToString(row[static_cast<std::size_t>(column)]), id);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::CreateIndex(std::string_view column) {
+  const int c = ColumnIndex(column);
+  if (c < 0) return Status::NotFound("no column " + std::string(column));
+  if (indexes_.count(c) != 0) {
+    return Status::AlreadyExists("index exists on " + std::string(column));
+  }
+  std::multimap<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    index.emplace(FieldToString(rows_[i][static_cast<std::size_t>(c)]), i);
+  }
+  indexes_.emplace(c, std::move(index));
+  return Status::OK();
+}
+
+bool Table::HasIndex(std::string_view column) const {
+  const int c = ColumnIndex(column);
+  return c >= 0 && indexes_.count(c) != 0;
+}
+
+Result<std::vector<std::size_t>> Table::Probe(std::string_view column,
+                                              const Field& key,
+                                              RelationalStats* stats) const {
+  const int c = ColumnIndex(column);
+  if (c < 0) return Status::NotFound("no column " + std::string(column));
+  std::vector<std::size_t> out;
+  auto index_it = indexes_.find(c);
+  if (index_it != indexes_.end()) {
+    if (stats != nullptr) ++stats->index_probes;
+    auto [begin, end] = index_it->second.equal_range(FieldToString(key));
+    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+    return out;
+  }
+  const std::string target = FieldToString(key);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (stats != nullptr) ++stats->rows_examined;
+    if (FieldToString(rows_[i][static_cast<std::size_t>(c)]) == target) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Table Select(const Table& input,
+             const std::function<bool(const Tuple&)>& predicate,
+             RelationalStats* stats) {
+  Table out(input.columns());
+  for (const Tuple& row : input.rows()) {
+    if (stats != nullptr) ++stats->rows_examined;
+    if (predicate(row)) {
+      (void)out.Insert(row);
+      if (stats != nullptr) ++stats->rows_output;
+    }
+  }
+  return out;
+}
+
+Result<Table> SelectEq(const Table& input, std::string_view column,
+                       const Field& key, RelationalStats* stats) {
+  GS_ASSIGN_OR_RETURN(std::vector<std::size_t> ids,
+                      input.Probe(column, key, stats));
+  Table out(input.columns());
+  for (std::size_t id : ids) {
+    (void)out.Insert(input.rows()[id]);
+    if (stats != nullptr) ++stats->rows_output;
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns,
+                      RelationalStats* stats) {
+  std::vector<int> positions;
+  for (const std::string& column : columns) {
+    const int c = input.ColumnIndex(column);
+    if (c < 0) return Status::NotFound("no column " + column);
+    positions.push_back(c);
+  }
+  Table out(columns);
+  for (const Tuple& row : input.rows()) {
+    if (stats != nullptr) ++stats->rows_examined;
+    Tuple projected;
+    projected.reserve(positions.size());
+    for (int c : positions) {
+      projected.push_back(row[static_cast<std::size_t>(c)]);
+    }
+    (void)out.Insert(std::move(projected));
+    if (stats != nullptr) ++stats->rows_output;
+  }
+  return out;
+}
+
+Result<Table> HashJoin(const Table& left, std::string_view left_column,
+                       const Table& right, std::string_view right_column,
+                       RelationalStats* stats) {
+  const int lc = left.ColumnIndex(left_column);
+  const int rc = right.ColumnIndex(right_column);
+  if (lc < 0 || rc < 0) return Status::NotFound("join column missing");
+
+  std::vector<std::string> columns = left.columns();
+  for (const std::string& column : right.columns()) {
+    const bool collision =
+        std::find(columns.begin(), columns.end(), column) != columns.end();
+    columns.push_back(collision ? "r_" + column : column);
+  }
+  Table out(std::move(columns));
+
+  std::unordered_map<std::string, std::vector<std::size_t>> build;
+  for (std::size_t i = 0; i < right.rows().size(); ++i) {
+    if (stats != nullptr) ++stats->rows_examined;
+    build[FieldToString(right.rows()[i][static_cast<std::size_t>(rc)])]
+        .push_back(i);
+  }
+  for (const Tuple& lrow : left.rows()) {
+    if (stats != nullptr) ++stats->rows_examined;
+    auto it = build.find(FieldToString(lrow[static_cast<std::size_t>(lc)]));
+    if (it == build.end()) continue;
+    for (std::size_t rid : it->second) {
+      Tuple merged = lrow;
+      const Tuple& rrow = right.rows()[rid];
+      merged.insert(merged.end(), rrow.begin(), rrow.end());
+      (void)out.Insert(std::move(merged));
+      if (stats != nullptr) ++stats->rows_output;
+    }
+  }
+  return out;
+}
+
+Table* Database::CreateTable(std::string name,
+                             std::vector<std::string> columns) {
+  auto [it, inserted] =
+      tables_.emplace(std::move(name), Table(std::move(columns)));
+  return inserted ? &it->second : nullptr;
+}
+
+Table* Database::Find(std::string_view name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const Table* Database::Find(std::string_view name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gemstone::relational

@@ -1,0 +1,106 @@
+#ifndef GEMSTONE_RELATIONAL_RELATIONAL_H_
+#define GEMSTONE_RELATIONAL_RELATIONAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace gemstone::relational {
+
+/// A relational field: flat atomic values only — precisely the
+/// restriction §2C/§5.2 argue against ("Tuples in relations are flat
+/// records of atomic values, with no repetition of fields").
+using Field = std::variant<std::int64_t, double, std::string>;
+
+std::string FieldToString(const Field& field);
+bool FieldLess(const Field& a, const Field& b);
+
+/// A tuple is one row of fields in schema order.
+using Tuple = std::vector<Field>;
+
+struct RelationalStats {
+  std::uint64_t rows_examined = 0;
+  std::uint64_t rows_output = 0;
+  std::uint64_t index_probes = 0;
+};
+
+/// A relation: named columns over a bag of tuples, with optional
+/// secondary indexes. This is the comparison baseline for the paper's
+/// flattening/encoding arguments (experiment E4) and the impedance
+/// mismatch demonstration (C7).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t size() const { return rows_.size(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Column position; -1 if absent.
+  int ColumnIndex(std::string_view name) const;
+
+  /// Appends a tuple (arity-checked); maintains indexes.
+  Status Insert(Tuple row);
+
+  /// Builds an ordered secondary index over `column`.
+  Status CreateIndex(std::string_view column);
+  bool HasIndex(std::string_view column) const;
+
+  /// Row indexes whose `column` equals `key` (via index when available).
+  Result<std::vector<std::size_t>> Probe(std::string_view column,
+                                         const Field& key,
+                                         RelationalStats* stats) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Tuple> rows_;
+  // column position -> ordered index (key rendering -> row ids).
+  std::unordered_map<int, std::multimap<std::string, std::size_t>> indexes_;
+};
+
+/// σ: rows satisfying `predicate`.
+Table Select(const Table& input,
+             const std::function<bool(const Tuple&)>& predicate,
+             RelationalStats* stats = nullptr);
+
+/// σ with an indexable equality condition: uses the column index if one
+/// exists, else scans.
+Result<Table> SelectEq(const Table& input, std::string_view column,
+                       const Field& key, RelationalStats* stats = nullptr);
+
+/// π: the named columns, in order.
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& columns,
+                      RelationalStats* stats = nullptr);
+
+/// ⋈: equi-join on left.column = right.column (hash join; right is the
+/// build side). Output columns: left's then right's (right join column
+/// renamed with a "r_" prefix when names collide).
+Result<Table> HashJoin(const Table& left, std::string_view left_column,
+                       const Table& right, std::string_view right_column,
+                       RelationalStats* stats = nullptr);
+
+/// A named-table database.
+class Database {
+ public:
+  Table* CreateTable(std::string name, std::vector<std::string> columns);
+  Table* Find(std::string_view name);
+  const Table* Find(std::string_view name) const;
+  std::size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, Table, std::less<>> tables_;
+};
+
+}  // namespace gemstone::relational
+
+#endif  // GEMSTONE_RELATIONAL_RELATIONAL_H_

@@ -1,0 +1,274 @@
+#include "stdm/algebra.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gemstone::stdm {
+
+namespace {
+
+std::vector<std::size_t> Union(const std::vector<std::size_t>& a,
+                               const std::vector<std::size_t>& b) {
+  std::vector<std::size_t> out = a;
+  for (std::size_t s : b) {
+    bool present = false;
+    for (std::size_t t : out) present = present || (t == s);
+    if (!present) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::size_t> WithSlot(const std::vector<std::size_t>& a,
+                                  std::size_t slot) {
+  std::vector<std::size_t> out = a;
+  out.push_back(slot);
+  return out;
+}
+
+void Indent(int indent, std::string* out) {
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+Bindings RowEnv(const std::vector<std::string>& vars, const Bindings& free,
+                const Row& row, const std::vector<std::size_t>& filled) {
+  Bindings env = free;
+  for (std::size_t slot : filled) env.Push(vars[slot], &row[slot]);
+  return env;
+}
+
+// --- UnitNode ---------------------------------------------------------------
+
+Result<std::vector<Row>> UnitNode::Execute(const std::vector<std::string>&,
+                                           const Bindings&,
+                                           AlgebraStats*) const {
+  return std::vector<Row>{Row(width_)};
+}
+
+void UnitNode::Render(int indent, std::string* out) const {
+  Indent(indent, out);
+  out->append("Unit\n");
+}
+
+// --- ScanNode ---------------------------------------------------------------
+
+ScanNode::ScanNode(std::size_t width, std::size_t slot, Term source)
+    : width_(width), slot_(slot), source_(std::move(source)), filled_{slot} {}
+
+Result<std::vector<Row>> ScanNode::Execute(const std::vector<std::string>&,
+                                           const Bindings& free,
+                                           AlgebraStats* stats) const {
+  GS_ASSIGN_OR_RETURN(StdmValue source, EvalTerm(source_, free));
+  if (!source.IsSet()) {
+    return Status::TypeMismatch("scan source is not a set: " +
+                                source_.ToString());
+  }
+  std::vector<Row> rows;
+  rows.reserve(source.size());
+  for (const StdmValue::Element& element : source.elements()) {
+    Row row(width_);
+    row[slot_] = element.value;
+    rows.push_back(std::move(row));
+  }
+  if (stats != nullptr) stats->rows_scanned += rows.size();
+  return rows;
+}
+
+void ScanNode::Render(int indent, std::string* out) const {
+  Indent(indent, out);
+  out->append("Scan[" + source_.ToString() + "]\n");
+}
+
+// --- DependentScanNode --------------------------------------------------------
+
+DependentScanNode::DependentScanNode(std::unique_ptr<PlanNode> child,
+                                     std::size_t slot, Term source)
+    : child_(std::move(child)),
+      slot_(slot),
+      source_(std::move(source)),
+      filled_(WithSlot(child_->filled_slots(), slot)) {}
+
+Result<std::vector<Row>> DependentScanNode::Execute(
+    const std::vector<std::string>& vars, const Bindings& free,
+    AlgebraStats* stats) const {
+  GS_ASSIGN_OR_RETURN(std::vector<Row> input,
+                      child_->Execute(vars, free, stats));
+  std::vector<Row> rows;
+  for (Row& row : input) {
+    if (stats != nullptr) ++stats->rows_examined;
+    Bindings env = RowEnv(vars, free, row, child_->filled_slots());
+    GS_ASSIGN_OR_RETURN(StdmValue source, EvalTerm(source_, env));
+    if (!source.IsSet()) {
+      return Status::TypeMismatch("dependent scan source is not a set: " +
+                                  source_.ToString());
+    }
+    for (const StdmValue::Element& element : source.elements()) {
+      Row extended = row;
+      extended[slot_] = element.value;
+      rows.push_back(std::move(extended));
+    }
+  }
+  if (stats != nullptr) stats->rows_scanned += rows.size();
+  return rows;
+}
+
+void DependentScanNode::Render(int indent, std::string* out) const {
+  Indent(indent, out);
+  out->append("DependentScan[" + source_.ToString() + "]\n");
+  child_->Render(indent + 1, out);
+}
+
+// --- FilterNode ---------------------------------------------------------------
+
+FilterNode::FilterNode(std::unique_ptr<PlanNode> child, Predicate predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Result<std::vector<Row>> FilterNode::Execute(
+    const std::vector<std::string>& vars, const Bindings& free,
+    AlgebraStats* stats) const {
+  GS_ASSIGN_OR_RETURN(std::vector<Row> input,
+                      child_->Execute(vars, free, stats));
+  std::vector<Row> rows;
+  for (Row& row : input) {
+    if (stats != nullptr) ++stats->rows_examined;
+    Bindings env = RowEnv(vars, free, row, child_->filled_slots());
+    EvalStats sub;
+    GS_ASSIGN_OR_RETURN(bool keep, EvalPredicate(predicate_, env, &sub));
+    if (stats != nullptr) stats->predicate_evals += sub.predicate_evals;
+    if (keep) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void FilterNode::Render(int indent, std::string* out) const {
+  Indent(indent, out);
+  out->append("Filter[" + predicate_.ToString() + "]\n");
+  child_->Render(indent + 1, out);
+}
+
+// --- HashJoinNode ---------------------------------------------------------------
+
+HashJoinNode::HashJoinNode(std::unique_ptr<PlanNode> left,
+                           std::unique_ptr<PlanNode> right, Term left_key,
+                           Term right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)),
+      filled_(Union(left_->filled_slots(), right_->filled_slots())) {}
+
+Result<std::vector<Row>> HashJoinNode::Execute(
+    const std::vector<std::string>& vars, const Bindings& free,
+    AlgebraStats* stats) const {
+  GS_ASSIGN_OR_RETURN(std::vector<Row> build_rows,
+                      right_->Execute(vars, free, stats));
+  // The hash key is the canonical rendering of the evaluated key term;
+  // consistent with StdmValue equality for simple values (equi-joins on
+  // set-valued keys fall back to a residual equality check below).
+  std::unordered_map<std::string, std::vector<const Row*>> table;
+  std::vector<StdmValue> build_keys(build_rows.size());
+  for (std::size_t i = 0; i < build_rows.size(); ++i) {
+    if (stats != nullptr) ++stats->rows_examined;
+    Bindings env = RowEnv(vars, free, build_rows[i], right_->filled_slots());
+    GS_ASSIGN_OR_RETURN(build_keys[i], EvalTerm(right_key_, env));
+    table[build_keys[i].ToString()].push_back(&build_rows[i]);
+  }
+  GS_ASSIGN_OR_RETURN(std::vector<Row> probe_rows,
+                      left_->Execute(vars, free, stats));
+  std::vector<Row> rows;
+  for (Row& probe : probe_rows) {
+    if (stats != nullptr) {
+      ++stats->rows_examined;
+      ++stats->hash_probes;
+    }
+    Bindings env = RowEnv(vars, free, probe, left_->filled_slots());
+    GS_ASSIGN_OR_RETURN(StdmValue key, EvalTerm(left_key_, env));
+    auto it = table.find(key.ToString());
+    if (it == table.end()) continue;
+    for (const Row* build : it->second) {
+      Row merged = probe;
+      for (std::size_t slot : right_->filled_slots()) {
+        merged[slot] = (*build)[slot];
+      }
+      rows.push_back(std::move(merged));
+    }
+  }
+  return rows;
+}
+
+void HashJoinNode::Render(int indent, std::string* out) const {
+  Indent(indent, out);
+  out->append("HashJoin[" + left_key_.ToString() + " = " +
+              right_key_.ToString() + "]\n");
+  left_->Render(indent + 1, out);
+  right_->Render(indent + 1, out);
+}
+
+// --- ProductNode ---------------------------------------------------------------
+
+ProductNode::ProductNode(std::unique_ptr<PlanNode> left,
+                         std::unique_ptr<PlanNode> right)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      filled_(Union(left_->filled_slots(), right_->filled_slots())) {}
+
+Result<std::vector<Row>> ProductNode::Execute(
+    const std::vector<std::string>& vars, const Bindings& free,
+    AlgebraStats* stats) const {
+  GS_ASSIGN_OR_RETURN(std::vector<Row> left_rows,
+                      left_->Execute(vars, free, stats));
+  GS_ASSIGN_OR_RETURN(std::vector<Row> right_rows,
+                      right_->Execute(vars, free, stats));
+  std::vector<Row> rows;
+  rows.reserve(left_rows.size() * right_rows.size());
+  for (const Row& l : left_rows) {
+    for (const Row& r : right_rows) {
+      if (stats != nullptr) ++stats->rows_examined;
+      Row merged = l;
+      for (std::size_t slot : right_->filled_slots()) merged[slot] = r[slot];
+      rows.push_back(std::move(merged));
+    }
+  }
+  return rows;
+}
+
+void ProductNode::Render(int indent, std::string* out) const {
+  Indent(indent, out);
+  out->append("Product\n");
+  left_->Render(indent + 1, out);
+  right_->Render(indent + 1, out);
+}
+
+// --- AlgebraPlan ---------------------------------------------------------------
+
+Result<StdmValue> AlgebraPlan::Execute(const Bindings& free,
+                                       AlgebraStats* stats) const {
+  GS_ASSIGN_OR_RETURN(std::vector<Row> rows, root_->Execute(vars_, free, stats));
+  StdmValue result = StdmValue::Set();
+  std::unordered_set<std::string> seen;
+  for (const Row& row : rows) {
+    Bindings env = RowEnv(vars_, free, row, root_->filled_slots());
+    StdmValue tuple = StdmValue::Set();
+    for (const auto& [label, term] : target_) {
+      GS_ASSIGN_OR_RETURN(StdmValue v, EvalTerm(term, env));
+      GS_RETURN_IF_ERROR(tuple.Put(label, std::move(v)));
+    }
+    const std::string key = tuple.ToString();
+    if (seen.insert(key).second) result.Add(std::move(tuple));
+  }
+  return result;
+}
+
+std::string AlgebraPlan::ToString() const {
+  std::string out = "Project[";
+  for (std::size_t i = 0; i < target_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += target_[i].first;
+  }
+  out += "]\n";
+  root_->Render(1, &out);
+  return out;
+}
+
+}  // namespace gemstone::stdm

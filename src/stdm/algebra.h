@@ -1,0 +1,200 @@
+#ifndef GEMSTONE_STDM_ALGEBRA_H_
+#define GEMSTONE_STDM_ALGEBRA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "stdm/calculus.h"
+#include "stdm/stdm_value.h"
+
+namespace gemstone::stdm {
+
+/// Work counters for algebra execution; comparable against the naive
+/// calculus evaluator's EvalStats to demonstrate §5.2's claim that the
+/// declarative form "allows much more access planning by the database
+/// system than with an equivalent query specified procedurally".
+struct AlgebraStats {
+  std::uint64_t rows_scanned = 0;    // rows emitted by scans
+  std::uint64_t rows_examined = 0;   // rows entering filters / joins
+  std::uint64_t hash_probes = 0;
+  std::uint64_t predicate_evals = 0;
+};
+
+/// A partially-bound result row: one value slot per range variable of the
+/// originating query; slots a node has not filled yet hold nil.
+using Row = std::vector<StdmValue>;
+
+/// Base of the physical operator tree. Operators materialize their output
+/// (sets here are CoW, so rows are cheap to copy).
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /// Executes the subtree. `vars` maps slot -> variable name; `free` binds
+  /// the query's free variables (database roots).
+  virtual Result<std::vector<Row>> Execute(
+      const std::vector<std::string>& vars, const Bindings& free,
+      AlgebraStats* stats) const = 0;
+
+  /// Slots guaranteed filled in this node's output rows.
+  virtual const std::vector<std::size_t>& filled_slots() const = 0;
+
+  /// Indented operator-tree rendering for tests and EXPLAIN-style output.
+  virtual void Render(int indent, std::string* out) const = 0;
+};
+
+/// Emits a single all-nil row; the identity for the first join step.
+class UnitNode : public PlanNode {
+ public:
+  explicit UnitNode(std::size_t width) : width_(width) {}
+  Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
+                                   const Bindings& free,
+                                   AlgebraStats* stats) const override;
+  const std::vector<std::size_t>& filled_slots() const override {
+    return filled_;
+  }
+  void Render(int indent, std::string* out) const override;
+
+ private:
+  std::size_t width_;
+  std::vector<std::size_t> filled_;
+};
+
+/// Enumerates the members of an *independent* range source (one whose
+/// term references only free variables), filling `slot`.
+class ScanNode : public PlanNode {
+ public:
+  ScanNode(std::size_t width, std::size_t slot, Term source);
+  Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
+                                   const Bindings& free,
+                                   AlgebraStats* stats) const override;
+  const std::vector<std::size_t>& filled_slots() const override {
+    return filled_;
+  }
+  void Render(int indent, std::string* out) const override;
+
+  std::size_t slot() const { return slot_; }
+  const Term& source() const { return source_; }
+
+ private:
+  std::size_t width_;
+  std::size_t slot_;
+  Term source_;
+  std::vector<std::size_t> filled_;
+};
+
+/// Correlated range (`m ∈ d!Managers`): for every input row, evaluates the
+/// source term under that row's bindings and emits one extended row per
+/// member. The algebra realization of calculus variables "bound to
+/// functions of other variables" (§5.2).
+class DependentScanNode : public PlanNode {
+ public:
+  DependentScanNode(std::unique_ptr<PlanNode> child, std::size_t slot,
+                    Term source);
+  Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
+                                   const Bindings& free,
+                                   AlgebraStats* stats) const override;
+  const std::vector<std::size_t>& filled_slots() const override {
+    return filled_;
+  }
+  void Render(int indent, std::string* out) const override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+  std::size_t slot_;
+  Term source_;
+  std::vector<std::size_t> filled_;
+};
+
+/// Retains rows satisfying `predicate` (selection, pushed as low as its
+/// variable set allows by the translator).
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(std::unique_ptr<PlanNode> child, Predicate predicate);
+  Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
+                                   const Bindings& free,
+                                   AlgebraStats* stats) const override;
+  const std::vector<std::size_t>& filled_slots() const override {
+    return child_->filled_slots();
+  }
+  void Render(int indent, std::string* out) const override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+  Predicate predicate_;
+};
+
+/// Equi-join: builds a hash table over `right` keyed by `right_key`,
+/// probes with `left_key` for each left row, merging filled slots.
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right,
+               Term left_key, Term right_key);
+  Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
+                                   const Bindings& free,
+                                   AlgebraStats* stats) const override;
+  const std::vector<std::size_t>& filled_slots() const override {
+    return filled_;
+  }
+  void Render(int indent, std::string* out) const override;
+
+ private:
+  std::unique_ptr<PlanNode> left_, right_;
+  Term left_key_, right_key_;
+  std::vector<std::size_t> filled_;
+};
+
+/// Cross product (the fallback when no equi-join key exists).
+class ProductNode : public PlanNode {
+ public:
+  ProductNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right);
+  Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
+                                   const Bindings& free,
+                                   AlgebraStats* stats) const override;
+  const std::vector<std::size_t>& filled_slots() const override {
+    return filled_;
+  }
+  void Render(int indent, std::string* out) const override;
+
+ private:
+  std::unique_ptr<PlanNode> left_, right_;
+  std::vector<std::size_t> filled_;
+};
+
+/// A complete physical plan: operator tree plus the target-tuple
+/// constructor. Produced by TranslateToAlgebra, or assembled by hand.
+class AlgebraPlan {
+ public:
+  AlgebraPlan(std::vector<std::string> vars, std::unique_ptr<PlanNode> root,
+              std::vector<std::pair<std::string, Term>> target)
+      : vars_(std::move(vars)),
+        root_(std::move(root)),
+        target_(std::move(target)) {}
+
+  /// Runs the plan and constructs the result set of labeled tuples
+  /// (duplicates collapse, as in the calculus evaluator).
+  Result<StdmValue> Execute(const Bindings& free,
+                            AlgebraStats* stats = nullptr) const;
+
+  /// EXPLAIN-style rendering of the operator tree.
+  std::string ToString() const;
+
+  const std::vector<std::string>& vars() const { return vars_; }
+
+ private:
+  std::vector<std::string> vars_;
+  std::unique_ptr<PlanNode> root_;
+  std::vector<std::pair<std::string, Term>> target_;
+};
+
+/// Builds a Bindings environment exposing `free` plus every filled slot of
+/// `row` under its variable name. Exposed for plan-node implementations.
+Bindings RowEnv(const std::vector<std::string>& vars, const Bindings& free,
+                const Row& row, const std::vector<std::size_t>& filled);
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_ALGEBRA_H_

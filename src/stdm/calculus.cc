@@ -1,0 +1,381 @@
+#include "stdm/calculus.h"
+
+#include <unordered_set>
+
+namespace gemstone::stdm {
+
+// --- Term ---------------------------------------------------------------
+
+Term Term::Const(StdmValue v) {
+  Term t;
+  t.kind = Kind::kConst;
+  t.constant = std::move(v);
+  return t;
+}
+
+Term Term::Var(std::string var) {
+  Term t;
+  t.kind = Kind::kVarPath;
+  t.var = std::move(var);
+  return t;
+}
+
+Term Term::VarPath(std::string var, std::vector<std::string> path) {
+  Term t;
+  t.kind = Kind::kVarPath;
+  t.var = std::move(var);
+  t.path = std::move(path);
+  return t;
+}
+
+Term Term::Arith(ArithOp op, Term lhs, Term rhs) {
+  Term t;
+  t.kind = Kind::kArith;
+  t.op = op;
+  t.lhs = std::make_shared<const Term>(std::move(lhs));
+  t.rhs = std::make_shared<const Term>(std::move(rhs));
+  return t;
+}
+
+void Term::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVarPath:
+      out->push_back(var);
+      return;
+    case Kind::kArith:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+      return;
+  }
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kVarPath: {
+      std::string out = var;
+      for (const std::string& step : path) out += "!" + step;
+      return out;
+    }
+    case Kind::kArith: {
+      const char* op_text = op == ArithOp::kAdd   ? " + "
+                            : op == ArithOp::kSub ? " - "
+                            : op == ArithOp::kMul ? " * "
+                                                  : " / ";
+      return "(" + lhs->ToString() + op_text + rhs->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+// --- Predicate ------------------------------------------------------------
+
+Predicate Predicate::True() { return Predicate{}; }
+
+Predicate Predicate::Compare(CmpOp op, Term lhs, Term rhs) {
+  Predicate p;
+  p.kind = Kind::kCompare;
+  p.cmp = op;
+  p.lhs = std::make_shared<const Term>(std::move(lhs));
+  p.rhs = std::make_shared<const Term>(std::move(rhs));
+  return p;
+}
+
+Predicate Predicate::Member(Term element, Term set) {
+  Predicate p;
+  p.kind = Kind::kMember;
+  p.lhs = std::make_shared<const Term>(std::move(element));
+  p.rhs = std::make_shared<const Term>(std::move(set));
+  return p;
+}
+
+Predicate Predicate::Subset(Term a, Term b) {
+  Predicate p;
+  p.kind = Kind::kSubset;
+  p.lhs = std::make_shared<const Term>(std::move(a));
+  p.rhs = std::make_shared<const Term>(std::move(b));
+  return p;
+}
+
+Predicate Predicate::And(std::vector<Predicate> ps) {
+  Predicate p;
+  p.kind = Kind::kAnd;
+  p.children = std::move(ps);
+  return p;
+}
+
+Predicate Predicate::Or(std::vector<Predicate> ps) {
+  Predicate p;
+  p.kind = Kind::kOr;
+  p.children = std::move(ps);
+  return p;
+}
+
+Predicate Predicate::Not(Predicate inner) {
+  Predicate p;
+  p.kind = Kind::kNot;
+  p.children.push_back(std::move(inner));
+  return p;
+}
+
+void Predicate::CollectVars(std::vector<std::string>* out) const {
+  if (lhs) lhs->CollectVars(out);
+  if (rhs) rhs->CollectVars(out);
+  for (const Predicate& child : children) child.CollectVars(out);
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kCompare: {
+      const char* ops[] = {" = ", " != ", " < ", " <= ", " > ", " >= "};
+      return "(" + lhs->ToString() + ops[static_cast<int>(cmp)] +
+             rhs->ToString() + ")";
+    }
+    case Kind::kMember:
+      return "(" + lhs->ToString() + " in " + rhs->ToString() + ")";
+    case Kind::kSubset:
+      return "(" + lhs->ToString() + " subsetOf " + rhs->ToString() + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = "(";
+      const char* sep = kind == Kind::kAnd ? " and " : " or ";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i != 0) out += sep;
+        out += children[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "(not " + children[0].ToString() + ")";
+  }
+  return "?";
+}
+
+std::string CalculusQuery::ToString() const {
+  std::string out = "{{";
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += target[i].first + ": " + target[i].second.ToString();
+  }
+  out += "} where ";
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i != 0) out += " and ";
+    out += "(" + ranges[i].var + " in " + ranges[i].source.ToString() + ")";
+  }
+  out += " [" + condition.ToString() + "]}";
+  return out;
+}
+
+// --- Evaluation -----------------------------------------------------------
+
+Result<StdmValue> EvalTerm(const Term& term, const Bindings& env) {
+  switch (term.kind) {
+    case Term::Kind::kConst:
+      return term.constant;
+    case Term::Kind::kVarPath: {
+      const StdmValue* value = env.Lookup(term.var);
+      if (value == nullptr) {
+        return Status::NotFound("unbound variable: " + term.var);
+      }
+      const StdmValue* current = value;
+      for (const std::string& step : term.path) {
+        if (!current->IsSet()) {
+          return Status::TypeMismatch("path into simple value at !" + step +
+                                      " in " + term.ToString());
+        }
+        const StdmValue* next = current->Get(step);
+        if (next == nullptr) {
+          return Status::NotFound("no element '" + step + "' in " +
+                                  term.ToString());
+        }
+        current = next;
+      }
+      return *current;
+    }
+    case Term::Kind::kArith: {
+      GS_ASSIGN_OR_RETURN(StdmValue a, EvalTerm(*term.lhs, env));
+      GS_ASSIGN_OR_RETURN(StdmValue b, EvalTerm(*term.rhs, env));
+      if (!a.IsNumber() || !b.IsNumber()) {
+        return Status::TypeMismatch("arithmetic on non-numbers in " +
+                                    term.ToString());
+      }
+      if (a.kind() == StdmValue::Kind::kInteger &&
+          b.kind() == StdmValue::Kind::kInteger &&
+          term.op != Term::ArithOp::kDiv) {
+        const std::int64_t x = a.integer();
+        const std::int64_t y = b.integer();
+        switch (term.op) {
+          case Term::ArithOp::kAdd:
+            return StdmValue::Integer(x + y);
+          case Term::ArithOp::kSub:
+            return StdmValue::Integer(x - y);
+          case Term::ArithOp::kMul:
+            return StdmValue::Integer(x * y);
+          default:
+            break;
+        }
+      }
+      const double x = a.AsDouble();
+      const double y = b.AsDouble();
+      switch (term.op) {
+        case Term::ArithOp::kAdd:
+          return StdmValue::Float(x + y);
+        case Term::ArithOp::kSub:
+          return StdmValue::Float(x - y);
+        case Term::ArithOp::kMul:
+          return StdmValue::Float(x * y);
+        case Term::ArithOp::kDiv:
+          if (y == 0) return Status::InvalidArgument("division by zero");
+          return StdmValue::Float(x / y);
+      }
+      return Status::Internal("unreachable arithmetic op");
+    }
+  }
+  return Status::Internal("unreachable term kind");
+}
+
+namespace {
+
+Result<bool> CompareValues(Predicate::CmpOp op, const StdmValue& a,
+                           const StdmValue& b) {
+  using CmpOp = Predicate::CmpOp;
+  if (op == CmpOp::kEq) return a == b;
+  if (op == CmpOp::kNe) return !(a == b);
+  // Ordered comparisons require comparable kinds.
+  if (a.IsNumber() && b.IsNumber()) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    switch (op) {
+      case CmpOp::kLt:
+        return x < y;
+      case CmpOp::kLe:
+        return x <= y;
+      case CmpOp::kGt:
+        return x > y;
+      case CmpOp::kGe:
+        return x >= y;
+      default:
+        break;
+    }
+  }
+  if (a.kind() == StdmValue::Kind::kString &&
+      b.kind() == StdmValue::Kind::kString) {
+    const int c = a.string().compare(b.string());
+    switch (op) {
+      case CmpOp::kLt:
+        return c < 0;
+      case CmpOp::kLe:
+        return c <= 0;
+      case CmpOp::kGt:
+        return c > 0;
+      case CmpOp::kGe:
+        return c >= 0;
+      default:
+        break;
+    }
+  }
+  return Status::TypeMismatch("values are not order-comparable");
+}
+
+}  // namespace
+
+Result<bool> EvalPredicate(const Predicate& pred, const Bindings& env,
+                           EvalStats* stats) {
+  if (stats != nullptr) ++stats->predicate_evals;
+  switch (pred.kind) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kCompare: {
+      GS_ASSIGN_OR_RETURN(StdmValue a, EvalTerm(*pred.lhs, env));
+      GS_ASSIGN_OR_RETURN(StdmValue b, EvalTerm(*pred.rhs, env));
+      return CompareValues(pred.cmp, a, b);
+    }
+    case Predicate::Kind::kMember: {
+      GS_ASSIGN_OR_RETURN(StdmValue v, EvalTerm(*pred.lhs, env));
+      GS_ASSIGN_OR_RETURN(StdmValue set, EvalTerm(*pred.rhs, env));
+      if (!set.IsSet()) {
+        return Status::TypeMismatch("right side of 'in' is not a set");
+      }
+      return set.Contains(v);
+    }
+    case Predicate::Kind::kSubset: {
+      GS_ASSIGN_OR_RETURN(StdmValue a, EvalTerm(*pred.lhs, env));
+      GS_ASSIGN_OR_RETURN(StdmValue b, EvalTerm(*pred.rhs, env));
+      if (!a.IsSet() || !b.IsSet()) {
+        return Status::TypeMismatch("subsetOf requires two sets");
+      }
+      return a.SubsetOf(b);
+    }
+    case Predicate::Kind::kAnd: {
+      for (const Predicate& child : pred.children) {
+        GS_ASSIGN_OR_RETURN(bool v, EvalPredicate(child, env, stats));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::kOr: {
+      for (const Predicate& child : pred.children) {
+        GS_ASSIGN_OR_RETURN(bool v, EvalPredicate(child, env, stats));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Predicate::Kind::kNot: {
+      GS_ASSIGN_OR_RETURN(bool v, EvalPredicate(pred.children[0], env, stats));
+      return !v;
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+namespace {
+
+Status RecurseRanges(const CalculusQuery& query, std::size_t depth,
+                     Bindings* env, EvalStats* stats, StdmValue* result,
+                     std::unordered_set<std::string>* seen) {
+  if (depth == query.ranges.size()) {
+    if (stats != nullptr) ++stats->tuples_examined;
+    GS_ASSIGN_OR_RETURN(bool keep, EvalPredicate(query.condition, *env, stats));
+    if (!keep) return Status::OK();
+    StdmValue tuple = StdmValue::Set();
+    for (const auto& [label, term] : query.target) {
+      GS_ASSIGN_OR_RETURN(StdmValue v, EvalTerm(term, *env));
+      GS_RETURN_IF_ERROR(tuple.Put(label, std::move(v)));
+    }
+    const std::string key = tuple.ToString();
+    if (seen->insert(key).second) result->Add(std::move(tuple));
+    return Status::OK();
+  }
+  const Range& range = query.ranges[depth];
+  GS_ASSIGN_OR_RETURN(StdmValue source, EvalTerm(range.source, *env));
+  if (!source.IsSet()) {
+    return Status::TypeMismatch("range source is not a set: " +
+                                range.source.ToString());
+  }
+  for (const StdmValue::Element& element : source.elements()) {
+    env->Push(range.var, &element.value);
+    Status s = RecurseRanges(query, depth + 1, env, stats, result, seen);
+    env->Pop();
+    GS_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StdmValue> EvaluateCalculus(const CalculusQuery& query,
+                                   const Bindings& free, EvalStats* stats) {
+  StdmValue result = StdmValue::Set();
+  Bindings env = free;  // copy: query bindings stack on top of free ones
+  std::unordered_set<std::string> seen;
+  GS_RETURN_IF_ERROR(
+      RecurseRanges(query, 0, &env, stats, &result, &seen));
+  return result;
+}
+
+}  // namespace gemstone::stdm

@@ -1,0 +1,153 @@
+#ifndef GEMSTONE_STDM_CALCULUS_H_
+#define GEMSTONE_STDM_CALCULUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "stdm/stdm_value.h"
+
+namespace gemstone::stdm {
+
+/// A term of the set calculus: a constant, a variable with an optional
+/// path suffix (`e!Salary`), or an arithmetic combination
+/// (`0.10 * d!Budget`). §5.2 highlights that "variables can be bound to
+/// functions of other variables, rather than only to fixed database
+/// objects" — terms are those functions.
+struct Term {
+  enum class Kind : std::uint8_t { kConst, kVarPath, kArith };
+  enum class ArithOp : std::uint8_t { kAdd, kSub, kMul, kDiv };
+
+  Kind kind = Kind::kConst;
+  StdmValue constant;                      // kConst
+  std::string var;                         // kVarPath
+  std::vector<std::string> path;           // kVarPath: !-steps after var
+  ArithOp op = ArithOp::kAdd;              // kArith
+  std::shared_ptr<const Term> lhs, rhs;    // kArith
+
+  static Term Const(StdmValue v);
+  /// `var` alone, e.g. the `e` in the target list.
+  static Term Var(std::string var);
+  /// `var!a!b`, e.g. `d!Managers`.
+  static Term VarPath(std::string var, std::vector<std::string> path);
+  static Term Arith(ArithOp op, Term lhs, Term rhs);
+  static Term Add(Term a, Term b) { return Arith(ArithOp::kAdd, std::move(a), std::move(b)); }
+  static Term Sub(Term a, Term b) { return Arith(ArithOp::kSub, std::move(a), std::move(b)); }
+  static Term Mul(Term a, Term b) { return Arith(ArithOp::kMul, std::move(a), std::move(b)); }
+  static Term Div(Term a, Term b) { return Arith(ArithOp::kDiv, std::move(a), std::move(b)); }
+
+  /// Range variables mentioned (free variables of the enclosing query are
+  /// included too; callers filter).
+  void CollectVars(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+};
+
+/// A predicate of the set calculus: comparisons, membership (∈), subset
+/// (⊆) and boolean connectives.
+struct Predicate {
+  enum class Kind : std::uint8_t {
+    kTrue,
+    kCompare,
+    kMember,
+    kSubset,
+    kAnd,
+    kOr,
+    kNot,
+  };
+  enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  Kind kind = Kind::kTrue;
+  CmpOp cmp = CmpOp::kEq;
+  std::shared_ptr<const Term> lhs, rhs;  // kCompare / kMember / kSubset
+  std::vector<Predicate> children;       // kAnd / kOr / kNot
+
+  static Predicate True();
+  static Predicate Compare(CmpOp op, Term lhs, Term rhs);
+  static Predicate Eq(Term a, Term b) { return Compare(CmpOp::kEq, std::move(a), std::move(b)); }
+  static Predicate Ne(Term a, Term b) { return Compare(CmpOp::kNe, std::move(a), std::move(b)); }
+  static Predicate Lt(Term a, Term b) { return Compare(CmpOp::kLt, std::move(a), std::move(b)); }
+  static Predicate Le(Term a, Term b) { return Compare(CmpOp::kLe, std::move(a), std::move(b)); }
+  static Predicate Gt(Term a, Term b) { return Compare(CmpOp::kGt, std::move(a), std::move(b)); }
+  static Predicate Ge(Term a, Term b) { return Compare(CmpOp::kGe, std::move(a), std::move(b)); }
+  /// element ∈ set.
+  static Predicate Member(Term element, Term set);
+  /// a ⊆ b (§5.2 notes this needs two quantifiers in relational calculus;
+  /// here it is primitive).
+  static Predicate Subset(Term a, Term b);
+  static Predicate And(std::vector<Predicate> ps);
+  static Predicate Or(std::vector<Predicate> ps);
+  static Predicate Not(Predicate p);
+
+  void CollectVars(std::vector<std::string>* out) const;
+  std::string ToString() const;
+};
+
+/// A range binding `var ∈ source`: `var` iterates over the member values
+/// of the set denoted by `source`. Sources may reference earlier range
+/// variables (correlated ranges, e.g. `m ∈ d!Managers`).
+struct Range {
+  std::string var;
+  Term source;
+};
+
+/// A full set-calculus query (§5.1):
+///   { {Emp: e, Mgr: m} where (e ∈ X!Employees) and ... [condition] }
+struct CalculusQuery {
+  /// Result-tuple constructor: element name -> term.
+  std::vector<std::pair<std::string, Term>> target;
+  /// Range bindings, in dependency order.
+  std::vector<Range> ranges;
+  Predicate condition = Predicate::True();
+
+  std::string ToString() const;
+};
+
+/// Variable environment for term/predicate evaluation. Lookup is by most
+/// recent binding; free variables (the database roots) sit at the bottom.
+class Bindings {
+ public:
+  void Push(std::string name, const StdmValue* value) {
+    frames_.emplace_back(std::move(name), value);
+  }
+  void Pop() { frames_.pop_back(); }
+  const StdmValue* Lookup(std::string_view name) const {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, const StdmValue*>> frames_;
+};
+
+/// Counters exposed by both evaluators so tests and benches can compare
+/// work done (tuples examined is the paper's implicit cost model for
+/// "more access planning by the database system").
+struct EvalStats {
+  std::uint64_t tuples_examined = 0;
+  std::uint64_t predicate_evals = 0;
+};
+
+/// Evaluates a term under `env`.
+Result<StdmValue> EvalTerm(const Term& term, const Bindings& env);
+
+/// Evaluates a predicate under `env`.
+Result<bool> EvalPredicate(const Predicate& pred, const Bindings& env,
+                           EvalStats* stats = nullptr);
+
+/// Reference (naive) semantics: nested loops over ranges in order, testing
+/// the full condition on every combination. The result is a set of labeled
+/// tuples (duplicates collapse). `free` must bind every free variable the
+/// query mentions (e.g. "X" -> the database).
+Result<StdmValue> EvaluateCalculus(const CalculusQuery& query,
+                                   const Bindings& free,
+                                   EvalStats* stats = nullptr);
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_CALCULUS_H_

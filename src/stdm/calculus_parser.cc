@@ -1,0 +1,467 @@
+#include "stdm/calculus_parser.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace gemstone::stdm {
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  kEnd,
+  kIdent,    // variables, element names, keywords (where/and/or/...)
+  kNumber,   // integer or float
+  kString,   // 'text'
+  kOp,       // = != < <= > >= + - * / in(∈) subsetOf
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kBang,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0;
+  bool is_float = false;
+};
+
+class CalcLexer {
+ public:
+  explicit CalcLexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Tok>> Tokenize() {
+    std::vector<Tok> out;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        out.push_back(Tok{});
+        return out;
+      }
+      GS_ASSIGN_OR_RETURN(Tok tok, Next());
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<Tok> Next() {
+    const char c = text_[pos_];
+    Tok tok;
+    auto single = [&](TokKind kind) {
+      ++pos_;
+      tok.kind = kind;
+      return tok;
+    };
+    switch (c) {
+      case '{': return single(TokKind::kLBrace);
+      case '}': return single(TokKind::kRBrace);
+      case '(': return single(TokKind::kLParen);
+      case ')': return single(TokKind::kRParen);
+      case '[': return single(TokKind::kLBracket);
+      case ']': return single(TokKind::kRBracket);
+      case ',': return single(TokKind::kComma);
+      case ':': return single(TokKind::kColon);
+      case '!':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+          pos_ += 2;
+          tok.kind = TokKind::kOp;
+          tok.text = "!=";
+          return tok;
+        }
+        return single(TokKind::kBang);
+      default:
+        break;
+    }
+    if (c == '\'') {
+      ++pos_;
+      tok.kind = TokKind::kString;
+      while (pos_ < text_.size() && text_[pos_] != '\'') {
+        tok.text += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated string in calculus");
+      }
+      ++pos_;
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == ',')) {
+        // The paper writes budgets as 142,000 — accept and drop commas
+        // inside digit runs when followed by a digit.
+        if (text_[pos_] == ',') {
+          if (pos_ + 1 < text_.size() &&
+              std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        if (text_[pos_] == '.') {
+          if (pos_ + 1 >= text_.size() ||
+              !std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+            break;
+          }
+          tok.is_float = true;
+        }
+        digits += text_[pos_++];
+      }
+      tok.kind = TokKind::kNumber;
+      tok.number = std::stod(digits);
+      return tok;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        tok.text += text_[pos_++];
+      }
+      if (tok.text == "in" || tok.text == "subsetOf") {
+        tok.kind = TokKind::kOp;
+      } else {
+        tok.kind = TokKind::kIdent;
+      }
+      return tok;
+    }
+    // Operators, including the Unicode '∈' (E2 88 88).
+    if (static_cast<unsigned char>(c) == 0xE2 && pos_ + 2 < text_.size() &&
+        static_cast<unsigned char>(text_[pos_ + 1]) == 0x88 &&
+        static_cast<unsigned char>(text_[pos_ + 2]) == 0x88) {
+      pos_ += 3;
+      tok.kind = TokKind::kOp;
+      tok.text = "in";
+      return tok;
+    }
+    auto two = text_.substr(pos_, 2);
+    for (std::string_view op : {"<=", ">="}) {
+      if (two == op) {
+        pos_ += 2;
+        tok.kind = TokKind::kOp;
+        tok.text = op;
+        return tok;
+      }
+    }
+    for (char op : {'=', '<', '>', '+', '-', '*', '/'}) {
+      if (c == op) {
+        ++pos_;
+        tok.kind = TokKind::kOp;
+        tok.text = std::string(1, op);
+        return tok;
+      }
+    }
+    return Status::InvalidArgument(
+        std::string("unexpected character in calculus: '") + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class CalcParser {
+ public:
+  explicit CalcParser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<CalculusQuery> Parse() {
+    CalculusQuery query;
+    GS_RETURN_IF_ERROR(Expect(TokKind::kLBrace, "'{' to open the query"));
+    GS_RETURN_IF_ERROR(ParseTarget(&query));
+    GS_RETURN_IF_ERROR(ExpectIdent("where"));
+    // Ranges: (v in term) and (v in term) ...
+    GS_RETURN_IF_ERROR(ParseRange(&query));
+    while (CheckIdent("and")) {
+      // Lookahead: the next parenthesized unit may be a range or, after
+      // the bracket begins, a condition — ranges only occur before '['.
+      ++pos_;
+      GS_RETURN_IF_ERROR(ParseRange(&query));
+    }
+    std::vector<Predicate> conjuncts;
+    if (Check(TokKind::kLBracket)) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(Predicate condition, ParseCondition(&query));
+      FlattenAnds(std::move(condition), &conjuncts);
+      GS_RETURN_IF_ERROR(Expect(TokKind::kRBracket, "']'"));
+    }
+    GS_RETURN_IF_ERROR(Expect(TokKind::kRBrace, "'}' to close the query"));
+    if (!Check(TokKind::kEnd)) {
+      return Status::InvalidArgument("trailing input after calculus query");
+    }
+
+    // Promote memberships that *bind* a bare target variable into
+    // correlated ranges, in order (the paper's `m ∈ d!Managers`).
+    std::unordered_set<std::string> bound;
+    for (const Range& r : query.ranges) bound.insert(r.var);
+    std::unordered_set<std::string> target_vars;
+    for (const auto& [label, term] : query.target) {
+      std::vector<std::string> vars;
+      term.CollectVars(&vars);
+      target_vars.insert(vars.begin(), vars.end());
+    }
+    std::vector<Predicate> residual;
+    for (Predicate& p : conjuncts) {
+      const bool promotable =
+          p.kind == Predicate::Kind::kMember &&
+          p.lhs->kind == Term::Kind::kVarPath && p.lhs->path.empty() &&
+          bound.count(p.lhs->var) == 0 &&
+          target_vars.count(p.lhs->var) != 0;
+      if (promotable) {
+        bound.insert(p.lhs->var);
+        query.ranges.push_back(Range{p.lhs->var, *p.rhs});
+      } else {
+        residual.push_back(std::move(p));
+      }
+    }
+    if (residual.empty()) {
+      query.condition = Predicate::True();
+    } else if (residual.size() == 1) {
+      query.condition = std::move(residual[0]);
+    } else {
+      query.condition = Predicate::And(std::move(residual));
+    }
+    return query;
+  }
+
+ private:
+  const Tok& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool Check(TokKind kind) const { return Peek().kind == kind; }
+  bool CheckIdent(std::string_view word) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == word;
+  }
+  bool CheckOp(std::string_view op) const {
+    return Peek().kind == TokKind::kOp && Peek().text == op;
+  }
+  Status Expect(TokKind kind, const std::string& what) {
+    if (!Check(kind)) {
+      return Status::InvalidArgument("expected " + what +
+                                     " in calculus query");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+  Status ExpectIdent(std::string_view word) {
+    if (!CheckIdent(word)) {
+      return Status::InvalidArgument("expected '" + std::string(word) + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseTarget(CalculusQuery* query) {
+    GS_RETURN_IF_ERROR(Expect(TokKind::kLBrace, "'{' opening the target"));
+    for (;;) {
+      if (!Check(TokKind::kIdent)) {
+        return Status::InvalidArgument("expected a target label");
+      }
+      std::string label = Peek().text;
+      ++pos_;
+      GS_RETURN_IF_ERROR(Expect(TokKind::kColon, "':' after target label"));
+      GS_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      query->target.emplace_back(std::move(label), std::move(term));
+      if (Check(TokKind::kComma)) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Expect(TokKind::kRBrace, "'}' closing the target");
+  }
+
+  Status ParseRange(CalculusQuery* query) {
+    GS_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'(' opening a range"));
+    if (!Check(TokKind::kIdent)) {
+      return Status::InvalidArgument("expected a range variable");
+    }
+    std::string var = Peek().text;
+    ++pos_;
+    if (!CheckOp("in")) {
+      return Status::InvalidArgument("expected 'in' in range binding");
+    }
+    ++pos_;
+    GS_ASSIGN_OR_RETURN(Term source, ParseTerm());
+    query->ranges.push_back(Range{std::move(var), std::move(source)});
+    return Expect(TokKind::kRParen, "')' closing a range");
+  }
+
+  Result<Predicate> ParseCondition(CalculusQuery* query) {
+    GS_ASSIGN_OR_RETURN(Predicate left, ParseDisjunct(query));
+    while (CheckIdent("or")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(Predicate right, ParseDisjunct(query));
+      std::vector<Predicate> children;
+      children.push_back(std::move(left));
+      children.push_back(std::move(right));
+      left = Predicate::Or(std::move(children));
+    }
+    return left;
+  }
+
+  Result<Predicate> ParseDisjunct(CalculusQuery* query) {
+    GS_ASSIGN_OR_RETURN(Predicate left, ParseConjunct(query));
+    while (CheckIdent("and")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(Predicate right, ParseConjunct(query));
+      std::vector<Predicate> children;
+      children.push_back(std::move(left));
+      children.push_back(std::move(right));
+      left = Predicate::And(std::move(children));
+    }
+    return left;
+  }
+
+  Result<Predicate> ParseConjunct(CalculusQuery* query) {
+    if (CheckIdent("not")) {
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(Predicate inner, ParseConjunct(query));
+      return Predicate::Not(std::move(inner));
+    }
+    if (Check(TokKind::kLParen)) {
+      // Either a parenthesized boolean or a parenthesized comparison; we
+      // parse a full condition and fall through.
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(Predicate inner, ParseCondition(query));
+      GS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<Predicate> ParseComparison() {
+    GS_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (!Check(TokKind::kOp)) {
+      return Status::InvalidArgument("expected a comparison operator");
+    }
+    const std::string op = Peek().text;
+    ++pos_;
+    GS_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    using CmpOp = Predicate::CmpOp;
+    if (op == "=") return Predicate::Eq(std::move(lhs), std::move(rhs));
+    if (op == "!=") return Predicate::Ne(std::move(lhs), std::move(rhs));
+    if (op == "<") return Predicate::Lt(std::move(lhs), std::move(rhs));
+    if (op == "<=") return Predicate::Le(std::move(lhs), std::move(rhs));
+    if (op == ">") return Predicate::Gt(std::move(lhs), std::move(rhs));
+    if (op == ">=") return Predicate::Ge(std::move(lhs), std::move(rhs));
+    if (op == "in") return Predicate::Member(std::move(lhs), std::move(rhs));
+    if (op == "subsetOf") {
+      return Predicate::Subset(std::move(lhs), std::move(rhs));
+    }
+    (void)CmpOp::kEq;
+    return Status::InvalidArgument("unknown comparison operator: " + op);
+  }
+
+  Result<Term> ParseTerm() {
+    GS_ASSIGN_OR_RETURN(Term left, ParseFactor());
+    while (CheckOp("+") || CheckOp("-")) {
+      const bool add = Peek().text == "+";
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(Term right, ParseFactor());
+      left = add ? Term::Add(std::move(left), std::move(right))
+                 : Term::Sub(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Term> ParseFactor() {
+    GS_ASSIGN_OR_RETURN(Term left, ParseAtom());
+    while (CheckOp("*") || CheckOp("/")) {
+      const bool mul = Peek().text == "*";
+      ++pos_;
+      GS_ASSIGN_OR_RETURN(Term right, ParseAtom());
+      left = mul ? Term::Mul(std::move(left), std::move(right))
+                 : Term::Div(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Term> ParseAtom() {
+    const Tok& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kNumber: {
+        ++pos_;
+        if (tok.is_float) return Term::Const(StdmValue::Float(tok.number));
+        return Term::Const(
+            StdmValue::Integer(static_cast<std::int64_t>(tok.number)));
+      }
+      case TokKind::kString: {
+        ++pos_;
+        return Term::Const(StdmValue::String(tok.text));
+      }
+      case TokKind::kIdent: {
+        if (tok.text == "true" || tok.text == "false") {
+          ++pos_;
+          return Term::Const(StdmValue::Boolean(tok.text == "true"));
+        }
+        if (tok.text == "nil") {
+          ++pos_;
+          return Term::Const(StdmValue::Nil());
+        }
+        std::string var = tok.text;
+        ++pos_;
+        std::vector<std::string> path;
+        while (Check(TokKind::kBang)) {
+          ++pos_;
+          if (Check(TokKind::kIdent) || Check(TokKind::kString) ||
+              Check(TokKind::kNumber)) {
+            const Tok& step = Peek();
+            path.push_back(step.kind == TokKind::kNumber
+                               ? std::to_string(
+                                     static_cast<std::int64_t>(step.number))
+                               : step.text);
+            ++pos_;
+          } else {
+            return Status::InvalidArgument("expected a name after '!'");
+          }
+        }
+        if (path.empty()) return Term::Var(std::move(var));
+        return Term::VarPath(std::move(var), std::move(path));
+      }
+      case TokKind::kLParen: {
+        ++pos_;
+        GS_ASSIGN_OR_RETURN(Term inner, ParseTerm());
+        GS_RETURN_IF_ERROR(Expect(TokKind::kRParen, "')'"));
+        return inner;
+      }
+      default:
+        return Status::InvalidArgument("expected a term");
+    }
+  }
+
+  static void FlattenAnds(Predicate p, std::vector<Predicate>* out) {
+    if (p.kind == Predicate::Kind::kAnd) {
+      for (Predicate& child : p.children) {
+        FlattenAnds(std::move(child), out);
+      }
+      return;
+    }
+    if (p.kind != Predicate::Kind::kTrue) out->push_back(std::move(p));
+  }
+
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CalculusQuery> ParseCalculus(std::string_view text) {
+  CalcLexer lexer(text);
+  GS_ASSIGN_OR_RETURN(std::vector<Tok> toks, lexer.Tokenize());
+  CalcParser parser(std::move(toks));
+  return parser.Parse();
+}
+
+}  // namespace gemstone::stdm

@@ -1,0 +1,42 @@
+#ifndef GEMSTONE_STDM_CALCULUS_PARSER_H_
+#define GEMSTONE_STDM_CALCULUS_PARSER_H_
+
+#include <string_view>
+
+#include "core/result.h"
+#include "stdm/calculus.h"
+
+namespace gemstone::stdm {
+
+/// Parses the paper's textual set-calculus notation (§5.1) into a
+/// CalculusQuery. The accepted grammar mirrors the paper's example:
+///
+///   {{Emp: e, Mgr: m} where
+///     (e in X!Employees) and
+///     (d in X!Departments) [(m in d!Managers) and
+///     (d!Name in e!Depts) and (e!Salary > 0.10 * d!Budget)]}
+///
+/// query      := '{' target 'where' rangeList [ '[' condition ']' ] '}'
+/// target     := '{' label ':' term (',' label ':' term)* '}'
+/// rangeList  := range ('and' range)*   — plus ranges inside the bracket
+/// range      := '(' var 'in' term ')'
+/// condition  := disjunct ('or' disjunct)*
+/// disjunct   := conjunct ('and' conjunct)*
+/// conjunct   := '(' condition ')' | 'not' conjunct | comparison
+/// comparison := term op term       op ∈ { =, !=, <, <=, >, >=, in,
+///                                         subsetOf }
+/// term       := factor (('+'|'-') factor)*
+/// factor     := atom (('*'|'/') atom)*
+/// atom       := number | 'string' | true | false | nil
+///             | var('!' name)*      — a variable with a path suffix
+///             | '(' term ')'
+///
+/// The Unicode '∈' is accepted as a synonym for 'in'. Inside the bracket,
+/// a membership whose left side is an as-yet-unbound bare variable is
+/// promoted to a correlated *range* (the paper binds `m ∈ d!Managers`
+/// that way); every other membership stays a condition.
+Result<CalculusQuery> ParseCalculus(std::string_view text);
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_CALCULUS_PARSER_H_

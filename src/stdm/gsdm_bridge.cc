@@ -1,0 +1,104 @@
+#include "stdm/gsdm_bridge.h"
+
+#include <unordered_set>
+
+namespace gemstone::stdm {
+
+namespace {
+
+Result<StdmValue> ExportRec(txn::Session* session, ObjectMemory* memory,
+                            const Value& value,
+                            std::unordered_set<std::uint64_t>* on_path) {
+  switch (value.tag()) {
+    case ValueTag::kNil:
+      return StdmValue::Nil();
+    case ValueTag::kBoolean:
+      return StdmValue::Boolean(value.boolean());
+    case ValueTag::kInteger:
+      return StdmValue::Integer(value.integer());
+    case ValueTag::kFloat:
+      return StdmValue::Float(value.real());
+    case ValueTag::kString:
+      return StdmValue::String(value.string());
+    case ValueTag::kSymbol:
+      return StdmValue::String(memory->symbols().Name(value.symbol()));
+    case ValueTag::kHandle:
+      return Status::TypeMismatch("blocks have no STDM representation");
+    case ValueTag::kRef:
+      break;
+  }
+  const Oid oid = value.ref();
+  if (on_path->count(oid.raw) != 0) {
+    return Status::InvalidArgument(
+        "cyclic object graph has no STDM (tree) representation: " +
+        oid.ToString());
+  }
+  on_path->insert(oid.raw);
+  StdmValue set = StdmValue::Set();
+
+  GS_ASSIGN_OR_RETURN(auto named, session->ListNamed(oid));
+  for (const auto& [name, element_value] : named) {
+    GS_ASSIGN_OR_RETURN(StdmValue exported,
+                        ExportRec(session, memory, element_value, on_path));
+    if (memory->symbols().IsAlias(name)) {
+      set.Add(std::move(exported));
+    } else {
+      GS_RETURN_IF_ERROR(
+          set.Put(memory->symbols().Name(name), std::move(exported)));
+    }
+  }
+  GS_ASSIGN_OR_RETURN(std::size_t n, session->IndexedSize(oid));
+  for (std::size_t i = 0; i < n; ++i) {
+    GS_ASSIGN_OR_RETURN(Value slot, session->ReadIndexed(oid, i));
+    GS_ASSIGN_OR_RETURN(StdmValue exported,
+                        ExportRec(session, memory, slot, on_path));
+    GS_RETURN_IF_ERROR(
+        set.Put(std::to_string(i + 1), std::move(exported)));
+  }
+  on_path->erase(oid.raw);
+  return set;
+}
+
+}  // namespace
+
+Result<Value> ImportStdm(txn::Session* session, ObjectMemory* memory,
+                         const StdmValue& value) {
+  switch (value.kind()) {
+    case StdmValue::Kind::kNil:
+      return Value::Nil();
+    case StdmValue::Kind::kBoolean:
+      return Value::Boolean(value.boolean());
+    case StdmValue::Kind::kInteger:
+      return Value::Integer(value.integer());
+    case StdmValue::Kind::kFloat:
+      return Value::Float(value.real());
+    case StdmValue::Kind::kString:
+      return Value::String(value.string());
+    case StdmValue::Kind::kSet:
+      break;
+  }
+  bool all_aliased = !value.elements().empty();
+  for (const StdmValue::Element& element : value.elements()) {
+    all_aliased = all_aliased && element.alias;
+  }
+  GS_ASSIGN_OR_RETURN(Oid oid,
+                      session->Create(all_aliased ? memory->kernel().set
+                                                  : memory->kernel().object));
+  for (const StdmValue::Element& element : value.elements()) {
+    GS_ASSIGN_OR_RETURN(Value imported,
+                        ImportStdm(session, memory, element.value));
+    const SymbolId name = element.alias
+                              ? memory->symbols().GenerateAlias()
+                              : memory->symbols().Intern(element.name);
+    GS_RETURN_IF_ERROR(session->WriteNamed(oid, name, imported));
+  }
+  return Value::Ref(oid);
+}
+
+Result<StdmValue> ExportStdm(txn::Session* session, ObjectMemory* memory,
+                             const Value& value) {
+  std::unordered_set<std::uint64_t> on_path;
+  return ExportRec(session, memory, value, &on_path);
+}
+
+}  // namespace gemstone::stdm

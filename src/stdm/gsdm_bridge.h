@@ -1,0 +1,33 @@
+#ifndef GEMSTONE_STDM_GSDM_BRIDGE_H_
+#define GEMSTONE_STDM_GSDM_BRIDGE_H_
+
+#include "core/result.h"
+#include "object/object_memory.h"
+#include "stdm/stdm_value.h"
+#include "txn/session.h"
+
+namespace gemstone::stdm {
+
+/// The §5.4 merger, made executable: "We can identify sets and simple
+/// values in STDM with objects in ST80 and elements with instance
+/// variable-value pairs."
+///
+/// Import materializes an STDM tree as GSDM objects inside the caller's
+/// transaction: every STDM set becomes a fresh object (class Set when all
+/// members are aliased, class Object otherwise), labeled elements become
+/// named elements, aliased members get generated aliases — and, unlike
+/// STDM, the result has entity identity.
+Result<Value> ImportStdm(txn::Session* session, ObjectMemory* memory,
+                         const StdmValue& value);
+
+/// Export reads a GSDM object graph back into an STDM value at the
+/// session's effective time (so a time-dialed session exports a past
+/// state). Shared objects are *duplicated* and cycles are rejected with
+/// InvalidArgument — exactly the expressiveness STDM lacks (§5.4: "any
+/// set instance can be an element in at most one other set").
+Result<StdmValue> ExportStdm(txn::Session* session, ObjectMemory* memory,
+                             const Value& value);
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_GSDM_BRIDGE_H_

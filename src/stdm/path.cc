@@ -1,0 +1,196 @@
+#include "stdm/path.h"
+
+#include <cctype>
+
+namespace gemstone::stdm {
+
+namespace {
+
+// Names that are not bare identifiers or integers re-quote on rendering.
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  bool all_digits = true;
+  for (char c : name) {
+    all_digits = all_digits && std::isdigit(static_cast<unsigned char>(c));
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return true;
+  }
+  // Identifiers must not start with a digit unless fully numeric.
+  if (!all_digits && std::isdigit(static_cast<unsigned char>(name[0]))) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Path::ToString() const {
+  std::string out = root;
+  for (const PathStep& step : steps) {
+    out += "!";
+    out += NeedsQuoting(step.name) ? "'" + step.name + "'" : step.name;
+    if (step.at.has_value()) out += "@" + std::to_string(*step.at);
+  }
+  return out;
+}
+
+namespace {
+
+class PathLexer {
+ public:
+  explicit PathLexer(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// An identifier, quoted name, or bare integer.
+  Result<std::string> Component() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("path ends where a name was expected");
+    }
+    char c = text_[pos_];
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '\'') out += text_[pos_++];
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated quoted path component");
+      }
+      ++pos_;  // closing quote
+      return out;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string out;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        out += text_[pos_++];
+      }
+      return out;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string out;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        out += text_[pos_++];
+      }
+      return out;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in path");
+  }
+
+  Result<TxnTime> Time() {
+    SkipSpace();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::InvalidArgument("@ must be followed by an integer time");
+    }
+    TxnTime t = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      t = t * 10 + static_cast<TxnTime>(text_[pos_++] - '0');
+    }
+    return t;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Path> ParsePath(std::string_view text) {
+  PathLexer lex(text);
+  Path path;
+  GS_ASSIGN_OR_RETURN(path.root, lex.Component());
+  while (lex.Consume('!')) {
+    PathStep step;
+    GS_ASSIGN_OR_RETURN(step.name, lex.Component());
+    if (lex.Consume('@')) {
+      GS_ASSIGN_OR_RETURN(TxnTime t, lex.Time());
+      step.at = t;
+    }
+    path.steps.push_back(std::move(step));
+  }
+  if (!lex.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after path: " +
+                                   std::string(text));
+  }
+  return path;
+}
+
+Result<StdmValue> EvalPath(const StdmValue& root, const Path& path) {
+  const StdmValue* current = &root;
+  for (const PathStep& step : path.steps) {
+    if (step.at.has_value()) {
+      return Status::InvalidArgument(
+          "time-qualified path (@" + std::to_string(*step.at) +
+          ") is not meaningful in plain STDM; use the GSDM object layer");
+    }
+    if (!current->IsSet()) {
+      return Status::TypeMismatch("path descends into simple value at !" +
+                                  step.name);
+    }
+    const StdmValue* next = current->Get(step.name);
+    if (next == nullptr) {
+      return Status::NotFound("no element '" + step.name + "' in " +
+                              path.ToString());
+    }
+    current = next;
+  }
+  return *current;
+}
+
+Status AssignPath(StdmValue* root, const Path& path, StdmValue value) {
+  if (path.steps.empty()) {
+    return Status::InvalidArgument("cannot assign to the path root");
+  }
+  StdmValue* current = root;
+  for (std::size_t i = 0; i + 1 < path.steps.size(); ++i) {
+    const PathStep& step = path.steps[i];
+    if (step.at.has_value()) {
+      return Status::InvalidArgument("cannot assign through @time");
+    }
+    if (!current->IsSet()) {
+      return Status::TypeMismatch("path descends into simple value at !" +
+                                  step.name);
+    }
+    StdmValue* next = current->GetMutable(step.name);
+    if (next == nullptr) {
+      return Status::NotFound("no element '" + step.name + "' in " +
+                              path.ToString());
+    }
+    current = next;
+  }
+  const PathStep& last = path.steps.back();
+  if (last.at.has_value()) {
+    return Status::InvalidArgument("cannot assign into the past");
+  }
+  if (!current->IsSet()) {
+    return Status::TypeMismatch("assignment target parent is not a set");
+  }
+  current->PutOrReplace(last.name, std::move(value));
+  return Status::OK();
+}
+
+}  // namespace gemstone::stdm

@@ -1,0 +1,52 @@
+#ifndef GEMSTONE_STDM_PATH_H_
+#define GEMSTONE_STDM_PATH_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "stdm/stdm_value.h"
+
+namespace gemstone::stdm {
+
+/// One `!name` component of a path, optionally time-qualified with `@T`
+/// (§5.3.2: `E!Salary@T` is the value E!Salary had at database state T).
+struct PathStep {
+  std::string name;
+  std::optional<TxnTime> at;  // @T qualifier, temporal extension only
+
+  friend bool operator==(const PathStep&, const PathStep&) = default;
+};
+
+/// A parsed path expression `Root!step!step@T!step` (§5.1).
+struct Path {
+  std::string root;  // leading variable, e.g. "X" or "World"
+  std::vector<PathStep> steps;
+
+  std::string ToString() const;
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// Parses the paper's path syntax. Components are identifiers
+/// (`Departments`), quoted names (`'Acme Corp'`), or integers used as
+/// element names (`1`); each may carry an `@<integer>` time qualifier.
+Result<Path> ParsePath(std::string_view text);
+
+/// Navigates `root` along `path.steps` (the root variable is assumed
+/// already resolved to `root`). Fails with NotFound on a missing element,
+/// TypeMismatch when descending into a simple value, and InvalidArgument
+/// on an `@` qualifier — plain STDM has no time; temporal paths resolve
+/// against the GSDM object layer instead.
+Result<StdmValue> EvalPath(const StdmValue& root, const Path& path);
+
+/// Assignment through a path (§4.3: "allow assignments to path
+/// expressions"): sets the element named by the final step, creating it
+/// if absent; all earlier steps must resolve to existing sets.
+Status AssignPath(StdmValue* root, const Path& path, StdmValue value);
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_PATH_H_

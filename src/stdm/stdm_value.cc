@@ -1,0 +1,200 @@
+#include "stdm/stdm_value.h"
+
+#include <algorithm>
+
+namespace gemstone::stdm {
+
+struct StdmValue::SetRep {
+  std::vector<Element> elements;
+  std::uint64_t next_alias = 1;
+};
+
+StdmValue StdmValue::Boolean(bool b) { return StdmValue(Repr(b)); }
+StdmValue StdmValue::Integer(std::int64_t i) { return StdmValue(Repr(i)); }
+StdmValue StdmValue::Float(double d) { return StdmValue(Repr(d)); }
+StdmValue StdmValue::String(std::string s) {
+  return StdmValue(Repr(std::move(s)));
+}
+StdmValue StdmValue::Set() {
+  return StdmValue(Repr(std::make_shared<SetRep>()));
+}
+
+StdmValue StdmValue::SetOf(std::vector<StdmValue> members) {
+  StdmValue set = Set();
+  for (StdmValue& m : members) set.Add(std::move(m));
+  return set;
+}
+
+StdmValue::Kind StdmValue::kind() const {
+  return static_cast<Kind>(repr_.index());
+}
+
+StdmValue::SetRep& StdmValue::MutableSet() {
+  auto& rep = std::get<std::shared_ptr<SetRep>>(repr_);
+  if (rep.use_count() > 1) rep = std::make_shared<SetRep>(*rep);
+  return *rep;
+}
+
+const StdmValue::SetRep* StdmValue::set_rep() const {
+  if (!IsSet()) return nullptr;
+  return std::get<std::shared_ptr<SetRep>>(repr_).get();
+}
+
+Status StdmValue::Put(std::string name, StdmValue value) {
+  if (!IsSet()) return Status::TypeMismatch("Put on non-set STDM value");
+  if (Get(name) != nullptr) {
+    return Status::AlreadyExists("duplicate element name: " + name);
+  }
+  MutableSet().elements.push_back(
+      Element{std::move(name), std::move(value), false});
+  return Status::OK();
+}
+
+std::string StdmValue::Add(StdmValue value) {
+  SetRep& rep = MutableSet();
+  std::string alias;
+  do {
+    alias = "_" + std::to_string(rep.next_alias++);
+  } while (Get(alias) != nullptr);
+  rep.elements.push_back(Element{alias, std::move(value), true});
+  return alias;
+}
+
+void StdmValue::PutOrReplace(std::string name, StdmValue value) {
+  if (StdmValue* existing = GetMutable(name)) {
+    *existing = std::move(value);
+    return;
+  }
+  MutableSet().elements.push_back(
+      Element{std::move(name), std::move(value), false});
+}
+
+bool StdmValue::Remove(std::string_view name) {
+  if (!IsSet()) return false;
+  SetRep& rep = MutableSet();
+  auto it = std::find_if(rep.elements.begin(), rep.elements.end(),
+                         [&](const Element& e) { return e.name == name; });
+  if (it == rep.elements.end()) return false;
+  rep.elements.erase(it);
+  return true;
+}
+
+const StdmValue* StdmValue::Get(std::string_view name) const {
+  const SetRep* rep = set_rep();
+  if (rep == nullptr) return nullptr;
+  for (const Element& e : rep->elements) {
+    if (e.name == name) return &e.value;
+  }
+  return nullptr;
+}
+
+StdmValue* StdmValue::GetMutable(std::string_view name) {
+  if (!IsSet()) return nullptr;
+  for (Element& e : MutableSet().elements) {
+    if (e.name == name) return &e.value;
+  }
+  return nullptr;
+}
+
+namespace {
+const std::vector<StdmValue::Element>& EmptyElements() {
+  static const auto* kEmpty = new std::vector<StdmValue::Element>();
+  return *kEmpty;
+}
+}  // namespace
+
+const std::vector<StdmValue::Element>& StdmValue::elements() const {
+  const SetRep* rep = set_rep();
+  return rep ? rep->elements : EmptyElements();
+}
+
+std::size_t StdmValue::size() const { return elements().size(); }
+
+bool StdmValue::Contains(const StdmValue& v) const {
+  for (const Element& e : elements()) {
+    if (e.value == v) return true;
+  }
+  return false;
+}
+
+bool StdmValue::SubsetOf(const StdmValue& other) const {
+  if (!IsSet() || !other.IsSet()) return false;
+  for (const Element& e : elements()) {
+    if (!other.Contains(e.value)) return false;
+  }
+  return true;
+}
+
+bool operator==(const StdmValue& a, const StdmValue& b) {
+  if (a.IsNumber() && b.IsNumber()) return a.AsDouble() == b.AsDouble();
+  if (a.kind() != b.kind()) return false;
+  if (!a.IsSet()) return a.repr_ == b.repr_;
+
+  const auto& ea = a.elements();
+  const auto& eb = b.elements();
+  if (ea.size() != eb.size()) return false;
+  // Labeled elements must match by name; aliased ones as an unordered bag.
+  std::vector<const StdmValue*> alias_b;
+  for (const auto& e : eb) {
+    if (e.alias) alias_b.push_back(&e.value);
+  }
+  std::vector<bool> used(alias_b.size(), false);
+  for (const auto& e : ea) {
+    if (!e.alias) {
+      const StdmValue* other = b.Get(e.name);
+      if (other == nullptr) return false;
+      // A labeled element in `a` must be labeled in `b` too.
+      bool other_alias = true;
+      for (const auto& be : eb) {
+        if (be.name == e.name) {
+          other_alias = be.alias;
+          break;
+        }
+      }
+      if (other_alias) return false;
+      if (!(e.value == *other)) return false;
+    } else {
+      bool found = false;
+      for (std::size_t i = 0; i < alias_b.size(); ++i) {
+        if (!used[i] && e.value == *alias_b[i]) {
+          used[i] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+std::string StdmValue::ToString() const {
+  switch (kind()) {
+    case Kind::kNil:
+      return "nil";
+    case Kind::kBoolean:
+      return boolean() ? "true" : "false";
+    case Kind::kInteger:
+      return std::to_string(integer());
+    case Kind::kFloat: {
+      std::string s = std::to_string(real());
+      return s;
+    }
+    case Kind::kString:
+      return "'" + string() + "'";
+    case Kind::kSet: {
+      std::string out = "{";
+      bool first = true;
+      for (const Element& e : elements()) {
+        if (!first) out += ", ";
+        first = false;
+        if (!e.alias) out += e.name + ": ";
+        out += e.value.ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace gemstone::stdm

@@ -1,0 +1,137 @@
+#ifndef GEMSTONE_STDM_STDM_VALUE_H_
+#define GEMSTONE_STDM_STDM_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace gemstone::stdm {
+
+/// The Set-Theoretic Data Model (§5.1), standalone: "labeled sets of
+/// heterogeneous values, which themselves can be sets or simple values."
+///
+/// An StdmValue is either a simple value (nil / boolean / integer / float /
+/// string) or a set of *elements*, each an element-name/value pair; "no two
+/// elements in a set may have the same element name", and unlabeled members
+/// receive generated aliases. STDM deliberately has **no entity identity**
+/// (§5.4): sets are trees, so StdmValue is a plain value type with deep
+/// copies and structural equality — exactly the deficiency GSDM fixes.
+struct StdmElement;
+
+class StdmValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNil = 0,
+    kBoolean,
+    kInteger,
+    kFloat,
+    kString,
+    kSet,
+  };
+
+  /// One labeled element of a set (defined after the class; it embeds an
+  /// StdmValue by value).
+  using Element = StdmElement;
+
+  /// Default-constructed value is nil.
+  StdmValue() = default;
+
+  static StdmValue Nil() { return StdmValue(); }
+  static StdmValue Boolean(bool b);
+  static StdmValue Integer(std::int64_t i);
+  static StdmValue Float(double d);
+  static StdmValue String(std::string s);
+  /// An empty set.
+  static StdmValue Set();
+  /// A set of unlabeled simple members, e.g. {'Nathen', 'Roberts'}.
+  static StdmValue SetOf(std::vector<StdmValue> members);
+
+  Kind kind() const;
+  bool IsNil() const { return kind() == Kind::kNil; }
+  bool IsSet() const { return kind() == Kind::kSet; }
+  bool IsSimple() const { return !IsSet(); }
+  bool IsNumber() const {
+    return kind() == Kind::kInteger || kind() == Kind::kFloat;
+  }
+
+  bool boolean() const { return std::get<bool>(repr_); }
+  std::int64_t integer() const { return std::get<std::int64_t>(repr_); }
+  double real() const { return std::get<double>(repr_); }
+  const std::string& string() const { return std::get<std::string>(repr_); }
+  double AsDouble() const {
+    return kind() == Kind::kInteger ? static_cast<double>(integer()) : real();
+  }
+
+  // --- Set operations (valid only when IsSet()) -----------------------------
+
+  /// Adds element `name` -> `value`; AlreadyExists if the name is taken.
+  Status Put(std::string name, StdmValue value);
+
+  /// Adds an unlabeled member under a fresh alias ("_1", "_2", ...);
+  /// returns the alias chosen.
+  std::string Add(StdmValue value);
+
+  /// Replaces the value of an existing element, or creates it.
+  void PutOrReplace(std::string name, StdmValue value);
+
+  /// Removes an element by name (true if it existed). Note: plain STDM has
+  /// destructive delete; history arrives only with the temporal extension,
+  /// which lives in the GSDM object layer.
+  bool Remove(std::string_view name);
+
+  /// The element value for `name`, nullptr if absent (or not a set).
+  const StdmValue* Get(std::string_view name) const;
+  StdmValue* GetMutable(std::string_view name);
+
+  const std::vector<Element>& elements() const;
+  std::size_t size() const;
+
+  /// Membership by structural equality: v ∈ this.
+  bool Contains(const StdmValue& v) const;
+
+  /// this ⊆ other (both must be sets), by structural equality of members.
+  bool SubsetOf(const StdmValue& other) const;
+
+  /// Structural equality. Sets compare as *labeled* sets: same element
+  /// names with equal values; alias-named members compare as an unordered
+  /// bag (the alias spelling is not semantically meaningful).
+  friend bool operator==(const StdmValue& a, const StdmValue& b);
+  friend bool operator!=(const StdmValue& a, const StdmValue& b) {
+    return !(a == b);
+  }
+
+  /// §5.1 notation: {Name: 'Sales', Managers: {'Nathen', 'Roberts'}}.
+  /// Aliased element names are elided.
+  std::string ToString() const;
+
+ private:
+  struct SetRep;  // defined in stdm_value.cc
+
+  using Repr = std::variant<std::monostate, bool, std::int64_t, double,
+                            std::string, std::shared_ptr<SetRep>>;
+
+  explicit StdmValue(Repr repr) : repr_(std::move(repr)) {}
+
+  /// Sets use copy-on-write: mutation through a shared rep clones first.
+  SetRep& MutableSet();
+  const SetRep* set_rep() const;
+
+  Repr repr_;
+};
+
+/// One labeled element of a set.
+struct StdmElement {
+  std::string name;
+  StdmValue value;
+  bool alias = false;  // name was generated, not user-supplied
+};
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_STDM_VALUE_H_

@@ -1,0 +1,150 @@
+#include "stdm/translate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gemstone::stdm {
+
+namespace {
+
+// Splits nested ANDs into a flat conjunct list; kTrue disappears.
+void FlattenConjuncts(const Predicate& p, std::vector<Predicate>* out) {
+  if (p.kind == Predicate::Kind::kTrue) return;
+  if (p.kind == Predicate::Kind::kAnd) {
+    for (const Predicate& child : p.children) FlattenConjuncts(child, out);
+    return;
+  }
+  out->push_back(p);
+}
+
+// Range variables referenced by `term`, restricted to `range_vars`.
+std::unordered_set<std::string> RangeVarsOfTerm(
+    const Term& term, const std::unordered_set<std::string>& range_vars) {
+  std::vector<std::string> vars;
+  term.CollectVars(&vars);
+  std::unordered_set<std::string> out;
+  for (std::string& v : vars) {
+    if (range_vars.count(v) != 0) out.insert(std::move(v));
+  }
+  return out;
+}
+
+std::unordered_set<std::string> RangeVarsOfPredicate(
+    const Predicate& pred, const std::unordered_set<std::string>& range_vars) {
+  std::vector<std::string> vars;
+  pred.CollectVars(&vars);
+  std::unordered_set<std::string> out;
+  for (std::string& v : vars) {
+    if (range_vars.count(v) != 0) out.insert(std::move(v));
+  }
+  return out;
+}
+
+bool IsSubset(const std::unordered_set<std::string>& a,
+              const std::unordered_set<std::string>& b) {
+  return std::all_of(a.begin(), a.end(),
+                     [&](const std::string& v) { return b.count(v) != 0; });
+}
+
+}  // namespace
+
+Result<AlgebraPlan> TranslateToAlgebra(const CalculusQuery& query) {
+  const std::size_t width = query.ranges.size();
+  std::vector<std::string> vars;
+  std::unordered_set<std::string> range_vars;
+  for (const Range& r : query.ranges) {
+    if (range_vars.count(r.var) != 0) {
+      return Status::InvalidArgument("duplicate range variable: " + r.var);
+    }
+    vars.push_back(r.var);
+    range_vars.insert(r.var);
+  }
+
+  std::vector<Predicate> conjuncts;
+  FlattenConjuncts(query.condition, &conjuncts);
+  std::vector<bool> used(conjuncts.size(), false);
+
+  std::unique_ptr<PlanNode> plan;
+  std::unordered_set<std::string> bound;
+
+  for (std::size_t i = 0; i < query.ranges.size(); ++i) {
+    const Range& range = query.ranges[i];
+    const auto deps = RangeVarsOfTerm(range.source, range_vars);
+    if (!IsSubset(deps, bound)) {
+      return Status::InvalidArgument(
+          "range source for '" + range.var +
+          "' references a variable bound later; reorder ranges");
+    }
+
+    if (!deps.empty()) {
+      // Correlated range: unnest over the plan so far.
+      if (plan == nullptr) plan = std::make_unique<UnitNode>(width);
+      plan = std::make_unique<DependentScanNode>(std::move(plan), i,
+                                                 range.source);
+    } else if (plan == nullptr) {
+      plan = std::make_unique<ScanNode>(width, i, range.source);
+    } else {
+      // Independent scan joining an existing plan: look for an equi-join
+      // conjunct `bound-term = new-var-term` (either orientation).
+      auto right = std::make_unique<ScanNode>(width, i, range.source);
+      std::unique_ptr<PlanNode> joined;
+      for (std::size_t c = 0; c < conjuncts.size() && joined == nullptr; ++c) {
+        if (used[c]) continue;
+        const Predicate& p = conjuncts[c];
+        const bool usable_kinds =
+            (p.kind == Predicate::Kind::kCompare &&
+             p.cmp == Predicate::CmpOp::kEq) ||
+            p.kind == Predicate::Kind::kMember;
+        if (!usable_kinds || p.kind == Predicate::Kind::kMember) {
+          // Membership could become a set-membership join; we keep it as
+          // a filter (hash keys must be scalar-equality based).
+          continue;
+        }
+        const auto lv = RangeVarsOfTerm(*p.lhs, range_vars);
+        const auto rv = RangeVarsOfTerm(*p.rhs, range_vars);
+        const std::unordered_set<std::string> only_new = {range.var};
+        if (lv == only_new && IsSubset(rv, bound) && !rv.empty()) {
+          joined = std::make_unique<HashJoinNode>(std::move(plan),
+                                                  std::move(right), *p.rhs,
+                                                  *p.lhs);
+          used[c] = true;
+        } else if (rv == only_new && IsSubset(lv, bound) && !lv.empty()) {
+          joined = std::make_unique<HashJoinNode>(std::move(plan),
+                                                  std::move(right), *p.lhs,
+                                                  *p.rhs);
+          used[c] = true;
+        }
+      }
+      plan = joined != nullptr
+                 ? std::move(joined)
+                 : std::make_unique<ProductNode>(std::move(plan),
+                                                 std::move(right));
+    }
+    bound.insert(range.var);
+
+    // Selection pushdown: attach every conjunct whose variables are now
+    // all bound.
+    for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+      if (used[c]) continue;
+      const auto pv = RangeVarsOfPredicate(conjuncts[c], range_vars);
+      if (IsSubset(pv, bound)) {
+        plan = std::make_unique<FilterNode>(std::move(plan), conjuncts[c]);
+        used[c] = true;
+      }
+    }
+  }
+
+  if (plan == nullptr) plan = std::make_unique<UnitNode>(width);
+  // Conjuncts referencing no range variables at all (constant or
+  // free-variable-only conditions) attach at the top.
+  for (std::size_t c = 0; c < conjuncts.size(); ++c) {
+    if (!used[c]) {
+      plan = std::make_unique<FilterNode>(std::move(plan), conjuncts[c]);
+      used[c] = true;
+    }
+  }
+
+  return AlgebraPlan(std::move(vars), std::move(plan), query.target);
+}
+
+}  // namespace gemstone::stdm

@@ -1,0 +1,33 @@
+#ifndef GEMSTONE_STDM_TRANSLATE_H_
+#define GEMSTONE_STDM_TRANSLATE_H_
+
+#include <memory>
+
+#include "core/result.h"
+#include "stdm/algebra.h"
+#include "stdm/calculus.h"
+
+namespace gemstone::stdm {
+
+/// Translates a set-calculus query into a set-algebra plan (§3/§5.1: "We
+/// have developed a set algebra, and an algorithm to translate a
+/// set-calculus expression to a set-algebra expression").
+///
+/// Strategy (left-deep):
+///  1. The condition is flattened into conjuncts.
+///  2. Ranges are planned in order. Independent ranges become Scans;
+///     correlated ranges (sources referencing earlier range variables)
+///     become DependentScans over the plan so far.
+///  3. When joining an independent Scan to the plan, an unused equality
+///     conjunct linking an already-bound term to a term over only the new
+///     variable turns the step into a HashJoin; otherwise Product.
+///  4. Every conjunct is attached as a Filter at the lowest point where
+///     all its range variables are bound (selection pushdown).
+///
+/// Fails with InvalidArgument if a range's source references a range
+/// variable bound later (ranges must be in dependency order).
+Result<AlgebraPlan> TranslateToAlgebra(const CalculusQuery& query);
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_TRANSLATE_H_

@@ -1,0 +1,37 @@
+#include "storage/archival_store.h"
+
+#include "storage/serializer.h"
+
+namespace gemstone::storage {
+
+Status ArchivalStore::Archive(ObjectMemory* memory, Oid oid) {
+  GS_ASSIGN_OR_RETURN(GsObject object, memory->Detach(oid));
+  std::vector<std::uint8_t> image =
+      SerializeObject(object, memory->symbols());
+  total_bytes_ += image.size();
+  images_[oid.raw] = std::move(image);
+  return Status::OK();
+}
+
+Status ArchivalStore::Restore(ObjectMemory* memory, Oid oid) {
+  auto it = images_.find(oid.raw);
+  if (it == images_.end()) {
+    return Status::NotFound("not archived: " + oid.ToString());
+  }
+  GS_ASSIGN_OR_RETURN(GsObject object,
+                      DeserializeObject(it->second, &memory->symbols()));
+  GS_RETURN_IF_ERROR(memory->Insert(std::move(object)));
+  total_bytes_ -= it->second.size();
+  images_.erase(it);
+  return Status::OK();
+}
+
+Result<GsObject> ArchivalStore::Peek(Oid oid, SymbolTable* symbols) const {
+  auto it = images_.find(oid.raw);
+  if (it == images_.end()) {
+    return Status::NotFound("not archived: " + oid.ToString());
+  }
+  return DeserializeObject(it->second, symbols);
+}
+
+}  // namespace gemstone::storage

@@ -1,0 +1,45 @@
+#ifndef GEMSTONE_STORAGE_ARCHIVAL_STORE_H_
+#define GEMSTONE_STORAGE_ARCHIVAL_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "object/object_memory.h"
+
+namespace gemstone::storage {
+
+/// The "other media" of §6: "A database administrator can explicitly move
+/// objects to other media, such as tape or write-only memory. Hence, while
+/// conceptually the entire history of the database exists, some objects in
+/// it may become temporarily or permanently inaccessible."
+///
+/// Archived objects leave the hot ObjectMemory (reads there report
+/// Unavailable) but keep their full history here as serialized images and
+/// can be restored by the administrator.
+class ArchivalStore {
+ public:
+  ArchivalStore() = default;
+
+  /// Detaches `oid` from `memory` and stores its serialized image.
+  Status Archive(ObjectMemory* memory, Oid oid);
+
+  /// Moves the object back into the hot store.
+  Status Restore(ObjectMemory* memory, Oid oid);
+
+  /// Deserializes a *copy* for offline inspection without restoring.
+  Result<GsObject> Peek(Oid oid, SymbolTable* symbols) const;
+
+  bool Contains(Oid oid) const { return images_.count(oid.raw) != 0; }
+  std::size_t size() const { return images_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> images_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace gemstone::storage
+
+#endif  // GEMSTONE_STORAGE_ARCHIVAL_STORE_H_

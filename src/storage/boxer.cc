@@ -1,0 +1,101 @@
+#include "storage/boxer.h"
+
+#include <algorithm>
+
+#include "storage/serializer.h"
+
+namespace gemstone::storage {
+
+namespace {
+constexpr std::size_t kCountHeader = 4;    // u32 fragment count
+constexpr std::size_t kFragmentHeader = 16;  // u64 oid + u32 offset + u32 len
+}  // namespace
+
+Boxer::Boxer(std::size_t track_capacity) : track_capacity_(track_capacity) {}
+
+Result<Boxing> Boxer::Pack(
+    std::span<const Oid> oids,
+    std::span<const std::vector<std::uint8_t>> blobs) const {
+  if (track_capacity_ < kCountHeader + kFragmentHeader + 1) {
+    return Status::InvalidArgument("track capacity too small for boxing");
+  }
+  Boxing boxing;
+  boxing.placements.resize(blobs.size());
+
+  ByteWriter current;
+  std::uint32_t current_count = 0;
+  std::vector<Oid> current_oids;
+
+  auto seal = [&]() {
+    if (current_count == 0) return;
+    ByteWriter track;
+    track.PutU32(current_count);
+    track.PutBytes(current.bytes());
+    boxing.payloads.push_back(TrackPayload{track.Take(), current_oids});
+    current = ByteWriter();
+    current_count = 0;
+    current_oids.clear();
+  };
+
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    const std::vector<std::uint8_t>& blob = blobs[i];
+    std::size_t offset = 0;
+    // Zero-length blobs cannot occur (serialized images always carry a
+    // header), but emit a single empty fragment defensively.
+    do {
+      std::size_t room = track_capacity_ - kCountHeader - current.size();
+      if (room <= kFragmentHeader) {
+        seal();
+        room = track_capacity_ - kCountHeader;
+      }
+      const std::size_t take =
+          std::min(blob.size() - offset, room - kFragmentHeader);
+      current.PutU64(oids[i].raw);
+      current.PutU32(static_cast<std::uint32_t>(offset));
+      current.PutU32(static_cast<std::uint32_t>(take));
+      current.PutBytes(std::span<const std::uint8_t>(blob).subspan(offset,
+                                                                   take));
+      ++current_count;
+      if (current_oids.empty() || current_oids.back() != oids[i]) {
+        current_oids.push_back(oids[i]);
+      }
+      const std::size_t payload_index = boxing.payloads.size();
+      auto& placement = boxing.placements[i];
+      if (placement.empty() || placement.back() != payload_index) {
+        placement.push_back(payload_index);
+      }
+      offset += take;
+    } while (offset < blob.size());
+  }
+  seal();
+  return boxing;
+}
+
+Result<std::size_t> Boxer::ExtractFragments(
+    std::span<const std::uint8_t> track_bytes, Oid oid,
+    std::span<std::uint8_t> image) {
+  ByteReader in(track_bytes);
+  GS_ASSIGN_OR_RETURN(std::uint32_t count, in.GetU32());
+  std::size_t placed = 0;
+  for (std::uint32_t f = 0; f < count; ++f) {
+    GS_ASSIGN_OR_RETURN(std::uint64_t frag_oid, in.GetU64());
+    GS_ASSIGN_OR_RETURN(std::uint32_t offset, in.GetU32());
+    GS_ASSIGN_OR_RETURN(std::uint32_t len, in.GetU32());
+    if (in.remaining() < len) {
+      return Status::Corruption("fragment overruns track payload");
+    }
+    if (Oid(frag_oid) == oid) {
+      if (static_cast<std::size_t>(offset) + len > image.size()) {
+        return Status::Corruption("fragment outside object image bounds");
+      }
+      for (std::uint32_t b = 0; b < len; ++b) {
+        image[offset + b] = track_bytes[in.position() + b];
+      }
+      placed += len;
+    }
+    GS_RETURN_IF_ERROR(in.Skip(len));
+  }
+  return placed;
+}
+
+}  // namespace gemstone::storage

@@ -1,0 +1,94 @@
+#ifndef GEMSTONE_STORAGE_BOXER_H_
+#define GEMSTONE_STORAGE_BOXER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "storage/serializer.h"
+#include "storage/simulated_disk.h"
+
+namespace gemstone::storage {
+
+/// A track payload assembled by the Boxer: a container of object
+/// fragments, each tagged with its owning oid and its byte offset within
+/// that object's serialized image. Wire format per track:
+///   [u32 fragment_count] { [u64 oid][u32 offset][u32 len][len bytes] }*
+struct TrackPayload {
+  std::vector<std::uint8_t> bytes;
+  std::vector<Oid> oids;  // objects with at least one fragment here
+};
+
+/// Result of boxing one batch: payloads in emission order, plus, per input
+/// blob, the payload indexes (ascending) its fragments landed in.
+struct Boxing {
+  std::vector<TrackPayload> payloads;
+  std::vector<std::vector<std::size_t>> placements;  // parallel to inputs
+};
+
+/// The Boxer (§6): "whose job it is to fit objects into tracks after
+/// database changes." Objects larger than one track span several tracks;
+/// small objects share tracks (clustering: objects boxed together in one
+/// call land on adjacent payloads, which the engine maps to adjacent
+/// tracks — "physical access paths parallel logical access").
+class Boxer {
+ public:
+  explicit Boxer(std::size_t track_capacity);
+
+  /// Packs serialized object images (parallel arrays `oids` / `blobs`)
+  /// into track payloads. Fails only if the track capacity cannot hold a
+  /// single fragment header plus one byte.
+  Result<Boxing> Pack(std::span<const Oid> oids,
+                      std::span<const std::vector<std::uint8_t>> blobs) const;
+
+  /// Extracts the fragments belonging to `oid` from one track payload,
+  /// copying them into `image` (pre-sized to the object's byte length) at
+  /// their recorded offsets. Returns the number of bytes placed.
+  static Result<std::size_t> ExtractFragments(
+      std::span<const std::uint8_t> track_bytes, Oid oid,
+      std::span<std::uint8_t> image);
+
+  /// One fragment of a track payload, viewed in place.
+  struct FragmentView {
+    Oid oid;
+    std::uint32_t offset;
+    std::span<const std::uint8_t> bytes;
+  };
+
+  /// Single pass over every fragment in a track payload (batched loads
+  /// extract all co-located objects in one sweep).
+  template <typename Fn>  // Fn: Status(const FragmentView&)
+  static Status ForEachFragment(std::span<const std::uint8_t> track_bytes,
+                                Fn&& fn);
+
+ private:
+  std::size_t track_capacity_;
+};
+
+// Implementation details only below here.
+
+template <typename Fn>
+Status Boxer::ForEachFragment(std::span<const std::uint8_t> track_bytes,
+                              Fn&& fn) {
+  ByteReader in(track_bytes);
+  GS_ASSIGN_OR_RETURN(std::uint32_t count, in.GetU32());
+  for (std::uint32_t f = 0; f < count; ++f) {
+    GS_ASSIGN_OR_RETURN(std::uint64_t oid, in.GetU64());
+    GS_ASSIGN_OR_RETURN(std::uint32_t offset, in.GetU32());
+    GS_ASSIGN_OR_RETURN(std::uint32_t len, in.GetU32());
+    if (in.remaining() < len) {
+      return Status::Corruption("fragment overruns track payload");
+    }
+    FragmentView view{Oid(oid), offset,
+                      track_bytes.subspan(in.position(), len)};
+    GS_RETURN_IF_ERROR(fn(view));
+    GS_RETURN_IF_ERROR(in.Skip(len));
+  }
+  return Status::OK();
+}
+
+}  // namespace gemstone::storage
+
+#endif  // GEMSTONE_STORAGE_BOXER_H_

@@ -1,0 +1,148 @@
+#include "storage/commit_manager.h"
+
+#include <algorithm>
+
+#include "storage/serializer.h"
+
+namespace gemstone::storage {
+
+namespace {
+constexpr std::uint32_t kRootMagic = 0x47535254;  // "GSRT"
+}  // namespace
+
+Status CommitManager::WriteRoot(const RootState& root) {
+  ByteWriter out;
+  out.PutU32(kRootMagic);
+  out.PutU64(root.epoch);
+  out.PutU32(root.catalog_len);
+  out.PutU64(root.catalog_checksum);
+  out.PutU32(static_cast<std::uint32_t>(root.catalog_tracks.size()));
+  for (TrackId t : root.catalog_tracks) out.PutU32(t);
+  const std::uint64_t checksum = Fnv1a(out.bytes());
+  out.PutU64(checksum);
+  const TrackId slot =
+      (root.epoch % 2 == 0) ? kRootSlotA : kRootSlotB;
+  return disk_->WriteTrack(slot, out.Take());
+}
+
+Status CommitManager::Format() {
+  RootState empty;
+  empty.epoch = 0;
+  GS_RETURN_IF_ERROR(WriteRoot(empty));
+  RootState second = empty;
+  second.epoch = 1;
+  GS_RETURN_IF_ERROR(WriteRoot(second));
+  // Leave epoch 0 as the newest *meaningful* state: re-write slot A last
+  // so recovery (which prefers the highest epoch) starts from an empty
+  // catalog at epoch 1.
+  return Status::OK();
+}
+
+Result<RootState> CommitManager::RecoverRoot() const {
+  RootState best;
+  bool found = false;
+  for (TrackId slot : {kRootSlotA, kRootSlotB}) {
+    auto bytes_result = disk_->ReadTrack(slot);
+    if (!bytes_result.ok()) continue;
+    const std::vector<std::uint8_t>& bytes = bytes_result.value();
+    if (bytes.size() < 8) continue;
+    const auto body = std::span<const std::uint8_t>(bytes).first(
+        bytes.size() - 8);
+    ByteReader tail(std::span<const std::uint8_t>(bytes).subspan(
+        bytes.size() - 8));
+    auto stored = tail.GetU64();
+    if (!stored.ok() || Fnv1a(body) != stored.value()) continue;
+
+    ByteReader in(body);
+    auto magic = in.GetU32();
+    if (!magic.ok() || magic.value() != kRootMagic) continue;
+    RootState root;
+    auto epoch = in.GetU64();
+    auto len = in.GetU32();
+    auto csum = in.GetU64();
+    auto ntracks = in.GetU32();
+    if (!epoch.ok() || !len.ok() || !csum.ok() || !ntracks.ok()) continue;
+    root.epoch = epoch.value();
+    root.catalog_len = len.value();
+    root.catalog_checksum = csum.value();
+    bool ok = true;
+    for (std::uint32_t i = 0; i < ntracks.value(); ++i) {
+      auto t = in.GetU32();
+      if (!t.ok()) {
+        ok = false;
+        break;
+      }
+      root.catalog_tracks.push_back(t.value());
+    }
+    if (!ok || in.remaining() != 0) continue;
+    if (!found || root.epoch > best.epoch) {
+      best = std::move(root);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::Corruption("no valid root block on device");
+  }
+  return best;
+}
+
+Status CommitManager::CommitGroup(
+    const std::vector<std::pair<TrackId, std::vector<std::uint8_t>>>&
+        data_tracks,
+    const std::vector<TrackId>& catalog_tracks,
+    const std::vector<std::uint8_t>& catalog_bytes,
+    std::uint64_t next_epoch) {
+  // Phase 1: shadow writes of the data group. A failure here leaves the
+  // previous root pointing exclusively at old tracks.
+  for (const auto& [track, bytes] : data_tracks) {
+    GS_RETURN_IF_ERROR(disk_->WriteTrack(track, bytes));
+  }
+  // Phase 2: the catalog stream, chunked by track capacity.
+  const std::size_t chunk = disk_->track_capacity();
+  const std::size_t needed = (catalog_bytes.size() + chunk - 1) / chunk;
+  if (needed > catalog_tracks.size() &&
+      !(catalog_bytes.empty() && catalog_tracks.empty())) {
+    return Status::InvalidArgument("catalog does not fit allotted tracks");
+  }
+  for (std::size_t i = 0; i < needed; ++i) {
+    const std::size_t begin = i * chunk;
+    const std::size_t end =
+        std::min(catalog_bytes.size(), begin + chunk);
+    GS_RETURN_IF_ERROR(disk_->WriteTrack(
+        catalog_tracks[i],
+        std::vector<std::uint8_t>(catalog_bytes.begin() + begin,
+                                  catalog_bytes.begin() + end)));
+  }
+  // Phase 3: the atomicity point — one root-track write.
+  RootState root;
+  root.epoch = next_epoch;
+  root.catalog_len = static_cast<std::uint32_t>(catalog_bytes.size());
+  root.catalog_checksum =
+      Fnv1a(std::span<const std::uint8_t>(catalog_bytes));
+  root.catalog_tracks.assign(catalog_tracks.begin(),
+                             catalog_tracks.begin() +
+                                 static_cast<std::ptrdiff_t>(needed));
+  GS_RETURN_IF_ERROR(WriteRoot(root));
+  ++commits_;
+  return Status::OK();
+}
+
+Result<std::vector<std::uint8_t>> CommitManager::ReadCatalogBytes(
+    const RootState& root) const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(root.catalog_len);
+  for (TrackId t : root.catalog_tracks) {
+    GS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> track, disk_->ReadTrack(t));
+    bytes.insert(bytes.end(), track.begin(), track.end());
+  }
+  if (bytes.size() < root.catalog_len) {
+    return Status::Corruption("catalog stream shorter than root records");
+  }
+  bytes.resize(root.catalog_len);
+  if (Fnv1a(std::span<const std::uint8_t>(bytes)) != root.catalog_checksum) {
+    return Status::Corruption("catalog checksum mismatch");
+  }
+  return bytes;
+}
+
+}  // namespace gemstone::storage

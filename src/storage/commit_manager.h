@@ -1,0 +1,73 @@
+#ifndef GEMSTONE_STORAGE_COMMIT_MANAGER_H_
+#define GEMSTONE_STORAGE_COMMIT_MANAGER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "storage/simulated_disk.h"
+
+namespace gemstone::storage {
+
+/// The durable root of the store, written alternately to tracks 0 and 1.
+/// Recovery picks the valid root with the highest epoch, so a crash at any
+/// point during a commit leaves the previous epoch intact.
+struct RootState {
+  std::uint64_t epoch = 0;
+  std::uint32_t catalog_len = 0;
+  std::uint64_t catalog_checksum = 0;
+  std::vector<TrackId> catalog_tracks;
+};
+
+/// The Commit Manager (§6): "provides safe writing for groups of tracks.
+/// Safe writing guarantees that all the tracks in the group get written,
+/// or none get written, and that the tracks in the group replace their old
+/// versions atomically."
+///
+/// Mechanism: every commit writes to *fresh* tracks (shadowing); the group
+/// becomes visible only via the single-track root flip, which is the
+/// atomicity point. Tracks 0 and 1 are reserved for the two root slots.
+class CommitManager {
+ public:
+  explicit CommitManager(SimulatedDisk* disk) : disk_(disk) {}
+
+  static constexpr TrackId kRootSlotA = 0;
+  static constexpr TrackId kRootSlotB = 1;
+  static constexpr TrackId kFirstDataTrack = 2;
+
+  /// Writes epoch-0 empty roots into both slots.
+  Status Format();
+
+  /// Reads both root slots and returns the valid one with the highest
+  /// epoch; Corruption if neither slot holds a valid root.
+  Result<RootState> RecoverRoot() const;
+
+  /// The safe group write. Writes `data_tracks` (shadow copies), chunks
+  /// `catalog_bytes` across `catalog_tracks`, then flips the root to
+  /// `next_epoch`. If any write fails, the function returns the error and
+  /// the previous root remains the recovered state — none of the group is
+  /// visible.
+  Status CommitGroup(
+      const std::vector<std::pair<TrackId, std::vector<std::uint8_t>>>&
+          data_tracks,
+      const std::vector<TrackId>& catalog_tracks,
+      const std::vector<std::uint8_t>& catalog_bytes,
+      std::uint64_t next_epoch);
+
+  /// Reassembles the catalog byte stream a RootState points at.
+  Result<std::vector<std::uint8_t>> ReadCatalogBytes(
+      const RootState& root) const;
+
+  std::uint64_t commits() const { return commits_; }
+
+ private:
+  Status WriteRoot(const RootState& root);
+
+  SimulatedDisk* disk_;
+  std::uint64_t commits_ = 0;
+};
+
+}  // namespace gemstone::storage
+
+#endif  // GEMSTONE_STORAGE_COMMIT_MANAGER_H_

@@ -1,0 +1,58 @@
+#include "storage/linker.h"
+
+#include "storage/serializer.h"
+
+namespace gemstone::storage {
+
+std::vector<std::uint8_t> Catalog::Serialize() const {
+  ByteWriter out;
+  out.PutU32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [oid, extent] : entries_) {
+    out.PutU64(oid);
+    out.PutU32(extent.byte_len);
+    out.PutU64(extent.checksum);
+    out.PutU32(static_cast<std::uint32_t>(extent.tracks.size()));
+    for (TrackId t : extent.tracks) out.PutU32(t);
+  }
+  return out.Take();
+}
+
+Result<Catalog> Catalog::Deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  GS_ASSIGN_OR_RETURN(std::uint32_t count, in.GetU32());
+  Catalog catalog;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GS_ASSIGN_OR_RETURN(std::uint64_t oid, in.GetU64());
+    Extent extent;
+    GS_ASSIGN_OR_RETURN(extent.byte_len, in.GetU32());
+    GS_ASSIGN_OR_RETURN(extent.checksum, in.GetU64());
+    GS_ASSIGN_OR_RETURN(std::uint32_t num_tracks, in.GetU32());
+    extent.tracks.reserve(num_tracks);
+    for (std::uint32_t t = 0; t < num_tracks; ++t) {
+      GS_ASSIGN_OR_RETURN(TrackId track, in.GetU32());
+      extent.tracks.push_back(track);
+    }
+    catalog.Put(Oid(oid), std::move(extent));
+  }
+  if (in.remaining() != 0) {
+    return Status::Corruption("trailing bytes after catalog");
+  }
+  return catalog;
+}
+
+Linker::LinkResult Linker::Link(
+    const Catalog& current,
+    const std::vector<std::pair<Oid, Extent>>& changed) {
+  LinkResult result;
+  result.next = current;
+  for (const auto& [oid, extent] : changed) {
+    if (const Extent* old = result.next.Find(oid)) {
+      result.superseded_tracks.insert(result.superseded_tracks.end(),
+                                      old->tracks.begin(), old->tracks.end());
+    }
+    result.next.Put(oid, extent);
+  }
+  return result;
+}
+
+}  // namespace gemstone::storage

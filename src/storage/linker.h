@@ -1,0 +1,67 @@
+#ifndef GEMSTONE_STORAGE_LINKER_H_
+#define GEMSTONE_STORAGE_LINKER_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "storage/simulated_disk.h"
+
+namespace gemstone::storage {
+
+/// Where one object's serialized image lives on disk.
+struct Extent {
+  std::vector<TrackId> tracks;  // tracks holding fragments, read in order
+  std::uint32_t byte_len = 0;   // size of the serialized image
+  std::uint64_t checksum = 0;   // FNV-1a of the image
+};
+
+/// The durable global object table: oid -> extent. This is the disk face
+/// of §6's "global object table" through which GOOPs resolve.
+class Catalog {
+ public:
+  void Put(Oid oid, Extent extent) { entries_[oid.raw] = std::move(extent); }
+  const Extent* Find(Oid oid) const {
+    auto it = entries_.find(oid.raw);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  bool Contains(Oid oid) const { return entries_.count(oid.raw) != 0; }
+  std::size_t size() const { return entries_.size(); }
+  const std::unordered_map<std::uint64_t, Extent>& entries() const {
+    return entries_;
+  }
+
+  /// Serializes to a flat byte stream (chunked into tracks by the commit
+  /// manager).
+  std::vector<std::uint8_t> Serialize() const;
+  static Result<Catalog> Deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::unordered_map<std::uint64_t, Extent> entries_;
+};
+
+/// The Linker (§6): "incorporates updates made by a transaction in the
+/// permanent database at commit time." Given the pre-commit catalog and
+/// the extents the Boxer produced for this commit's changed objects, it
+/// yields the next catalog version and reports which tracks the commit
+/// supersedes (reusable once the new root is durable — the object's
+/// *history* lives inside its image, so superseded track versions carry
+/// no information the new image lacks).
+class Linker {
+ public:
+  struct LinkResult {
+    Catalog next;
+    std::vector<TrackId> superseded_tracks;
+  };
+
+  static LinkResult Link(const Catalog& current,
+                         const std::vector<std::pair<Oid, Extent>>& changed);
+};
+
+}  // namespace gemstone::storage
+
+#endif  // GEMSTONE_STORAGE_LINKER_H_

@@ -1,0 +1,95 @@
+#include "storage/loom_cache.h"
+
+#include <algorithm>
+
+#include "storage/serializer.h"
+
+namespace gemstone::storage {
+
+LoomObjectMemory::LoomObjectMemory(StorageEngine* engine,
+                                   SymbolTable* symbols,
+                                   std::size_t cache_capacity)
+    : engine_(engine),
+      symbols_(symbols),
+      capacity_(std::min(cache_capacity, kMaxResidentObjects)) {}
+
+Result<GsObject*> LoomObjectMemory::Fetch(Oid oid) {
+  auto it = residents_.find(oid.raw);
+  if (it != residents_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second.lru_position);
+    lru_.push_front(oid.raw);
+    it->second.lru_position = lru_.begin();
+    return &it->second.object;
+  }
+  ++stats_.faults;
+  // Whole-object fault: LOOM's standard representation cannot bring in a
+  // fragment, so the entire history-bearing image crosses the boundary.
+  GS_ASSIGN_OR_RETURN(GsObject object, engine_->LoadObject(oid, symbols_));
+  const std::size_t image_size =
+      SerializeObject(object, *symbols_).size();
+  if (image_size > kMaxObjectBytes) {
+    return Status::InvalidArgument(
+        "object exceeds LOOM's 64KB representation ceiling (" +
+        std::to_string(image_size) + " bytes)");
+  }
+  while (residents_.size() >= capacity_) {
+    GS_RETURN_IF_ERROR(EvictOne());
+  }
+  lru_.push_front(oid.raw);
+  Resident resident{std::move(object), false, lru_.begin()};
+  auto [inserted, ok] = residents_.emplace(oid.raw, std::move(resident));
+  return &inserted->second.object;
+}
+
+Status LoomObjectMemory::MarkDirty(Oid oid) {
+  auto it = residents_.find(oid.raw);
+  if (it == residents_.end()) {
+    return Status::NotFound("object not resident: " + oid.ToString());
+  }
+  it->second.dirty = true;
+  return Status::OK();
+}
+
+Status LoomObjectMemory::EvictOne() {
+  if (lru_.empty()) return Status::Internal("evict from empty cache");
+  const std::uint64_t victim = lru_.back();
+  auto it = residents_.find(victim);
+  if (it->second.dirty) {
+    const std::size_t image_size =
+        SerializeObject(it->second.object, *symbols_).size();
+    if (image_size > kMaxObjectBytes) {
+      return Status::InvalidArgument(
+          "dirty object grew past LOOM's 64KB ceiling");
+    }
+    GS_RETURN_IF_ERROR(
+        engine_->CommitObjects({&it->second.object}, *symbols_));
+    ++stats_.write_backs;
+  }
+  lru_.pop_back();
+  residents_.erase(it);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status LoomObjectMemory::Flush() {
+  std::vector<const GsObject*> dirty;
+  for (auto& [raw, resident] : residents_) {
+    if (!resident.dirty) continue;
+    const std::size_t image_size =
+        SerializeObject(resident.object, *symbols_).size();
+    if (image_size > kMaxObjectBytes) {
+      return Status::InvalidArgument(
+          "dirty object grew past LOOM's 64KB ceiling");
+    }
+    dirty.push_back(&resident.object);
+  }
+  if (!dirty.empty()) {
+    GS_RETURN_IF_ERROR(engine_->CommitObjects(dirty, *symbols_));
+    stats_.write_backs += dirty.size();
+  }
+  for (auto& [raw, resident] : residents_) resident.dirty = false;
+  return Status::OK();
+}
+
+}  // namespace gemstone::storage

@@ -1,0 +1,78 @@
+#ifndef GEMSTONE_STORAGE_LOOM_CACHE_H_
+#define GEMSTONE_STORAGE_LOOM_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "core/result.h"
+#include "object/gs_object.h"
+#include "object/symbol_table.h"
+#include "storage/storage_engine.h"
+
+namespace gemstone::storage {
+
+struct LoomStats {
+  std::uint64_t hits = 0;
+  std::uint64_t faults = 0;      // misses served from disk
+  std::uint64_t evictions = 0;
+  std::uint64_t write_backs = 0;
+};
+
+/// A LOOM-style two-level object memory (Kaehler & Krasner), the paper's
+/// §7 comparison baseline: "LOOM maintains a two-level object space in
+/// main memory and on disk. Objects are moved to main memory from disk as
+/// needed."
+///
+/// The paper's four objections are reproduced as observable behavior:
+///  1. single-user: no transactions, one mutator (not synchronized);
+///  2. "it retains the same maximum size for objects" — kMaxObjectBytes
+///     (64 KB) is enforced on fault and write-back;
+///  3. standard object representation: an object faults in *whole*,
+///     history and all — there is no way to bring in "only a fragment of
+///     the object", so deep histories amplify fault cost;
+///  4. no clustering/indexing: faults read each object's tracks
+///     independently (LoadObject, never the batched LoadObjects).
+class LoomObjectMemory {
+ public:
+  static constexpr std::size_t kMaxObjectBytes = 64 * 1024;
+  static constexpr std::size_t kMaxResidentObjects = 32 * 1024;
+
+  LoomObjectMemory(StorageEngine* engine, SymbolTable* symbols,
+                   std::size_t cache_capacity);
+
+  /// The object, faulting it in from secondary storage on a miss and
+  /// evicting the least recently used resident (written back if dirty).
+  /// InvalidArgument when the object's image exceeds kMaxObjectBytes —
+  /// the ST80 representation ceiling the paper calls out.
+  Result<GsObject*> Fetch(Oid oid);
+
+  /// Marks a resident object dirty so eviction writes it back.
+  Status MarkDirty(Oid oid);
+
+  /// Writes back every dirty resident (a LOOM "snapshot").
+  Status Flush();
+
+  std::size_t resident_count() const { return residents_.size(); }
+  const LoomStats& stats() const { return stats_; }
+
+ private:
+  struct Resident {
+    GsObject object;
+    bool dirty = false;
+    std::list<std::uint64_t>::iterator lru_position;
+  };
+
+  Status EvictOne();
+
+  StorageEngine* engine_;
+  SymbolTable* symbols_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, Resident> residents_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  LoomStats stats_;
+};
+
+}  // namespace gemstone::storage
+
+#endif  // GEMSTONE_STORAGE_LOOM_CACHE_H_

@@ -1,0 +1,77 @@
+#include "storage/simulated_disk.h"
+
+namespace gemstone::storage {
+
+SimulatedDisk::SimulatedDisk(TrackId num_tracks, std::size_t track_capacity)
+    : num_tracks_(num_tracks),
+      track_capacity_(track_capacity),
+      tracks_(num_tracks) {}
+
+void SimulatedDisk::AccountSeek(TrackId track) const {
+  const std::uint64_t delta = track >= last_track_
+                                  ? track - last_track_
+                                  : last_track_ - track;
+  if (delta > 1) ++stats_.seeks;
+  stats_.seek_distance += delta;
+  last_track_ = track;
+}
+
+Result<std::vector<std::uint8_t>> SimulatedDisk::ReadTrack(
+    TrackId track) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (track >= num_tracks_) {
+    return Status::OutOfRange("track " + std::to_string(track) +
+                              " beyond device end");
+  }
+  AccountSeek(track);
+  ++stats_.tracks_read;
+  return tracks_[track];
+}
+
+Status SimulatedDisk::WriteTrack(TrackId track,
+                                 std::vector<std::uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (track >= num_tracks_) {
+    return Status::OutOfRange("track " + std::to_string(track) +
+                              " beyond device end");
+  }
+  if (data.size() > track_capacity_) {
+    return Status::InvalidArgument("write of " + std::to_string(data.size()) +
+                                   " bytes exceeds track capacity");
+  }
+  if (fault_armed_) {
+    if (writes_until_failure_ == 0) {
+      return Status::IoError("injected write fault at track " +
+                             std::to_string(track));
+    }
+    --writes_until_failure_;
+  }
+  AccountSeek(track);
+  ++stats_.tracks_written;
+  tracks_[track] = std::move(data);
+  return Status::OK();
+}
+
+void SimulatedDisk::InjectWriteFailureAfter(
+    std::uint64_t writes_until_failure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_armed_ = true;
+  writes_until_failure_ = writes_until_failure;
+}
+
+void SimulatedDisk::ClearFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_armed_ = false;
+}
+
+DiskStats SimulatedDisk::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimulatedDisk::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = DiskStats{};
+}
+
+}  // namespace gemstone::storage

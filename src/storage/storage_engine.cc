@@ -1,0 +1,264 @@
+#include "storage/storage_engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "storage/serializer.h"
+
+namespace gemstone::storage {
+
+StorageEngine::StorageEngine(SimulatedDisk* disk)
+    : disk_(disk),
+      commit_manager_(disk),
+      boxer_(disk->track_capacity()) {}
+
+Status StorageEngine::Format() {
+  GS_RETURN_IF_ERROR(commit_manager_.Format());
+  return Open();
+}
+
+Status StorageEngine::Open() {
+  GS_ASSIGN_OR_RETURN(RootState root, commit_manager_.RecoverRoot());
+  if (root.catalog_tracks.empty()) {
+    catalog_ = Catalog();
+  } else {
+    GS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> bytes,
+                        commit_manager_.ReadCatalogBytes(root));
+    GS_ASSIGN_OR_RETURN(catalog_, Catalog::Deserialize(bytes));
+  }
+  epoch_ = root.epoch;
+  catalog_tracks_ = root.catalog_tracks;
+
+  std::set<TrackId> used = {CommitManager::kRootSlotA,
+                            CommitManager::kRootSlotB};
+  for (TrackId t : catalog_tracks_) used.insert(t);
+  track_refs_.clear();
+  for (const auto& [oid, extent] : catalog_.entries()) {
+    for (TrackId t : extent.tracks) {
+      used.insert(t);
+      ++track_refs_[t];
+    }
+  }
+  free_tracks_.clear();
+  for (TrackId t = 0; t < disk_->num_tracks(); ++t) {
+    if (used.count(t) == 0) free_tracks_.insert(t);
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<TrackId>> StorageEngine::Allocate(std::size_t n) {
+  if (free_tracks_.size() < n) {
+    return Status::IoError("device full: need " + std::to_string(n) +
+                           " tracks, have " +
+                           std::to_string(free_tracks_.size()));
+  }
+  std::vector<TrackId> out;
+  out.reserve(n);
+  auto it = free_tracks_.begin();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(*it);
+    it = free_tracks_.erase(it);
+  }
+  return out;
+}
+
+void StorageEngine::Release(const std::vector<TrackId>& tracks) {
+  for (TrackId t : tracks) free_tracks_.insert(t);
+}
+
+void StorageEngine::AddExtentRefs(const std::vector<TrackId>& tracks) {
+  for (TrackId t : tracks) ++track_refs_[t];
+}
+
+void StorageEngine::DropExtentRefs(const std::vector<TrackId>& tracks) {
+  for (TrackId t : tracks) {
+    auto it = track_refs_.find(t);
+    if (it == track_refs_.end()) continue;
+    if (--it->second == 0) {
+      track_refs_.erase(it);
+      free_tracks_.insert(t);
+    }
+  }
+}
+
+Status StorageEngine::CommitObjects(
+    const std::vector<const GsObject*>& objects, const SymbolTable& symbols) {
+  if (!open_) return Status::TransactionState("engine not open");
+  // 1. Serialize.
+  std::vector<Oid> oids;
+  std::vector<std::vector<std::uint8_t>> blobs;
+  oids.reserve(objects.size());
+  blobs.reserve(objects.size());
+  for (const GsObject* object : objects) {
+    oids.push_back(object->oid());
+    blobs.push_back(SerializeObject(*object, symbols));
+  }
+  // 2. Box into track payloads.
+  GS_ASSIGN_OR_RETURN(Boxing boxing, boxer_.Pack(oids, blobs));
+  // 3. Allocate shadow tracks for data + catalog.
+  GS_ASSIGN_OR_RETURN(std::vector<TrackId> data_tracks,
+                      Allocate(boxing.payloads.size()));
+  // 4. Build the changed-extent list and link the next catalog.
+  std::vector<std::pair<Oid, Extent>> changed;
+  changed.reserve(objects.size());
+  for (std::size_t i = 0; i < oids.size(); ++i) {
+    Extent extent;
+    extent.byte_len = static_cast<std::uint32_t>(blobs[i].size());
+    extent.checksum = Fnv1a(std::span<const std::uint8_t>(blobs[i]));
+    for (std::size_t payload_index : boxing.placements[i]) {
+      extent.tracks.push_back(data_tracks[payload_index]);
+    }
+    changed.emplace_back(oids[i], std::move(extent));
+  }
+  Linker::LinkResult linked = Linker::Link(catalog_, changed);
+  const std::vector<std::uint8_t> catalog_bytes = linked.next.Serialize();
+  const std::size_t cat_count =
+      (catalog_bytes.size() + disk_->track_capacity() - 1) /
+      disk_->track_capacity();
+  auto cat_alloc = Allocate(cat_count);
+  if (!cat_alloc.ok()) {
+    Release(data_tracks);
+    return cat_alloc.status();
+  }
+  const std::vector<TrackId> cat_tracks = std::move(cat_alloc).value();
+
+  // 5. Safe group write.
+  std::vector<std::pair<TrackId, std::vector<std::uint8_t>>> group;
+  group.reserve(boxing.payloads.size());
+  std::uint64_t bytes_written = 0;
+  for (std::size_t i = 0; i < boxing.payloads.size(); ++i) {
+    bytes_written += boxing.payloads[i].bytes.size();
+    group.emplace_back(data_tracks[i], std::move(boxing.payloads[i].bytes));
+  }
+  Status commit_status = commit_manager_.CommitGroup(
+      group, cat_tracks, catalog_bytes, epoch_ + 1);
+  if (!commit_status.ok()) {
+    Release(data_tracks);
+    Release(cat_tracks);
+    return commit_status;
+  }
+
+  // 6. The group is durable: adopt the new catalog and recycle superseded
+  // track versions (object history lives inside the new images). Shared
+  // tracks free only when their last referencing extent is superseded.
+  for (const auto& [oid, extent] : changed) {
+    AddExtentRefs(extent.tracks);
+  }
+  DropExtentRefs(linked.superseded_tracks);
+  Release(catalog_tracks_);
+  catalog_tracks_ = cat_tracks;
+  catalog_ = std::move(linked.next);
+  ++epoch_;
+  ++stats_.commits;
+  stats_.objects_written += objects.size();
+  stats_.bytes_written += bytes_written + catalog_bytes.size();
+  return Status::OK();
+}
+
+Result<GsObject> StorageEngine::LoadObject(Oid oid, SymbolTable* symbols) {
+  if (!open_) return Status::TransactionState("engine not open");
+  const Extent* extent = catalog_.Find(oid);
+  if (extent == nullptr) {
+    return Status::NotFound("object not in catalog: " + oid.ToString());
+  }
+  std::vector<std::uint8_t> image(extent->byte_len);
+  std::size_t placed = 0;
+  for (TrackId t : extent->tracks) {
+    GS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> track, disk_->ReadTrack(t));
+    GS_ASSIGN_OR_RETURN(
+        std::size_t n,
+        Boxer::ExtractFragments(track, oid,
+                                std::span<std::uint8_t>(image)));
+    placed += n;
+  }
+  if (placed != image.size()) {
+    return Status::Corruption("object image incomplete: got " +
+                              std::to_string(placed) + " of " +
+                              std::to_string(image.size()) + " bytes");
+  }
+  if (Fnv1a(std::span<const std::uint8_t>(image)) != extent->checksum) {
+    return Status::Corruption("object image checksum mismatch");
+  }
+  ++stats_.objects_loaded;
+  return DeserializeObject(image, symbols);
+}
+
+Result<std::vector<GsObject>> StorageEngine::LoadObjects(
+    const std::vector<Oid>& oids, SymbolTable* symbols) {
+  if (!open_) return Status::TransactionState("engine not open");
+  // Plan: every distinct track, ascending (one sweep across the platter),
+  // with the images it must fill.
+  struct Pending {
+    const Extent* extent;
+    std::vector<std::uint8_t> image;
+    std::size_t placed = 0;
+  };
+  std::vector<Pending> pending(oids.size());
+  std::map<TrackId, std::vector<std::size_t>> plan;
+  for (std::size_t i = 0; i < oids.size(); ++i) {
+    const Extent* extent = catalog_.Find(oids[i]);
+    if (extent == nullptr) {
+      return Status::NotFound("object not in catalog: " +
+                              oids[i].ToString());
+    }
+    pending[i].extent = extent;
+    pending[i].image.resize(extent->byte_len);
+    for (TrackId t : extent->tracks) plan[t].push_back(i);
+  }
+  for (const auto& [track, members] : plan) {
+    GS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> bytes,
+                        disk_->ReadTrack(track));
+    // Accept fragments only for requests whose *live extent* includes
+    // this track (a shared track can still carry a neighbor's superseded
+    // fragments; those must not leak into its current image).
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> wanted;
+    for (std::size_t i : members) wanted[oids[i].raw].push_back(i);
+    // One sweep over the payload fills every co-located wanted image.
+    GS_RETURN_IF_ERROR(Boxer::ForEachFragment(
+        bytes, [&](const Boxer::FragmentView& fragment) -> Status {
+          auto it = wanted.find(fragment.oid.raw);
+          if (it == wanted.end()) return Status::OK();
+          for (std::size_t i : it->second) {
+            if (fragment.offset + fragment.bytes.size() >
+                pending[i].image.size()) {
+              return Status::Corruption("fragment outside image bounds");
+            }
+            std::copy(fragment.bytes.begin(), fragment.bytes.end(),
+                      pending[i].image.begin() + fragment.offset);
+            pending[i].placed += fragment.bytes.size();
+          }
+          return Status::OK();
+        }));
+  }
+  std::vector<GsObject> out;
+  out.reserve(oids.size());
+  for (std::size_t i = 0; i < oids.size(); ++i) {
+    if (pending[i].placed != pending[i].image.size()) {
+      return Status::Corruption("object image incomplete: " +
+                                oids[i].ToString());
+    }
+    if (Fnv1a(std::span<const std::uint8_t>(pending[i].image)) !=
+        pending[i].extent->checksum) {
+      return Status::Corruption("object image checksum mismatch: " +
+                                oids[i].ToString());
+    }
+    GS_ASSIGN_OR_RETURN(GsObject object,
+                        DeserializeObject(pending[i].image, symbols));
+    out.push_back(std::move(object));
+    ++stats_.objects_loaded;
+  }
+  return out;
+}
+
+std::vector<Oid> StorageEngine::CatalogOids() const {
+  std::vector<Oid> oids;
+  oids.reserve(catalog_.size());
+  for (const auto& [raw, extent] : catalog_.entries()) {
+    oids.push_back(Oid(raw));
+  }
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+}  // namespace gemstone::storage

@@ -1,0 +1,109 @@
+#include "txn/session.h"
+
+namespace gemstone::txn {
+
+Status Session::Begin() {
+  if (InTransaction()) {
+    return Status::TransactionState("transaction already active");
+  }
+  txn_ = manager_->Begin(id_, user_);
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  GS_RETURN_IF_ERROR(RequireActive());
+  Status s = manager_->Commit(txn_.get());
+  txn_.reset();
+  return s;
+}
+
+Status Session::Abort() {
+  GS_RETURN_IF_ERROR(RequireActive());
+  Status s = manager_->Abort(txn_.get());
+  txn_.reset();
+  return s;
+}
+
+Status Session::RequireActive() const {
+  if (txn_ == nullptr || !txn_->active()) {
+    return Status::TransactionState("no active transaction");
+  }
+  return Status::OK();
+}
+
+Status Session::RequireWritable() const {
+  GS_RETURN_IF_ERROR(RequireActive());
+  if (dial_.has_value()) {
+    return Status::TransactionState(
+        "cannot write while the time dial is set to a past state");
+  }
+  return Status::OK();
+}
+
+Result<Oid> Session::Create(Oid class_oid) {
+  GS_RETURN_IF_ERROR(RequireWritable());
+  return manager_->CreateObject(txn_.get(), class_oid);
+}
+
+Result<Value> Session::ReadNamed(Oid oid, SymbolId name) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->ReadNamed(txn_.get(), oid, name, EffectiveTime());
+}
+
+Result<Value> Session::ReadNamedAt(Oid oid, SymbolId name, TxnTime at) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->ReadNamed(txn_.get(), oid, name, at);
+}
+
+Status Session::WriteNamed(Oid oid, SymbolId name, Value value) {
+  GS_RETURN_IF_ERROR(RequireWritable());
+  return manager_->WriteNamed(txn_.get(), oid, name, std::move(value));
+}
+
+Result<Value> Session::ReadIndexed(Oid oid, std::size_t index) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->ReadIndexed(txn_.get(), oid, index, EffectiveTime());
+}
+
+Result<Value> Session::ReadIndexedAt(Oid oid, std::size_t index, TxnTime at) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->ReadIndexed(txn_.get(), oid, index, at);
+}
+
+Status Session::WriteIndexed(Oid oid, std::size_t index, Value value) {
+  GS_RETURN_IF_ERROR(RequireWritable());
+  return manager_->WriteIndexed(txn_.get(), oid, index, std::move(value));
+}
+
+Result<std::size_t> Session::AppendIndexed(Oid oid, Value value) {
+  GS_RETURN_IF_ERROR(RequireWritable());
+  return manager_->AppendIndexed(txn_.get(), oid, std::move(value));
+}
+
+Result<std::size_t> Session::IndexedSize(Oid oid) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->IndexedSize(txn_.get(), oid, EffectiveTime());
+}
+
+Result<Oid> Session::ClassOfObject(Oid oid) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->ClassOfObject(txn_.get(), oid);
+}
+
+Result<std::vector<std::pair<SymbolId, Value>>> Session::ListNamed(
+    Oid oid, bool skip_unbound) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->ListNamed(txn_.get(), oid, EffectiveTime(), skip_unbound);
+}
+
+Result<std::vector<Association>> Session::History(Oid oid, SymbolId name) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->History(txn_.get(), oid, name);
+}
+
+Result<bool> Session::DeepEquals(const Value& a, const Value& b) {
+  GS_RETURN_IF_ERROR(RequireActive());
+  return manager_->DeepEquals(txn_.get(), a, b, EffectiveTime());
+}
+
+}  // namespace gemstone::txn

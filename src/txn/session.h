@@ -1,0 +1,81 @@
+#ifndef GEMSTONE_TXN_SESSION_H_
+#define GEMSTONE_TXN_SESSION_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/result.h"
+#include "txn/transaction_manager.h"
+
+namespace gemstone::txn {
+
+/// One user session (§6: "Each user session ... has its own invocation of
+/// the Interpreter, and its own Object Manager with a private object
+/// space. Sessions have shared access to the permanent database through
+/// transactions.")
+///
+/// The session carries the *time dial* of §5.4: when set to T, every read
+/// resolves @T, as if "@T" were appended to each path component. Writes
+/// are rejected while the dial is set — the past is immutable. SafeTime
+/// pins the dial to "the most recent state for which no currently running
+/// transaction can make changes."
+class Session {
+ public:
+  Session(TransactionManager* manager, SessionId id, UserId user = kDbaUser)
+      : manager_(manager), id_(id), user_(user) {}
+
+  SessionId id() const { return id_; }
+  UserId user() const { return user_; }
+  TransactionManager& manager() { return *manager_; }
+
+  // --- Transaction control ---------------------------------------------------
+
+  Status Begin();
+  Status Commit();
+  Status Abort();
+  bool InTransaction() const { return txn_ != nullptr && txn_->active(); }
+  Transaction* transaction() { return txn_.get(); }
+
+  // --- Time dial -------------------------------------------------------------
+
+  void SetTimeDial(TxnTime t) { dial_ = t; }
+  void ClearTimeDial() { dial_.reset(); }
+  void SetTimeDialToSafeTime() { dial_ = manager_->SafeTime(); }
+  bool DialSet() const { return dial_.has_value(); }
+
+  /// The time every read resolves at: the dial if set, else now.
+  TxnTime EffectiveTime() const { return dial_.value_or(kTimeNow); }
+
+  // --- Data access (forwarders applying the time dial) ------------------------
+
+  Result<Oid> Create(Oid class_oid);
+  Result<Value> ReadNamed(Oid oid, SymbolId name);
+  /// Explicit-time read: the `@T` path qualifier, overriding the dial.
+  Result<Value> ReadNamedAt(Oid oid, SymbolId name, TxnTime at);
+  Status WriteNamed(Oid oid, SymbolId name, Value value);
+  Result<Value> ReadIndexed(Oid oid, std::size_t index);
+  Result<Value> ReadIndexedAt(Oid oid, std::size_t index, TxnTime at);
+  Status WriteIndexed(Oid oid, std::size_t index, Value value);
+  Result<std::size_t> AppendIndexed(Oid oid, Value value);
+  Result<std::size_t> IndexedSize(Oid oid);
+  Result<Oid> ClassOfObject(Oid oid);
+  Result<std::vector<std::pair<SymbolId, Value>>> ListNamed(
+      Oid oid, bool skip_unbound = true);
+  Result<std::vector<Association>> History(Oid oid, SymbolId name);
+  /// Structural equivalence at the session's effective time (§4.2).
+  Result<bool> DeepEquals(const Value& a, const Value& b);
+
+ private:
+  Status RequireActive() const;
+  Status RequireWritable() const;
+
+  TransactionManager* manager_;
+  SessionId id_;
+  UserId user_;
+  std::unique_ptr<Transaction> txn_;
+  std::optional<TxnTime> dial_;
+};
+
+}  // namespace gemstone::txn
+
+#endif  // GEMSTONE_TXN_SESSION_H_

@@ -1,0 +1,433 @@
+#include "txn/transaction_manager.h"
+
+#include <mutex>
+
+namespace gemstone::txn {
+
+std::unique_ptr<Transaction> TransactionManager::Begin(SessionId session,
+                                                       UserId user) {
+  std::unique_lock lock(store_mu_);
+  ++stats_.begun;
+  return std::make_unique<Transaction>(session, clock_.load(), user);
+}
+
+Status TransactionManager::CheckReadAccess(const Transaction* txn,
+                                           Oid oid) const {
+  if (access_ == nullptr || txn->created_.count(oid.raw) != 0) {
+    return Status::OK();
+  }
+  return access_->CheckRead(txn->user(), oid);
+}
+
+Status TransactionManager::CheckWriteAccess(const Transaction* txn,
+                                            Oid oid) const {
+  if (access_ == nullptr || txn->created_.count(oid.raw) != 0) {
+    return Status::OK();
+  }
+  return access_->CheckWrite(txn->user(), oid);
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  std::unique_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("abort of a finished transaction");
+  }
+  txn->state_ = TxnState::kAborted;
+  txn->working_.clear();
+  ++stats_.aborted;
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  std::unique_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("commit of a finished transaction");
+  }
+
+  // Backward validation: any accessed object committed after our start is
+  // a conflict ("validates them for consistency when a transaction
+  // commits", §6). Created objects are invisible to others, so they skip.
+  auto conflicts = [&](std::uint64_t raw) {
+    if (txn->created_.count(raw) != 0) return false;
+    auto it = last_commit_.find(raw);
+    return it != last_commit_.end() && it->second > txn->start_time();
+  };
+  for (std::uint64_t raw : txn->read_set_) {
+    if (conflicts(raw)) {
+      txn->state_ = TxnState::kAborted;
+      txn->working_.clear();
+      ++stats_.aborted;
+      ++stats_.conflicts;
+      return Status::TransactionConflict("read object " +
+                                         Oid(raw).ToString() +
+                                         " changed since start");
+    }
+  }
+  for (const auto& [raw, marks] : txn->dirty_) {
+    if (conflicts(raw)) {
+      txn->state_ = TxnState::kAborted;
+      txn->working_.clear();
+      ++stats_.aborted;
+      ++stats_.conflicts;
+      return Status::TransactionConflict("written object " +
+                                         Oid(raw).ToString() +
+                                         " changed since start");
+    }
+  }
+
+  // Nothing to publish: a read-only transaction commits trivially.
+  if (txn->dirty_.empty() && txn->created_.empty()) {
+    txn->state_ = TxnState::kCommitted;
+    ++stats_.committed;
+    return Status::OK();
+  }
+
+  const TxnTime commit_time = clock_.load() + 1;
+
+  // Link phase: fold dirty elements into the permanent store, re-stamping
+  // the provisional (kTimeNow) workspace bindings with the commit time.
+  std::vector<const GsObject*> changed;
+  for (auto& [raw, marks] : txn->dirty_) {
+    const Oid oid{raw};
+    auto working_it = txn->working_.find(raw);
+    if (working_it == txn->working_.end()) {
+      return Status::Internal("dirty object lacks a workspace copy");
+    }
+    const GsObject& copy = working_it->second;
+    if (txn->created_.count(raw) != 0) {
+      // New object: materialize with every provisional binding re-stamped.
+      GsObject fresh(copy.oid(), copy.class_oid());
+      for (const NamedElement& element : copy.named_elements()) {
+        for (const Association& a : element.table.entries()) {
+          fresh.WriteNamed(element.name,
+                           a.time == kTimeNow ? commit_time : a.time,
+                           a.value);
+        }
+      }
+      for (std::size_t i = 0; i < copy.indexed_capacity(); ++i) {
+        for (const Association& a : copy.IndexedHistory(i)->entries()) {
+          fresh.WriteIndexed(i, a.time == kTimeNow ? commit_time : a.time,
+                             a.value);
+        }
+      }
+      GS_RETURN_IF_ERROR(memory_->Insert(std::move(fresh)));
+    } else {
+      GsObject* permanent = memory_->FindMutable(oid);
+      if (permanent == nullptr) {
+        return Status::Internal("dirty object vanished from permanent store");
+      }
+      for (SymbolId name : marks.named) {
+        const Value* v = copy.ReadNamed(name, kTimeNow);
+        permanent->WriteNamed(name, commit_time, v ? *v : Value::Nil());
+      }
+      // Ascending order so appends extend the permanent object correctly.
+      std::vector<std::size_t> indexed(marks.indexed.begin(),
+                                       marks.indexed.end());
+      std::sort(indexed.begin(), indexed.end());
+      for (std::size_t index : indexed) {
+        const Value* v = copy.ReadIndexed(index, kTimeNow);
+        permanent->WriteIndexed(index, commit_time, v ? *v : Value::Nil());
+      }
+    }
+    last_commit_[raw] = commit_time;
+    changed.push_back(memory_->Find(oid));
+  }
+
+  // Safe group write of the changed objects (Boxer/Linker/CommitManager).
+  if (engine_ != nullptr) {
+    Status persisted = engine_->CommitObjects(changed, memory_->symbols());
+    if (!persisted.ok()) {
+      // The in-memory publish already happened; surface the storage error
+      // but keep the logical state consistent by advancing the clock.
+      clock_.store(commit_time);
+      txn->state_ = TxnState::kAborted;
+      return persisted;
+    }
+  }
+
+  clock_.store(commit_time);
+  txn->state_ = TxnState::kCommitted;
+  txn->working_.clear();
+  ++stats_.committed;
+  return Status::OK();
+}
+
+TxnStats TransactionManager::stats() const {
+  std::shared_lock lock(store_mu_);
+  return stats_;
+}
+
+Result<Oid> TransactionManager::CreateObject(Transaction* txn, Oid class_oid) {
+  std::unique_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("create outside an active transaction");
+  }
+  if (memory_->classes().Get(class_oid) == nullptr) {
+    return Status::NotFound("no such class: " + class_oid.ToString());
+  }
+  const Oid oid = memory_->AllocateOid();
+  txn->working_.emplace(oid.raw, GsObject(oid, class_oid));
+  txn->created_.insert(oid.raw);
+  txn->dirty_[oid.raw];  // ensure the object publishes even if never written
+  return oid;
+}
+
+Result<const GsObject*> TransactionManager::ViewLocked(Transaction* txn,
+                                                       Oid oid,
+                                                       TxnTime at) const {
+  if (at == kTimeNow) {
+    auto it = txn->working_.find(oid.raw);
+    if (it != txn->working_.end()) return &it->second;
+  }
+  const GsObject* object = memory_->Find(oid);
+  if (object == nullptr) {
+    if (memory_->IsArchived(oid)) {
+      return Status::Unavailable("object migrated to archival media: " +
+                                 oid.ToString());
+    }
+    return Status::NotFound("no such object: " + oid.ToString());
+  }
+  return object;
+}
+
+Result<GsObject*> TransactionManager::WorkingCopyLocked(Transaction* txn,
+                                                        Oid oid) {
+  auto it = txn->working_.find(oid.raw);
+  if (it != txn->working_.end()) return &it->second;
+  const GsObject* permanent = memory_->Find(oid);
+  if (permanent == nullptr) {
+    if (memory_->IsArchived(oid)) {
+      return Status::Unavailable("object migrated to archival media: " +
+                                 oid.ToString());
+    }
+    return Status::NotFound("no such object: " + oid.ToString());
+  }
+  auto [inserted, ok] = txn->working_.emplace(oid.raw, *permanent);
+  return &inserted->second;
+}
+
+Result<Value> TransactionManager::ReadNamed(Transaction* txn, Oid oid,
+                                            SymbolId name, TxnTime at) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("read outside an active transaction");
+  }
+  GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
+  GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
+  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  const Value* value = object->ReadNamed(name, at);
+  return value ? *value : Value::Nil();
+}
+
+Status TransactionManager::WriteNamed(Transaction* txn, Oid oid, SymbolId name,
+                                      Value value) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("write outside an active transaction");
+  }
+  GS_RETURN_IF_ERROR(CheckWriteAccess(txn, oid));
+  GS_ASSIGN_OR_RETURN(GsObject* copy, WorkingCopyLocked(txn, oid));
+  copy->WriteNamed(name, kTimeNow, std::move(value));
+  txn->dirty_[oid.raw].named.insert(name);
+  return Status::OK();
+}
+
+Result<Value> TransactionManager::ReadIndexed(Transaction* txn, Oid oid,
+                                              std::size_t index, TxnTime at) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("read outside an active transaction");
+  }
+  GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
+  GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
+  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  if (index >= object->IndexedSizeAt(at)) {
+    return Status::OutOfRange("index " + std::to_string(index) +
+                              " beyond size " +
+                              std::to_string(object->IndexedSizeAt(at)));
+  }
+  const Value* value = object->ReadIndexed(index, at);
+  return value ? *value : Value::Nil();
+}
+
+Status TransactionManager::WriteIndexed(Transaction* txn, Oid oid,
+                                        std::size_t index, Value value) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("write outside an active transaction");
+  }
+  GS_RETURN_IF_ERROR(CheckWriteAccess(txn, oid));
+  GS_ASSIGN_OR_RETURN(GsObject* copy, WorkingCopyLocked(txn, oid));
+  copy->WriteIndexed(index, kTimeNow, std::move(value));
+  // Gap slots materialized by an over-the-end write re-materialize on the
+  // permanent object at commit (WriteIndexed grows with nil bindings), so
+  // only the written slot needs a dirty mark.
+  txn->dirty_[oid.raw].indexed.insert(index);
+  return Status::OK();
+}
+
+Result<std::size_t> TransactionManager::AppendIndexed(Transaction* txn,
+                                                      Oid oid, Value value) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("write outside an active transaction");
+  }
+  GS_RETURN_IF_ERROR(CheckWriteAccess(txn, oid));
+  GS_ASSIGN_OR_RETURN(GsObject* copy, WorkingCopyLocked(txn, oid));
+  const std::size_t index = copy->AppendIndexed(kTimeNow, std::move(value));
+  txn->dirty_[oid.raw].indexed.insert(index);
+  return index;
+}
+
+Result<std::size_t> TransactionManager::IndexedSize(Transaction* txn, Oid oid,
+                                                    TxnTime at) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("read outside an active transaction");
+  }
+  GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
+  GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
+  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  return object->IndexedSizeAt(at);
+}
+
+Result<Oid> TransactionManager::ClassOfObject(Transaction* txn, Oid oid) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("read outside an active transaction");
+  }
+  GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, kTimeNow));
+  return object->class_oid();
+}
+
+Result<std::vector<std::pair<SymbolId, Value>>> TransactionManager::ListNamed(
+    Transaction* txn, Oid oid, TxnTime at, bool skip_unbound) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("read outside an active transaction");
+  }
+  GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
+  GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
+  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  std::vector<std::pair<SymbolId, Value>> out;
+  for (const NamedElement& element : object->named_elements()) {
+    const Value* value = element.table.ValueAt(at);
+    if (value == nullptr) continue;
+    if (skip_unbound && value->IsNil()) continue;
+    out.emplace_back(element.name, *value);
+  }
+  return out;
+}
+
+Result<std::vector<Association>> TransactionManager::History(Transaction* txn,
+                                                             Oid oid,
+                                                             SymbolId name) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("read outside an active transaction");
+  }
+  const GsObject* object = memory_->Find(oid);
+  if (object == nullptr) {
+    return Status::NotFound("no such object: " + oid.ToString());
+  }
+  const AssociationTable* table = object->NamedHistory(name);
+  if (table == nullptr) {
+    return Status::NotFound("element never bound");
+  }
+  return table->entries();
+}
+
+Result<bool> TransactionManager::DeepEquals(Transaction* txn, const Value& a,
+                                            const Value& b, TxnTime at) {
+  std::shared_lock lock(store_mu_);
+  if (!txn->active()) {
+    return Status::TransactionState("read outside an active transaction");
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> assumed;
+  return DeepEqualsLocked(txn, a, b, at, &assumed);
+}
+
+bool TransactionManager::DeepEqualsLocked(
+    Transaction* txn, const Value& a, const Value& b, TxnTime at,
+    std::unordered_map<std::uint64_t, std::uint64_t>* assumed) const {
+  if (!a.IsRef() || !b.IsRef()) return a == b;
+  if (a.ref() == b.ref()) return true;
+  auto it = assumed->find(a.ref().raw);
+  if (it != assumed->end() && it->second == b.ref().raw) return true;
+
+  // The transaction's own view: workspace copies shadow permanent state.
+  auto view = [&](Oid oid) -> const GsObject* {
+    if (at == kTimeNow) {
+      auto w = txn->working_.find(oid.raw);
+      if (w != txn->working_.end()) return &w->second;
+    }
+    return memory_->Find(oid);
+  };
+  const GsObject* oa = view(a.ref());
+  const GsObject* ob = view(b.ref());
+  if (oa == nullptr || ob == nullptr) return false;
+  if (oa->class_oid() != ob->class_oid()) return false;
+
+  (*assumed)[a.ref().raw] = b.ref().raw;
+  bool equal = true;
+
+  const GsClass* cls = memory_->classes().Get(oa->class_oid());
+  const bool is_set = cls != nullptr && cls->format() == ObjectFormat::kSet;
+  if (is_set) {
+    if (oa->CountBoundNamedAt(at) != ob->CountBoundNamedAt(at)) {
+      equal = false;
+    } else {
+      for (const NamedElement& ea : oa->named_elements()) {
+        const Value* va = ea.table.ValueAt(at);
+        if (va == nullptr || va->IsNil()) continue;
+        bool found = false;
+        for (const NamedElement& eb : ob->named_elements()) {
+          const Value* vb = eb.table.ValueAt(at);
+          if (vb == nullptr || vb->IsNil()) continue;
+          if (DeepEqualsLocked(txn, *va, *vb, at, assumed)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          equal = false;
+          break;
+        }
+      }
+    }
+  } else {
+    auto bound_matches = [&](const GsObject& x, const GsObject& y) {
+      for (const NamedElement& ex : x.named_elements()) {
+        const Value* vx = ex.table.ValueAt(at);
+        if (vx == nullptr || vx->IsNil()) continue;
+        const Value* vy = y.ReadNamed(ex.name, at);
+        Value nil;
+        if (vy == nullptr) vy = &nil;
+        if (!DeepEqualsLocked(txn, *vx, *vy, at, assumed)) return false;
+      }
+      return true;
+    };
+    equal = bound_matches(*oa, *ob) && bound_matches(*ob, *oa);
+  }
+
+  if (equal) {
+    const std::size_t na = oa->IndexedSizeAt(at);
+    const std::size_t nb = ob->IndexedSizeAt(at);
+    if (na != nb) {
+      equal = false;
+    } else {
+      for (std::size_t i = 0; i < na && equal; ++i) {
+        const Value* va = oa->ReadIndexed(i, at);
+        const Value* vb = ob->ReadIndexed(i, at);
+        Value nil;
+        if (va == nullptr) va = &nil;
+        if (vb == nullptr) vb = &nil;
+        equal = DeepEqualsLocked(txn, *va, *vb, at, assumed);
+      }
+    }
+  }
+  assumed->erase(a.ref().raw);
+  return equal;
+}
+
+}  // namespace gemstone::txn

@@ -1,0 +1,152 @@
+#ifndef GEMSTONE_TXN_TRANSACTION_MANAGER_H_
+#define GEMSTONE_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "object/object_memory.h"
+#include "storage/storage_engine.h"
+#include "txn/transaction.h"
+
+namespace gemstone::txn {
+
+struct TxnStats {
+  std::uint64_t begun = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t conflicts = 0;  // aborts caused by validation failure
+};
+
+/// The shared Transaction Manager (§6): "handles concurrent use of the
+/// permanent database in an optimistic manner", plus the per-session data
+/// access interface of the Object Manager.
+///
+/// Concurrency model: readers hold a shared lock per operation; Commit
+/// holds the unique lock while it validates (backward validation at
+/// object granularity: any object read or written whose last commit time
+/// exceeds the transaction's start time is a conflict), merges dirty
+/// elements into the permanent store at the freshly assigned commit time,
+/// and — when a StorageEngine is attached — performs the safe group write.
+///
+/// All element access from sessions goes through this class so that no
+/// raw object pointer outlives its lock scope.
+class TransactionManager {
+ public:
+  /// `engine`, when non-null, must be open; every commit then also writes
+  /// the changed objects durably before publishing them.
+  explicit TransactionManager(ObjectMemory* memory,
+                              storage::StorageEngine* engine = nullptr)
+      : memory_(memory), engine_(engine) {}
+
+  ObjectMemory& memory() { return *memory_; }
+
+  /// Installs an authorization policy; every subsequent read and write is
+  /// checked against the transaction's user. Null disables checks.
+  void set_access_controller(const AccessController* access) {
+    access_ = access;
+  }
+
+  // --- Lifecycle -------------------------------------------------------------
+
+  std::unique_ptr<Transaction> Begin(SessionId session,
+                                     UserId user = kDbaUser);
+
+  /// Validates and publishes. On kTransactionConflict the transaction is
+  /// aborted (workspace discarded) — the caller retries with a new Begin.
+  Status Commit(Transaction* txn);
+
+  Status Abort(Transaction* txn);
+
+  /// The logical clock: time of the latest commit.
+  TxnTime Now() const { return clock_.load(); }
+
+  /// §5.4: "the most recent state for which no currently running
+  /// transaction can make changes." Commits are atomic under the store
+  /// lock and always stamp a time greater than the current clock, so the
+  /// clock itself is safe: a read-only transaction pinned at SafeTime can
+  /// never be invalidated.
+  TxnTime SafeTime() const { return clock_.load(); }
+
+  TxnStats stats() const;
+
+  /// Recovery support: restores the logical clock to the largest commit
+  /// time found in a recovered image. Call before any Begin.
+  void RestoreClock(TxnTime t) { clock_.store(t); }
+
+  // --- Object Manager data interface ----------------------------------------
+
+  /// Creates a new object in the workspace; it becomes visible to others
+  /// only at commit. The identity is permanent from this moment (§5.4).
+  Result<Oid> CreateObject(Transaction* txn, Oid class_oid);
+
+  /// Reads `oid`'s element `name` at `at` (kTimeNow = the transaction's
+  /// own view: workspace first, then the committed current state). Reads
+  /// of past states are not recorded in the read set — history is
+  /// immutable and cannot conflict.
+  Result<Value> ReadNamed(Transaction* txn, Oid oid, SymbolId name,
+                          TxnTime at = kTimeNow);
+
+  Status WriteNamed(Transaction* txn, Oid oid, SymbolId name, Value value);
+
+  Result<Value> ReadIndexed(Transaction* txn, Oid oid, std::size_t index,
+                            TxnTime at = kTimeNow);
+  Status WriteIndexed(Transaction* txn, Oid oid, std::size_t index,
+                      Value value);
+  Result<std::size_t> AppendIndexed(Transaction* txn, Oid oid, Value value);
+  Result<std::size_t> IndexedSize(Transaction* txn, Oid oid,
+                                  TxnTime at = kTimeNow);
+
+  /// The object's class (identity-stable over time).
+  Result<Oid> ClassOfObject(Transaction* txn, Oid oid);
+
+  /// Snapshot of all named elements visible at `at`. When `skip_unbound`
+  /// is true, elements whose value is nil are omitted (set iteration).
+  Result<std::vector<std::pair<SymbolId, Value>>> ListNamed(
+      Transaction* txn, Oid oid, TxnTime at = kTimeNow,
+      bool skip_unbound = true);
+
+  /// Full history of one element (committed state only).
+  Result<std::vector<Association>> History(Transaction* txn, Oid oid,
+                                           SymbolId name);
+
+  /// Structural equivalence of two values at `at` (committed state).
+  Result<bool> DeepEquals(Transaction* txn, const Value& a, const Value& b,
+                          TxnTime at = kTimeNow);
+
+ private:
+  /// The transaction's readable view of `oid` (workspace copy if present,
+  /// else permanent). Caller must hold store_mu_ (shared).
+  Result<const GsObject*> ViewLocked(Transaction* txn, Oid oid,
+                                     TxnTime at) const;
+
+  /// Copy-on-first-write into the workspace. Caller holds store_mu_.
+  Result<GsObject*> WorkingCopyLocked(Transaction* txn, Oid oid);
+
+  bool DeepEqualsLocked(
+      Transaction* txn, const Value& a, const Value& b, TxnTime at,
+      std::unordered_map<std::uint64_t, std::uint64_t>* assumed) const;
+
+  /// Authorization hooks: a transaction's own created objects are always
+  /// accessible (they join a segment only after publication).
+  Status CheckReadAccess(const Transaction* txn, Oid oid) const;
+  Status CheckWriteAccess(const Transaction* txn, Oid oid) const;
+
+  ObjectMemory* memory_;
+  storage::StorageEngine* engine_;
+  const AccessController* access_ = nullptr;
+
+  mutable std::shared_mutex store_mu_;
+  std::atomic<TxnTime> clock_{0};
+  std::unordered_map<std::uint64_t, TxnTime> last_commit_;
+  TxnStats stats_;
+};
+
+}  // namespace gemstone::txn
+
+#endif  // GEMSTONE_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,87 @@
+#include "admin/authorization.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::admin {
+namespace {
+
+TEST(AuthorizationTest, DefaultSegmentIsWorldWritable) {
+  AuthorizationManager auth;
+  EXPECT_TRUE(auth.CheckRead(42, Oid(1)).ok());
+  EXPECT_TRUE(auth.CheckWrite(42, Oid(1)).ok());
+  EXPECT_EQ(auth.SegmentOf(Oid(1)), 0u);
+}
+
+TEST(AuthorizationTest, LockedDownDefaultDeniesStrangers) {
+  AuthorizationManager auth;
+  auth.SetDefaultSegmentWorldAccess(AccessRight::kNone);
+  EXPECT_EQ(auth.CheckRead(42, Oid(1)).code(),
+            StatusCode::kAuthorizationDenied);
+}
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  SegmentTest() {
+    payroll_ = auth_.CreateSegment(kAlice, "payroll");
+    EXPECT_TRUE(auth_.AssignObject(kAlice, Oid(100), payroll_).ok());
+  }
+
+  static constexpr UserId kAlice = 1, kBob = 2, kCarol = 3;
+  AuthorizationManager auth_;
+  SegmentId payroll_;
+};
+
+TEST_F(SegmentTest, OwnerHasFullAccess) {
+  EXPECT_TRUE(auth_.CheckRead(kAlice, Oid(100)).ok());
+  EXPECT_TRUE(auth_.CheckWrite(kAlice, Oid(100)).ok());
+}
+
+TEST_F(SegmentTest, StrangersDenied) {
+  EXPECT_EQ(auth_.CheckRead(kBob, Oid(100)).code(),
+            StatusCode::kAuthorizationDenied);
+  EXPECT_EQ(auth_.CheckWrite(kBob, Oid(100)).code(),
+            StatusCode::kAuthorizationDenied);
+}
+
+TEST_F(SegmentTest, GrantReadThenWrite) {
+  ASSERT_TRUE(auth_.Grant(kAlice, payroll_, kBob, AccessRight::kRead).ok());
+  EXPECT_TRUE(auth_.CheckRead(kBob, Oid(100)).ok());
+  EXPECT_EQ(auth_.CheckWrite(kBob, Oid(100)).code(),
+            StatusCode::kAuthorizationDenied);
+  ASSERT_TRUE(auth_.Grant(kAlice, payroll_, kBob, AccessRight::kWrite).ok());
+  EXPECT_TRUE(auth_.CheckWrite(kBob, Oid(100)).ok());
+}
+
+TEST_F(SegmentTest, RevokeRemovesAccess) {
+  ASSERT_TRUE(auth_.Grant(kAlice, payroll_, kBob, AccessRight::kWrite).ok());
+  ASSERT_TRUE(auth_.Revoke(kAlice, payroll_, kBob).ok());
+  EXPECT_EQ(auth_.CheckRead(kBob, Oid(100)).code(),
+            StatusCode::kAuthorizationDenied);
+}
+
+TEST_F(SegmentTest, OnlyOwnerMayAdministrate) {
+  EXPECT_EQ(auth_.Grant(kBob, payroll_, kCarol, AccessRight::kRead).code(),
+            StatusCode::kAuthorizationDenied);
+  EXPECT_EQ(auth_.Revoke(kBob, payroll_, kAlice).code(),
+            StatusCode::kAuthorizationDenied);
+  EXPECT_EQ(auth_.AssignObject(kBob, Oid(200), payroll_).code(),
+            StatusCode::kAuthorizationDenied);
+}
+
+TEST_F(SegmentTest, UnknownSegmentErrors) {
+  EXPECT_EQ(auth_.Grant(kAlice, 999, kBob, AccessRight::kRead).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(auth_.AssignObject(kAlice, Oid(1), 999).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SegmentTest, ObjectsMoveBetweenSegments) {
+  SegmentId open = auth_.CreateSegment(kAlice, "open");
+  ASSERT_TRUE(auth_.Grant(kAlice, open, kBob, AccessRight::kRead).ok());
+  ASSERT_TRUE(auth_.AssignObject(kAlice, Oid(100), open).ok());
+  EXPECT_TRUE(auth_.CheckRead(kBob, Oid(100)).ok());
+  EXPECT_EQ(auth_.segment_count(), 3u);  // default + payroll + open
+}
+
+}  // namespace
+}  // namespace gemstone::admin

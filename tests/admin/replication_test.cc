@@ -1,0 +1,92 @@
+#include "admin/replication.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::admin {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest()
+      : disk_a_(256, 1024),
+        disk_b_(256, 1024),
+        engine_a_(&disk_a_),
+        engine_b_(&disk_b_),
+        store_({&engine_a_, &engine_b_}) {
+    EXPECT_TRUE(engine_a_.Format().ok());
+    EXPECT_TRUE(engine_b_.Format().ok());
+  }
+
+  GsObject MakeObject(std::uint64_t oid, std::int64_t v) {
+    GsObject obj{Oid(oid), Oid(7)};
+    obj.WriteNamed(symbols_.Intern("v"), 1, Value::Integer(v));
+    return obj;
+  }
+
+  SymbolTable symbols_;
+  storage::SimulatedDisk disk_a_, disk_b_;
+  storage::StorageEngine engine_a_, engine_b_;
+  ReplicatedStore store_;
+};
+
+TEST_F(ReplicationTest, WritesMirrorToAllReplicas) {
+  GsObject obj = MakeObject(100, 7);
+  ASSERT_TRUE(store_.CommitObjects({&obj}, symbols_).ok());
+  EXPECT_TRUE(engine_a_.Contains(Oid(100)));
+  EXPECT_TRUE(engine_b_.Contains(Oid(100)));
+  EXPECT_EQ(store_.stats().writes, 1u);
+  EXPECT_EQ(store_.stats().degraded_writes, 0u);
+}
+
+TEST_F(ReplicationTest, ReadFailsOverWhenPrimaryLosesObject) {
+  GsObject obj = MakeObject(100, 7);
+  ASSERT_TRUE(store_.CommitObjects({&obj}, symbols_).ok());
+  // Corrupt the primary's copy of the data track group: wipe its disk.
+  for (storage::TrackId t = 0; t < disk_a_.num_tracks(); ++t) {
+    (void)disk_a_.WriteTrack(t, {});
+  }
+  auto loaded = store_.LoadObject(Oid(100), &symbols_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded->ReadNamed(symbols_.Intern("v"), kTimeNow),
+            Value::Integer(7));
+  EXPECT_EQ(store_.stats().failovers, 1u);
+}
+
+TEST_F(ReplicationTest, DegradedWriteSucceedsAndCounts) {
+  disk_b_.InjectWriteFailureAfter(0);
+  GsObject obj = MakeObject(100, 7);
+  ASSERT_TRUE(store_.CommitObjects({&obj}, symbols_).ok());
+  EXPECT_EQ(store_.stats().degraded_writes, 1u);
+  EXPECT_TRUE(engine_a_.Contains(Oid(100)));
+  EXPECT_FALSE(engine_b_.Contains(Oid(100)));
+}
+
+TEST_F(ReplicationTest, AllReplicasDownFails) {
+  disk_a_.InjectWriteFailureAfter(0);
+  disk_b_.InjectWriteFailureAfter(0);
+  GsObject obj = MakeObject(100, 7);
+  EXPECT_TRUE(store_.CommitObjects({&obj}, symbols_).IsIoError());
+}
+
+TEST_F(ReplicationTest, RepairResynchronizesStaleReplica) {
+  GsObject v1 = MakeObject(100, 1);
+  ASSERT_TRUE(store_.CommitObjects({&v1}, symbols_).ok());
+  // Replica B misses the next two commits.
+  disk_b_.InjectWriteFailureAfter(0);
+  GsObject v2 = MakeObject(100, 2);
+  GsObject extra = MakeObject(101, 9);
+  ASSERT_TRUE(store_.CommitObjects({&v2}, symbols_).ok());
+  ASSERT_TRUE(store_.CommitObjects({&extra}, symbols_).ok());
+  disk_b_.ClearFault();
+
+  ASSERT_TRUE(store_.RepairReplica(1, &symbols_).ok());
+  EXPECT_GE(store_.stats().repaired_objects, 2u);
+  auto from_b = engine_b_.LoadObject(Oid(100), &symbols_);
+  ASSERT_TRUE(from_b.ok());
+  EXPECT_EQ(*from_b->ReadNamed(symbols_.Intern("v"), kTimeNow),
+            Value::Integer(2));
+  EXPECT_TRUE(engine_b_.Contains(Oid(101)));
+}
+
+}  // namespace
+}  // namespace gemstone::admin

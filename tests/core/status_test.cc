@@ -1,0 +1,80 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("employee E62");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "employee E62");
+  EXPECT_EQ(s.ToString(), "NotFound: employee E62");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::TransactionConflict("write-write");
+  Status t = s;
+  EXPECT_TRUE(t.IsTransactionConflict());
+  EXPECT_EQ(t.message(), "write-write");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Corruption("a"));
+  EXPECT_EQ(Status(), Status::OK());
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::TypeMismatch("").code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(Status::DoesNotUnderstand("").code(),
+            StatusCode::kDoesNotUnderstand);
+  EXPECT_EQ(Status::CompileError("").code(), StatusCode::kCompileError);
+  EXPECT_EQ(Status::RuntimeError("").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(Status::TransactionState("").code(), StatusCode::kTransactionState);
+  EXPECT_EQ(Status::AuthorizationDenied("").code(),
+            StatusCode::kAuthorizationDenied);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = []() { return Status::IoError("track 7"); };
+  auto outer = [&]() -> Status {
+    GS_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIoError());
+
+  auto ok_outer = []() -> Status {
+    GS_RETURN_IF_ERROR(Status::OK());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(ok_outer().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kTransactionConflict),
+            "TransactionConflict");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDoesNotUnderstand),
+            "DoesNotUnderstand");
+}
+
+}  // namespace
+}  // namespace gemstone

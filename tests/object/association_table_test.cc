@@ -1,0 +1,113 @@
+#include "object/association_table.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone {
+namespace {
+
+TEST(AssociationTableTest, EmptyTableHasNoValue) {
+  AssociationTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.ValueAt(kTimeNow), nullptr);
+  EXPECT_EQ(table.CurrentValue(), nullptr);
+}
+
+TEST(AssociationTableTest, BindingVisibleFromItsTimeOnward) {
+  AssociationTable table;
+  table.Bind(5, Value::String("Ayn Rand"));
+  EXPECT_EQ(table.ValueAt(4), nullptr);
+  ASSERT_NE(table.ValueAt(5), nullptr);
+  EXPECT_EQ(*table.ValueAt(5), Value::String("Ayn Rand"));
+  EXPECT_EQ(*table.ValueAt(100), Value::String("Ayn Rand"));
+}
+
+// Figure 1: president changes from 'Ayn Rand' (t=5) to 'Milton Friedman'
+// (t=8); @7 sees the previous president, @10 the new one.
+TEST(AssociationTableTest, Figure1PresidentHistory) {
+  AssociationTable table;
+  table.Bind(5, Value::String("Ayn Rand"));
+  table.Bind(8, Value::String("Milton Friedman"));
+  EXPECT_EQ(*table.ValueAt(7), Value::String("Ayn Rand"));
+  EXPECT_EQ(*table.ValueAt(8), Value::String("Milton Friedman"));
+  EXPECT_EQ(*table.ValueAt(10), Value::String("Milton Friedman"));
+  EXPECT_EQ(*table.CurrentValue(), Value::String("Milton Friedman"));
+  EXPECT_EQ(table.history_size(), 2u);
+}
+
+TEST(AssociationTableTest, DeletionIsABindingToNil) {
+  AssociationTable table;
+  table.Bind(2, Value::Integer(1821));
+  table.Bind(8, Value::Nil());
+  ASSERT_NE(table.ValueAt(9), nullptr);
+  EXPECT_TRUE(table.ValueAt(9)->IsNil());
+  // History is preserved: the old value is still reachable.
+  EXPECT_EQ(*table.ValueAt(5), Value::Integer(1821));
+}
+
+TEST(AssociationTableTest, RebindAtSameTimeReplaces) {
+  AssociationTable table;
+  table.Bind(3, Value::Integer(1));
+  table.Bind(3, Value::Integer(2));
+  EXPECT_EQ(table.history_size(), 1u);
+  EXPECT_EQ(*table.ValueAt(3), Value::Integer(2));
+}
+
+TEST(AssociationTableTest, OutOfOrderBindKeepsSortedHistory) {
+  AssociationTable table;
+  table.Bind(10, Value::Integer(10));
+  table.Bind(2, Value::Integer(2));
+  table.Bind(6, Value::Integer(6));
+  EXPECT_EQ(table.history_size(), 3u);
+  EXPECT_EQ(*table.ValueAt(2), Value::Integer(2));
+  EXPECT_EQ(*table.ValueAt(5), Value::Integer(2));
+  EXPECT_EQ(*table.ValueAt(7), Value::Integer(6));
+  EXPECT_EQ(*table.ValueAt(11), Value::Integer(10));
+  EXPECT_EQ(table.FirstBoundAt(), 2u);
+  EXPECT_EQ(table.LastBoundAt(), 10u);
+}
+
+TEST(AssociationTableTest, EntriesAscendByTime) {
+  AssociationTable table;
+  for (TxnTime t : {9, 1, 5, 3, 7}) {
+    table.Bind(t, Value::Integer(static_cast<std::int64_t>(t)));
+  }
+  const auto& entries = table.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].time, entries[i].time);
+  }
+}
+
+// Property sweep: for any monotone write schedule, ValueAt(t) returns the
+// latest write at or before t.
+class AssociationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssociationSweep, ValueAtMatchesLinearScan) {
+  const int stride = GetParam();
+  AssociationTable table;
+  std::vector<Association> shadow;
+  for (int i = 1; i <= 50; ++i) {
+    TxnTime t = static_cast<TxnTime>(i * stride);
+    table.Bind(t, Value::Integer(i));
+    shadow.push_back({t, Value::Integer(i)});
+  }
+  for (TxnTime probe = 0; probe <= static_cast<TxnTime>(52 * stride);
+       ++probe) {
+    const Value* expected = nullptr;
+    for (const auto& a : shadow) {
+      if (a.time <= probe) expected = &a.value;
+    }
+    const Value* got = table.ValueAt(probe);
+    if (expected == nullptr) {
+      EXPECT_EQ(got, nullptr) << "probe=" << probe;
+    } else {
+      ASSERT_NE(got, nullptr) << "probe=" << probe;
+      EXPECT_EQ(*got, *expected) << "probe=" << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, AssociationSweep,
+                         ::testing::Values(1, 2, 3, 7));
+
+}  // namespace
+}  // namespace gemstone

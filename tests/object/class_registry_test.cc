@@ -1,0 +1,132 @@
+#include "object/class_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone {
+namespace {
+
+class ClassRegistryTest : public ::testing::Test {
+ protected:
+  ClassRegistryTest() : registry_(&symbols_) {
+    root_ = registry_
+                .DefineClass(Oid(1), "Object", kNilOid, ObjectFormat::kNamed,
+                             {})
+                .ValueOrDie();
+  }
+
+  Oid Define(std::string_view name, Oid super,
+             std::vector<std::string> vars = {}) {
+    return registry_
+        .DefineClass(Oid(next_oid_++), name, super, ObjectFormat::kNamed, vars)
+        .ValueOrDie();
+  }
+
+  SymbolTable symbols_;
+  ClassRegistry registry_;
+  Oid root_;
+  std::uint64_t next_oid_ = 10;
+};
+
+TEST_F(ClassRegistryTest, DefineAndFind) {
+  Oid emp = Define("Employee", root_, {"name", "salary", "depts"});
+  EXPECT_EQ(registry_.FindByName("Employee")->oid(), emp);
+  EXPECT_EQ(registry_.Get(emp)->name(), "Employee");
+  EXPECT_EQ(registry_.Get(emp)->superclass(), root_);
+  EXPECT_EQ(registry_.Get(emp)->own_inst_vars().size(), 3u);
+}
+
+TEST_F(ClassRegistryTest, DuplicateNameRejected) {
+  Define("Employee", root_);
+  auto result = registry_.DefineClass(Oid(99), "Employee", root_,
+                                      ObjectFormat::kNamed, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ClassRegistryTest, MissingSuperclassRejected) {
+  auto result = registry_.DefineClass(Oid(99), "Orphan", Oid(12345),
+                                      ObjectFormat::kNamed, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClassRegistryTest, DuplicateInstVarRejected) {
+  auto result = registry_.DefineClass(Oid(99), "Bad", root_,
+                                      ObjectFormat::kNamed, {"x", "x"});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ClassRegistryTest, ShadowingInheritedVarRejected) {
+  Oid emp = Define("Employee", root_, {"name"});
+  auto result = registry_.DefineClass(Oid(99), "Manager", emp,
+                                      ObjectFormat::kNamed, {"name"});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The paper's running example: "A subclass Manager of class Employee could
+// define additional structure, such as the department managed" (§4.1).
+TEST_F(ClassRegistryTest, ManagerInheritsEmployeeStructure) {
+  Oid emp = Define("Employee", root_, {"name", "salary", "depts"});
+  Oid mgr = Define("Manager", emp, {"managedDept"});
+  std::vector<SymbolId> all = registry_.AllInstVars(mgr);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(symbols_.Name(all[0]), "name");
+  EXPECT_EQ(symbols_.Name(all[3]), "managedDept");
+  EXPECT_TRUE(registry_.IsKindOf(mgr, emp));
+  EXPECT_TRUE(registry_.IsKindOf(mgr, root_));
+  EXPECT_FALSE(registry_.IsKindOf(emp, mgr));
+}
+
+struct FakeMethod : MethodHandle {
+  explicit FakeMethod(int id) : id(id) {}
+  int id;
+};
+
+TEST_F(ClassRegistryTest, MethodLookupWalksHierarchy) {
+  Oid emp = Define("Employee", root_);
+  Oid mgr = Define("Manager", emp);
+  SymbolId pay = symbols_.Intern("pay");
+  SymbolId fire = symbols_.Intern("fire");
+
+  registry_.Get(emp)->InstallMethod(pay, std::make_shared<FakeMethod>(1));
+  registry_.Get(mgr)->InstallMethod(fire, std::make_shared<FakeMethod>(2));
+
+  // Manager finds its own method and inherits Employee's.
+  const auto* own = registry_.LookupMethod(mgr, fire);
+  ASSERT_NE(own, nullptr);
+  EXPECT_EQ(static_cast<const FakeMethod*>(own)->id, 2);
+  const auto* inherited = registry_.LookupMethod(mgr, pay);
+  ASSERT_NE(inherited, nullptr);
+  EXPECT_EQ(static_cast<const FakeMethod*>(inherited)->id, 1);
+  // Employee does not see Manager's method.
+  EXPECT_EQ(registry_.LookupMethod(emp, fire), nullptr);
+}
+
+TEST_F(ClassRegistryTest, OverrideShadowsSuperclassMethod) {
+  Oid emp = Define("Employee", root_);
+  Oid mgr = Define("Manager", emp);
+  SymbolId pay = symbols_.Intern("pay");
+  registry_.Get(emp)->InstallMethod(pay, std::make_shared<FakeMethod>(1));
+  registry_.Get(mgr)->InstallMethod(pay, std::make_shared<FakeMethod>(2));
+
+  Oid defining;
+  const auto* m = registry_.LookupMethodFrom(mgr, pay, &defining);
+  EXPECT_EQ(static_cast<const FakeMethod*>(m)->id, 2);
+  EXPECT_EQ(defining, mgr);
+  // A `super pay` send starts lookup above the defining class.
+  const auto* super_m =
+      registry_.LookupMethodFrom(registry_.Get(defining)->superclass(), pay,
+                                 &defining);
+  EXPECT_EQ(static_cast<const FakeMethod*>(super_m)->id, 1);
+}
+
+TEST_F(ClassRegistryTest, AddInstVarAfterTheFact) {
+  Oid emp = Define("Employee", root_, {"name"});
+  EXPECT_TRUE(registry_.AddInstVar(emp, "phones").ok());
+  EXPECT_EQ(registry_.AllInstVars(emp).size(), 2u);
+  EXPECT_EQ(registry_.AddInstVar(emp, "name").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry_.AddInstVar(Oid(4242), "x").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gemstone

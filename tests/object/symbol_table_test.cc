@@ -1,0 +1,63 @@
+#include "object/symbol_table.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gemstone {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("salary");
+  SymbolId b = table.Intern("salary");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.Name(a), "salary");
+}
+
+TEST(SymbolTableTest, DistinctStringsDistinctIds) {
+  SymbolTable table;
+  EXPECT_NE(table.Intern("name"), table.Intern("Name"));
+}
+
+TEST(SymbolTableTest, LookupWithoutInterning) {
+  SymbolTable table;
+  EXPECT_EQ(table.Lookup("ghost"), kInvalidSymbol);
+  SymbolId id = table.Intern("ghost");
+  EXPECT_EQ(table.Lookup("ghost"), id);
+}
+
+TEST(SymbolTableTest, AliasesAreFreshAndMarked) {
+  SymbolTable table;
+  SymbolId a1 = table.GenerateAlias();
+  SymbolId a2 = table.GenerateAlias();
+  EXPECT_NE(a1, a2);
+  EXPECT_TRUE(table.IsAlias(a1));
+  EXPECT_TRUE(table.IsAlias(a2));
+  EXPECT_FALSE(table.IsAlias(table.Intern("regular")));
+}
+
+TEST(SymbolTableTest, AliasAvoidsUserCollision) {
+  SymbolTable table;
+  table.Intern("_a1");
+  SymbolId alias = table.GenerateAlias();
+  EXPECT_NE(table.Name(alias), "_a1");
+  EXPECT_TRUE(table.IsAlias(alias));
+}
+
+TEST(SymbolTableTest, ConcurrentInternYieldsOneId) {
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  std::vector<SymbolId> ids(kThreads);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back(
+        [&table, &ids, i] { ids[i] = table.Intern("shared-symbol"); });
+  }
+  for (auto& w : workers) w.join();
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(ids[0], ids[i]);
+}
+
+}  // namespace
+}  // namespace gemstone

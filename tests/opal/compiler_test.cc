@@ -1,0 +1,150 @@
+#include "opal/compiler.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::opal {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  CompilerTest() : compiler_(&memory_) {}
+
+  std::shared_ptr<CompiledMethod> CompileOk(std::string_view src) {
+    auto method = compiler_.CompileBody(src);
+    EXPECT_TRUE(method.ok()) << method.status().ToString();
+    return method.ok() ? std::move(method).value() : nullptr;
+  }
+
+  ObjectMemory memory_;
+  Compiler compiler_;
+};
+
+TEST_F(CompilerTest, LiteralBody) {
+  auto method = CompileOk("42");
+  ASSERT_NE(method, nullptr);
+  EXPECT_EQ(method->num_args, 0);
+  ASSERT_GE(method->literals.size(), 1u);
+  EXPECT_EQ(method->literals[0], Value::Integer(42));
+  const std::string listing = method->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("pushLiteral 42"), std::string::npos);
+  EXPECT_NE(listing.find("returnTop"), std::string::npos);
+}
+
+TEST_F(CompilerTest, SendCompilesSelectorLiteral) {
+  auto method = CompileOk("1 + 2");
+  const std::string listing = method->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("send #+ argc=1"), std::string::npos);
+}
+
+TEST_F(CompilerTest, TempSlots) {
+  auto method = CompileOk("| a b | a := 1. b := 2. a");
+  EXPECT_EQ(method->num_slots, 2);
+  const std::string listing = method->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("storeTemp level=0 slot=0"), std::string::npos);
+  EXPECT_NE(listing.find("storeTemp level=0 slot=1"), std::string::npos);
+}
+
+TEST_F(CompilerTest, LiteralsDeduplicated) {
+  auto method = CompileOk("| x | x := 7. x + 7 + 7");
+  std::size_t count = 0;
+  for (const Value& v : method->literals) {
+    if (v.IsInteger() && v.integer() == 7) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(CompilerTest, BlockCompilesNested) {
+  auto method = CompileOk("[:x | x + 1]");
+  ASSERT_EQ(method->blocks.size(), 1u);
+  EXPECT_EQ(method->blocks[0]->num_args, 1);
+  EXPECT_TRUE(method->blocks[0]->is_block);
+  const std::string listing =
+      method->blocks[0]->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("localReturn"), std::string::npos);
+}
+
+TEST_F(CompilerTest, OuterTempAccessUsesLexicalLevel) {
+  auto method = CompileOk("| a | a := 1. [a + 1]");
+  ASSERT_EQ(method->blocks.size(), 1u);
+  const std::string listing =
+      method->blocks[0]->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("pushTemp level=1 slot=0"), std::string::npos);
+}
+
+TEST_F(CompilerTest, InstVarAccessWithinClassContext) {
+  Oid emp = memory_.AllocateOid();
+  ASSERT_TRUE(memory_.classes()
+                  .DefineClass(emp, "Employee", memory_.kernel().object,
+                               ObjectFormat::kNamed, {"name", "salary"})
+                  .ok());
+  auto method = compiler_.CompileMethodSource("salary ^salary", emp)
+                    .ValueOrDie();
+  const std::string listing = method->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("pushInstVar #salary"), std::string::npos);
+
+  auto setter =
+      compiler_.CompileMethodSource("salary: aNumber salary := aNumber", emp)
+          .ValueOrDie();
+  const std::string setter_listing = setter->Disassemble(memory_.symbols());
+  EXPECT_NE(setter_listing.find("storeInstVar #salary"), std::string::npos);
+}
+
+TEST_F(CompilerTest, UnknownIdentifierBecomesGlobal) {
+  auto method = CompileOk("Employee");
+  const std::string listing = method->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("pushGlobal #Employee"), std::string::npos);
+}
+
+TEST_F(CompilerTest, PathOpsEmitted) {
+  auto method = CompileOk("x!dept@7!name");
+  const std::string listing = method->Disassemble(memory_.symbols());
+  EXPECT_NE(listing.find("pathGet #dept @time"), std::string::npos);
+  EXPECT_NE(listing.find("pathGet #name"), std::string::npos);
+
+  auto assign = CompileOk("x!dept!budget := 5");
+  const std::string assign_listing = assign->Disassemble(memory_.symbols());
+  EXPECT_NE(assign_listing.find("pathSet #budget"), std::string::npos);
+}
+
+TEST_F(CompilerTest, AssignIntoPastRejected) {
+  EXPECT_EQ(compiler_.CompileBody("x!dept@7 := 5").status().code(),
+            StatusCode::kCompileError);
+  EXPECT_EQ(compiler_.CompileBody("self := 5").status().code(),
+            StatusCode::kCompileError);
+}
+
+TEST_F(CompilerTest, DeclarativeBlockRecognized) {
+  auto method = CompileOk("[:e | (e!salary > 1000) & (e!dept = 'Sales')]");
+  ASSERT_EQ(method->blocks.size(), 1u);
+  const CompiledMethod& block = *method->blocks[0];
+  ASSERT_TRUE(block.is_declarative);
+  ASSERT_EQ(block.declarative_conjuncts.size(), 2u);
+  EXPECT_EQ(block.declarative_conjuncts[0].lhs_path,
+            (std::vector<std::string>{"salary"}));
+  EXPECT_EQ(block.declarative_conjuncts[0].rhs_literal, Value::Integer(1000));
+  EXPECT_EQ(block.declarative_conjuncts[1].rhs_literal,
+            Value::String("Sales"));
+}
+
+TEST_F(CompilerTest, DeclarativeBlockPathVsPathConjunct) {
+  auto method = CompileOk("[:e | e!bonus > e!salary]");
+  ASSERT_TRUE(method->blocks[0]->is_declarative);
+  EXPECT_EQ(method->blocks[0]->declarative_conjuncts[0].rhs_path,
+            (std::vector<std::string>{"salary"}));
+}
+
+TEST_F(CompilerTest, NonDeclarativeBlocksNotFlagged) {
+  // Message sends other than comparisons break the declarative subset.
+  EXPECT_FALSE(CompileOk("[:e | e!name size > 3]")->blocks[0]
+                   ->is_declarative);
+  // Multiple statements break it.
+  EXPECT_FALSE(CompileOk("[:e | e foo. e!x = 1]")->blocks[0]
+                   ->is_declarative);
+  // Two parameters break it.
+  EXPECT_FALSE(CompileOk("[:a :b | a!x = 1]")->blocks[0]->is_declarative);
+  // Time qualifiers break it (queries run at the session's time dial).
+  EXPECT_FALSE(CompileOk("[:e | e!x@3 = 1]")->blocks[0]->is_declarative);
+}
+
+}  // namespace
+}  // namespace gemstone::opal

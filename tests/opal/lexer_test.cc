@@ -1,0 +1,108 @@
+#include "opal/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::opal {
+namespace {
+
+std::vector<Token> Lex(std::string_view src) {
+  Lexer lexer(src);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Lex("foo at: x put: y2");
+  ASSERT_EQ(tokens.size(), 6u);  // includes end
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[1].text, "at:");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[3].text, "put:");
+  EXPECT_EQ(tokens[4].text, "y2");
+}
+
+TEST(LexerTest, NumbersAndNegatives) {
+  auto tokens = Lex("42 3.25 7");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.25);
+  // '-' lexes as binary; the parser folds negative literals.
+  auto neg = Lex("-5");
+  EXPECT_EQ(neg[0].kind, TokenKind::kBinary);
+  EXPECT_EQ(neg[1].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, StringsWithEscapedQuote) {
+  auto tokens = Lex("'Acme Corp' 'don''t'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "Acme Corp");
+  EXPECT_EQ(tokens[1].text, "don't");
+}
+
+TEST(LexerTest, SymbolsAndCharacters) {
+  auto tokens = Lex("#foo #at:put: #+ $a");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "at:put:");
+  EXPECT_EQ(tokens[2].text, "+");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kCharacter);
+  EXPECT_EQ(tokens[3].text, "a");
+}
+
+TEST(LexerTest, BinarySelectorsAndAssignment) {
+  auto tokens = Lex("x := a + b <= c");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kBinary);
+  EXPECT_EQ(tokens[3].text, "+");
+  EXPECT_EQ(tokens[5].text, "<=");
+}
+
+TEST(LexerTest, PathAndTimeTokens) {
+  auto tokens = Lex("world!'Acme Corp'!president@10");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kBang);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kBang);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kAt);
+  EXPECT_EQ(tokens[6].int_value, 10);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Lex("a \"this is a comment\" b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, BlockAndBraceTokens) {
+  auto tokens = Lex("[:x | x] {1. 2}");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLeftBracket);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kColon);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kPipe);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kLeftBrace);
+}
+
+TEST(LexerTest, LiteralArrayMarker) {
+  auto tokens = Lex("#(1 2)");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLeftParen);
+  EXPECT_EQ(tokens[0].text, "#(");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lexer("'unterminated").Tokenize().ok());
+  EXPECT_FALSE(Lexer("#").Tokenize().ok());
+  EXPECT_FALSE(Lexer("`").Tokenize().ok());
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+}  // namespace
+}  // namespace gemstone::opal

@@ -1,0 +1,156 @@
+#include "opal/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::opal {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  MethodAst Parse(std::string_view src) {
+    auto ast = Parser::ParseBody(src, &symbols_);
+    EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+    return ast.ok() ? std::move(ast).value() : MethodAst{};
+  }
+
+  SymbolTable symbols_;
+};
+
+TEST_F(ParserTest, LiteralStatement) {
+  MethodAst ast = Parse("42");
+  ASSERT_EQ(ast.body.size(), 1u);
+  ASSERT_EQ(ast.body[0]->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(static_cast<LiteralExpr&>(*ast.body[0]).value, Value::Integer(42));
+}
+
+TEST_F(ParserTest, NegativeLiteralFolded) {
+  MethodAst ast = Parse("-5");
+  EXPECT_EQ(static_cast<LiteralExpr&>(*ast.body[0]).value,
+            Value::Integer(-5));
+}
+
+TEST_F(ParserTest, TempsAndAssignment) {
+  MethodAst ast = Parse("| a b | a := 1. b := a");
+  EXPECT_EQ(ast.temps, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(ast.body.size(), 2u);
+  EXPECT_EQ(ast.body[0]->kind, Expr::Kind::kAssign);
+  auto& second = static_cast<AssignExpr&>(*ast.body[1]);
+  EXPECT_EQ(second.name, "b");
+  EXPECT_EQ(second.value->kind, Expr::Kind::kVarRef);
+}
+
+TEST_F(ParserTest, UnaryBinaryKeywordPrecedence) {
+  // `2 factorial + 3 max: 10` parses as ((2 factorial) + 3) max: 10.
+  MethodAst ast = Parse("2 factorial + 3 max: 10");
+  auto& keyword = static_cast<SendExpr&>(*ast.body[0]);
+  EXPECT_EQ(keyword.selector, "max:");
+  auto& binary = static_cast<SendExpr&>(*keyword.receiver);
+  EXPECT_EQ(binary.selector, "+");
+  auto& unary = static_cast<SendExpr&>(*binary.receiver);
+  EXPECT_EQ(unary.selector, "factorial");
+}
+
+TEST_F(ParserTest, MultiKeywordMessage) {
+  MethodAst ast = Parse("d at: 'k' put: 42");
+  auto& send = static_cast<SendExpr&>(*ast.body[0]);
+  EXPECT_EQ(send.selector, "at:put:");
+  EXPECT_EQ(send.args.size(), 2u);
+}
+
+TEST_F(ParserTest, Cascade) {
+  MethodAst ast = Parse("s add: 1; add: 2; size");
+  ASSERT_EQ(ast.body[0]->kind, Expr::Kind::kCascade);
+  auto& cascade = static_cast<CascadeExpr&>(*ast.body[0]);
+  ASSERT_EQ(cascade.messages.size(), 3u);
+  EXPECT_EQ(cascade.messages[0].selector, "add:");
+  EXPECT_EQ(cascade.messages[2].selector, "size");
+  EXPECT_EQ(cascade.receiver->kind, Expr::Kind::kVarRef);
+}
+
+TEST_F(ParserTest, BlockWithParamsAndTemps) {
+  MethodAst ast = Parse("[:x :y | | t | t := x + y. t]");
+  auto& block = static_cast<BlockExpr&>(*ast.body[0]);
+  EXPECT_EQ(block.params, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(block.temps, (std::vector<std::string>{"t"}));
+  EXPECT_EQ(block.body.size(), 2u);
+}
+
+TEST_F(ParserTest, ReturnStatement) {
+  MethodAst ast = Parse("^1 + 2");
+  ASSERT_EQ(ast.body[0]->kind, Expr::Kind::kReturn);
+}
+
+TEST_F(ParserTest, PathExpression) {
+  MethodAst ast = Parse("world!'Acme Corp'!president@10!city");
+  auto& path = static_cast<PathExpr&>(*ast.body[0]);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].name, "Acme Corp");
+  EXPECT_EQ(path.steps[1].name, "president");
+  ASSERT_NE(path.steps[1].time, nullptr);
+  EXPECT_EQ(path.steps[2].name, "city");
+  EXPECT_EQ(path.steps[2].time, nullptr);
+}
+
+TEST_F(ParserTest, PathAssignment) {
+  MethodAst ast = Parse("dept!Budget := 150000");
+  ASSERT_EQ(ast.body[0]->kind, Expr::Kind::kPathAssign);
+  auto& assign = static_cast<PathAssignExpr&>(*ast.body[0]);
+  EXPECT_EQ(assign.steps.back().name, "Budget");
+  EXPECT_EQ(assign.value->kind, Expr::Kind::kLiteral);
+}
+
+TEST_F(ParserTest, PathMixedWithUnarySends) {
+  // (e!depts) size
+  MethodAst ast = Parse("e!depts size");
+  auto& send = static_cast<SendExpr&>(*ast.body[0]);
+  EXPECT_EQ(send.selector, "size");
+  EXPECT_EQ(send.receiver->kind, Expr::Kind::kPath);
+}
+
+TEST_F(ParserTest, LiteralAndBraceArrays) {
+  MethodAst lit = Parse("#(1 2.5 'x' #sym true nil -3)");
+  auto& array = static_cast<ArrayExpr&>(*lit.body[0]);
+  EXPECT_EQ(array.elements.size(), 7u);
+  MethodAst brace = Parse("{1 + 1. 'two'}");
+  auto& dyn = static_cast<ArrayExpr&>(*brace.body[0]);
+  EXPECT_EQ(dyn.elements.size(), 2u);
+  EXPECT_EQ(dyn.elements[0]->kind, Expr::Kind::kSend);
+}
+
+TEST_F(ParserTest, MethodPatterns) {
+  auto unary = Parser::ParseMethodSource("salary ^salary", &symbols_)
+                   .ValueOrDie();
+  EXPECT_EQ(unary.selector, "salary");
+  EXPECT_TRUE(unary.params.empty());
+
+  auto binary = Parser::ParseMethodSource("+ other ^1", &symbols_)
+                    .ValueOrDie();
+  EXPECT_EQ(binary.selector, "+");
+  EXPECT_EQ(binary.params, (std::vector<std::string>{"other"}));
+
+  auto keyword = Parser::ParseMethodSource(
+                     "salary: aNumber raise: pct ^nil", &symbols_)
+                     .ValueOrDie();
+  EXPECT_EQ(keyword.selector, "salary:raise:");
+  EXPECT_EQ(keyword.params, (std::vector<std::string>{"aNumber", "pct"}));
+}
+
+TEST_F(ParserTest, SuperFlagged) {
+  MethodAst ast = Parse("super printString");
+  auto& send = static_cast<SendExpr&>(*ast.body[0]);
+  EXPECT_TRUE(send.to_super);
+}
+
+TEST_F(ParserTest, Errors) {
+  SymbolTable syms;
+  EXPECT_FALSE(Parser::ParseBody("(1 + 2", &syms).ok());
+  EXPECT_FALSE(Parser::ParseBody("[:x y]", &syms).ok());
+  EXPECT_FALSE(Parser::ParseBody("x!", &syms).ok());
+  EXPECT_FALSE(Parser::ParseBody("1 ; foo", &syms).ok());  // cascade on non-send
+  EXPECT_FALSE(Parser::ParseBody("x := ", &syms).ok());
+  EXPECT_FALSE(Parser::ParseBody("] ", &syms).ok());
+  EXPECT_FALSE(Parser::ParseMethodSource("42 bad", &syms).ok());
+}
+
+}  // namespace
+}  // namespace gemstone::opal

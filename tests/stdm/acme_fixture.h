@@ -1,0 +1,64 @@
+#ifndef GEMSTONE_TESTS_STDM_ACME_FIXTURE_H_
+#define GEMSTONE_TESTS_STDM_ACME_FIXTURE_H_
+
+#include "stdm/stdm_value.h"
+
+namespace gemstone::stdm {
+
+/// Builds the §5.1 database fragment:
+///
+///   Acme: {Departments: {A12: {Name: 'Sales', Managers: {'Nathen',
+///          'Roberts'}, Budget: 142000}, A16: {Name: 'Research',
+///          Managers: {'Carter'}, Budget: 256500}},
+///          Employees: {E62: {...Ellen Burns...}, E83: {...Robert
+///          Peters...}}}
+inline StdmValue BuildAcmeDatabase() {
+  StdmValue acme = StdmValue::Set();
+
+  StdmValue departments = StdmValue::Set();
+  {
+    StdmValue a12 = StdmValue::Set();
+    (void)a12.Put("Name", StdmValue::String("Sales"));
+    (void)a12.Put("Managers", StdmValue::SetOf({StdmValue::String("Nathen"),
+                                                StdmValue::String("Roberts")}));
+    (void)a12.Put("Budget", StdmValue::Integer(142000));
+    (void)departments.Put("A12", std::move(a12));
+
+    StdmValue a16 = StdmValue::Set();
+    (void)a16.Put("Name", StdmValue::String("Research"));
+    (void)a16.Put("Managers", StdmValue::SetOf({StdmValue::String("Carter")}));
+    (void)a16.Put("Budget", StdmValue::Integer(256500));
+    (void)departments.Put("A16", std::move(a16));
+  }
+  (void)acme.Put("Departments", std::move(departments));
+
+  StdmValue employees = StdmValue::Set();
+  {
+    StdmValue e62 = StdmValue::Set();
+    StdmValue name62 = StdmValue::Set();
+    (void)name62.Put("First", StdmValue::String("Ellen"));
+    (void)name62.Put("Last", StdmValue::String("Burns"));
+    (void)e62.Put("Name", std::move(name62));
+    (void)e62.Put("Salary", StdmValue::Integer(24650));
+    (void)e62.Put("Depts", StdmValue::SetOf({StdmValue::String("Marketing")}));
+    (void)employees.Put("E62", std::move(e62));
+
+    StdmValue e83 = StdmValue::Set();
+    StdmValue name83 = StdmValue::Set();
+    (void)name83.Put("First", StdmValue::String("Robert"));
+    (void)name83.Put("Last", StdmValue::String("Peters"));
+    (void)e83.Put("Name", std::move(name83));
+    (void)e83.Put("Salary", StdmValue::Integer(24000));
+    (void)e83.Put("Depts", StdmValue::SetOf({StdmValue::String("Sales"),
+                                             StdmValue::String("Planning")}));
+    (void)e83.Put("Phones", StdmValue::SetOf({StdmValue::Integer(3949),
+                                              StdmValue::Integer(3862)}));
+    (void)employees.Put("E83", std::move(e83));
+  }
+  (void)acme.Put("Employees", std::move(employees));
+  return acme;
+}
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_TESTS_STDM_ACME_FIXTURE_H_

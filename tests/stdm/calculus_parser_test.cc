@@ -1,0 +1,119 @@
+#include "stdm/calculus_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "acme_fixture.h"
+#include "stdm/translate.h"
+
+namespace gemstone::stdm {
+namespace {
+
+// The query exactly as §5.1 prints it (with ASCII 'in' for '∈').
+constexpr const char* kPaperQuery =
+    "{{Emp: e, Mgr: m} where "
+    "(e in X!Employees) and "
+    "(d in X!Departments) [(m in d!Managers) and "
+    "(d!Name in e!Depts) and (e!Salary > 0.10 * d!Budget)]}";
+
+TEST(CalculusParserTest, ParsesThePaperQuery) {
+  auto query = ParseCalculus(kPaperQuery);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->target.size(), 2u);
+  EXPECT_EQ(query->target[0].first, "Emp");
+  EXPECT_EQ(query->target[1].first, "Mgr");
+  // m's membership was promoted to a correlated range.
+  ASSERT_EQ(query->ranges.size(), 3u);
+  EXPECT_EQ(query->ranges[0].var, "e");
+  EXPECT_EQ(query->ranges[1].var, "d");
+  EXPECT_EQ(query->ranges[2].var, "m");
+  EXPECT_EQ(query->ranges[2].source.ToString(), "d!Managers");
+  // The two residual conjuncts remain conditions.
+  EXPECT_EQ(query->condition.kind, Predicate::Kind::kAnd);
+  EXPECT_EQ(query->condition.children.size(), 2u);
+}
+
+TEST(CalculusParserTest, ParsedQueryEvaluatesLikeTheHandBuiltOne) {
+  StdmValue acme = BuildAcmeDatabase();
+  Bindings free;
+  free.Push("X", &acme);
+  auto query = ParseCalculus(kPaperQuery).ValueOrDie();
+  auto result = EvaluateCalculus(query, free).ValueOrDie();
+  EXPECT_EQ(result.size(), 2u);  // Peters x {Nathen, Roberts}
+  // And the translated plan agrees.
+  auto plan = TranslateToAlgebra(query).ValueOrDie();
+  EXPECT_EQ(plan.Execute(free).ValueOrDie(), result);
+}
+
+TEST(CalculusParserTest, UnicodeMembershipAccepted) {
+  auto query = ParseCalculus(
+      "{{E: e} where (e \xE2\x88\x88 X!Employees) [(e!Salary > 1)]}");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->ranges.size(), 1u);
+}
+
+TEST(CalculusParserTest, PaperNumberFormatting) {
+  // "Budget: 142,000" style numbers parse with their grouping commas.
+  auto query =
+      ParseCalculus("{{E: e} where (e in X!Es) [(e!Budget = 142,000)]}");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  const Predicate& cmp = query->condition;
+  ASSERT_EQ(cmp.kind, Predicate::Kind::kCompare);
+  EXPECT_EQ(cmp.rhs->constant.integer(), 142000);
+}
+
+TEST(CalculusParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">=", "subsetOf"}) {
+    std::string text = std::string("{{E: e} where (e in X!Es) [(e!A ") + op +
+                       " e!B)]}";
+    EXPECT_TRUE(ParseCalculus(text).ok()) << op;
+  }
+}
+
+TEST(CalculusParserTest, BooleanStructure) {
+  auto query = ParseCalculus(
+      "{{E: e} where (e in X!Es) "
+      "[((e!A = 1) or (e!A = 2)) and (not (e!B < 0))]}");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(query->condition.kind, Predicate::Kind::kAnd);
+  EXPECT_EQ(query->condition.children[0].kind, Predicate::Kind::kOr);
+  EXPECT_EQ(query->condition.children[1].kind, Predicate::Kind::kNot);
+}
+
+TEST(CalculusParserTest, NoConditionBracket) {
+  auto query = ParseCalculus("{{E: e} where (e in X!Employees)}");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->condition.kind, Predicate::Kind::kTrue);
+}
+
+TEST(CalculusParserTest, ArithmeticPrecedence) {
+  auto query =
+      ParseCalculus("{{E: e} where (e in X!Es) [(e!A > 1 + 2 * 3)]}");
+  ASSERT_TRUE(query.ok());
+  // 1 + (2 * 3), not (1 + 2) * 3.
+  EXPECT_EQ(query->condition.rhs->ToString(), "(1 + (2 * 3))");
+}
+
+TEST(CalculusParserTest, MembershipOfNonTargetVarStaysCondition) {
+  // d!Name is not a bare variable; 'x' is bare but not in the target, so
+  // neither membership becomes a range.
+  auto query = ParseCalculus(
+      "{{E: e} where (e in X!Es) [('Sales' in e!Depts)]}");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->ranges.size(), 1u);
+  EXPECT_EQ(query->condition.kind, Predicate::Kind::kMember);
+}
+
+TEST(CalculusParserTest, Errors) {
+  EXPECT_FALSE(ParseCalculus("").ok());
+  EXPECT_FALSE(ParseCalculus("{{E: e} (e in X!Es)}").ok());      // no where
+  EXPECT_FALSE(ParseCalculus("{{E: e} where (e X!Es)}").ok());   // no in
+  EXPECT_FALSE(ParseCalculus("{{E: e} where (e in X!Es)").ok()); // no close
+  EXPECT_FALSE(ParseCalculus("{{E: e} where (e in X!Es)} extra").ok());
+  EXPECT_FALSE(
+      ParseCalculus("{{E: e} where (e in X!Es) [(e!A ~ 1)]}").ok());
+  EXPECT_FALSE(
+      ParseCalculus("{{E: e} where (e in X!Es) [('unclosed)]}").ok());
+}
+
+}  // namespace
+}  // namespace gemstone::stdm

@@ -1,0 +1,192 @@
+#include "stdm/calculus.h"
+
+#include <gtest/gtest.h>
+
+#include "acme_fixture.h"
+
+namespace gemstone::stdm {
+namespace {
+
+class CalculusTest : public ::testing::Test {
+ protected:
+  CalculusTest() : acme_(BuildAcmeDatabase()) { free_.Push("X", &acme_); }
+
+  StdmValue acme_;
+  Bindings free_;
+};
+
+TEST_F(CalculusTest, TermConstAndVar) {
+  EXPECT_EQ(EvalTerm(Term::Const(StdmValue::Integer(7)), free_).ValueOrDie()
+                .integer(),
+            7);
+  auto whole = EvalTerm(Term::Var("X"), free_);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(whole->IsSet());
+  EXPECT_FALSE(EvalTerm(Term::Var("Y"), free_).ok());
+}
+
+TEST_F(CalculusTest, TermVarPath) {
+  auto budget =
+      EvalTerm(Term::VarPath("X", {"Departments", "A12", "Budget"}), free_);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(budget->integer(), 142000);
+  EXPECT_EQ(
+      EvalTerm(Term::VarPath("X", {"Departments", "A99"}), free_).status()
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(CalculusTest, TermArithmetic) {
+  Term t = Term::Mul(Term::Const(StdmValue::Float(0.10)),
+                     Term::VarPath("X", {"Departments", "A12", "Budget"}));
+  EXPECT_DOUBLE_EQ(EvalTerm(t, free_).ValueOrDie().AsDouble(), 14200.0);
+
+  Term ints = Term::Add(Term::Const(StdmValue::Integer(2)),
+                        Term::Const(StdmValue::Integer(3)));
+  auto r = EvalTerm(ints, free_).ValueOrDie();
+  EXPECT_EQ(r.kind(), StdmValue::Kind::kInteger);
+  EXPECT_EQ(r.integer(), 5);
+
+  Term div0 = Term::Div(Term::Const(StdmValue::Integer(1)),
+                        Term::Const(StdmValue::Integer(0)));
+  EXPECT_EQ(EvalTerm(div0, free_).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Term bad = Term::Add(Term::Const(StdmValue::String("a")),
+                       Term::Const(StdmValue::Integer(1)));
+  EXPECT_EQ(EvalTerm(bad, free_).status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST_F(CalculusTest, PredicateCompare) {
+  auto eval = [&](Predicate p) {
+    return EvalPredicate(p, free_).ValueOrDie();
+  };
+  Term budget = Term::VarPath("X", {"Departments", "A12", "Budget"});
+  EXPECT_TRUE(eval(Predicate::Eq(budget, Term::Const(StdmValue::Integer(142000)))));
+  EXPECT_TRUE(eval(Predicate::Gt(budget, Term::Const(StdmValue::Integer(100)))));
+  EXPECT_FALSE(eval(Predicate::Lt(budget, Term::Const(StdmValue::Integer(100)))));
+  EXPECT_TRUE(eval(Predicate::Ge(budget, Term::Const(StdmValue::Float(142000.0)))));
+  // String ordering.
+  EXPECT_TRUE(eval(Predicate::Lt(Term::Const(StdmValue::String("Research")),
+                                 Term::Const(StdmValue::String("Sales")))));
+  // Unorderable kinds fail.
+  EXPECT_FALSE(EvalPredicate(
+                   Predicate::Lt(Term::Const(StdmValue::String("a")),
+                                 Term::Const(StdmValue::Integer(1))),
+                   free_)
+                   .ok());
+}
+
+TEST_F(CalculusTest, PredicateMemberAndSubset) {
+  Term depts = Term::VarPath("X", {"Employees", "E83", "Depts"});
+  EXPECT_TRUE(EvalPredicate(Predicate::Member(
+                                Term::Const(StdmValue::String("Sales")), depts),
+                            free_)
+                  .ValueOrDie());
+  EXPECT_FALSE(
+      EvalPredicate(
+          Predicate::Member(Term::Const(StdmValue::String("Nowhere")), depts),
+          free_)
+          .ValueOrDie());
+  EXPECT_TRUE(
+      EvalPredicate(
+          Predicate::Subset(Term::Const(StdmValue::SetOf(
+                                {StdmValue::String("Sales")})),
+                            depts),
+          free_)
+          .ValueOrDie());
+  // Member on a non-set is a type error.
+  EXPECT_FALSE(EvalPredicate(Predicate::Member(
+                                 Term::Const(StdmValue::Integer(1)),
+                                 Term::Const(StdmValue::Integer(2))),
+                             free_)
+                   .ok());
+}
+
+TEST_F(CalculusTest, BooleanConnectives) {
+  Predicate t = Predicate::True();
+  Predicate f = Predicate::Not(Predicate::True());
+  EXPECT_TRUE(EvalPredicate(Predicate::And({t, t}), free_).ValueOrDie());
+  EXPECT_FALSE(EvalPredicate(Predicate::And({t, f}), free_).ValueOrDie());
+  EXPECT_TRUE(EvalPredicate(Predicate::Or({f, t}), free_).ValueOrDie());
+  EXPECT_FALSE(EvalPredicate(Predicate::Or({f, f}), free_).ValueOrDie());
+}
+
+// Builds the paper's §5.1 query:
+//   {{Emp: e, Mgr: m} where (e ∈ X!Employees) and (d ∈ X!Departments)
+//     [(m ∈ d!Managers) and (d!Name ∈ e!Depts)
+//      and (e!Salary > 0.10 * d!Budget)]}
+CalculusQuery PaperQuery() {
+  CalculusQuery q;
+  q.target = {{"Emp", Term::Var("e")}, {"Mgr", Term::Var("m")}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})},
+              {"d", Term::VarPath("X", {"Departments"})},
+              {"m", Term::VarPath("d", {"Managers"})}};
+  q.condition = Predicate::And(
+      {Predicate::Member(Term::VarPath("d", {"Name"}),
+                         Term::VarPath("e", {"Depts"})),
+       Predicate::Gt(Term::VarPath("e", {"Salary"}),
+                     Term::Mul(Term::Const(StdmValue::Float(0.10)),
+                               Term::VarPath("d", {"Budget"})))});
+  return q;
+}
+
+TEST_F(CalculusTest, PaperQueryNaiveEvaluation) {
+  EvalStats stats;
+  auto result = EvaluateCalculus(PaperQuery(), free_, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Robert Peters (salary 24000) is in Sales (budget 142000; 10% = 14200),
+  // whose managers are Nathen and Roberts: exactly two result tuples.
+  ASSERT_EQ(result->size(), 2u);
+  std::vector<std::string> managers;
+  for (const auto& e : result->elements()) {
+    const StdmValue* mgr = e.value.Get("Mgr");
+    ASSERT_NE(mgr, nullptr);
+    managers.push_back(mgr->string());
+    const StdmValue* emp = e.value.Get("Emp");
+    ASSERT_NE(emp, nullptr);
+    EXPECT_EQ(emp->Get("Name")->Get("Last")->string(), "Peters");
+  }
+  std::sort(managers.begin(), managers.end());
+  EXPECT_EQ(managers[0], "Nathen");
+  EXPECT_EQ(managers[1], "Roberts");
+  // Naive evaluation visits |E| x |D| x |Managers| combinations.
+  EXPECT_EQ(stats.tuples_examined, 2u * (2u + 1u));  // per (e,d): |Managers|
+}
+
+TEST_F(CalculusTest, DuplicateTuplesCollapse) {
+  // Project employees' last names; both ranges of a cross produce the
+  // same name twice -> set semantics keeps one.
+  CalculusQuery q;
+  q.target = {{"L", Term::VarPath("e", {"Name", "Last"})}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})},
+              {"d", Term::VarPath("X", {"Departments"})}};
+  auto result = EvaluateCalculus(q, free_).ValueOrDie();
+  EXPECT_EQ(result.size(), 2u);  // Burns, Peters (not 4)
+}
+
+TEST_F(CalculusTest, EmptyRangeYieldsEmptySet) {
+  CalculusQuery q;
+  q.target = {{"E", Term::Var("e")}};
+  q.ranges = {{"e", Term::Const(StdmValue::Set())}};
+  EXPECT_EQ(EvaluateCalculus(q, free_).ValueOrDie().size(), 0u);
+}
+
+TEST_F(CalculusTest, RangeOverNonSetFails) {
+  CalculusQuery q;
+  q.target = {{"E", Term::Var("e")}};
+  q.ranges = {{"e", Term::Const(StdmValue::Integer(3))}};
+  EXPECT_EQ(EvaluateCalculus(q, free_).status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST_F(CalculusTest, ToStringRoundTripReadable) {
+  CalculusQuery q = PaperQuery();
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("Emp: e"), std::string::npos);
+  EXPECT_NE(s.find("e in X!Employees"), std::string::npos);
+  EXPECT_NE(s.find("d!Name in e!Depts"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemstone::stdm

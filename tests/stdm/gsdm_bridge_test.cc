@@ -1,0 +1,155 @@
+#include "stdm/gsdm_bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "acme_fixture.h"
+#include "stdm/calculus.h"
+#include "txn/transaction_manager.h"
+
+namespace gemstone::stdm {
+namespace {
+
+class BridgeTest : public ::testing::Test {
+ protected:
+  BridgeTest() : manager_(&memory_), session_(&manager_, 1) {
+    EXPECT_TRUE(session_.Begin().ok());
+  }
+
+  SymbolId Sym(std::string_view s) { return memory_.symbols().Intern(s); }
+
+  ObjectMemory memory_;
+  txn::TransactionManager manager_;
+  txn::Session session_;
+};
+
+TEST_F(BridgeTest, SimpleValuesPassThrough) {
+  EXPECT_EQ(ImportStdm(&session_, &memory_, StdmValue::Integer(7))
+                .ValueOrDie(),
+            Value::Integer(7));
+  EXPECT_EQ(ImportStdm(&session_, &memory_, StdmValue::String("x"))
+                .ValueOrDie(),
+            Value::String("x"));
+  EXPECT_EQ(
+      ExportStdm(&session_, &memory_, Value::Float(1.5)).ValueOrDie(),
+      StdmValue::Float(1.5));
+  EXPECT_EQ(ExportStdm(&session_, &memory_, Value::Nil()).ValueOrDie(),
+            StdmValue::Nil());
+}
+
+TEST_F(BridgeTest, AcmeRoundTripsStructurally) {
+  StdmValue acme = BuildAcmeDatabase();
+  auto imported = ImportStdm(&session_, &memory_, acme);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_TRUE(imported->IsRef());
+
+  // Navigate the GSDM side: Departments -> A12 -> Budget.
+  Value departments =
+      session_.ReadNamed(imported->ref(), Sym("Departments")).ValueOrDie();
+  Value a12 = session_.ReadNamed(departments.ref(), Sym("A12")).ValueOrDie();
+  EXPECT_EQ(session_.ReadNamed(a12.ref(), Sym("Budget")).ValueOrDie(),
+            Value::Integer(142000));
+  // Managers imported as a Set (all members aliased).
+  Value managers = session_.ReadNamed(a12.ref(), Sym("Managers")).ValueOrDie();
+  EXPECT_EQ(session_.ClassOfObject(managers.ref()).ValueOrDie(),
+            memory_.kernel().set);
+
+  // Export reproduces the original tree (alias spellings differ, but
+  // STDM equality treats aliased members as a bag).
+  auto exported = ExportStdm(&session_, &memory_, *imported);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  EXPECT_EQ(exported.value(), acme);
+}
+
+TEST_F(BridgeTest, ImportGainsEntityIdentity) {
+  // Two structurally identical imports are distinct entities (§4.2) —
+  // the very thing plain STDM cannot express.
+  StdmValue dept = StdmValue::Set();
+  (void)dept.Put("Name", StdmValue::String("Sales"));
+  Value first = ImportStdm(&session_, &memory_, dept).ValueOrDie();
+  Value second = ImportStdm(&session_, &memory_, dept).ValueOrDie();
+  EXPECT_NE(first, second);
+  EXPECT_TRUE(session_.DeepEquals(first, second).ValueOrDie());
+}
+
+TEST_F(BridgeTest, ExportAtAPastTimeViaTimeDial) {
+  StdmValue v1 = StdmValue::Set();
+  (void)v1.Put("Budget", StdmValue::Integer(100));
+  Value imported = ImportStdm(&session_, &memory_, v1).ValueOrDie();
+  ASSERT_TRUE(session_.Commit().ok());
+  const TxnTime t1 = manager_.Now();
+
+  ASSERT_TRUE(session_.Begin().ok());
+  ASSERT_TRUE(session_
+                  .WriteNamed(imported.ref(), Sym("Budget"),
+                              Value::Integer(200))
+                  .ok());
+  ASSERT_TRUE(session_.Commit().ok());
+
+  ASSERT_TRUE(session_.Begin().ok());
+  session_.SetTimeDial(t1);
+  auto past = ExportStdm(&session_, &memory_, imported).ValueOrDie();
+  EXPECT_EQ(past.Get("Budget")->integer(), 100);
+  session_.ClearTimeDial();
+  auto present = ExportStdm(&session_, &memory_, imported).ValueOrDie();
+  EXPECT_EQ(present.Get("Budget")->integer(), 200);
+}
+
+TEST_F(BridgeTest, IndexedElementsExportAsNumberedLabels) {
+  Oid array = session_.Create(memory_.kernel().array).ValueOrDie();
+  (void)session_.AppendIndexed(array, Value::String("a"));
+  (void)session_.AppendIndexed(array, Value::String("b"));
+  auto exported =
+      ExportStdm(&session_, &memory_, Value::Ref(array)).ValueOrDie();
+  // §5.2: "Arrays may be represented by sets with numbers as element
+  // names."
+  EXPECT_EQ(exported.Get("1")->string(), "a");
+  EXPECT_EQ(exported.Get("2")->string(), "b");
+}
+
+TEST_F(BridgeTest, CyclesRejectedOnExport) {
+  Oid a = session_.Create(memory_.kernel().object).ValueOrDie();
+  Oid b = session_.Create(memory_.kernel().object).ValueOrDie();
+  ASSERT_TRUE(session_.WriteNamed(a, Sym("next"), Value::Ref(b)).ok());
+  ASSERT_TRUE(session_.WriteNamed(b, Sym("next"), Value::Ref(a)).ok());
+  EXPECT_EQ(
+      ExportStdm(&session_, &memory_, Value::Ref(a)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(BridgeTest, SharedObjectsDuplicateOnExport) {
+  // STDM has no sharing: a GSDM object referenced twice exports as two
+  // equal trees (§5.4's deficiency, reproduced).
+  Oid shared = session_.Create(memory_.kernel().object).ValueOrDie();
+  ASSERT_TRUE(
+      session_.WriteNamed(shared, Sym("Name"), Value::String("Sales")).ok());
+  Oid parent = session_.Create(memory_.kernel().object).ValueOrDie();
+  ASSERT_TRUE(session_.WriteNamed(parent, Sym("x"), Value::Ref(shared)).ok());
+  ASSERT_TRUE(session_.WriteNamed(parent, Sym("y"), Value::Ref(shared)).ok());
+  auto exported =
+      ExportStdm(&session_, &memory_, Value::Ref(parent)).ValueOrDie();
+  EXPECT_EQ(*exported.Get("x"), *exported.Get("y"));
+}
+
+// Import STDM, run the paper's calculus over the *exported* round trip:
+// the two models agree end to end.
+TEST_F(BridgeTest, CalculusAgreesAcrossTheBridge) {
+  StdmValue acme = BuildAcmeDatabase();
+  Value imported = ImportStdm(&session_, &memory_, acme).ValueOrDie();
+  StdmValue round_tripped =
+      ExportStdm(&session_, &memory_, imported).ValueOrDie();
+
+  CalculusQuery q;
+  q.target = {{"L", Term::VarPath("e", {"Name", "Last"})}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})}};
+  q.condition = Predicate::Gt(Term::VarPath("e", {"Salary"}),
+                              Term::Const(StdmValue::Integer(24500)));
+
+  Bindings original_env, bridged_env;
+  original_env.Push("X", &acme);
+  bridged_env.Push("X", &round_tripped);
+  EXPECT_EQ(EvaluateCalculus(q, original_env).ValueOrDie(),
+            EvaluateCalculus(q, bridged_env).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace gemstone::stdm

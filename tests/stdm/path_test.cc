@@ -1,0 +1,132 @@
+#include "stdm/path.h"
+
+#include <gtest/gtest.h>
+
+#include "acme_fixture.h"
+
+namespace gemstone::stdm {
+namespace {
+
+TEST(PathParseTest, SimplePath) {
+  auto path = ParsePath("X!Departments!A16!Managers");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->root, "X");
+  ASSERT_EQ(path->steps.size(), 3u);
+  EXPECT_EQ(path->steps[0].name, "Departments");
+  EXPECT_EQ(path->steps[2].name, "Managers");
+  EXPECT_FALSE(path->steps[0].at.has_value());
+  EXPECT_EQ(path->ToString(), "X!Departments!A16!Managers");
+}
+
+TEST(PathParseTest, QuotedComponentsAndTime) {
+  // §5.3.2: World!'Acme Corp'!'president'@10
+  auto path = ParsePath("World!'Acme Corp'!'president'@10");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->root, "World");
+  ASSERT_EQ(path->steps.size(), 2u);
+  EXPECT_EQ(path->steps[0].name, "Acme Corp");
+  EXPECT_EQ(path->steps[1].name, "president");
+  ASSERT_TRUE(path->steps[1].at.has_value());
+  EXPECT_EQ(*path->steps[1].at, 10u);
+}
+
+TEST(PathParseTest, TimeMidPath) {
+  // World!'Acme Corp'!'president'@7!city
+  auto path = ParsePath("World!'Acme Corp'!'president'@7!city");
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->steps.size(), 3u);
+  EXPECT_EQ(*path->steps[1].at, 7u);
+  EXPECT_EQ(path->steps[2].name, "city");
+  // Canonical rendering: quotes survive only where needed.
+  EXPECT_EQ(path->ToString(), "World!'Acme Corp'!president@7!city");
+}
+
+TEST(PathParseTest, NumericComponents) {
+  auto path = ParsePath("A!1!2");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->steps[0].name, "1");
+}
+
+TEST(PathParseTest, Errors) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("X!").ok());
+  EXPECT_FALSE(ParsePath("X!'unterminated").ok());
+  EXPECT_FALSE(ParsePath("X!a@").ok());
+  EXPECT_FALSE(ParsePath("X!a@x").ok());
+  EXPECT_FALSE(ParsePath("X!a extra").ok());
+}
+
+class PathEvalTest : public ::testing::Test {
+ protected:
+  StdmValue acme_ = BuildAcmeDatabase();
+
+  Result<StdmValue> Eval(std::string_view text) {
+    auto path = ParsePath(text);
+    if (!path.ok()) return path.status();
+    return EvalPath(acme_, *path);
+  }
+};
+
+TEST_F(PathEvalTest, NavigatesNestedSets) {
+  auto managers = Eval("X!Departments!A16!Managers");
+  ASSERT_TRUE(managers.ok());
+  EXPECT_TRUE(managers->Contains(StdmValue::String("Carter")));
+  EXPECT_EQ(managers->size(), 1u);
+
+  auto name = Eval("X!Employees!E62!Name!First");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->string(), "Ellen");
+}
+
+TEST_F(PathEvalTest, EmptyPathReturnsRoot) {
+  auto r = Eval("X");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, acme_);
+}
+
+TEST_F(PathEvalTest, MissingElementIsNotFound) {
+  EXPECT_EQ(Eval("X!Departments!A99").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PathEvalTest, DescendIntoSimpleValueIsTypeMismatch) {
+  EXPECT_EQ(Eval("X!Departments!A12!Budget!cents").status().code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST_F(PathEvalTest, TimeQualifierRejectedInPlainStdm) {
+  EXPECT_EQ(Eval("X!Departments@5!A12").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PathEvalTest, AssignThroughPath) {
+  auto path = ParsePath("X!Departments!A12!Budget").ValueOrDie();
+  ASSERT_TRUE(AssignPath(&acme_, path, StdmValue::Integer(150000)).ok());
+  EXPECT_EQ(Eval("X!Departments!A12!Budget")->integer(), 150000);
+}
+
+TEST_F(PathEvalTest, AssignCreatesFinalElement) {
+  auto path = ParsePath("X!Departments!A12!Head").ValueOrDie();
+  ASSERT_TRUE(AssignPath(&acme_, path, StdmValue::String("Nathen")).ok());
+  EXPECT_EQ(Eval("X!Departments!A12!Head")->string(), "Nathen");
+}
+
+TEST_F(PathEvalTest, AssignErrors) {
+  Path root_only = ParsePath("X").ValueOrDie();
+  EXPECT_EQ(AssignPath(&acme_, root_only, StdmValue::Nil()).code(),
+            StatusCode::kInvalidArgument);
+
+  Path missing_mid = ParsePath("X!Nowhere!Name").ValueOrDie();
+  EXPECT_EQ(AssignPath(&acme_, missing_mid, StdmValue::Nil()).code(),
+            StatusCode::kNotFound);
+
+  Path into_simple = ParsePath("X!Departments!A12!Budget!cents").ValueOrDie();
+  EXPECT_EQ(AssignPath(&acme_, into_simple, StdmValue::Nil()).code(),
+            StatusCode::kTypeMismatch);
+
+  Path into_past = ParsePath("X!Departments!A12!Budget@3").ValueOrDie();
+  EXPECT_EQ(AssignPath(&acme_, into_past, StdmValue::Nil()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gemstone::stdm

@@ -1,0 +1,126 @@
+// §5.2's representation examples: arrays, relations, records and
+// hierarchies all encode directly as STDM sets.
+
+#include <gtest/gtest.h>
+
+#include "stdm/path.h"
+#include "stdm/stdm_value.h"
+
+namespace gemstone::stdm {
+namespace {
+
+// "Arrays may be represented by sets with numbers as element names."
+TEST(RepresentationTest, ArrayAsNumberLabeledSet) {
+  StdmValue array = StdmValue::Set();
+  (void)array.Put("1", StdmValue::SetOf({StdmValue::String("Anders"),
+                                         StdmValue::String("Roberts")}));
+  (void)array.Put("2", StdmValue::SetOf({StdmValue::String("Roberts"),
+                                         StdmValue::String("Ching")}));
+  (void)array.Put("3", StdmValue::SetOf({StdmValue::String("Albrecht"),
+                                         StdmValue::String("Ching")}));
+  EXPECT_EQ(array.size(), 3u);
+  auto row2 = EvalPath(array, ParsePath("A!2").ValueOrDie());
+  ASSERT_TRUE(row2.ok());
+  EXPECT_TRUE(row2->Contains(StdmValue::String("Ching")));
+}
+
+// The relation {A,B,C} with tuples (1,3,4) and (1,5,4) becomes
+// {T1: {A: 1, B: 3, C: 4}, T2: {A: 1, B: 5, C: 4}}.
+TEST(RepresentationTest, RelationAsSetOfTuples) {
+  StdmValue relation = StdmValue::Set();
+  StdmValue t1 = StdmValue::Set();
+  (void)t1.Put("A", StdmValue::Integer(1));
+  (void)t1.Put("B", StdmValue::Integer(3));
+  (void)t1.Put("C", StdmValue::Integer(4));
+  StdmValue t2 = StdmValue::Set();
+  (void)t2.Put("A", StdmValue::Integer(1));
+  (void)t2.Put("B", StdmValue::Integer(5));
+  (void)t2.Put("C", StdmValue::Integer(4));
+  (void)relation.Put("T1", std::move(t1));
+  (void)relation.Put("T2", std::move(t2));
+
+  EXPECT_EQ(relation.ToString(),
+            "{T1: {A: 1, B: 3, C: 4}, T2: {A: 1, B: 5, C: 4}}");
+  EXPECT_EQ(
+      EvalPath(relation, ParsePath("R!T2!B").ValueOrDie()).ValueOrDie()
+          .integer(),
+      5);
+}
+
+// The set-valued Children attribute exists as a *single object*, unlike
+// the flattened three-tuple relational encoding.
+TEST(RepresentationTest, ChildrenRemainOneObject) {
+  StdmValue peters = StdmValue::Set();
+  StdmValue name = StdmValue::Set();
+  (void)name.Put("First", StdmValue::String("Robert"));
+  (void)name.Put("Last", StdmValue::String("Peters"));
+  (void)peters.Put("Name", std::move(name));
+  (void)peters.Put("Children",
+                   StdmValue::SetOf({StdmValue::String("Olivia"),
+                                     StdmValue::String("Dale"),
+                                     StdmValue::String("Paul")}));
+
+  const StdmValue* children = peters.Get("Children");
+  ASSERT_NE(children, nullptr);
+  EXPECT_EQ(children->size(), 3u);
+
+  // "stipulating one set is the subset of another set requires two
+  // quantifiers in relational calculus" — in STDM it is one primitive.
+  StdmValue girls = StdmValue::SetOf({StdmValue::String("Olivia")});
+  EXPECT_TRUE(girls.SubsetOf(*children));
+
+  EXPECT_EQ(peters.ToString(),
+            "{Name: {First: 'Robert', Last: 'Peters'}, "
+            "Children: {'Olivia', 'Dale', 'Paul'}}");
+}
+
+// Hierarchical data: "modeling a segment as a set, with elements that are
+// field values or sets of child segments."
+TEST(RepresentationTest, HierarchicalSegments) {
+  StdmValue course = StdmValue::Set();
+  (void)course.Put("Title", StdmValue::String("Databases"));
+  StdmValue offerings = StdmValue::Set();
+  StdmValue fall = StdmValue::Set();
+  (void)fall.Put("Term", StdmValue::String("Fall"));
+  StdmValue students = StdmValue::Set();
+  StdmValue s1 = StdmValue::Set();
+  (void)s1.Put("Name", StdmValue::String("Ching"));
+  (void)s1.Put("Grade", StdmValue::String("A"));
+  students.Add(std::move(s1));
+  (void)fall.Put("Students", std::move(students));
+  offerings.Add(std::move(fall));
+  (void)course.Put("Offerings", std::move(offerings));
+
+  // Three-level nesting navigates with paths; no join artifacts.
+  const StdmValue* level1 = course.Get("Offerings");
+  ASSERT_NE(level1, nullptr);
+  ASSERT_EQ(level1->size(), 1u);
+  const StdmValue& seg = level1->elements()[0].value;
+  EXPECT_EQ(seg.Get("Term")->string(), "Fall");
+  EXPECT_EQ(seg.Get("Students")->size(), 1u);
+}
+
+// "The index set for an array need not be positive integers"; any set
+// structure can serve as index via labeled elements.
+TEST(RepresentationTest, ArbitraryIndexTypes) {
+  StdmValue by_color = StdmValue::Set();
+  (void)by_color.Put("red", StdmValue::Integer(0xFF0000));
+  (void)by_color.Put("green", StdmValue::Integer(0x00FF00));
+  EXPECT_EQ(by_color.Get("green")->integer(), 0x00FF00);
+}
+
+// Values may vary in type per record: "the element name AssignedTo could
+// have a value that is an employee, a department or a set of departments."
+TEST(RepresentationTest, HeterogeneousElementValues) {
+  StdmValue car1 = StdmValue::Set();
+  (void)car1.Put("AssignedTo", StdmValue::String("E62"));  // an employee
+  StdmValue car2 = StdmValue::Set();
+  (void)car2.Put("AssignedTo",
+                 StdmValue::SetOf({StdmValue::String("Sales"),
+                                   StdmValue::String("Planning")}));
+  EXPECT_TRUE(car1.Get("AssignedTo")->IsSimple());
+  EXPECT_TRUE(car2.Get("AssignedTo")->IsSet());
+}
+
+}  // namespace
+}  // namespace gemstone::stdm

@@ -1,0 +1,144 @@
+#include "stdm/stdm_value.h"
+
+#include <gtest/gtest.h>
+
+#include "acme_fixture.h"
+
+namespace gemstone::stdm {
+namespace {
+
+TEST(StdmValueTest, SimpleKinds) {
+  EXPECT_TRUE(StdmValue::Nil().IsNil());
+  EXPECT_TRUE(StdmValue::Boolean(true).boolean());
+  EXPECT_EQ(StdmValue::Integer(5).integer(), 5);
+  EXPECT_DOUBLE_EQ(StdmValue::Float(1.5).real(), 1.5);
+  EXPECT_EQ(StdmValue::String("x").string(), "x");
+  EXPECT_TRUE(StdmValue::Set().IsSet());
+  EXPECT_TRUE(StdmValue::Integer(5).IsSimple());
+}
+
+TEST(StdmValueTest, PutRejectsDuplicateNames) {
+  StdmValue set = StdmValue::Set();
+  EXPECT_TRUE(set.Put("Name", StdmValue::String("a")).ok());
+  EXPECT_EQ(set.Put("Name", StdmValue::String("b")).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(StdmValueTest, PutOnSimpleValueIsTypeMismatch) {
+  StdmValue v = StdmValue::Integer(1);
+  EXPECT_EQ(v.Put("x", StdmValue::Nil()).code(), StatusCode::kTypeMismatch);
+}
+
+TEST(StdmValueTest, AddGeneratesFreshAliases) {
+  StdmValue set = StdmValue::Set();
+  std::string a1 = set.Add(StdmValue::String("Nathen"));
+  std::string a2 = set.Add(StdmValue::String("Roberts"));
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.elements()[0].alias);
+}
+
+TEST(StdmValueTest, GetAndRemove) {
+  StdmValue set = StdmValue::Set();
+  (void)set.Put("Budget", StdmValue::Integer(142000));
+  ASSERT_NE(set.Get("Budget"), nullptr);
+  EXPECT_EQ(set.Get("Budget")->integer(), 142000);
+  EXPECT_EQ(set.Get("Missing"), nullptr);
+  EXPECT_TRUE(set.Remove("Budget"));
+  EXPECT_FALSE(set.Remove("Budget"));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(StdmValueTest, ValueSemanticsCopyOnWrite) {
+  StdmValue a = StdmValue::Set();
+  (void)a.Put("x", StdmValue::Integer(1));
+  StdmValue b = a;  // shares representation
+  b.PutOrReplace("x", StdmValue::Integer(2));
+  EXPECT_EQ(a.Get("x")->integer(), 1);  // a unaffected: no identity in STDM
+  EXPECT_EQ(b.Get("x")->integer(), 2);
+}
+
+TEST(StdmValueTest, ContainsUsesStructuralEquality) {
+  StdmValue children = StdmValue::SetOf({StdmValue::String("Olivia"),
+                                         StdmValue::String("Dale"),
+                                         StdmValue::String("Paul")});
+  EXPECT_TRUE(children.Contains(StdmValue::String("Dale")));
+  EXPECT_FALSE(children.Contains(StdmValue::String("dale")));
+
+  StdmValue nested = StdmValue::Set();
+  StdmValue inner = StdmValue::Set();
+  (void)inner.Put("First", StdmValue::String("Robert"));
+  nested.Add(inner);
+  StdmValue probe = StdmValue::Set();
+  (void)probe.Put("First", StdmValue::String("Robert"));
+  EXPECT_TRUE(nested.Contains(probe));
+}
+
+TEST(StdmValueTest, SubsetOf) {
+  StdmValue small = StdmValue::SetOf({StdmValue::Integer(1)});
+  StdmValue big =
+      StdmValue::SetOf({StdmValue::Integer(1), StdmValue::Integer(2)});
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_TRUE(big.SubsetOf(big));
+  EXPECT_FALSE(small.SubsetOf(StdmValue::Integer(1)));
+}
+
+TEST(StdmValueTest, EqualityLabeledElementsByName) {
+  StdmValue a = StdmValue::Set();
+  (void)a.Put("A", StdmValue::Integer(1));
+  (void)a.Put("B", StdmValue::Integer(3));
+  StdmValue b = StdmValue::Set();
+  (void)b.Put("B", StdmValue::Integer(3));
+  (void)b.Put("A", StdmValue::Integer(1));
+  EXPECT_EQ(a, b);  // order does not matter
+  b.PutOrReplace("B", StdmValue::Integer(4));
+  EXPECT_NE(a, b);
+}
+
+TEST(StdmValueTest, EqualityAliasMembersUnordered) {
+  StdmValue a = StdmValue::SetOf(
+      {StdmValue::String("x"), StdmValue::String("y")});
+  StdmValue b = StdmValue::SetOf(
+      {StdmValue::String("y"), StdmValue::String("x")});
+  EXPECT_EQ(a, b);
+  StdmValue c = StdmValue::SetOf({StdmValue::String("x")});
+  EXPECT_NE(a, c);
+}
+
+TEST(StdmValueTest, MixedNumericEquality) {
+  EXPECT_EQ(StdmValue::Integer(2), StdmValue::Float(2.0));
+  EXPECT_NE(StdmValue::Integer(2), StdmValue::String("2"));
+}
+
+TEST(StdmValueTest, LabeledNeverEqualsAliased) {
+  StdmValue a = StdmValue::Set();
+  (void)a.Put("K", StdmValue::Integer(1));
+  StdmValue b = StdmValue::Set();
+  b.Add(StdmValue::Integer(1));
+  EXPECT_NE(a, b);
+}
+
+TEST(StdmValueTest, ToStringMatchesPaperNotation) {
+  StdmValue dept = StdmValue::Set();
+  (void)dept.Put("Name", StdmValue::String("Sales"));
+  (void)dept.Put("Managers", StdmValue::SetOf({StdmValue::String("Nathen"),
+                                               StdmValue::String("Roberts")}));
+  (void)dept.Put("Budget", StdmValue::Integer(142000));
+  EXPECT_EQ(dept.ToString(),
+            "{Name: 'Sales', Managers: {'Nathen', 'Roberts'}, "
+            "Budget: 142000}");
+}
+
+TEST(StdmValueTest, AcmeFixtureShape) {
+  StdmValue acme = BuildAcmeDatabase();
+  ASSERT_TRUE(acme.IsSet());
+  ASSERT_NE(acme.Get("Departments"), nullptr);
+  ASSERT_NE(acme.Get("Employees"), nullptr);
+  EXPECT_EQ(acme.Get("Departments")->size(), 2u);
+  EXPECT_EQ(acme.Get("Employees")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace gemstone::stdm

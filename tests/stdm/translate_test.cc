@@ -1,0 +1,216 @@
+#include "stdm/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "acme_fixture.h"
+#include "stdm/algebra.h"
+
+namespace gemstone::stdm {
+namespace {
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  TranslateTest() : acme_(BuildAcmeDatabase()) { free_.Push("X", &acme_); }
+
+  StdmValue acme_;
+  Bindings free_;
+};
+
+CalculusQuery PaperQuery() {
+  CalculusQuery q;
+  q.target = {{"Emp", Term::Var("e")}, {"Mgr", Term::Var("m")}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})},
+              {"d", Term::VarPath("X", {"Departments"})},
+              {"m", Term::VarPath("d", {"Managers"})}};
+  q.condition = Predicate::And(
+      {Predicate::Member(Term::VarPath("d", {"Name"}),
+                         Term::VarPath("e", {"Depts"})),
+       Predicate::Gt(Term::VarPath("e", {"Salary"}),
+                     Term::Mul(Term::Const(StdmValue::Float(0.10)),
+                               Term::VarPath("d", {"Budget"})))});
+  return q;
+}
+
+TEST_F(TranslateTest, PaperQueryPlanMatchesCalculus) {
+  CalculusQuery q = PaperQuery();
+  auto plan = TranslateToAlgebra(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  auto algebra_result = plan->Execute(free_).ValueOrDie();
+  auto calculus_result = EvaluateCalculus(q, free_).ValueOrDie();
+  EXPECT_EQ(algebra_result, calculus_result);
+  EXPECT_EQ(algebra_result.size(), 2u);
+}
+
+TEST_F(TranslateTest, PaperQueryPlanShape) {
+  auto plan = TranslateToAlgebra(PaperQuery()).ValueOrDie();
+  const std::string rendered = plan.ToString();
+  // The correlated range `m ∈ d!Managers` becomes a DependentScan, and the
+  // selections are pushed below it (they mention only e and d).
+  EXPECT_NE(rendered.find("DependentScan[d!Managers]"), std::string::npos);
+  EXPECT_NE(rendered.find("Filter"), std::string::npos);
+  // Both filters apply before the manager unnesting: DependentScan's child
+  // chain contains the filters.
+  const std::size_t dep = rendered.find("DependentScan");
+  const std::size_t fil = rendered.find("Filter");
+  EXPECT_LT(dep, fil) << rendered;  // filters render inside/below dep scan
+}
+
+TEST_F(TranslateTest, SelectionPushdownReducesWork) {
+  // Compared with naive evaluation, the plan filters (e,d) pairs before
+  // unnesting managers, so it examines no more rows than the calculus
+  // evaluator's full cross space.
+  CalculusQuery q = PaperQuery();
+  EvalStats naive;
+  (void)EvaluateCalculus(q, free_, &naive).ValueOrDie();
+  AlgebraStats alg;
+  auto plan = TranslateToAlgebra(q).ValueOrDie();
+  (void)plan.Execute(free_, &alg).ValueOrDie();
+  // Only one (e,d) pair survives the filters, so the dependent scan emits
+  // just that pair's managers.
+  EXPECT_LT(alg.rows_scanned, naive.tuples_examined + 4);
+}
+
+TEST_F(TranslateTest, EquiJoinBecomesHashJoin) {
+  // Employees with a scalar Dept joined to departments by name.
+  StdmValue db = StdmValue::Set();
+  StdmValue emps = StdmValue::Set();
+  auto mk_emp = [](std::string name, std::string dept) {
+    StdmValue e = StdmValue::Set();
+    (void)e.Put("Name", StdmValue::String(std::move(name)));
+    (void)e.Put("Dept", StdmValue::String(std::move(dept)));
+    return e;
+  };
+  emps.Add(mk_emp("Ellen", "Sales"));
+  emps.Add(mk_emp("Robert", "Research"));
+  emps.Add(mk_emp("Carol", "Sales"));
+  (void)db.Put("Employees", std::move(emps));
+  StdmValue depts = StdmValue::Set();
+  auto mk_dept = [](std::string name, std::int64_t budget) {
+    StdmValue d = StdmValue::Set();
+    (void)d.Put("Name", StdmValue::String(std::move(name)));
+    (void)d.Put("Budget", StdmValue::Integer(budget));
+    return d;
+  };
+  depts.Add(mk_dept("Sales", 142000));
+  depts.Add(mk_dept("Research", 256500));
+  (void)db.Put("Departments", std::move(depts));
+
+  CalculusQuery q;
+  q.target = {{"E", Term::VarPath("e", {"Name"})},
+              {"B", Term::VarPath("d", {"Budget"})}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})},
+              {"d", Term::VarPath("X", {"Departments"})}};
+  q.condition =
+      Predicate::Eq(Term::VarPath("e", {"Dept"}), Term::VarPath("d", {"Name"}));
+
+  auto plan = TranslateToAlgebra(q).ValueOrDie();
+  EXPECT_NE(plan.ToString().find("HashJoin"), std::string::npos)
+      << plan.ToString();
+
+  Bindings free;
+  free.Push("X", &db);
+  auto algebra_result = plan.Execute(free).ValueOrDie();
+  auto calculus_result = EvaluateCalculus(q, free).ValueOrDie();
+  EXPECT_EQ(algebra_result, calculus_result);
+  EXPECT_EQ(algebra_result.size(), 3u);
+
+  // The hash join probes once per employee instead of |E|x|D| pairs.
+  AlgebraStats stats;
+  (void)plan.Execute(free, &stats).ValueOrDie();
+  EXPECT_EQ(stats.hash_probes, 3u);
+}
+
+TEST_F(TranslateTest, NoJoinKeyFallsBackToProduct) {
+  CalculusQuery q;
+  q.target = {{"E", Term::Var("e")}, {"D", Term::Var("d")}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})},
+              {"d", Term::VarPath("X", {"Departments"})}};
+  auto plan = TranslateToAlgebra(q).ValueOrDie();
+  EXPECT_NE(plan.ToString().find("Product"), std::string::npos);
+  EXPECT_EQ(plan.Execute(free_).ValueOrDie().size(), 4u);
+}
+
+TEST_F(TranslateTest, OutOfOrderRangesRejected) {
+  CalculusQuery q;
+  q.target = {{"M", Term::Var("m")}};
+  q.ranges = {{"m", Term::VarPath("d", {"Managers"})},  // d not yet bound
+              {"d", Term::VarPath("X", {"Departments"})}};
+  EXPECT_EQ(TranslateToAlgebra(q).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TranslateTest, DuplicateRangeVarRejected) {
+  CalculusQuery q;
+  q.target = {{"E", Term::Var("e")}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})},
+              {"e", Term::VarPath("X", {"Departments"})}};
+  EXPECT_EQ(TranslateToAlgebra(q).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TranslateTest, EmptyQueryProducesUnitPlan) {
+  CalculusQuery q;
+  q.target = {{"K", Term::Const(StdmValue::Integer(1))}};
+  auto plan = TranslateToAlgebra(q).ValueOrDie();
+  auto result = plan.Execute(free_).ValueOrDie();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.elements()[0].value.Get("K")->integer(), 1);
+}
+
+TEST_F(TranslateTest, ConstantFalseConditionFiltersEverything) {
+  CalculusQuery q;
+  q.target = {{"E", Term::Var("e")}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})}};
+  q.condition = Predicate::Not(Predicate::True());
+  auto plan = TranslateToAlgebra(q).ValueOrDie();
+  EXPECT_EQ(plan.Execute(free_).ValueOrDie().size(), 0u);
+}
+
+// Property sweep: random-ish generated databases, the translated plan must
+// agree with the reference semantics.
+class TranslateEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranslateEquivalence, PlanAgreesWithCalculus) {
+  const int n = GetParam();
+  StdmValue db = StdmValue::Set();
+  StdmValue emps = StdmValue::Set();
+  StdmValue depts = StdmValue::Set();
+  for (int i = 0; i < n; ++i) {
+    StdmValue e = StdmValue::Set();
+    (void)e.Put("Id", StdmValue::Integer(i));
+    (void)e.Put("Dept", StdmValue::Integer(i % 3));
+    (void)e.Put("Salary", StdmValue::Integer(1000 * (i % 7)));
+    emps.Add(std::move(e));
+  }
+  for (int i = 0; i < 3; ++i) {
+    StdmValue d = StdmValue::Set();
+    (void)d.Put("Id", StdmValue::Integer(i));
+    (void)d.Put("Budget", StdmValue::Integer(10000 * (i + 1)));
+    depts.Add(std::move(d));
+  }
+  (void)db.Put("Employees", std::move(emps));
+  (void)db.Put("Departments", std::move(depts));
+
+  CalculusQuery q;
+  q.target = {{"E", Term::VarPath("e", {"Id"})},
+              {"B", Term::VarPath("d", {"Budget"})}};
+  q.ranges = {{"e", Term::VarPath("X", {"Employees"})},
+              {"d", Term::VarPath("X", {"Departments"})}};
+  q.condition = Predicate::And(
+      {Predicate::Eq(Term::VarPath("e", {"Dept"}), Term::VarPath("d", {"Id"})),
+       Predicate::Lt(Term::VarPath("e", {"Salary"}),
+                     Term::VarPath("d", {"Budget"}))});
+
+  Bindings free;
+  free.Push("X", &db);
+  auto plan = TranslateToAlgebra(q).ValueOrDie();
+  EXPECT_EQ(plan.Execute(free).ValueOrDie(),
+            EvaluateCalculus(q, free).ValueOrDie());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TranslateEquivalence,
+                         ::testing::Values(0, 1, 5, 12, 30));
+
+}  // namespace
+}  // namespace gemstone::stdm

@@ -1,0 +1,69 @@
+#include "storage/archival_store.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::storage {
+namespace {
+
+class ArchivalStoreTest : public ::testing::Test {
+ protected:
+  Oid MakeObject() {
+    Oid oid = memory_.AllocateOid();
+    GsObject obj(oid, memory_.kernel().object);
+    obj.WriteNamed(memory_.symbols().Intern("payload"), 3,
+                   Value::String("keep me"));
+    EXPECT_TRUE(memory_.Insert(std::move(obj)).ok());
+    return oid;
+  }
+
+  ObjectMemory memory_;
+  ArchivalStore store_;
+};
+
+TEST_F(ArchivalStoreTest, ArchiveMakesObjectUnavailable) {
+  Oid oid = MakeObject();
+  ASSERT_TRUE(store_.Archive(&memory_, oid).ok());
+  EXPECT_TRUE(store_.Contains(oid));
+  EXPECT_GT(store_.total_bytes(), 0u);
+  EXPECT_EQ(memory_.Find(oid), nullptr);
+  EXPECT_EQ(memory_
+                .ReadNamed(oid, memory_.symbols().Intern("payload"), kTimeNow)
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ArchivalStoreTest, RestoreBringsHistoryBack) {
+  Oid oid = MakeObject();
+  ASSERT_TRUE(store_.Archive(&memory_, oid).ok());
+  ASSERT_TRUE(store_.Restore(&memory_, oid).ok());
+  EXPECT_FALSE(store_.Contains(oid));
+  EXPECT_EQ(store_.total_bytes(), 0u);
+  auto value =
+      memory_.ReadNamed(oid, memory_.symbols().Intern("payload"), kTimeNow);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), Value::String("keep me"));
+  EXPECT_FALSE(memory_.IsArchived(oid));
+}
+
+TEST_F(ArchivalStoreTest, PeekDoesNotRestore) {
+  Oid oid = MakeObject();
+  ASSERT_TRUE(store_.Archive(&memory_, oid).ok());
+  auto peeked = store_.Peek(oid, &memory_.symbols());
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(peeked->oid(), oid);
+  EXPECT_TRUE(store_.Contains(oid));
+  EXPECT_EQ(memory_.Find(oid), nullptr);
+}
+
+TEST_F(ArchivalStoreTest, Errors) {
+  EXPECT_EQ(store_.Archive(&memory_, Oid(424242)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_.Restore(&memory_, Oid(424242)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_.Peek(Oid(424242), &memory_.symbols()).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gemstone::storage

@@ -1,0 +1,129 @@
+#include "storage/loom_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::storage {
+namespace {
+
+class LoomCacheTest : public ::testing::Test {
+ protected:
+  LoomCacheTest() : disk_(4096, 4096), engine_(&disk_) {
+    EXPECT_TRUE(engine_.Format().ok());
+  }
+
+  void Seed(int n) {
+    std::vector<GsObject> objects;
+    std::vector<const GsObject*> ptrs;
+    for (int i = 0; i < n; ++i) {
+      GsObject obj{Oid(100 + static_cast<unsigned>(i)), Oid(7)};
+      obj.WriteNamed(symbols_.Intern("v"), 1, Value::Integer(i));
+      objects.push_back(std::move(obj));
+    }
+    for (const auto& o : objects) ptrs.push_back(&o);
+    ASSERT_TRUE(engine_.CommitObjects(ptrs, symbols_).ok());
+  }
+
+  SymbolTable symbols_;
+  SimulatedDisk disk_;
+  StorageEngine engine_;
+};
+
+TEST_F(LoomCacheTest, FaultThenHit) {
+  Seed(4);
+  LoomObjectMemory loom(&engine_, &symbols_, 8);
+  auto first = loom.Fetch(Oid(100));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*(*first)->ReadNamed(symbols_.Intern("v"), kTimeNow),
+            Value::Integer(0));
+  auto second = loom.Fetch(Oid(100));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(loom.stats().faults, 1u);
+  EXPECT_EQ(loom.stats().hits, 1u);
+}
+
+TEST_F(LoomCacheTest, LruEvictionUnderPressure) {
+  Seed(6);
+  LoomObjectMemory loom(&engine_, &symbols_, 2);
+  (void)loom.Fetch(Oid(100));
+  (void)loom.Fetch(Oid(101));
+  (void)loom.Fetch(Oid(102));  // evicts 100
+  EXPECT_EQ(loom.resident_count(), 2u);
+  EXPECT_EQ(loom.stats().evictions, 1u);
+  // Touch 101 so 102 becomes the LRU victim next.
+  (void)loom.Fetch(Oid(101));
+  (void)loom.Fetch(Oid(103));  // evicts 102
+  auto again = loom.Fetch(Oid(101));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(loom.stats().faults, 4u);  // 100,101,102,103 — 101 stayed hot
+}
+
+TEST_F(LoomCacheTest, DirtyEvictionWritesBack) {
+  Seed(3);
+  LoomObjectMemory loom(&engine_, &symbols_, 1);
+  auto fetched = loom.Fetch(Oid(100));
+  ASSERT_TRUE(fetched.ok());
+  (*fetched)->WriteNamed(symbols_.Intern("v"), 9, Value::Integer(99));
+  ASSERT_TRUE(loom.MarkDirty(Oid(100)).ok());
+  (void)loom.Fetch(Oid(101));  // evicts dirty 100 -> write back
+  EXPECT_EQ(loom.stats().write_backs, 1u);
+
+  auto reloaded = engine_.LoadObject(Oid(100), &symbols_).ValueOrDie();
+  EXPECT_EQ(*reloaded.ReadNamed(symbols_.Intern("v"), kTimeNow),
+            Value::Integer(99));
+}
+
+TEST_F(LoomCacheTest, FlushWritesAllDirty) {
+  Seed(3);
+  LoomObjectMemory loom(&engine_, &symbols_, 8);
+  for (unsigned i = 0; i < 3; ++i) {
+    auto fetched = loom.Fetch(Oid(100 + i)).ValueOrDie();
+    fetched->WriteNamed(symbols_.Intern("v"), 9, Value::Integer(50));
+    ASSERT_TRUE(loom.MarkDirty(Oid(100 + i)).ok());
+  }
+  ASSERT_TRUE(loom.Flush().ok());
+  EXPECT_EQ(loom.stats().write_backs, 3u);
+  for (unsigned i = 0; i < 3; ++i) {
+    auto reloaded =
+        engine_.LoadObject(Oid(100 + i), &symbols_).ValueOrDie();
+    EXPECT_EQ(*reloaded.ReadNamed(symbols_.Intern("v"), kTimeNow),
+              Value::Integer(50));
+  }
+}
+
+TEST_F(LoomCacheTest, MarkDirtyRequiresResidency) {
+  Seed(1);
+  LoomObjectMemory loom(&engine_, &symbols_, 2);
+  EXPECT_EQ(loom.MarkDirty(Oid(100)).code(), StatusCode::kNotFound);
+}
+
+// Objection #2: "it retains the same maximum size for objects."
+TEST_F(LoomCacheTest, SixtyFourKilobyteCeilingEnforced) {
+  GsObject big{Oid(500), Oid(7)};
+  for (int i = 0; i < 3000; ++i) {
+    big.AppendIndexed(1, Value::String(std::string(24, 'x')));
+  }
+  ASSERT_TRUE(engine_.CommitObjects({&big}, symbols_).ok());
+  LoomObjectMemory loom(&engine_, &symbols_, 4);
+  auto fetched = loom.Fetch(Oid(500));
+  EXPECT_EQ(fetched.status().code(), StatusCode::kInvalidArgument);
+  // GemStone's own memory has no such ceiling — the same object loads.
+  EXPECT_TRUE(engine_.LoadObject(Oid(500), &symbols_).ok());
+}
+
+// Objection #3: deep history amplifies LOOM's whole-object faults.
+TEST_F(LoomCacheTest, HistoryAmplifiesFaultCost) {
+  GsObject versioned{Oid(600), Oid(7)};
+  for (TxnTime t = 1; t <= 500; ++t) {
+    versioned.WriteNamed(symbols_.Intern("v"), t,
+                         Value::Integer(static_cast<std::int64_t>(t)));
+  }
+  ASSERT_TRUE(engine_.CommitObjects({&versioned}, symbols_).ok());
+  LoomObjectMemory loom(&engine_, &symbols_, 1);
+  disk_.ResetStats();
+  ASSERT_TRUE(loom.Fetch(Oid(600)).ok());
+  // The fault transferred every version's track, to read one value.
+  EXPECT_GE(disk_.stats().tracks_read, 2u);
+}
+
+}  // namespace
+}  // namespace gemstone::storage

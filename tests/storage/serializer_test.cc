@@ -1,0 +1,132 @@
+#include "storage/serializer.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::storage {
+namespace {
+
+TEST(ByteCodecTest, RoundTripPrimitives) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF64(3.25);
+  w.PutString("gemstone");
+  auto bytes = w.Take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.GetU8().ValueOrDie(), 7);
+  EXPECT_EQ(r.GetU32().ValueOrDie(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().ValueOrDie(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetI64().ValueOrDie(), -42);
+  EXPECT_DOUBLE_EQ(r.GetF64().ValueOrDie(), 3.25);
+  EXPECT_EQ(r.GetString().ValueOrDie(), "gemstone");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteCodecTest, TruncationIsCorruption) {
+  ByteWriter w;
+  w.PutU32(123);
+  auto bytes = w.Take();
+  ByteReader r(bytes);
+  (void)r.GetU8().ValueOrDie();
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.Skip(10).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteCodecTest, Fnv1aStableAndSensitive) {
+  std::vector<std::uint8_t> a = {1, 2, 3};
+  std::vector<std::uint8_t> b = {1, 2, 4};
+  EXPECT_EQ(Fnv1a(a), Fnv1a(a));
+  EXPECT_NE(Fnv1a(a), Fnv1a(b));
+}
+
+class ObjectSerializationTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+};
+
+TEST_F(ObjectSerializationTest, RoundTripWithFullHistory) {
+  GsObject obj(Oid(42), Oid(7));
+  SymbolId salary = symbols_.Intern("salary");
+  SymbolId name = symbols_.Intern("name");
+  obj.WriteNamed(name, 1, Value::String("Ellen Burns"));
+  obj.WriteNamed(salary, 1, Value::Integer(24650));
+  obj.WriteNamed(salary, 9, Value::Integer(26000));
+  obj.WriteNamed(salary, 12, Value::Nil());
+  obj.AppendIndexed(2, Value::Float(1.5));
+  obj.AppendIndexed(3, Value::Ref(Oid(99)));
+  obj.AppendIndexed(3, Value::Boolean(true));
+  obj.AppendIndexed(4, Value::Symbol(symbols_.Intern("flag")));
+
+  auto bytes = SerializeObject(obj, symbols_);
+  auto restored = DeserializeObject(bytes, &symbols_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->oid(), Oid(42));
+  EXPECT_EQ(restored->class_oid(), Oid(7));
+  EXPECT_EQ(*restored->ReadNamed(salary, 5), Value::Integer(24650));
+  EXPECT_EQ(*restored->ReadNamed(salary, 10), Value::Integer(26000));
+  EXPECT_TRUE(restored->ReadNamed(salary, 20)->IsNil());
+  EXPECT_EQ(restored->NamedHistory(salary)->history_size(), 3u);
+  EXPECT_EQ(*restored->ReadIndexed(1, 5), Value::Ref(Oid(99)));
+  EXPECT_EQ(restored->IndexedSizeAt(2), 1u);
+  EXPECT_EQ(restored->IndexedSizeAt(kTimeNow), 4u);
+}
+
+TEST_F(ObjectSerializationTest, RoundTripIntoFreshSymbolTable) {
+  GsObject obj(Oid(1), Oid(2));
+  obj.WriteNamed(symbols_.Intern("color"), 3, Value::String("red"));
+  SymbolId alias = symbols_.GenerateAlias();
+  obj.WriteNamed(alias, 3, Value::Integer(1));
+  auto bytes = SerializeObject(obj, symbols_);
+
+  SymbolTable fresh;
+  auto restored = DeserializeObject(bytes, &fresh).ValueOrDie();
+  SymbolId color = fresh.Lookup("color");
+  ASSERT_NE(color, kInvalidSymbol);
+  EXPECT_EQ(*restored.ReadNamed(color, kTimeNow), Value::String("red"));
+  // Alias-ness survives recovery.
+  SymbolId restored_alias = fresh.Lookup(symbols_.Name(alias));
+  ASSERT_NE(restored_alias, kInvalidSymbol);
+  EXPECT_TRUE(fresh.IsAlias(restored_alias));
+}
+
+TEST_F(ObjectSerializationTest, EmptyObjectRoundTrips) {
+  GsObject obj(Oid(5), Oid(6));
+  auto bytes = SerializeObject(obj, symbols_);
+  auto restored = DeserializeObject(bytes, &symbols_).ValueOrDie();
+  EXPECT_EQ(restored.oid(), Oid(5));
+  EXPECT_EQ(restored.named_elements().size(), 0u);
+  EXPECT_EQ(restored.indexed_capacity(), 0u);
+}
+
+TEST_F(ObjectSerializationTest, BitFlipDetected) {
+  GsObject obj(Oid(1), Oid(2));
+  obj.WriteNamed(symbols_.Intern("x"), 1, Value::Integer(5));
+  auto bytes = SerializeObject(obj, symbols_);
+  for (std::size_t pos : {std::size_t{4}, bytes.size() / 2}) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0x40;
+    EXPECT_EQ(DeserializeObject(corrupted, &symbols_).status().code(),
+              StatusCode::kCorruption)
+        << "flip at " << pos;
+  }
+}
+
+TEST_F(ObjectSerializationTest, TruncatedImageDetected) {
+  GsObject obj(Oid(1), Oid(2));
+  obj.WriteNamed(symbols_.Intern("x"), 1, Value::Integer(5));
+  auto bytes = SerializeObject(obj, symbols_);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_EQ(DeserializeObject(bytes, &symbols_).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(DeserializeObject(std::vector<std::uint8_t>{1, 2}, &symbols_)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gemstone::storage

@@ -1,0 +1,59 @@
+#include "storage/simulated_disk.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::storage {
+namespace {
+
+TEST(SimulatedDiskTest, ReadBackWrittenTrack) {
+  SimulatedDisk disk(16, 512);
+  std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  ASSERT_TRUE(disk.WriteTrack(3, data).ok());
+  auto read = disk.ReadTrack(3);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), data);
+}
+
+TEST(SimulatedDiskTest, UnwrittenTrackIsEmpty) {
+  SimulatedDisk disk(4, 512);
+  EXPECT_TRUE(disk.ReadTrack(2).ValueOrDie().empty());
+}
+
+TEST(SimulatedDiskTest, BoundsChecks) {
+  SimulatedDisk disk(4, 16);
+  EXPECT_EQ(disk.ReadTrack(4).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.WriteTrack(9, {}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.WriteTrack(0, std::vector<std::uint8_t>(17)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(disk.WriteTrack(0, std::vector<std::uint8_t>(16)).ok());
+}
+
+TEST(SimulatedDiskTest, StatsCountOperationsAndSeeks) {
+  SimulatedDisk disk(100, 64);
+  (void)disk.WriteTrack(10, {1});
+  (void)disk.WriteTrack(11, {1});  // adjacent: no seek
+  (void)disk.ReadTrack(50);        // long seek
+  DiskStats stats = disk.stats();
+  EXPECT_EQ(stats.tracks_written, 2u);
+  EXPECT_EQ(stats.tracks_read, 1u);
+  EXPECT_GE(stats.seeks, 2u);  // 0->10 and 11->50
+  EXPECT_EQ(stats.seek_distance, 10u + 1u + 39u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().tracks_read, 0u);
+}
+
+TEST(SimulatedDiskTest, FaultInjectionFiresAfterBudget) {
+  SimulatedDisk disk(8, 64);
+  disk.InjectWriteFailureAfter(2);
+  EXPECT_TRUE(disk.WriteTrack(0, {1}).ok());
+  EXPECT_TRUE(disk.WriteTrack(1, {1}).ok());
+  EXPECT_TRUE(disk.WriteTrack(2, {1}).IsIoError());
+  EXPECT_TRUE(disk.WriteTrack(3, {1}).IsIoError());  // stays failed
+  // Data not written under fault.
+  EXPECT_TRUE(disk.ReadTrack(2).ValueOrDie().empty());
+  disk.ClearFault();
+  EXPECT_TRUE(disk.WriteTrack(2, {7}).ok());
+}
+
+}  // namespace
+}  // namespace gemstone::storage

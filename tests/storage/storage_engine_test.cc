@@ -1,0 +1,239 @@
+#include "storage/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/serializer.h"
+
+namespace gemstone::storage {
+namespace {
+
+class StorageEngineTest : public ::testing::Test {
+ protected:
+  StorageEngineTest() : disk_(512, 1024), engine_(&disk_) {
+    EXPECT_TRUE(engine_.Format().ok());
+  }
+
+  GsObject MakeEmployee(std::uint64_t oid, std::string name,
+                        std::int64_t salary, TxnTime t) {
+    GsObject obj{Oid(oid), Oid(7)};
+    obj.WriteNamed(symbols_.Intern("name"), t, Value::String(std::move(name)));
+    obj.WriteNamed(symbols_.Intern("salary"), t, Value::Integer(salary));
+    return obj;
+  }
+
+  SymbolTable symbols_;
+  SimulatedDisk disk_;
+  StorageEngine engine_;
+};
+
+TEST_F(StorageEngineTest, FormatYieldsEmptyCatalog) {
+  EXPECT_TRUE(engine_.is_open());
+  EXPECT_EQ(engine_.catalog().size(), 0u);
+}
+
+TEST_F(StorageEngineTest, CommitAndLoadRoundTrip) {
+  GsObject emp = MakeEmployee(100, "Ellen Burns", 24650, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&emp}, symbols_).ok());
+  EXPECT_TRUE(engine_.Contains(Oid(100)));
+
+  auto loaded = engine_.LoadObject(Oid(100), &symbols_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded->ReadNamed(symbols_.Intern("name"), kTimeNow),
+            Value::String("Ellen Burns"));
+  EXPECT_EQ(engine_.stats().commits, 1u);
+}
+
+TEST_F(StorageEngineTest, LoadMissingIsNotFound) {
+  EXPECT_EQ(engine_.LoadObject(Oid(77), &symbols_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StorageEngineTest, RecommitSupersedesOldVersion) {
+  GsObject v1 = MakeEmployee(100, "Ellen", 24650, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&v1}, symbols_).ok());
+  const std::size_t free_after_v1 = engine_.free_track_count();
+
+  GsObject v2 = v1;
+  v2.WriteNamed(symbols_.Intern("salary"), 5, Value::Integer(30000));
+  ASSERT_TRUE(engine_.CommitObjects({&v2}, symbols_).ok());
+  // Old data tracks recycled: free count does not decay monotonically.
+  EXPECT_GE(engine_.free_track_count() + 2, free_after_v1);
+
+  auto loaded = engine_.LoadObject(Oid(100), &symbols_).ValueOrDie();
+  EXPECT_EQ(*loaded.ReadNamed(symbols_.Intern("salary"), kTimeNow),
+            Value::Integer(30000));
+  // History survives the rewrite.
+  EXPECT_EQ(*loaded.ReadNamed(symbols_.Intern("salary"), 2),
+            Value::Integer(24650));
+}
+
+TEST_F(StorageEngineTest, ReopenRecoversCatalog) {
+  GsObject a = MakeEmployee(100, "Ellen", 24650, 1);
+  GsObject b = MakeEmployee(101, "Robert", 24000, 2);
+  ASSERT_TRUE(engine_.CommitObjects({&a, &b}, symbols_).ok());
+
+  // "Crash": new engine instance over the same platters.
+  StorageEngine recovered(&disk_);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.catalog().size(), 2u);
+  SymbolTable fresh;
+  auto loaded = recovered.LoadObject(Oid(101), &fresh).ValueOrDie();
+  EXPECT_EQ(*loaded.ReadNamed(fresh.Lookup("name"), kTimeNow),
+            Value::String("Robert"));
+}
+
+TEST_F(StorageEngineTest, LargeObjectSpansTracksAndRoundTrips) {
+  GsObject big{Oid(500), Oid(7)};
+  for (int i = 0; i < 500; ++i) {
+    big.AppendIndexed(1, Value::String("padding-padding-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(engine_.CommitObjects({&big}, symbols_).ok());
+  ASSERT_GT(engine_.catalog().Find(Oid(500))->tracks.size(), 1u);
+  auto loaded = engine_.LoadObject(Oid(500), &symbols_).ValueOrDie();
+  EXPECT_EQ(loaded.IndexedSizeAt(kTimeNow), 500u);
+  EXPECT_EQ(*loaded.ReadIndexed(499, kTimeNow),
+            Value::String("padding-padding-499"));
+}
+
+// The Commit Manager's safe-writing guarantee: a crash anywhere inside the
+// commit group leaves the previous state fully intact.
+TEST_F(StorageEngineTest, CrashMidCommitPreservesPreviousEpoch) {
+  GsObject v1 = MakeEmployee(100, "Ellen", 24650, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&v1}, symbols_).ok());
+
+  // Probe every possible crash point within the next commit group.
+  for (std::uint64_t crash_after = 0; crash_after < 12; ++crash_after) {
+    SimulatedDisk disk(512, 1024);
+    StorageEngine engine(&disk);
+    ASSERT_TRUE(engine.Format().ok());
+    GsObject base = MakeEmployee(100, "Ellen", 24650, 1);
+    ASSERT_TRUE(engine.CommitObjects({&base}, symbols_).ok());
+
+    GsObject update = base;
+    update.WriteNamed(symbols_.Intern("salary"), 5, Value::Integer(99999));
+    GsObject extra = MakeEmployee(101, "Robert", 24000, 5);
+    disk.InjectWriteFailureAfter(crash_after);
+    Status s = engine.CommitObjects({&update, &extra}, symbols_);
+    disk.ClearFault();
+
+    StorageEngine recovered(&disk);
+    ASSERT_TRUE(recovered.Open().ok()) << "crash_after=" << crash_after;
+    SymbolTable fresh;
+    if (s.ok()) {
+      // Fault budget exceeded the group: commit completed.
+      auto loaded = recovered.LoadObject(Oid(100), &fresh).ValueOrDie();
+      EXPECT_EQ(*loaded.ReadNamed(fresh.Lookup("salary"), kTimeNow),
+                Value::Integer(99999));
+      EXPECT_TRUE(recovered.Contains(Oid(101)));
+    } else {
+      // All-or-nothing: previous state intact, new object absent.
+      EXPECT_TRUE(s.IsIoError());
+      auto loaded = recovered.LoadObject(Oid(100), &fresh).ValueOrDie();
+      EXPECT_EQ(*loaded.ReadNamed(fresh.Lookup("salary"), kTimeNow),
+                Value::Integer(24650))
+          << "crash_after=" << crash_after;
+      EXPECT_FALSE(recovered.Contains(Oid(101)));
+    }
+  }
+}
+
+TEST_F(StorageEngineTest, DeviceFullReported) {
+  SimulatedDisk tiny(6, 256);  // 2 roots + barely any data tracks
+  StorageEngine engine(&tiny);
+  ASSERT_TRUE(engine.Format().ok());
+  GsObject big{Oid(1), Oid(7)};
+  for (int i = 0; i < 200; ++i) {
+    big.AppendIndexed(1, Value::String("xxxxxxxxxxxxxxxx"));
+  }
+  EXPECT_TRUE(engine.CommitObjects({&big}, symbols_).IsIoError());
+  // Failed allocation must not leak tracks.
+  GsObject small{Oid(2), Oid(7)};
+  small.WriteNamed(symbols_.Intern("x"), 1, Value::Integer(1));
+  EXPECT_TRUE(engine.CommitObjects({&small}, symbols_).ok());
+}
+
+TEST_F(StorageEngineTest, BatchLoadReadsEachTrackOnce) {
+  std::vector<GsObject> objects;
+  std::vector<const GsObject*> ptrs;
+  std::vector<Oid> oids;
+  for (int i = 0; i < 20; ++i) {
+    objects.push_back(MakeEmployee(300 + static_cast<unsigned>(i),
+                                   "emp" + std::to_string(i), i, 1));
+    oids.push_back(Oid(300 + static_cast<unsigned>(i)));
+  }
+  for (const auto& o : objects) ptrs.push_back(&o);
+  ASSERT_TRUE(engine_.CommitObjects(ptrs, symbols_).ok());
+
+  disk_.ResetStats();
+  auto loaded = engine_.LoadObjects(oids, &symbols_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(loaded->at(static_cast<std::size_t>(i)).oid(), oids[i]);
+    EXPECT_EQ(*loaded->at(static_cast<std::size_t>(i))
+                   .ReadNamed(symbols_.Intern("name"), kTimeNow),
+              Value::String("emp" + std::to_string(i)));
+  }
+  // Clustered: far fewer track reads than objects.
+  EXPECT_LT(disk_.stats().tracks_read, 20u);
+
+  // Missing oid fails as a whole.
+  std::vector<Oid> with_missing = oids;
+  with_missing.push_back(Oid(9999));
+  EXPECT_EQ(engine_.LoadObjects(with_missing, &symbols_).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Regression: two small objects share one track; superseding one of them
+// must not recycle the track while the other's extent still points at it.
+TEST_F(StorageEngineTest, SharedTrackSurvivesNeighborRewrite) {
+  GsObject a = MakeEmployee(100, "Ellen", 1, 1);
+  GsObject b = MakeEmployee(101, "Robert", 2, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&a, &b}, symbols_).ok());
+  // Both images landed on the same track.
+  ASSERT_EQ(engine_.catalog().Find(Oid(100))->tracks,
+            engine_.catalog().Find(Oid(101))->tracks);
+
+  // Rewrite only `a`, several times, forcing track churn.
+  for (int i = 0; i < 8; ++i) {
+    a.WriteNamed(symbols_.Intern("salary"), 2 + static_cast<TxnTime>(i),
+                 Value::Integer(100 + i));
+    ASSERT_TRUE(engine_.CommitObjects({&a}, symbols_).ok());
+  }
+
+  StorageEngine recovered(&disk_);
+  ASSERT_TRUE(recovered.Open().ok());
+  SymbolTable fresh;
+  auto loaded_b = recovered.LoadObject(Oid(101), &fresh);
+  ASSERT_TRUE(loaded_b.ok()) << loaded_b.status().ToString();
+  EXPECT_EQ(*loaded_b->ReadNamed(fresh.Lookup("name"), kTimeNow),
+            Value::String("Robert"));
+  auto loaded_a = recovered.LoadObject(Oid(100), &fresh).ValueOrDie();
+  EXPECT_EQ(*loaded_a.ReadNamed(fresh.Lookup("salary"), kTimeNow),
+            Value::Integer(107));
+}
+
+TEST_F(StorageEngineTest, ClusteredObjectsLandOnAdjacentTracks) {
+  std::vector<GsObject> objects;
+  std::vector<const GsObject*> ptrs;
+  for (int i = 0; i < 32; ++i) {
+    objects.push_back(MakeEmployee(200 + i, "emp" + std::to_string(i),
+                                   1000 + i, 1));
+  }
+  for (const auto& o : objects) ptrs.push_back(&o);
+  ASSERT_TRUE(engine_.CommitObjects(ptrs, symbols_).ok());
+  // All 32 small employees pack into a handful of adjacent tracks.
+  TrackId lo = ~TrackId{0}, hi = 0;
+  for (int i = 0; i < 32; ++i) {
+    const Extent* e = engine_.catalog().Find(Oid(200 + i));
+    ASSERT_NE(e, nullptr);
+    for (TrackId t : e->tracks) {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  EXPECT_LE(hi - lo, 8u);
+}
+
+}  // namespace
+}  // namespace gemstone::storage

@@ -1,0 +1,229 @@
+#include "txn/session.h"
+
+#include <gtest/gtest.h>
+
+namespace gemstone::txn {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : manager_(&memory_), session_(&manager_, 1) {}
+
+  SymbolId Sym(std::string_view s) { return memory_.symbols().Intern(s); }
+
+  /// Commits an empty transaction to advance the logical clock to `t`.
+  void PadClockTo(TxnTime t) {
+    while (manager_.Now() < t) {
+      auto txn = manager_.Begin(0);
+      Oid pad =
+          manager_.CreateObject(txn.get(), memory_.kernel().object)
+              .ValueOrDie();
+      (void)pad;
+      ASSERT_TRUE(manager_.Commit(txn.get()).ok());
+    }
+  }
+
+  ObjectMemory memory_;
+  TransactionManager manager_;
+  Session session_;
+};
+
+TEST_F(SessionTest, TransactionLifecycle) {
+  EXPECT_FALSE(session_.InTransaction());
+  EXPECT_EQ(session_.Commit().code(), StatusCode::kTransactionState);
+  ASSERT_TRUE(session_.Begin().ok());
+  EXPECT_TRUE(session_.InTransaction());
+  EXPECT_EQ(session_.Begin().code(), StatusCode::kTransactionState);
+  ASSERT_TRUE(session_.Commit().ok());
+  EXPECT_FALSE(session_.InTransaction());
+  ASSERT_TRUE(session_.Begin().ok());
+  ASSERT_TRUE(session_.Abort().ok());
+}
+
+TEST_F(SessionTest, ReadOutsideTransactionRejected) {
+  EXPECT_EQ(session_.ReadNamed(Oid(1), Sym("x")).status().code(),
+            StatusCode::kTransactionState);
+}
+
+TEST_F(SessionTest, TimeDialBlocksWrites) {
+  ASSERT_TRUE(session_.Begin().ok());
+  auto oid = session_.Create(memory_.kernel().object).ValueOrDie();
+  session_.SetTimeDial(0);
+  EXPECT_TRUE(session_.DialSet());
+  EXPECT_EQ(session_.WriteNamed(oid, Sym("x"), Value::Integer(1)).code(),
+            StatusCode::kTransactionState);
+  EXPECT_EQ(session_.Create(memory_.kernel().object).status().code(),
+            StatusCode::kTransactionState);
+  session_.ClearTimeDial();
+  EXPECT_TRUE(session_.WriteNamed(oid, Sym("x"), Value::Integer(1)).ok());
+}
+
+// Figure 1, end to end through sessions: the company president changes
+// from Ayn Rand to Milton Friedman at time 8; Ayn leaves the employees
+// set at 8 and moves to San Diego afterwards.
+class Figure1SessionTest : public SessionTest {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(session_.Begin().ok());
+    world_ = session_.Create(memory_.kernel().dictionary).ValueOrDie();
+    acme_ = session_.Create(memory_.kernel().object).ValueOrDie();
+    ayn_ = session_.Create(memory_.kernel().object).ValueOrDie();
+    milton_ = session_.Create(memory_.kernel().object).ValueOrDie();
+    employees_ = session_.Create(memory_.kernel().set).ValueOrDie();
+    ASSERT_TRUE(
+        session_.WriteNamed(world_, Sym("Acme Corp"), Value::Ref(acme_)).ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(acme_, Sym("employees"), Value::Ref(employees_))
+            .ok());
+    ASSERT_TRUE(session_
+                    .WriteNamed(ayn_, Sym("name"), Value::String("Ayn Rand"))
+                    .ok());
+    ASSERT_TRUE(session_
+                    .WriteNamed(milton_, Sym("name"),
+                                Value::String("Milton Friedman"))
+                    .ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(milton_, Sym("city"), Value::String("Seattle"))
+            .ok());
+    ASSERT_TRUE(session_.Commit().ok());  // commit time 1
+
+    // t=2: Ayn hired (employee number 1821), lives in Portland.
+    ASSERT_TRUE(session_.Begin().ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(employees_, Sym("1821"), Value::Ref(ayn_)).ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(ayn_, Sym("city"), Value::String("Portland"))
+            .ok());
+    ASSERT_TRUE(session_.Commit().ok());  // commit time 2
+
+    PadClockTo(4);
+
+    // t=5: Ayn becomes president.
+    ASSERT_TRUE(session_.Begin().ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(acme_, Sym("president"), Value::Ref(ayn_)).ok());
+    ASSERT_TRUE(session_.Commit().ok());  // commit time 5
+
+    PadClockTo(7);
+
+    // t=8: Milton replaces Ayn, moves to Portland; Ayn leaves the company.
+    ASSERT_TRUE(session_.Begin().ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(acme_, Sym("president"), Value::Ref(milton_))
+            .ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(milton_, Sym("city"), Value::String("Portland"))
+            .ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(employees_, Sym("1821"), Value::Nil()).ok());
+    ASSERT_TRUE(session_.Commit().ok());  // commit time 8
+
+    PadClockTo(10);
+
+    // t=11: shortly after leaving, Ayn moves to San Diego.
+    ASSERT_TRUE(session_.Begin().ok());
+    ASSERT_TRUE(
+        session_.WriteNamed(ayn_, Sym("city"), Value::String("San Diego"))
+            .ok());
+    ASSERT_TRUE(session_.Commit().ok());  // commit time 11
+  }
+
+  Oid world_, acme_, ayn_, milton_, employees_;
+};
+
+TEST_F(Figure1SessionTest, CurrentPresidentIsMilton) {
+  ASSERT_TRUE(session_.Begin().ok());
+  // World!'Acme Corp'!'president'
+  Value acme = session_.ReadNamed(world_, Sym("Acme Corp")).ValueOrDie();
+  Value president =
+      session_.ReadNamed(acme.ref(), Sym("president")).ValueOrDie();
+  EXPECT_EQ(president, Value::Ref(milton_));
+  EXPECT_EQ(session_.ReadNamed(president.ref(), Sym("name")).ValueOrDie(),
+            Value::String("Milton Friedman"));
+}
+
+TEST_F(Figure1SessionTest, PresidentAtTenIsMiltonAtSevenIsAyn) {
+  ASSERT_TRUE(session_.Begin().ok());
+  // World!'Acme Corp'!'president'@10
+  EXPECT_EQ(session_.ReadNamedAt(acme_, Sym("president"), 10).ValueOrDie(),
+            Value::Ref(milton_));
+  // ...@7 yields the previous president.
+  EXPECT_EQ(session_.ReadNamedAt(acme_, Sym("president"), 7).ValueOrDie(),
+            Value::Ref(ayn_));
+  // Before she took office there was no binding at all -> nil view.
+  EXPECT_TRUE(
+      session_.ReadNamedAt(acme_, Sym("president"), 4).ValueOrDie().IsNil());
+}
+
+TEST_F(Figure1SessionTest, PreviousPresidentsCurrentCityIsSanDiego) {
+  ASSERT_TRUE(session_.Begin().ok());
+  // World!'Acme Corp'!'president'@7!city — @7 resolves the president,
+  // the trailing step reads the *current* state.
+  Value past_president =
+      session_.ReadNamedAt(acme_, Sym("president"), 7).ValueOrDie();
+  EXPECT_EQ(
+      session_.ReadNamed(past_president.ref(), Sym("city")).ValueOrDie(),
+      Value::String("San Diego"));
+  // And her city as of time 7 was still Portland.
+  EXPECT_EQ(session_.ReadNamedAt(past_president.ref(), Sym("city"), 7)
+                .ValueOrDie(),
+            Value::String("Portland"));
+}
+
+TEST_F(Figure1SessionTest, AynLeavesTheEmployeesSetAtEight) {
+  ASSERT_TRUE(session_.Begin().ok());
+  EXPECT_EQ(session_.ReadNamedAt(employees_, Sym("1821"), 7).ValueOrDie(),
+            Value::Ref(ayn_));
+  EXPECT_TRUE(
+      session_.ReadNamedAt(employees_, Sym("1821"), 9).ValueOrDie().IsNil());
+  // Identity outlives reachability: Ayn's object still exists with her
+  // full history even though no current state references her (§5.4).
+  EXPECT_EQ(session_.ReadNamed(ayn_, Sym("name")).ValueOrDie(),
+            Value::String("Ayn Rand"));
+}
+
+TEST_F(Figure1SessionTest, TimeDialReplaysAPastState) {
+  ASSERT_TRUE(session_.Begin().ok());
+  session_.SetTimeDial(7);
+  // With the dial at 7 every read resolves @7.
+  EXPECT_EQ(session_.ReadNamed(acme_, Sym("president")).ValueOrDie(),
+            Value::Ref(ayn_));
+  EXPECT_EQ(session_.ReadNamed(ayn_, Sym("city")).ValueOrDie(),
+            Value::String("Portland"));
+  EXPECT_EQ(session_.ListNamed(employees_).ValueOrDie().size(), 1u);
+  session_.ClearTimeDial();
+  EXPECT_EQ(session_.ListNamed(employees_).ValueOrDie().size(), 0u);
+}
+
+TEST_F(Figure1SessionTest, MiltonCityHistory) {
+  ASSERT_TRUE(session_.Begin().ok());
+  auto history = session_.History(milton_, Sym("city")).ValueOrDie();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].value, Value::String("Seattle"));
+  EXPECT_EQ(history[1].value, Value::String("Portland"));
+  EXPECT_EQ(history[1].time, 8u);
+}
+
+TEST_F(Figure1SessionTest, SafeTimeReadOnlySessionNeverConflicts) {
+  Session reader(&manager_, 2);
+  ASSERT_TRUE(reader.Begin().ok());
+  reader.SetTimeDialToSafeTime();
+
+  // A concurrent writer changes the president while the reader works.
+  Session writer(&manager_, 3);
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(
+      writer.WriteNamed(acme_, Sym("president"), Value::Ref(ayn_)).ok());
+
+  Value seen_before = reader.ReadNamed(acme_, Sym("president")).ValueOrDie();
+  ASSERT_TRUE(writer.Commit().ok());
+  Value seen_after = reader.ReadNamed(acme_, Sym("president")).ValueOrDie();
+  // Pinned at SafeTime, the reader's view is stable across the commit...
+  EXPECT_EQ(seen_before, seen_after);
+  EXPECT_EQ(seen_before, Value::Ref(milton_));
+  // ...and its commit validates trivially.
+  EXPECT_TRUE(reader.Commit().ok());
+}
+
+}  // namespace
+}  // namespace gemstone::txn
