@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_encoding.cc" "bench/CMakeFiles/bench_encoding.dir/bench_encoding.cc.o" "gcc" "bench/CMakeFiles/bench_encoding.dir/bench_encoding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/executor/CMakeFiles/gs_executor.dir/DependInfo.cmake"
+  "/root/repo/build/src/opal/CMakeFiles/gs_opal.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/gs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/gs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stdm/CMakeFiles/gs_stdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/gs_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/admin/CMakeFiles/gs_admin.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/gs_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

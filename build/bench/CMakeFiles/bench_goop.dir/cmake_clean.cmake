@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_goop.dir/bench_goop.cc.o"
+  "CMakeFiles/bench_goop.dir/bench_goop.cc.o.d"
+  "bench_goop"
+  "bench_goop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_goop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_history.dir/bench_history.cc.o"
+  "CMakeFiles/bench_history.dir/bench_history.cc.o.d"
+  "bench_history"
+  "bench_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

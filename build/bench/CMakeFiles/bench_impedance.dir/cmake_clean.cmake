@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impedance.dir/bench_impedance.cc.o"
+  "CMakeFiles/bench_impedance.dir/bench_impedance.cc.o.d"
+  "bench_impedance"
+  "bench_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loom.dir/bench_loom.cc.o"
+  "CMakeFiles/bench_loom.dir/bench_loom.cc.o.d"
+  "bench_loom"
+  "bench_loom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

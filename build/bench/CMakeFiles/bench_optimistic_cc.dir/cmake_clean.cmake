@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimistic_cc.dir/bench_optimistic_cc.cc.o"
+  "CMakeFiles/bench_optimistic_cc.dir/bench_optimistic_cc.cc.o.d"
+  "bench_optimistic_cc"
+  "bench_optimistic_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimistic_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

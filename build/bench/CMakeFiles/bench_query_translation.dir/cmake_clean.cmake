@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_translation.dir/bench_query_translation.cc.o"
+  "CMakeFiles/bench_query_translation.dir/bench_query_translation.cc.o.d"
+  "bench_query_translation"
+  "bench_query_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timedial.dir/bench_timedial.cc.o"
+  "CMakeFiles/bench_timedial.dir/bench_timedial.cc.o.d"
+  "bench_timedial"
+  "bench_timedial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timedial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracks.dir/bench_tracks.cc.o"
+  "CMakeFiles/bench_tracks.dir/bench_tracks.cc.o.d"
+  "bench_tracks"
+  "bench_tracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

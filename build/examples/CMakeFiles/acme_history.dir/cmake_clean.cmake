@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acme_history.dir/acme_history.cpp.o"
+  "CMakeFiles/acme_history.dir/acme_history.cpp.o.d"
+  "acme_history"
+  "acme_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acme_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_queries.dir/company_queries.cpp.o"
+  "CMakeFiles/company_queries.dir/company_queries.cpp.o.d"
+  "company_queries"
+  "company_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

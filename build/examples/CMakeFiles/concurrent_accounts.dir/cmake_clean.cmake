@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_accounts.dir/concurrent_accounts.cpp.o"
+  "CMakeFiles/concurrent_accounts.dir/concurrent_accounts.cpp.o.d"
+  "concurrent_accounts"
+  "concurrent_accounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_accounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

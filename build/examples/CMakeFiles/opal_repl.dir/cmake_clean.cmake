@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_repl.dir/opal_repl.cpp.o"
+  "CMakeFiles/opal_repl.dir/opal_repl.cpp.o.d"
+  "opal_repl"
+  "opal_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

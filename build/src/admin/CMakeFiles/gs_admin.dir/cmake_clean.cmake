@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_admin.dir/authorization.cc.o"
+  "CMakeFiles/gs_admin.dir/authorization.cc.o.d"
+  "CMakeFiles/gs_admin.dir/replication.cc.o"
+  "CMakeFiles/gs_admin.dir/replication.cc.o.d"
+  "libgs_admin.a"
+  "libgs_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_core.dir/status.cc.o"
+  "CMakeFiles/gs_core.dir/status.cc.o.d"
+  "libgs_core.a"
+  "libgs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_executor.dir/executor.cc.o"
+  "CMakeFiles/gs_executor.dir/executor.cc.o.d"
+  "libgs_executor.a"
+  "libgs_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_index.dir/directory.cc.o"
+  "CMakeFiles/gs_index.dir/directory.cc.o.d"
+  "libgs_index.a"
+  "libgs_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

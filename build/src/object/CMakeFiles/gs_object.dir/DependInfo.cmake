@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/object/association_table.cc" "src/object/CMakeFiles/gs_object.dir/association_table.cc.o" "gcc" "src/object/CMakeFiles/gs_object.dir/association_table.cc.o.d"
+  "/root/repo/src/object/class_registry.cc" "src/object/CMakeFiles/gs_object.dir/class_registry.cc.o" "gcc" "src/object/CMakeFiles/gs_object.dir/class_registry.cc.o.d"
+  "/root/repo/src/object/gs_object.cc" "src/object/CMakeFiles/gs_object.dir/gs_object.cc.o" "gcc" "src/object/CMakeFiles/gs_object.dir/gs_object.cc.o.d"
+  "/root/repo/src/object/object_memory.cc" "src/object/CMakeFiles/gs_object.dir/object_memory.cc.o" "gcc" "src/object/CMakeFiles/gs_object.dir/object_memory.cc.o.d"
+  "/root/repo/src/object/printer.cc" "src/object/CMakeFiles/gs_object.dir/printer.cc.o" "gcc" "src/object/CMakeFiles/gs_object.dir/printer.cc.o.d"
+  "/root/repo/src/object/symbol_table.cc" "src/object/CMakeFiles/gs_object.dir/symbol_table.cc.o" "gcc" "src/object/CMakeFiles/gs_object.dir/symbol_table.cc.o.d"
+  "/root/repo/src/object/value.cc" "src/object/CMakeFiles/gs_object.dir/value.cc.o" "gcc" "src/object/CMakeFiles/gs_object.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_object.dir/association_table.cc.o"
+  "CMakeFiles/gs_object.dir/association_table.cc.o.d"
+  "CMakeFiles/gs_object.dir/class_registry.cc.o"
+  "CMakeFiles/gs_object.dir/class_registry.cc.o.d"
+  "CMakeFiles/gs_object.dir/gs_object.cc.o"
+  "CMakeFiles/gs_object.dir/gs_object.cc.o.d"
+  "CMakeFiles/gs_object.dir/object_memory.cc.o"
+  "CMakeFiles/gs_object.dir/object_memory.cc.o.d"
+  "CMakeFiles/gs_object.dir/printer.cc.o"
+  "CMakeFiles/gs_object.dir/printer.cc.o.d"
+  "CMakeFiles/gs_object.dir/symbol_table.cc.o"
+  "CMakeFiles/gs_object.dir/symbol_table.cc.o.d"
+  "CMakeFiles/gs_object.dir/value.cc.o"
+  "CMakeFiles/gs_object.dir/value.cc.o.d"
+  "libgs_object.a"
+  "libgs_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

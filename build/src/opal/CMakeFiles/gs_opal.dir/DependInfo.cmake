@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opal/bytecode.cc" "src/opal/CMakeFiles/gs_opal.dir/bytecode.cc.o" "gcc" "src/opal/CMakeFiles/gs_opal.dir/bytecode.cc.o.d"
+  "/root/repo/src/opal/compiler.cc" "src/opal/CMakeFiles/gs_opal.dir/compiler.cc.o" "gcc" "src/opal/CMakeFiles/gs_opal.dir/compiler.cc.o.d"
+  "/root/repo/src/opal/interpreter.cc" "src/opal/CMakeFiles/gs_opal.dir/interpreter.cc.o" "gcc" "src/opal/CMakeFiles/gs_opal.dir/interpreter.cc.o.d"
+  "/root/repo/src/opal/lexer.cc" "src/opal/CMakeFiles/gs_opal.dir/lexer.cc.o" "gcc" "src/opal/CMakeFiles/gs_opal.dir/lexer.cc.o.d"
+  "/root/repo/src/opal/parser.cc" "src/opal/CMakeFiles/gs_opal.dir/parser.cc.o" "gcc" "src/opal/CMakeFiles/gs_opal.dir/parser.cc.o.d"
+  "/root/repo/src/opal/primitives.cc" "src/opal/CMakeFiles/gs_opal.dir/primitives.cc.o" "gcc" "src/opal/CMakeFiles/gs_opal.dir/primitives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/gs_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/gs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/gs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

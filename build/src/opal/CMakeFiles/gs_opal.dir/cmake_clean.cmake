@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_opal.dir/bytecode.cc.o"
+  "CMakeFiles/gs_opal.dir/bytecode.cc.o.d"
+  "CMakeFiles/gs_opal.dir/compiler.cc.o"
+  "CMakeFiles/gs_opal.dir/compiler.cc.o.d"
+  "CMakeFiles/gs_opal.dir/interpreter.cc.o"
+  "CMakeFiles/gs_opal.dir/interpreter.cc.o.d"
+  "CMakeFiles/gs_opal.dir/lexer.cc.o"
+  "CMakeFiles/gs_opal.dir/lexer.cc.o.d"
+  "CMakeFiles/gs_opal.dir/parser.cc.o"
+  "CMakeFiles/gs_opal.dir/parser.cc.o.d"
+  "CMakeFiles/gs_opal.dir/primitives.cc.o"
+  "CMakeFiles/gs_opal.dir/primitives.cc.o.d"
+  "libgs_opal.a"
+  "libgs_opal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_opal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

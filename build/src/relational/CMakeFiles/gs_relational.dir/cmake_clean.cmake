@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_relational.dir/relational.cc.o"
+  "CMakeFiles/gs_relational.dir/relational.cc.o.d"
+  "libgs_relational.a"
+  "libgs_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgs_relational.a"
+)

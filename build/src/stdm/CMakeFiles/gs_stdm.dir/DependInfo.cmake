@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stdm/algebra.cc" "src/stdm/CMakeFiles/gs_stdm.dir/algebra.cc.o" "gcc" "src/stdm/CMakeFiles/gs_stdm.dir/algebra.cc.o.d"
+  "/root/repo/src/stdm/calculus.cc" "src/stdm/CMakeFiles/gs_stdm.dir/calculus.cc.o" "gcc" "src/stdm/CMakeFiles/gs_stdm.dir/calculus.cc.o.d"
+  "/root/repo/src/stdm/calculus_parser.cc" "src/stdm/CMakeFiles/gs_stdm.dir/calculus_parser.cc.o" "gcc" "src/stdm/CMakeFiles/gs_stdm.dir/calculus_parser.cc.o.d"
+  "/root/repo/src/stdm/gsdm_bridge.cc" "src/stdm/CMakeFiles/gs_stdm.dir/gsdm_bridge.cc.o" "gcc" "src/stdm/CMakeFiles/gs_stdm.dir/gsdm_bridge.cc.o.d"
+  "/root/repo/src/stdm/path.cc" "src/stdm/CMakeFiles/gs_stdm.dir/path.cc.o" "gcc" "src/stdm/CMakeFiles/gs_stdm.dir/path.cc.o.d"
+  "/root/repo/src/stdm/stdm_value.cc" "src/stdm/CMakeFiles/gs_stdm.dir/stdm_value.cc.o" "gcc" "src/stdm/CMakeFiles/gs_stdm.dir/stdm_value.cc.o.d"
+  "/root/repo/src/stdm/translate.cc" "src/stdm/CMakeFiles/gs_stdm.dir/translate.cc.o" "gcc" "src/stdm/CMakeFiles/gs_stdm.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/gs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/gs_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_stdm.dir/algebra.cc.o"
+  "CMakeFiles/gs_stdm.dir/algebra.cc.o.d"
+  "CMakeFiles/gs_stdm.dir/calculus.cc.o"
+  "CMakeFiles/gs_stdm.dir/calculus.cc.o.d"
+  "CMakeFiles/gs_stdm.dir/calculus_parser.cc.o"
+  "CMakeFiles/gs_stdm.dir/calculus_parser.cc.o.d"
+  "CMakeFiles/gs_stdm.dir/gsdm_bridge.cc.o"
+  "CMakeFiles/gs_stdm.dir/gsdm_bridge.cc.o.d"
+  "CMakeFiles/gs_stdm.dir/path.cc.o"
+  "CMakeFiles/gs_stdm.dir/path.cc.o.d"
+  "CMakeFiles/gs_stdm.dir/stdm_value.cc.o"
+  "CMakeFiles/gs_stdm.dir/stdm_value.cc.o.d"
+  "CMakeFiles/gs_stdm.dir/translate.cc.o"
+  "CMakeFiles/gs_stdm.dir/translate.cc.o.d"
+  "libgs_stdm.a"
+  "libgs_stdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_stdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/archival_store.cc" "src/storage/CMakeFiles/gs_storage.dir/archival_store.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/archival_store.cc.o.d"
+  "/root/repo/src/storage/boxer.cc" "src/storage/CMakeFiles/gs_storage.dir/boxer.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/boxer.cc.o.d"
+  "/root/repo/src/storage/commit_manager.cc" "src/storage/CMakeFiles/gs_storage.dir/commit_manager.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/commit_manager.cc.o.d"
+  "/root/repo/src/storage/linker.cc" "src/storage/CMakeFiles/gs_storage.dir/linker.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/linker.cc.o.d"
+  "/root/repo/src/storage/loom_cache.cc" "src/storage/CMakeFiles/gs_storage.dir/loom_cache.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/loom_cache.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/storage/CMakeFiles/gs_storage.dir/serializer.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/serializer.cc.o.d"
+  "/root/repo/src/storage/simulated_disk.cc" "src/storage/CMakeFiles/gs_storage.dir/simulated_disk.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/simulated_disk.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/storage/CMakeFiles/gs_storage.dir/storage_engine.cc.o" "gcc" "src/storage/CMakeFiles/gs_storage.dir/storage_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/gs_object.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_storage.dir/archival_store.cc.o"
+  "CMakeFiles/gs_storage.dir/archival_store.cc.o.d"
+  "CMakeFiles/gs_storage.dir/boxer.cc.o"
+  "CMakeFiles/gs_storage.dir/boxer.cc.o.d"
+  "CMakeFiles/gs_storage.dir/commit_manager.cc.o"
+  "CMakeFiles/gs_storage.dir/commit_manager.cc.o.d"
+  "CMakeFiles/gs_storage.dir/linker.cc.o"
+  "CMakeFiles/gs_storage.dir/linker.cc.o.d"
+  "CMakeFiles/gs_storage.dir/loom_cache.cc.o"
+  "CMakeFiles/gs_storage.dir/loom_cache.cc.o.d"
+  "CMakeFiles/gs_storage.dir/serializer.cc.o"
+  "CMakeFiles/gs_storage.dir/serializer.cc.o.d"
+  "CMakeFiles/gs_storage.dir/simulated_disk.cc.o"
+  "CMakeFiles/gs_storage.dir/simulated_disk.cc.o.d"
+  "CMakeFiles/gs_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/gs_storage.dir/storage_engine.cc.o.d"
+  "libgs_storage.a"
+  "libgs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

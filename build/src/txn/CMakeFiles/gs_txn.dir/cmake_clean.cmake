@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_txn.dir/session.cc.o"
+  "CMakeFiles/gs_txn.dir/session.cc.o.d"
+  "CMakeFiles/gs_txn.dir/transaction_manager.cc.o"
+  "CMakeFiles/gs_txn.dir/transaction_manager.cc.o.d"
+  "libgs_txn.a"
+  "libgs_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

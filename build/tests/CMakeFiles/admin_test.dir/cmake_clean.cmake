@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_test.dir/admin/access_integration_test.cc.o"
+  "CMakeFiles/admin_test.dir/admin/access_integration_test.cc.o.d"
+  "CMakeFiles/admin_test.dir/admin/authorization_test.cc.o"
+  "CMakeFiles/admin_test.dir/admin/authorization_test.cc.o.d"
+  "CMakeFiles/admin_test.dir/admin/replication_test.cc.o"
+  "CMakeFiles/admin_test.dir/admin/replication_test.cc.o.d"
+  "admin_test"
+  "admin_test.pdb"
+  "admin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

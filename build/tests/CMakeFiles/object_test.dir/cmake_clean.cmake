@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_test.dir/object/association_table_test.cc.o"
+  "CMakeFiles/object_test.dir/object/association_table_test.cc.o.d"
+  "CMakeFiles/object_test.dir/object/class_registry_test.cc.o"
+  "CMakeFiles/object_test.dir/object/class_registry_test.cc.o.d"
+  "CMakeFiles/object_test.dir/object/gs_object_test.cc.o"
+  "CMakeFiles/object_test.dir/object/gs_object_test.cc.o.d"
+  "CMakeFiles/object_test.dir/object/object_memory_test.cc.o"
+  "CMakeFiles/object_test.dir/object/object_memory_test.cc.o.d"
+  "CMakeFiles/object_test.dir/object/symbol_table_test.cc.o"
+  "CMakeFiles/object_test.dir/object/symbol_table_test.cc.o.d"
+  "CMakeFiles/object_test.dir/object/value_test.cc.o"
+  "CMakeFiles/object_test.dir/object/value_test.cc.o.d"
+  "object_test"
+  "object_test.pdb"
+  "object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_test.dir/opal/compiler_test.cc.o"
+  "CMakeFiles/opal_test.dir/opal/compiler_test.cc.o.d"
+  "CMakeFiles/opal_test.dir/opal/interpreter_edge_test.cc.o"
+  "CMakeFiles/opal_test.dir/opal/interpreter_edge_test.cc.o.d"
+  "CMakeFiles/opal_test.dir/opal/interpreter_test.cc.o"
+  "CMakeFiles/opal_test.dir/opal/interpreter_test.cc.o.d"
+  "CMakeFiles/opal_test.dir/opal/kernel_protocol_test.cc.o"
+  "CMakeFiles/opal_test.dir/opal/kernel_protocol_test.cc.o.d"
+  "CMakeFiles/opal_test.dir/opal/lexer_test.cc.o"
+  "CMakeFiles/opal_test.dir/opal/lexer_test.cc.o.d"
+  "CMakeFiles/opal_test.dir/opal/parser_test.cc.o"
+  "CMakeFiles/opal_test.dir/opal/parser_test.cc.o.d"
+  "opal_test"
+  "opal_test.pdb"
+  "opal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stdm/calculus_parser_test.cc" "tests/CMakeFiles/stdm_test.dir/stdm/calculus_parser_test.cc.o" "gcc" "tests/CMakeFiles/stdm_test.dir/stdm/calculus_parser_test.cc.o.d"
+  "/root/repo/tests/stdm/calculus_test.cc" "tests/CMakeFiles/stdm_test.dir/stdm/calculus_test.cc.o" "gcc" "tests/CMakeFiles/stdm_test.dir/stdm/calculus_test.cc.o.d"
+  "/root/repo/tests/stdm/gsdm_bridge_test.cc" "tests/CMakeFiles/stdm_test.dir/stdm/gsdm_bridge_test.cc.o" "gcc" "tests/CMakeFiles/stdm_test.dir/stdm/gsdm_bridge_test.cc.o.d"
+  "/root/repo/tests/stdm/path_test.cc" "tests/CMakeFiles/stdm_test.dir/stdm/path_test.cc.o" "gcc" "tests/CMakeFiles/stdm_test.dir/stdm/path_test.cc.o.d"
+  "/root/repo/tests/stdm/representation_test.cc" "tests/CMakeFiles/stdm_test.dir/stdm/representation_test.cc.o" "gcc" "tests/CMakeFiles/stdm_test.dir/stdm/representation_test.cc.o.d"
+  "/root/repo/tests/stdm/stdm_value_test.cc" "tests/CMakeFiles/stdm_test.dir/stdm/stdm_value_test.cc.o" "gcc" "tests/CMakeFiles/stdm_test.dir/stdm/stdm_value_test.cc.o.d"
+  "/root/repo/tests/stdm/translate_test.cc" "tests/CMakeFiles/stdm_test.dir/stdm/translate_test.cc.o" "gcc" "tests/CMakeFiles/stdm_test.dir/stdm/translate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stdm/CMakeFiles/gs_stdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/gs_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/gs_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

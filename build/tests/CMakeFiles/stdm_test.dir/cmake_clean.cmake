@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stdm_test.dir/stdm/calculus_parser_test.cc.o"
+  "CMakeFiles/stdm_test.dir/stdm/calculus_parser_test.cc.o.d"
+  "CMakeFiles/stdm_test.dir/stdm/calculus_test.cc.o"
+  "CMakeFiles/stdm_test.dir/stdm/calculus_test.cc.o.d"
+  "CMakeFiles/stdm_test.dir/stdm/gsdm_bridge_test.cc.o"
+  "CMakeFiles/stdm_test.dir/stdm/gsdm_bridge_test.cc.o.d"
+  "CMakeFiles/stdm_test.dir/stdm/path_test.cc.o"
+  "CMakeFiles/stdm_test.dir/stdm/path_test.cc.o.d"
+  "CMakeFiles/stdm_test.dir/stdm/representation_test.cc.o"
+  "CMakeFiles/stdm_test.dir/stdm/representation_test.cc.o.d"
+  "CMakeFiles/stdm_test.dir/stdm/stdm_value_test.cc.o"
+  "CMakeFiles/stdm_test.dir/stdm/stdm_value_test.cc.o.d"
+  "CMakeFiles/stdm_test.dir/stdm/translate_test.cc.o"
+  "CMakeFiles/stdm_test.dir/stdm/translate_test.cc.o.d"
+  "stdm_test"
+  "stdm_test.pdb"
+  "stdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/archival_store_test.cc" "tests/CMakeFiles/storage_test.dir/storage/archival_store_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/archival_store_test.cc.o.d"
+  "/root/repo/tests/storage/boxer_test.cc" "tests/CMakeFiles/storage_test.dir/storage/boxer_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/boxer_test.cc.o.d"
+  "/root/repo/tests/storage/loom_cache_test.cc" "tests/CMakeFiles/storage_test.dir/storage/loom_cache_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/loom_cache_test.cc.o.d"
+  "/root/repo/tests/storage/serializer_property_test.cc" "tests/CMakeFiles/storage_test.dir/storage/serializer_property_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/serializer_property_test.cc.o.d"
+  "/root/repo/tests/storage/serializer_test.cc" "tests/CMakeFiles/storage_test.dir/storage/serializer_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/serializer_test.cc.o.d"
+  "/root/repo/tests/storage/simulated_disk_test.cc" "tests/CMakeFiles/storage_test.dir/storage/simulated_disk_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/simulated_disk_test.cc.o.d"
+  "/root/repo/tests/storage/storage_engine_test.cc" "tests/CMakeFiles/storage_test.dir/storage/storage_engine_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/storage_engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/gs_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gs_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/archival_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/archival_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/boxer_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/boxer_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/loom_cache_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/loom_cache_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/serializer_property_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/serializer_property_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/serializer_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/serializer_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/simulated_disk_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/simulated_disk_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/storage_engine_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/storage_engine_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

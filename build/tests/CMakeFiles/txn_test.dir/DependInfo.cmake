@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/txn/occ_property_test.cc" "tests/CMakeFiles/txn_test.dir/txn/occ_property_test.cc.o" "gcc" "tests/CMakeFiles/txn_test.dir/txn/occ_property_test.cc.o.d"
+  "/root/repo/tests/txn/session_test.cc" "tests/CMakeFiles/txn_test.dir/txn/session_test.cc.o" "gcc" "tests/CMakeFiles/txn_test.dir/txn/session_test.cc.o.d"
+  "/root/repo/tests/txn/transaction_manager_test.cc" "tests/CMakeFiles/txn_test.dir/txn/transaction_manager_test.cc.o" "gcc" "tests/CMakeFiles/txn_test.dir/txn/transaction_manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/gs_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/gs_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
