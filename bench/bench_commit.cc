@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "object/object_memory.h"
 #include "storage/storage_engine.h"
 
@@ -90,4 +92,4 @@ BENCHMARK(BM_GroupCommit)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
 BENCHMARK(BM_SingleObjectCommits);
 BENCHMARK(BM_RootFlip);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("commit");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "index/directory.h"
 #include "txn/session.h"
 #include "txn/transaction_manager.h"
@@ -120,4 +122,4 @@ BENCHMARK(BM_DirectoryProbe)->Arg(100)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_DirectoryRangeProbe)->Arg(100000);
 BENCHMARK(BM_TemporalProbeAfterChurn)->Arg(10)->Arg(1000);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("directory");

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "relational/relational.h"
 #include "stdm/stdm_value.h"
 
@@ -133,4 +135,4 @@ BENCHMARK(BM_RelationalChildrenIndexed)->Arg(100)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_StdmSubsetTest)->Arg(1000);
 BENCHMARK(BM_RelationalSubsetTest)->Arg(1000);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("encoding");

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "executor/executor.h"
 
 using namespace gemstone;  // NOLINT
@@ -81,4 +83,4 @@ BENCHMARK(BM_ReadCurrentPresident)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_ReadPastPresident)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_TimeDialReplay)->Arg(256);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("figure1");

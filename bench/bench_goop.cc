@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "object/object_memory.h"
 
 using namespace gemstone;  // NOLINT
@@ -92,4 +94,4 @@ BENCHMARK(BM_GoopResolutionChain)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_PrimaryPathChain)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_SingleGoopResolve)->Arg(1000)->Arg(1000000);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("goop");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "object/gs_object.h"
 #include "object/object_memory.h"
 #include "storage/serializer.h"
@@ -82,4 +84,4 @@ BENCHMARK(BM_ReadPast)->Arg(1)->Arg(100)->Arg(10000)->Arg(1000000);
 BENCHMARK(BM_WriteNewVersion)->Arg(1000);
 BENCHMARK(BM_ImageBytesPerVersion)->Arg(10)->Arg(1000)->Arg(100000);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("history");

@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "executor/executor.h"
 #include "relational/relational.h"
 
@@ -136,4 +138,4 @@ BENCHMARK(BM_InEngineProcedural)->Arg(200)->Arg(2000)
 BENCHMARK(BM_TupleAtATimeExtraction)->Arg(200)->Arg(2000)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("impedance");

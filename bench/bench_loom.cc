@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "object/object_memory.h"
 #include "storage/loom_cache.h"
 #include "storage/storage_engine.h"
@@ -84,4 +86,4 @@ BENCHMARK(BM_LoomWorkingSetSweep)
     ->Arg(kObjects / 8);  // thrash
 BENCHMARK(BM_GemstoneBatchedWorkingSet);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("loom");

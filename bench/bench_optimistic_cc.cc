@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include <atomic>
 #include <thread>
 
@@ -128,4 +130,4 @@ BENCHMARK(BM_ConcurrentCommits)
     ->UseRealTime();
 BENCHMARK(BM_ReadOnlyUnderWriters);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("optimistic_cc");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "stdm/calculus.h"
 #include "stdm/translate.h"
 
@@ -110,4 +112,4 @@ BENCHMARK(BM_TranslatedAlgebra)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_TranslationItself);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("query_translation");

@@ -1,0 +1,78 @@
+// Machine-readable benchmark output: GS_BENCH_MAIN(name) replaces
+// BENCHMARK_MAIN() and, after the Google Benchmark run, dumps the
+// process-wide telemetry snapshot as JSON lines — one object per metric
+// — into BENCH_<name>.json in the working directory (and echoes each
+// line to stdout prefixed with "BENCH_JSON "). Downstream tooling can
+// diff runs without scraping the human-oriented benchmark table.
+#ifndef GEMSTONE_BENCH_BENCH_TELEMETRY_H_
+#define GEMSTONE_BENCH_BENCH_TELEMETRY_H_
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+
+namespace gemstone::bench {
+
+inline void EmitJsonLine(std::ostream& file, const std::string& bench,
+                         const std::string& metric, double value,
+                         const std::string& unit) {
+  std::string line = "{\"bench\":\"" + telemetry::JsonEscape(bench) +
+                     "\",\"metric\":\"" + telemetry::JsonEscape(metric) +
+                     "\",\"value\":";
+  // Counters and gauges are integral; render them without a fraction.
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    line += std::to_string(static_cast<long long>(value));
+  } else {
+    line += std::to_string(value);
+  }
+  line += ",\"unit\":\"" + telemetry::JsonEscape(unit) + "\"}";
+  file << line << "\n";
+  std::cout << "BENCH_JSON " << line << "\n";
+}
+
+/// Writes BENCH_<name>.json from the live telemetry registry: every
+/// counter and gauge, plus count/sum/p50/p95/p99 per histogram.
+inline void EmitTelemetryReport(const std::string& name) {
+  const telemetry::Snapshot snapshot =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  std::ofstream file("BENCH_" + name + ".json");
+  for (const auto& [metric, value] : snapshot.counters) {
+    EmitJsonLine(file, name, metric, static_cast<double>(value), "count");
+  }
+  for (const auto& [metric, value] : snapshot.gauges) {
+    EmitJsonLine(file, name, metric, static_cast<double>(value), "value");
+  }
+  for (const auto& [metric, histogram] : snapshot.histograms) {
+    EmitJsonLine(file, name, metric + ".count",
+                 static_cast<double>(histogram.count), "count");
+    EmitJsonLine(file, name, metric + ".sum",
+                 static_cast<double>(histogram.sum), "us");
+    EmitJsonLine(file, name, metric + ".p50", histogram.Percentile(50), "us");
+    EmitJsonLine(file, name, metric + ".p95", histogram.Percentile(95), "us");
+    EmitJsonLine(file, name, metric + ".p99", histogram.Percentile(99), "us");
+  }
+}
+
+}  // namespace gemstone::bench
+
+#define GS_BENCH_MAIN(name)                                                 \
+  int main(int argc, char** argv) {                                        \
+    char arg0_default[] = "benchmark";                                     \
+    char* args_default = arg0_default;                                     \
+    if (!argv) {                                                           \
+      argc = 1;                                                            \
+      argv = &args_default;                                                \
+    }                                                                      \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::gemstone::bench::EmitTelemetryReport(name);                          \
+    return 0;                                                              \
+  }
+
+#endif  // GEMSTONE_BENCH_BENCH_TELEMETRY_H_

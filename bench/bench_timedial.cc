@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include <atomic>
 #include <thread>
 
@@ -113,4 +115,4 @@ BENCHMARK(BM_CurrentTimeReaderUnderWriter)->UseRealTime();
 BENCHMARK(BM_SafeTimeReaderUnderWriter)->UseRealTime();
 BENCHMARK(BM_DialedReadCost)->Arg(5)->Arg(50);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("timedial");

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_telemetry.h"
+
 #include "object/object_memory.h"
 #include "storage/storage_engine.h"
 
@@ -103,4 +105,4 @@ void BM_ScatteredBatchRead(benchmark::State& state) {
 BENCHMARK(BM_ClusteredBatchRead)->Arg(64)->Arg(512);
 BENCHMARK(BM_ScatteredBatchRead)->Arg(64)->Arg(512);
 
-BENCHMARK_MAIN();
+GS_BENCH_MAIN("tracks");

@@ -10,7 +10,10 @@
 // A few REPL conveniences:
 //   :quit        leave
 //   :time        show the commit clock and SafeTime
-//   :stats       interpreter counters for this session
+//   :stats       process-wide telemetry report (all subsystems)
+//   :stats json  the same snapshot as JSON
+//   :stats prom  the same snapshot in Prometheus text format
+//   :spans       recent trace spans (most recent last)
 
 #include <unistd.h>
 
@@ -18,6 +21,9 @@
 #include <string>
 
 #include "executor/executor.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 using gemstone::SessionId;
 using gemstone::executor::Executor;
@@ -42,12 +48,24 @@ int main() {
                 << "\n";
       continue;
     }
-    if (line == ":stats") {
-      const auto& stats = server.interpreter(session)->stats();
-      std::cout << stats.message_sends << " sends, "
-                << stats.primitive_calls << " primitives, "
-                << stats.block_invocations << " block calls, "
-                << stats.bytecodes << " bytecodes\n";
+    if (line == ":stats" || line == ":stats json" || line == ":stats prom") {
+      const auto snapshot =
+          gemstone::telemetry::MetricsRegistry::Global().Snapshot();
+      if (line == ":stats json") {
+        std::cout << gemstone::telemetry::ToJson(snapshot) << "\n";
+      } else if (line == ":stats prom") {
+        std::cout << gemstone::telemetry::ToPrometheus(snapshot);
+      } else {
+        std::cout << gemstone::telemetry::ToText(snapshot);
+      }
+      continue;
+    }
+    if (line == ":spans") {
+      for (const auto& span :
+           gemstone::telemetry::TraceBuffer::Global().Snapshot()) {
+        std::cout << std::string(span.depth * 2, ' ') << span.name << " "
+                  << span.duration_ns / 1000 << "us\n";
+      }
       continue;
     }
     auto result = server.ExecuteToString(session, line);

@@ -2,6 +2,27 @@
 
 namespace gemstone::admin {
 
+ReplicatedStore::ReplicatedStore(std::vector<storage::StorageEngine*> replicas)
+    : replicas_(std::move(replicas)),
+      telemetry_(telemetry::MetricsRegistry::Global().Register(
+          [this](telemetry::SampleSink* sink) {
+            sink->Counter("replication.writes", writes_.value());
+            sink->Counter("replication.degraded_writes",
+                          degraded_writes_.value());
+            sink->Counter("replication.failovers", failovers_.value());
+            sink->Counter("replication.repaired_objects",
+                          repaired_objects_.value());
+          })) {}
+
+ReplicationStats ReplicatedStore::stats() const {
+  ReplicationStats stats;
+  stats.writes = writes_.value();
+  stats.degraded_writes = degraded_writes_.value();
+  stats.failovers = failovers_.value();
+  stats.repaired_objects = repaired_objects_.value();
+  return stats;
+}
+
 Status ReplicatedStore::CommitObjects(
     const std::vector<const GsObject*>& objects, const SymbolTable& symbols) {
   std::size_t accepted = 0;
@@ -19,8 +40,8 @@ Status ReplicatedStore::CommitObjects(
                ? Status::IoError("no replicas configured")
                : last_error;
   }
-  ++stats_.writes;
-  if (accepted < replicas_.size()) ++stats_.degraded_writes;
+  writes_.Increment();
+  if (accepted < replicas_.size()) degraded_writes_.Increment();
   return Status::OK();
 }
 
@@ -29,7 +50,7 @@ Result<GsObject> ReplicatedStore::LoadObject(Oid oid, SymbolTable* symbols) {
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     auto result = replicas_[i]->LoadObject(oid, symbols);
     if (result.ok()) {
-      if (i != 0) ++stats_.failovers;
+      if (i != 0) failovers_.Increment();
       return result;
     }
     last_error = result.status();
@@ -57,7 +78,7 @@ Status ReplicatedStore::RepairReplica(std::size_t replica_index,
       auto object = source->LoadObject(oid, symbols);
       if (!object.ok()) continue;  // try another source replica
       storage_for_batch.push_back(std::move(object).value());
-      ++stats_.repaired_objects;
+      repaired_objects_.Increment();
     }
     for (const GsObject& object : storage_for_batch) {
       batch.push_back(&object);

@@ -6,9 +6,11 @@
 
 #include "core/result.h"
 #include "storage/storage_engine.h"
+#include "telemetry/metrics.h"
 
 namespace gemstone::admin {
 
+/// Thin snapshot of the store's telemetry counters (`replication.*`).
 struct ReplicationStats {
   std::uint64_t writes = 0;
   std::uint64_t degraded_writes = 0;  // committed with >=1 replica down
@@ -26,8 +28,7 @@ struct ReplicationStats {
 /// some replica.
 class ReplicatedStore {
  public:
-  explicit ReplicatedStore(std::vector<storage::StorageEngine*> replicas)
-      : replicas_(std::move(replicas)) {}
+  explicit ReplicatedStore(std::vector<storage::StorageEngine*> replicas);
 
   std::size_t replica_count() const { return replicas_.size(); }
 
@@ -43,11 +44,16 @@ class ReplicatedStore {
   /// stale on `replica_index` (after the replica's device recovers).
   Status RepairReplica(std::size_t replica_index, SymbolTable* symbols);
 
-  const ReplicationStats& stats() const { return stats_; }
+  ReplicationStats stats() const;
 
  private:
   std::vector<storage::StorageEngine*> replicas_;
-  ReplicationStats stats_;
+
+  telemetry::Counter writes_;
+  telemetry::Counter degraded_writes_;
+  telemetry::Counter failovers_;
+  telemetry::Counter repaired_objects_;
+  telemetry::Registration telemetry_;  // after the counters it samples
 };
 
 }  // namespace gemstone::admin

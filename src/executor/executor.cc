@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "storage/serializer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gemstone::executor {
 
@@ -11,6 +13,24 @@ namespace {
 constexpr const char* kSchemaElement = "schemaImage";
 // Kernel classes occupy oids below this; only user classes export.
 constexpr std::uint64_t kFirstUserOid = 64;
+
+// Process-wide session traffic counters (registry-owned: stable pointers).
+telemetry::Counter* LoginCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter("executor.logins");
+  return counter;
+}
+telemetry::Counter* ExecuteCounter() {
+  static telemetry::Counter* counter =
+      telemetry::MetricsRegistry::Global().GetCounter("executor.executes");
+  return counter;
+}
+telemetry::Gauge* ActiveSessionsGauge() {
+  static telemetry::Gauge* gauge =
+      telemetry::MetricsRegistry::Global().GetGauge(
+          "executor.active_sessions");
+  return gauge;
+}
 }  // namespace
 
 Executor::Executor()
@@ -39,6 +59,8 @@ Result<SessionId> Executor::Login(UserId user) {
   entry.interpreter->set_directories(&directories_);
   GS_RETURN_IF_ERROR(entry.session->Begin());
   sessions_.emplace(id, std::move(entry));
+  LoginCounter()->Increment();
+  ActiveSessionsGauge()->Add(1);
   return id;
 }
 
@@ -51,6 +73,7 @@ Status Executor::Logout(SessionId session) {
     (void)it->second.session->Abort();
   }
   sessions_.erase(it);
+  ActiveSessionsGauge()->Add(-1);
   return Status::OK();
 }
 
@@ -69,6 +92,8 @@ Result<Value> Executor::Execute(SessionId session, std::string_view source) {
   if (it == sessions_.end()) {
     return Status::NotFound("no such session: " + std::to_string(session));
   }
+  ExecuteCounter()->Increment();
+  TELEM_SPAN("executor.execute");
   opal::Compiler compiler(&memory_);
   GS_ASSIGN_OR_RETURN(auto body, compiler.CompileBody(source));
   return it->second.interpreter->Run(std::move(body));

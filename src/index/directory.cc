@@ -32,6 +32,17 @@ bool Visible(const Posting& p, TxnTime at) {
 
 }  // namespace
 
+Directory::Directory(Oid collection, std::vector<SymbolId> path)
+    : collection_(collection),
+      path_(std::move(path)),
+      telemetry_(telemetry::MetricsRegistry::Global().Register(
+          [this](telemetry::SampleSink* sink) {
+            sink->Counter("directory.lookups", lookups_.value());
+            sink->Counter("directory.postings_scanned",
+                          postings_scanned_.value());
+            sink->Counter("directory.updates", updates_.value());
+          })) {}
+
 std::string Directory::KeyOf(const Value& value) {
   if (value.IsNumber()) return "n" + EncodeNumber(value.AsDouble());
   if (value.IsString()) return "s" + value.string();
@@ -43,12 +54,12 @@ std::string Directory::KeyOf(const Value& value) {
 
 std::vector<Oid> Directory::Lookup(const Value& key, TxnTime at) const {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.lookups;
+  lookups_.Increment();
   std::vector<Oid> out;
   auto it = postings_.find(KeyOf(key));
   if (it == postings_.end()) return out;
   for (const Posting& p : it->second) {
-    ++stats_.postings_scanned;
+    postings_scanned_.Increment();
     if (Visible(p, at)) out.push_back(p.member);
   }
   return out;
@@ -57,13 +68,13 @@ std::vector<Oid> Directory::Lookup(const Value& key, TxnTime at) const {
 std::vector<Oid> Directory::LookupRange(const Value& lo, const Value& hi,
                                         TxnTime at) const {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.lookups;
+  lookups_.Increment();
   std::vector<Oid> out;
   auto begin = postings_.lower_bound(KeyOf(lo));
   auto end = postings_.upper_bound(KeyOf(hi));
   for (auto it = begin; it != end; ++it) {
     for (const Posting& p : it->second) {
-      ++stats_.postings_scanned;
+      postings_scanned_.Increment();
       if (Visible(p, at)) out.push_back(p.member);
     }
   }
@@ -72,7 +83,7 @@ std::vector<Oid> Directory::LookupRange(const Value& lo, const Value& hi,
 
 void Directory::Add(const Value& key, Oid member, TxnTime at) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.updates;
+  updates_.Increment();
   // Close a currently-open posting first (discriminator change).
   auto open_it = open_.find(member.raw);
   if (open_it != open_.end()) {
@@ -87,7 +98,7 @@ void Directory::Add(const Value& key, Oid member, TxnTime at) {
 
 void Directory::Remove(Oid member, TxnTime at) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.updates;
+  updates_.Increment();
   auto open_it = open_.find(member.raw);
   if (open_it == open_.end()) return;
   for (Posting& p : postings_[open_it->second]) {
@@ -104,8 +115,11 @@ std::size_t Directory::posting_count() const {
 }
 
 DirectoryStats Directory::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  DirectoryStats stats;
+  stats.lookups = lookups_.value();
+  stats.postings_scanned = postings_scanned_.value();
+  stats.updates = updates_.value();
+  return stats;
 }
 
 Result<Value> DirectoryManager::ReadPath(txn::Session* session,

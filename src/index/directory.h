@@ -11,6 +11,7 @@
 
 #include "core/result.h"
 #include "object/object_memory.h"
+#include "telemetry/metrics.h"
 #include "txn/session.h"
 
 namespace gemstone::index {
@@ -25,6 +26,8 @@ struct Posting {
   TxnTime until = kTimeNow;  // kTimeNow = still current
 };
 
+/// Thin snapshot of one directory's telemetry counters. The registry
+/// view (`directory.*`) sums every live directory plus retired ones.
 struct DirectoryStats {
   std::uint64_t lookups = 0;
   std::uint64_t postings_scanned = 0;
@@ -41,8 +44,7 @@ struct DirectoryStats {
 /// value, so the directory answers equality probes and ordered ranges.
 class Directory {
  public:
-  Directory(Oid collection, std::vector<SymbolId> path)
-      : collection_(collection), path_(std::move(path)) {}
+  Directory(Oid collection, std::vector<SymbolId> path);
 
   Oid collection() const { return collection_; }
   const std::vector<SymbolId>& path() const { return path_; }
@@ -77,7 +79,11 @@ class Directory {
   std::map<std::string, std::vector<Posting>> postings_;
   // member -> key of its currently-open posting (for Remove/Re-Add).
   std::unordered_map<std::uint64_t, std::string> open_;
-  mutable DirectoryStats stats_;
+
+  mutable telemetry::Counter lookups_;
+  mutable telemetry::Counter postings_scanned_;
+  mutable telemetry::Counter updates_;
+  telemetry::Registration telemetry_;  // after the counters it samples
 };
 
 /// The Directory Manager (§6): "creates and maintains directories."

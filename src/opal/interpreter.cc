@@ -6,6 +6,36 @@ namespace {
 constexpr int kMaxDepth = 512;
 }  // namespace
 
+Interpreter::Interpreter(ObjectMemory* memory, txn::Session* session,
+                         GlobalEnv* globals)
+    : memory_(memory),
+      session_(session),
+      globals_(globals),
+      telemetry_(telemetry::MetricsRegistry::Global().Register(
+          [this](telemetry::SampleSink* sink) {
+            sink->Counter("opal.message_sends", message_sends_.value());
+            sink->Counter("opal.primitive_calls", primitive_calls_.value());
+            sink->Counter("opal.block_invocations",
+                          block_invocations_.value());
+            sink->Counter("opal.bytecodes", bytecodes_.value());
+          })) {}
+
+InterpreterStats Interpreter::stats() const {
+  InterpreterStats stats;
+  stats.message_sends = message_sends_.value();
+  stats.primitive_calls = primitive_calls_.value();
+  stats.block_invocations = block_invocations_.value();
+  stats.bytecodes = bytecodes_.value();
+  return stats;
+}
+
+void Interpreter::ResetStats() {
+  message_sends_.Reset();
+  primitive_calls_.Reset();
+  block_invocations_.Reset();
+  bytecodes_.Reset();
+}
+
 Result<Value> Interpreter::Run(std::shared_ptr<const CompiledMethod> body) {
   nlr_active_ = false;
   Result<Value> result =
@@ -86,7 +116,7 @@ Result<Value> Interpreter::DispatchSend(const Value& receiver,
                                         SymbolId selector,
                                         std::vector<Value> args,
                                         bool super_send, Oid defining_class) {
-  ++stats_.message_sends;
+  message_sends_.Increment();
   Oid lookup_class;
   if (super_send) {
     const GsClass* defining = memory_->classes().Get(defining_class);
@@ -106,7 +136,7 @@ Result<Value> Interpreter::DispatchSend(const Value& receiver,
         memory_->symbols().Name(selector));
   }
   if (const auto* primitive = dynamic_cast<const PrimitiveMethod*>(method)) {
-    ++stats_.primitive_calls;
+    primitive_calls_.Increment();
     return primitive->fn(*this, receiver, args);
   }
   const auto* compiled = static_cast<const CompiledMethod*>(method);
@@ -134,7 +164,7 @@ Result<Value> Interpreter::CallBlock(const Value& block,
         "block expects " + std::to_string(closure->method->num_args) +
         " arguments, got " + std::to_string(args.size()));
   }
-  ++stats_.block_invocations;
+  block_invocations_.Increment();
   return Activate(*closure->method, closure->home_class,
                   closure->home_receiver, std::move(args), closure->home_env,
                   closure->home_frame_id, /*is_block=*/true);
@@ -198,7 +228,7 @@ Result<Value> Interpreter::Execute(Frame& frame) {
   };
 
   while (ip < code.size()) {
-    ++stats_.bytecodes;
+    bytecodes_.Increment();
     const Op op = static_cast<Op>(u8());
     switch (op) {
       case Op::kPushLiteral:

@@ -10,6 +10,7 @@
 #include "core/result.h"
 #include "object/object_memory.h"
 #include "opal/bytecode.h"
+#include "telemetry/metrics.h"
 #include "txn/session.h"
 
 namespace gemstone::index {
@@ -58,6 +59,9 @@ class GlobalEnv {
   std::unordered_map<SymbolId, Value> values_;
 };
 
+/// Thin snapshot of one session's telemetry counters. The registry view
+/// (`opal.*`) sums every live session plus retired ones, so it reads as
+/// process-lifetime totals.
 struct InterpreterStats {
   std::uint64_t message_sends = 0;
   std::uint64_t primitive_calls = 0;
@@ -74,8 +78,7 @@ struct InterpreterStats {
 /// apply uniformly), and message lookup walks the shared ClassRegistry.
 class Interpreter {
  public:
-  Interpreter(ObjectMemory* memory, txn::Session* session, GlobalEnv* globals)
-      : memory_(memory), session_(session), globals_(globals) {}
+  Interpreter(ObjectMemory* memory, txn::Session* session, GlobalEnv* globals);
 
   ObjectMemory& memory() { return *memory_; }
   txn::Session& session() { return *session_; }
@@ -87,8 +90,8 @@ class Interpreter {
     directories_ = directories;
   }
   index::DirectoryManager* directories() { return directories_; }
-  const InterpreterStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = InterpreterStats{}; }
+  InterpreterStats stats() const;
+  void ResetStats();
 
   /// Runs a compiled `doIt` body with `self` = nil; answers its value.
   Result<Value> Run(std::shared_ptr<const CompiledMethod> body);
@@ -145,7 +148,12 @@ class Interpreter {
   txn::Session* session_;
   GlobalEnv* globals_;
   index::DirectoryManager* directories_ = nullptr;
-  InterpreterStats stats_;
+
+  telemetry::Counter message_sends_;
+  telemetry::Counter primitive_calls_;
+  telemetry::Counter block_invocations_;
+  telemetry::Counter bytecodes_;
+  telemetry::Registration telemetry_;  // after the counters it samples
 
   std::uint64_t next_frame_id_ = 1;
   bool nlr_active_ = false;

@@ -4,6 +4,8 @@
 #include "index/directory.h"
 #include "opal/compiler.h"
 #include "opal/interpreter.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 
 // Kernel primitive methods. Each is a captureless lambda converted to a
 // PrimitiveFn and installed into the bootstrapped class hierarchy; OPAL
@@ -957,6 +959,18 @@ Result<Value> PrimSysSafeTimeDial(Interpreter& interp, const Value&,
       static_cast<std::int64_t>(interp.session().manager().SafeTime()));
 }
 
+Result<Value> PrimSysStats(Interpreter&, const Value&, std::vector<Value>&) {
+  // System stats — the live process-wide telemetry report as a String.
+  return Value::String(telemetry::ToText(
+      telemetry::MetricsRegistry::Global().Snapshot()));
+}
+
+Result<Value> PrimSysStatsJson(Interpreter&, const Value&,
+                               std::vector<Value>&) {
+  return Value::String(telemetry::ToJson(
+      telemetry::MetricsRegistry::Global().Snapshot()));
+}
+
 Result<Value> PrimSysCreateDirectoryOn(Interpreter& interp, const Value&,
                                        std::vector<Value>& args) {
   // System createDirectoryOn: aCollection path: #(step1 step2)
@@ -1612,6 +1626,8 @@ void InstallKernelPrimitives(ObjectMemory* memory) {
   install(kernel.system, "timeDial:", PrimSysTimeDial);
   install(kernel.system, "clearTimeDial", PrimSysClearTimeDial);
   install(kernel.system, "safeTimeDial", PrimSysSafeTimeDial);
+  install(kernel.system, "stats", PrimSysStats);
+  install(kernel.system, "statsJson", PrimSysStatsJson);
   install(kernel.system, "createDirectoryOn:path:", PrimSysCreateDirectoryOn);
 
   // Collection protocol (Set, Bag, Dictionary, Array, OrderedCollection).

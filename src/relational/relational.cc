@@ -2,7 +2,45 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace gemstone::relational {
+
+namespace {
+
+/// Scoped fold of one operator invocation's stat deltas into the
+/// process-wide `relational.*` counters. Operators accumulate into the
+/// caller's RelationalStats (or a local one when the caller passed
+/// nullptr); only the top-level operator folds, so a nested Probe is
+/// counted once.
+class StatsFold {
+ public:
+  explicit StatsFold(RelationalStats* caller)
+      : stats_(caller != nullptr ? caller : &local_), before_(*stats_) {}
+  ~StatsFold() {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    static telemetry::Counter* ops = registry.GetCounter("relational.ops");
+    static telemetry::Counter* examined =
+        registry.GetCounter("relational.rows_examined");
+    static telemetry::Counter* output =
+        registry.GetCounter("relational.rows_output");
+    static telemetry::Counter* probes =
+        registry.GetCounter("relational.index_probes");
+    ops->Increment();
+    examined->Increment(stats_->rows_examined - before_.rows_examined);
+    output->Increment(stats_->rows_output - before_.rows_output);
+    probes->Increment(stats_->index_probes - before_.index_probes);
+  }
+
+  RelationalStats* stats() { return stats_; }
+
+ private:
+  RelationalStats local_;
+  RelationalStats* stats_;
+  RelationalStats before_;
+};
+
+}  // namespace
 
 std::string FieldToString(const Field& field) {
   if (const auto* i = std::get_if<std::int64_t>(&field)) {
@@ -98,6 +136,8 @@ Result<std::vector<std::size_t>> Table::Probe(std::string_view column,
 Table Select(const Table& input,
              const std::function<bool(const Tuple&)>& predicate,
              RelationalStats* stats) {
+  StatsFold fold(stats);
+  stats = fold.stats();
   Table out(input.columns());
   for (const Tuple& row : input.rows()) {
     if (stats != nullptr) ++stats->rows_examined;
@@ -111,6 +151,8 @@ Table Select(const Table& input,
 
 Result<Table> SelectEq(const Table& input, std::string_view column,
                        const Field& key, RelationalStats* stats) {
+  StatsFold fold(stats);
+  stats = fold.stats();
   GS_ASSIGN_OR_RETURN(std::vector<std::size_t> ids,
                       input.Probe(column, key, stats));
   Table out(input.columns());
@@ -124,6 +166,8 @@ Result<Table> SelectEq(const Table& input, std::string_view column,
 Result<Table> Project(const Table& input,
                       const std::vector<std::string>& columns,
                       RelationalStats* stats) {
+  StatsFold fold(stats);
+  stats = fold.stats();
   std::vector<int> positions;
   for (const std::string& column : columns) {
     const int c = input.ColumnIndex(column);
@@ -147,6 +191,8 @@ Result<Table> Project(const Table& input,
 Result<Table> HashJoin(const Table& left, std::string_view left_column,
                        const Table& right, std::string_view right_column,
                        RelationalStats* stats) {
+  StatsFold fold(stats);
+  stats = fold.stats();
   const int lc = left.ColumnIndex(left_column);
   const int rc = right.ColumnIndex(right_column);
   if (lc < 0 || rc < 0) return Status::NotFound("join column missing");

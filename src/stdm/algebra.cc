@@ -3,6 +3,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace gemstone::stdm {
 
 namespace {
@@ -242,8 +245,47 @@ void ProductNode::Render(int indent, std::string* out) const {
 
 // --- AlgebraPlan ---------------------------------------------------------------
 
+namespace {
+
+/// Scoped fold of one plan execution's stat deltas into the process-wide
+/// `algebra.*` counters (survives early returns).
+class AlgebraStatsFold {
+ public:
+  explicit AlgebraStatsFold(AlgebraStats* caller)
+      : stats_(caller != nullptr ? caller : &local_), before_(*stats_) {}
+  ~AlgebraStatsFold() {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    static telemetry::Counter* plans = registry.GetCounter("algebra.plans");
+    static telemetry::Counter* scanned =
+        registry.GetCounter("algebra.rows_scanned");
+    static telemetry::Counter* examined =
+        registry.GetCounter("algebra.rows_examined");
+    static telemetry::Counter* probes =
+        registry.GetCounter("algebra.hash_probes");
+    static telemetry::Counter* evals =
+        registry.GetCounter("algebra.predicate_evals");
+    plans->Increment();
+    scanned->Increment(stats_->rows_scanned - before_.rows_scanned);
+    examined->Increment(stats_->rows_examined - before_.rows_examined);
+    probes->Increment(stats_->hash_probes - before_.hash_probes);
+    evals->Increment(stats_->predicate_evals - before_.predicate_evals);
+  }
+
+  AlgebraStats* stats() { return stats_; }
+
+ private:
+  AlgebraStats local_;
+  AlgebraStats* stats_;
+  AlgebraStats before_;
+};
+
+}  // namespace
+
 Result<StdmValue> AlgebraPlan::Execute(const Bindings& free,
                                        AlgebraStats* stats) const {
+  TELEM_SPAN("algebra.execute");
+  AlgebraStatsFold fold(stats);
+  stats = fold.stats();
   GS_ASSIGN_OR_RETURN(std::vector<Row> rows, root_->Execute(vars_, free, stats));
   StdmValue result = StdmValue::Set();
   std::unordered_set<std::string> seen;

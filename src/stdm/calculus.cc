@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace gemstone::stdm {
 
 // --- Term ---------------------------------------------------------------
@@ -368,8 +371,42 @@ Status RecurseRanges(const CalculusQuery& query, std::size_t depth,
 
 }  // namespace
 
+namespace {
+
+/// Scoped fold of one evaluation's stat deltas into the process-wide
+/// `calculus.*` counters (survives early returns).
+class EvalStatsFold {
+ public:
+  explicit EvalStatsFold(EvalStats* caller)
+      : stats_(caller != nullptr ? caller : &local_), before_(*stats_) {}
+  ~EvalStatsFold() {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    static telemetry::Counter* queries =
+        registry.GetCounter("calculus.queries");
+    static telemetry::Counter* examined =
+        registry.GetCounter("calculus.tuples_examined");
+    static telemetry::Counter* evals =
+        registry.GetCounter("calculus.predicate_evals");
+    queries->Increment();
+    examined->Increment(stats_->tuples_examined - before_.tuples_examined);
+    evals->Increment(stats_->predicate_evals - before_.predicate_evals);
+  }
+
+  EvalStats* stats() { return stats_; }
+
+ private:
+  EvalStats local_;
+  EvalStats* stats_;
+  EvalStats before_;
+};
+
+}  // namespace
+
 Result<StdmValue> EvaluateCalculus(const CalculusQuery& query,
                                    const Bindings& free, EvalStats* stats) {
+  TELEM_SPAN("calculus.evaluate");
+  EvalStatsFold fold(stats);
+  stats = fold.stats();
   StdmValue result = StdmValue::Set();
   Bindings env = free;  // copy: query bindings stack on top of free ones
   std::unordered_set<std::string> seen;

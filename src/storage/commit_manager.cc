@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "storage/serializer.h"
+#include "telemetry/trace.h"
 
 namespace gemstone::storage {
 
@@ -92,28 +93,32 @@ Status CommitManager::CommitGroup(
     const std::vector<TrackId>& catalog_tracks,
     const std::vector<std::uint8_t>& catalog_bytes,
     std::uint64_t next_epoch) {
-  // Phase 1: shadow writes of the data group. A failure here leaves the
-  // previous root pointing exclusively at old tracks.
-  for (const auto& [track, bytes] : data_tracks) {
-    GS_RETURN_IF_ERROR(disk_->WriteTrack(track, bytes));
-  }
-  // Phase 2: the catalog stream, chunked by track capacity.
   const std::size_t chunk = disk_->track_capacity();
   const std::size_t needed = (catalog_bytes.size() + chunk - 1) / chunk;
-  if (needed > catalog_tracks.size() &&
-      !(catalog_bytes.empty() && catalog_tracks.empty())) {
-    return Status::InvalidArgument("catalog does not fit allotted tracks");
-  }
-  for (std::size_t i = 0; i < needed; ++i) {
-    const std::size_t begin = i * chunk;
-    const std::size_t end =
-        std::min(catalog_bytes.size(), begin + chunk);
-    GS_RETURN_IF_ERROR(disk_->WriteTrack(
-        catalog_tracks[i],
-        std::vector<std::uint8_t>(catalog_bytes.begin() + begin,
-                                  catalog_bytes.begin() + end)));
+  {
+    TELEM_SPAN("commit.write_group");
+    // Phase 1: shadow writes of the data group. A failure here leaves the
+    // previous root pointing exclusively at old tracks.
+    for (const auto& [track, bytes] : data_tracks) {
+      GS_RETURN_IF_ERROR(disk_->WriteTrack(track, bytes));
+    }
+    // Phase 2: the catalog stream, chunked by track capacity.
+    if (needed > catalog_tracks.size() &&
+        !(catalog_bytes.empty() && catalog_tracks.empty())) {
+      return Status::InvalidArgument("catalog does not fit allotted tracks");
+    }
+    for (std::size_t i = 0; i < needed; ++i) {
+      const std::size_t begin = i * chunk;
+      const std::size_t end =
+          std::min(catalog_bytes.size(), begin + chunk);
+      GS_RETURN_IF_ERROR(disk_->WriteTrack(
+          catalog_tracks[i],
+          std::vector<std::uint8_t>(catalog_bytes.begin() + begin,
+                                    catalog_bytes.begin() + end)));
+    }
   }
   // Phase 3: the atomicity point — one root-track write.
+  TELEM_SPAN("commit.flip_root");
   RootState root;
   root.epoch = next_epoch;
   root.catalog_len = static_cast<std::uint32_t>(catalog_bytes.size());

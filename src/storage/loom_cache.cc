@@ -11,18 +11,36 @@ LoomObjectMemory::LoomObjectMemory(StorageEngine* engine,
                                    std::size_t cache_capacity)
     : engine_(engine),
       symbols_(symbols),
-      capacity_(std::min(cache_capacity, kMaxResidentObjects)) {}
+      capacity_(std::min(cache_capacity, kMaxResidentObjects)),
+      telemetry_(telemetry::MetricsRegistry::Global().Register(
+          [this](telemetry::SampleSink* sink) {
+            sink->Counter("loom.hits", hits_.value());
+            sink->Counter("loom.faults", faults_.value());
+            sink->Counter("loom.evictions", evictions_.value());
+            sink->Counter("loom.write_backs", write_backs_.value());
+            sink->Gauge("loom.resident_objects",
+                        static_cast<std::int64_t>(residents_.size()));
+          })) {}
+
+LoomStats LoomObjectMemory::stats() const {
+  LoomStats stats;
+  stats.hits = hits_.value();
+  stats.faults = faults_.value();
+  stats.evictions = evictions_.value();
+  stats.write_backs = write_backs_.value();
+  return stats;
+}
 
 Result<GsObject*> LoomObjectMemory::Fetch(Oid oid) {
   auto it = residents_.find(oid.raw);
   if (it != residents_.end()) {
-    ++stats_.hits;
+    hits_.Increment();
     lru_.erase(it->second.lru_position);
     lru_.push_front(oid.raw);
     it->second.lru_position = lru_.begin();
     return &it->second.object;
   }
-  ++stats_.faults;
+  faults_.Increment();
   // Whole-object fault: LOOM's standard representation cannot bring in a
   // fragment, so the entire history-bearing image crosses the boundary.
   GS_ASSIGN_OR_RETURN(GsObject object, engine_->LoadObject(oid, symbols_));
@@ -64,11 +82,11 @@ Status LoomObjectMemory::EvictOne() {
     }
     GS_RETURN_IF_ERROR(
         engine_->CommitObjects({&it->second.object}, *symbols_));
-    ++stats_.write_backs;
+    write_backs_.Increment();
   }
   lru_.pop_back();
   residents_.erase(it);
-  ++stats_.evictions;
+  evictions_.Increment();
   return Status::OK();
 }
 
@@ -86,7 +104,7 @@ Status LoomObjectMemory::Flush() {
   }
   if (!dirty.empty()) {
     GS_RETURN_IF_ERROR(engine_->CommitObjects(dirty, *symbols_));
-    stats_.write_backs += dirty.size();
+    write_backs_.Increment(dirty.size());
   }
   for (auto& [raw, resident] : residents_) resident.dirty = false;
   return Status::OK();

@@ -9,9 +9,11 @@
 #include "object/gs_object.h"
 #include "object/symbol_table.h"
 #include "storage/storage_engine.h"
+#include "telemetry/metrics.h"
 
 namespace gemstone::storage {
 
+/// Thin snapshot of the cache's telemetry counters (`loom.*`).
 struct LoomStats {
   std::uint64_t hits = 0;
   std::uint64_t faults = 0;      // misses served from disk
@@ -54,7 +56,7 @@ class LoomObjectMemory {
   Status Flush();
 
   std::size_t resident_count() const { return residents_.size(); }
-  const LoomStats& stats() const { return stats_; }
+  LoomStats stats() const;
 
  private:
   struct Resident {
@@ -70,7 +72,12 @@ class LoomObjectMemory {
   std::size_t capacity_;
   std::unordered_map<std::uint64_t, Resident> residents_;
   std::list<std::uint64_t> lru_;  // front = most recently used
-  LoomStats stats_;
+
+  telemetry::Counter hits_;
+  telemetry::Counter faults_;
+  telemetry::Counter evictions_;
+  telemetry::Counter write_backs_;
+  telemetry::Registration telemetry_;  // after the counters it samples
 };
 
 }  // namespace gemstone::storage

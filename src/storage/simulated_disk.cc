@@ -5,14 +5,21 @@ namespace gemstone::storage {
 SimulatedDisk::SimulatedDisk(TrackId num_tracks, std::size_t track_capacity)
     : num_tracks_(num_tracks),
       track_capacity_(track_capacity),
-      tracks_(num_tracks) {}
+      tracks_(num_tracks),
+      telemetry_(telemetry::MetricsRegistry::Global().Register(
+          [this](telemetry::SampleSink* sink) {
+            sink->Counter("disk.tracks_read", tracks_read_.value());
+            sink->Counter("disk.tracks_written", tracks_written_.value());
+            sink->Counter("disk.seeks", seeks_.value());
+            sink->Counter("disk.seek_distance", seek_distance_.value());
+          })) {}
 
 void SimulatedDisk::AccountSeek(TrackId track) const {
   const std::uint64_t delta = track >= last_track_
                                   ? track - last_track_
                                   : last_track_ - track;
-  if (delta > 1) ++stats_.seeks;
-  stats_.seek_distance += delta;
+  if (delta > 1) seeks_.Increment();
+  seek_distance_.Increment(delta);
   last_track_ = track;
 }
 
@@ -24,7 +31,7 @@ Result<std::vector<std::uint8_t>> SimulatedDisk::ReadTrack(
                               " beyond device end");
   }
   AccountSeek(track);
-  ++stats_.tracks_read;
+  tracks_read_.Increment();
   return tracks_[track];
 }
 
@@ -47,7 +54,7 @@ Status SimulatedDisk::WriteTrack(TrackId track,
     --writes_until_failure_;
   }
   AccountSeek(track);
-  ++stats_.tracks_written;
+  tracks_written_.Increment();
   tracks_[track] = std::move(data);
   return Status::OK();
 }
@@ -65,13 +72,19 @@ void SimulatedDisk::ClearFault() {
 }
 
 DiskStats SimulatedDisk::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  DiskStats stats;
+  stats.tracks_read = tracks_read_.value();
+  stats.tracks_written = tracks_written_.value();
+  stats.seeks = seeks_.value();
+  stats.seek_distance = seek_distance_.value();
+  return stats;
 }
 
 void SimulatedDisk::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = DiskStats{};
+  tracks_read_.Reset();
+  tracks_written_.Reset();
+  seeks_.Reset();
+  seek_distance_.Reset();
 }
 
 }  // namespace gemstone::storage

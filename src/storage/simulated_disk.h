@@ -7,6 +7,7 @@
 
 #include "core/result.h"
 #include "core/status.h"
+#include "telemetry/metrics.h"
 
 namespace gemstone::storage {
 
@@ -14,7 +15,8 @@ using TrackId = std::uint32_t;
 
 /// I/O accounting for the simulated device. §6's design arguments are
 /// about *structure* (track-granular transfer, clustering, safe group
-/// writes); these counters are what the arguments quantify over.
+/// writes); these counters are what the arguments quantify over. A thin
+/// snapshot of the device's telemetry counters (`disk.*` in the registry).
 struct DiskStats {
   std::uint64_t tracks_read = 0;
   std::uint64_t tracks_written = 0;
@@ -62,9 +64,14 @@ class SimulatedDisk {
   mutable std::mutex mu_;
   std::vector<std::vector<std::uint8_t>> tracks_;
   mutable TrackId last_track_ = 0;
-  mutable DiskStats stats_;
   bool fault_armed_ = false;
   std::uint64_t writes_until_failure_ = 0;
+
+  mutable telemetry::Counter tracks_read_;
+  mutable telemetry::Counter tracks_written_;
+  mutable telemetry::Counter seeks_;
+  mutable telemetry::Counter seek_distance_;
+  telemetry::Registration telemetry_;  // after the counters it samples
 
   void AccountSeek(TrackId track) const;
 };

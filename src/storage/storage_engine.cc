@@ -4,13 +4,32 @@
 #include <map>
 
 #include "storage/serializer.h"
+#include "telemetry/trace.h"
 
 namespace gemstone::storage {
 
 StorageEngine::StorageEngine(SimulatedDisk* disk)
     : disk_(disk),
       commit_manager_(disk),
-      boxer_(disk->track_capacity()) {}
+      boxer_(disk->track_capacity()),
+      telemetry_(telemetry::MetricsRegistry::Global().Register(
+          [this](telemetry::SampleSink* sink) {
+            sink->Counter("engine.commits", commits_.value());
+            sink->Counter("engine.objects_written", objects_written_.value());
+            sink->Counter("engine.bytes_written", bytes_written_.value());
+            sink->Counter("engine.objects_loaded", objects_loaded_.value());
+            sink->Gauge("engine.free_tracks", free_tracks_gauge_.value());
+            sink->Gauge("engine.epoch", epoch_gauge_.value());
+          })) {}
+
+EngineStats StorageEngine::stats() const {
+  EngineStats stats;
+  stats.commits = commits_.value();
+  stats.objects_written = objects_written_.value();
+  stats.bytes_written = bytes_written_.value();
+  stats.objects_loaded = objects_loaded_.value();
+  return stats;
+}
 
 Status StorageEngine::Format() {
   GS_RETURN_IF_ERROR(commit_manager_.Format());
@@ -44,6 +63,8 @@ Status StorageEngine::Open() {
     if (used.count(t) == 0) free_tracks_.insert(t);
   }
   open_ = true;
+  free_tracks_gauge_.Set(static_cast<std::int64_t>(free_tracks_.size()));
+  epoch_gauge_.Set(static_cast<std::int64_t>(epoch_));
   return Status::OK();
 }
 
@@ -85,34 +106,43 @@ void StorageEngine::DropExtentRefs(const std::vector<TrackId>& tracks) {
 Status StorageEngine::CommitObjects(
     const std::vector<const GsObject*>& objects, const SymbolTable& symbols) {
   if (!open_) return Status::TransactionState("engine not open");
-  // 1. Serialize.
+  TELEM_SPAN("engine.commit");
+  // 1. Serialize + 2. box into track payloads.
   std::vector<Oid> oids;
   std::vector<std::vector<std::uint8_t>> blobs;
   oids.reserve(objects.size());
   blobs.reserve(objects.size());
-  for (const GsObject* object : objects) {
-    oids.push_back(object->oid());
-    blobs.push_back(SerializeObject(*object, symbols));
+  Boxing boxing;
+  {
+    TELEM_SPAN("commit.box");
+    for (const GsObject* object : objects) {
+      oids.push_back(object->oid());
+      blobs.push_back(SerializeObject(*object, symbols));
+    }
+    GS_ASSIGN_OR_RETURN(boxing, boxer_.Pack(oids, blobs));
   }
-  // 2. Box into track payloads.
-  GS_ASSIGN_OR_RETURN(Boxing boxing, boxer_.Pack(oids, blobs));
   // 3. Allocate shadow tracks for data + catalog.
   GS_ASSIGN_OR_RETURN(std::vector<TrackId> data_tracks,
                       Allocate(boxing.payloads.size()));
   // 4. Build the changed-extent list and link the next catalog.
+  Linker::LinkResult linked;
+  std::vector<std::uint8_t> catalog_bytes;
   std::vector<std::pair<Oid, Extent>> changed;
-  changed.reserve(objects.size());
-  for (std::size_t i = 0; i < oids.size(); ++i) {
-    Extent extent;
-    extent.byte_len = static_cast<std::uint32_t>(blobs[i].size());
-    extent.checksum = Fnv1a(std::span<const std::uint8_t>(blobs[i]));
-    for (std::size_t payload_index : boxing.placements[i]) {
-      extent.tracks.push_back(data_tracks[payload_index]);
+  {
+    TELEM_SPAN("commit.link");
+    changed.reserve(objects.size());
+    for (std::size_t i = 0; i < oids.size(); ++i) {
+      Extent extent;
+      extent.byte_len = static_cast<std::uint32_t>(blobs[i].size());
+      extent.checksum = Fnv1a(std::span<const std::uint8_t>(blobs[i]));
+      for (std::size_t payload_index : boxing.placements[i]) {
+        extent.tracks.push_back(data_tracks[payload_index]);
+      }
+      changed.emplace_back(oids[i], std::move(extent));
     }
-    changed.emplace_back(oids[i], std::move(extent));
+    linked = Linker::Link(catalog_, changed);
+    catalog_bytes = linked.next.Serialize();
   }
-  Linker::LinkResult linked = Linker::Link(catalog_, changed);
-  const std::vector<std::uint8_t> catalog_bytes = linked.next.Serialize();
   const std::size_t cat_count =
       (catalog_bytes.size() + disk_->track_capacity() - 1) /
       disk_->track_capacity();
@@ -150,9 +180,11 @@ Status StorageEngine::CommitObjects(
   catalog_tracks_ = cat_tracks;
   catalog_ = std::move(linked.next);
   ++epoch_;
-  ++stats_.commits;
-  stats_.objects_written += objects.size();
-  stats_.bytes_written += bytes_written + catalog_bytes.size();
+  commits_.Increment();
+  objects_written_.Increment(objects.size());
+  bytes_written_.Increment(bytes_written + catalog_bytes.size());
+  free_tracks_gauge_.Set(static_cast<std::int64_t>(free_tracks_.size()));
+  epoch_gauge_.Set(static_cast<std::int64_t>(epoch_));
   return Status::OK();
 }
 
@@ -180,7 +212,7 @@ Result<GsObject> StorageEngine::LoadObject(Oid oid, SymbolTable* symbols) {
   if (Fnv1a(std::span<const std::uint8_t>(image)) != extent->checksum) {
     return Status::Corruption("object image checksum mismatch");
   }
-  ++stats_.objects_loaded;
+  objects_loaded_.Increment();
   return DeserializeObject(image, symbols);
 }
 
@@ -246,7 +278,7 @@ Result<std::vector<GsObject>> StorageEngine::LoadObjects(
     GS_ASSIGN_OR_RETURN(GsObject object,
                         DeserializeObject(pending[i].image, symbols));
     out.push_back(std::move(object));
-    ++stats_.objects_loaded;
+    objects_loaded_.Increment();
   }
   return out;
 }

@@ -13,9 +13,11 @@
 #include "storage/commit_manager.h"
 #include "storage/linker.h"
 #include "storage/simulated_disk.h"
+#include "telemetry/metrics.h"
 
 namespace gemstone::storage {
 
+/// Thin snapshot of the engine's telemetry counters (`engine.*`).
 struct EngineStats {
   std::uint64_t commits = 0;
   std::uint64_t objects_written = 0;
@@ -49,7 +51,7 @@ class StorageEngine {
   std::uint64_t epoch() const { return epoch_; }
   const Catalog& catalog() const { return catalog_; }
   SimulatedDisk* disk() { return disk_; }
-  const EngineStats& stats() const { return stats_; }
+  EngineStats stats() const;
 
   /// Durably writes this commit's changed objects (full images, history
   /// included) as one safe group. Objects appear on adjacent tracks in
@@ -91,7 +93,15 @@ class StorageEngine {
   std::vector<TrackId> catalog_tracks_;
   std::set<TrackId> free_tracks_;
   std::unordered_map<TrackId, std::uint32_t> track_refs_;
-  EngineStats stats_;
+
+  telemetry::Counter commits_;
+  telemetry::Counter objects_written_;
+  telemetry::Counter bytes_written_;
+  telemetry::Counter objects_loaded_;
+  // Mirrors of non-atomic state so the collector never races a commit.
+  telemetry::Gauge free_tracks_gauge_;
+  telemetry::Gauge epoch_gauge_;
+  telemetry::Registration telemetry_;  // after the counters it samples
 };
 
 }  // namespace gemstone::storage

@@ -1,0 +1,161 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace gemstone::telemetry {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToText(const Snapshot& snapshot) {
+  std::ostringstream out;
+  std::size_t width = 0;
+  for (const auto& [name, v] : snapshot.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, v] : snapshot.histograms) {
+    width = std::max(width, name.size());
+  }
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      out << "  " << name << std::string(width - name.size() + 2, ' ')
+          << value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      out << "  " << name << std::string(width - name.size() + 2, ' ')
+          << value << "\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms (us):\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      out << "  " << name << std::string(width - name.size() + 2, ' ')
+          << "count=" << h.count << " sum=" << h.sum
+          << " p50=" << FormatDouble(h.p50())
+          << " p95=" << FormatDouble(h.p95())
+          << " p99=" << FormatDouble(h.p99()) << "\n";
+    }
+  }
+  if (out.str().empty()) return "no metrics recorded\n";
+  return out.str();
+}
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"p50\":" << FormatDouble(h.p50())
+        << ",\"p95\":" << FormatDouble(h.p95())
+        << ",\"p99\":" << FormatDouble(h.p99()) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out << ",";
+      // le of -1 marks the overflow (+Inf) bucket.
+      const long long le =
+          i < h.bounds.size() ? static_cast<long long>(h.bounds[i]) : -1;
+      out << "[" << le << "," << h.counts[i] << "]";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string ToPrometheus(const Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = "gemstone_" + Sanitize(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = "gemstone_" + Sanitize(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = "gemstone_" + Sanitize(name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      out << prom << "_bucket{le=\"";
+      if (i < h.bounds.size()) {
+        out << h.bounds[i];
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_sum " << h.sum << "\n"
+        << prom << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gemstone::telemetry

@@ -1,0 +1,31 @@
+#ifndef GEMSTONE_TELEMETRY_EXPORT_H_
+#define GEMSTONE_TELEMETRY_EXPORT_H_
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace gemstone::telemetry {
+
+/// Human-readable report: one aligned line per counter/gauge, and a
+/// count/sum/p50/p95/p99 line per histogram. This is what `:stats` in the
+/// REPL and `System stats` in OPAL print.
+std::string ToText(const Snapshot& snapshot);
+
+/// One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+/// {"count":..,"sum":..,"p50":..,"p95":..,"p99":..,"buckets":[[le,n],..]}}}.
+/// Bucket counts are per-bucket (not cumulative); `le` of -1 marks the
+/// overflow bucket.
+std::string ToJson(const Snapshot& snapshot);
+
+/// Prometheus text exposition format (version 0.0.4). Metric names are
+/// sanitized ('.' and other non-[a-zA-Z0-9_] become '_') and prefixed
+/// with "gemstone_"; histogram buckets are cumulative with an +Inf le.
+std::string ToPrometheus(const Snapshot& snapshot);
+
+/// JSON string escaping (shared with the bench emitters).
+std::string JsonEscape(const std::string& in);
+
+}  // namespace gemstone::telemetry
+
+#endif  // GEMSTONE_TELEMETRY_EXPORT_H_

@@ -1,0 +1,192 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace gemstone::telemetry {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target observation (1-based), then walk buckets.
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = seen + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      // Observations in the overflow bucket have no finite upper edge;
+      // report the largest finite bound (the histogram's ceiling).
+      if (i >= bounds.size()) {
+        return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+      }
+      const double hi = static_cast<double>(bounds[i]);
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+const std::vector<std::uint64_t>& Histogram::DefaultLatencyBounds() {
+  static const std::vector<std::uint64_t> kBounds = {
+      1,    2,    5,    10,    25,    50,    100,    250,    500,    1000,
+      2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registration& Registration::operator=(Registration&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) registry_->Unregister(id_);
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Registration::~Registration() {
+  if (registry_ != nullptr) registry_->Unregister(id_);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, Histogram::DefaultLatencyBounds());
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+Registration MetricsRegistry::Register(CollectFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return Registration(this, id);
+}
+
+namespace {
+
+/// Accumulates collector samples into a Snapshot, merging by name.
+class SnapshotSink : public SampleSink {
+ public:
+  explicit SnapshotSink(Snapshot* out) : out_(out) {}
+  void Counter(const std::string& name, std::uint64_t value) override {
+    out_->counters[name] += value;
+  }
+  void Gauge(const std::string& name, std::int64_t value) override {
+    out_->gauges[name] += value;
+  }
+
+ private:
+  Snapshot* out_;
+};
+
+/// Folds a retiring collector's counter samples into the retained totals.
+class RetireSink : public SampleSink {
+ public:
+  explicit RetireSink(std::map<std::string, std::uint64_t>* retired)
+      : retired_(retired) {}
+  void Counter(const std::string& name, std::uint64_t value) override {
+    (*retired_)[name] += value;
+  }
+  void Gauge(const std::string&, std::int64_t) override {}
+
+ private:
+  std::map<std::string, std::uint64_t>* retired_;
+};
+
+}  // namespace
+
+void MetricsRegistry::Unregister(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collectors_.find(id);
+  if (it == collectors_.end()) return;
+  RetireSink sink(&retired_counters_);
+  it->second(&sink);
+  collectors_.erase(it);
+}
+
+telemetry::Snapshot MetricsRegistry::Snapshot() const {
+  telemetry::Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] += counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] += gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  for (const auto& [name, total] : retired_counters_) {
+    snap.counters[name] += total;
+  }
+  SnapshotSink sink(&snap);
+  for (const auto& [id, fn] : collectors_) fn(&sink);
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  retired_counters_.clear();
+}
+
+}  // namespace gemstone::telemetry

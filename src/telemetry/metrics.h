@@ -1,0 +1,178 @@
+#ifndef GEMSTONE_TELEMETRY_METRICS_H_
+#define GEMSTONE_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gemstone::telemetry {
+
+/// Metric names follow `subsystem.metric` (e.g. "disk.tracks_read",
+/// "txn.commits"). Span histograms are auto-named `span.<span name>`.
+///
+/// Ownership model: process-wide instruments (histograms, global counters)
+/// live in the MetricsRegistry and are never deallocated, so pointers from
+/// GetCounter/GetHistogram stay valid for the process lifetime. Components
+/// that exist many times (disks, caches, interpreters) own their counters
+/// and publish them through a registered collector; Snapshot() sums
+/// same-named samples across live instances and the retained totals of
+/// instances that have since been destroyed, so process totals stay
+/// monotonic across sessions logging in and out.
+
+/// A monotonically increasing event count. Increment is a single relaxed
+/// atomic add — safe from any thread, never takes a lock.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time level (resident objects, free tracks, open sessions).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Immutable view of a histogram: per-bucket counts plus derived
+/// percentiles (linear interpolation inside the winning bucket).
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;  // inclusive upper bounds; implicit +inf
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Value at percentile `p` in [0, 100]; 0 when empty. Values in the
+  /// overflow bucket report the largest finite bound.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50.0); }
+  double p95() const { return Percentile(95.0); }
+  double p99() const { return Percentile(99.0); }
+};
+
+/// Fixed-bucket latency histogram. Observe is lock-free: one relaxed add
+/// into the bucket, one into the running sum. The default bounds cover
+/// 1 µs .. 1 s, which suits every latency this system produces; pass
+/// custom bounds for non-latency distributions.
+class Histogram {
+ public:
+  /// Microsecond-scale latency bounds: 1,2,5,... decades up to 1e6.
+  static const std::vector<std::uint64_t>& DefaultLatencyBounds();
+
+  Histogram() : Histogram(DefaultLatencyBounds()) {}
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void Observe(std::uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One coherent view of every metric in the process: registry-owned
+/// instruments, live collector samples, and retained totals of retired
+/// collectors, merged by name.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Receives one component's samples during Snapshot(). Same-named counter
+/// samples from different components sum.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+  virtual void Counter(const std::string& name, std::uint64_t value) = 0;
+  virtual void Gauge(const std::string& name, std::int64_t value) = 0;
+};
+
+using CollectFn = std::function<void(SampleSink*)>;
+
+class MetricsRegistry;
+
+/// RAII handle for a registered collector. Destroying it unregisters the
+/// collector and folds its final counter samples into the registry's
+/// retained totals. Declare it *after* the counters it samples so it is
+/// destroyed first.
+class Registration {
+ public:
+  Registration() = default;
+  Registration(Registration&& other) noexcept { *this = std::move(other); }
+  Registration& operator=(Registration&& other) noexcept;
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+  ~Registration();
+
+ private:
+  friend class MetricsRegistry;
+  Registration(MetricsRegistry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// The process-wide metric namespace. Thread-safe.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Named instruments owned by the registry; created on first use, never
+  /// deallocated, so the returned pointer may be cached indefinitely.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<std::uint64_t> bounds);
+
+  /// Registers a per-instance collector; `fn` must stay callable until the
+  /// returned Registration dies and must only read atomics (it runs under
+  /// the registry lock).
+  Registration Register(CollectFn fn);
+
+  /// One coherent view of everything. Counter/gauge samples merge by name
+  /// across instruments, live collectors, and retired totals.
+  telemetry::Snapshot Snapshot() const;
+
+  /// Testing hook: zeroes every registry-owned instrument and forgets
+  /// retired totals (live collectors are untouched).
+  void ResetForTest();
+
+ private:
+  friend class Registration;
+  void Unregister(std::uint64_t id);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::uint64_t, CollectFn> collectors_;
+  std::map<std::string, std::uint64_t> retired_counters_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace gemstone::telemetry
+
+#endif  // GEMSTONE_TELEMETRY_METRICS_H_

@@ -1,0 +1,100 @@
+#include "telemetry/trace.h"
+
+namespace gemstone::telemetry {
+
+namespace {
+thread_local std::uint32_t tls_span_depth = 0;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+}  // namespace
+
+std::uint64_t TraceNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();  // never dies
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // `next_` is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency_us)
+    : name_(name),
+      latency_us_(latency_us),
+      depth_(tls_span_depth++),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedSpan::~ScopedSpan() {
+  const auto end = std::chrono::steady_clock::now();
+  --tls_span_depth;
+  SpanRecord span;
+  span.name = name_;
+  span.depth = depth_;
+  // The epoch initializes lazily, so the very first span can start a hair
+  // before it; clamp instead of wrapping the unsigned subtraction.
+  const auto start_rel = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             start_ - TraceEpoch())
+                             .count();
+  span.start_ns = start_rel > 0 ? static_cast<std::uint64_t>(start_rel) : 0;
+  const std::uint64_t duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
+  span.duration_ns = duration_ns;
+  TraceBuffer::Global().Record(span);
+  if (latency_us_ != nullptr) latency_us_->Observe(duration_ns / 1000);
+}
+
+}  // namespace gemstone::telemetry

@@ -1,0 +1,94 @@
+#ifndef GEMSTONE_TELEMETRY_TRACE_H_
+#define GEMSTONE_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace gemstone::telemetry {
+
+/// One completed scoped span. `depth` is the nesting level on the
+/// recording thread at the time the span opened (0 = outermost), so a
+/// drained buffer reconstructs the call tree without parent pointers.
+struct SpanRecord {
+  const char* name = "";  // must point at a string literal
+  std::uint32_t depth = 0;
+  std::uint64_t start_ns = 0;  // since process trace epoch (steady clock)
+  std::uint64_t duration_ns = 0;
+};
+
+/// Bounded ring of recently completed spans. When full, the oldest record
+/// is overwritten — tracing never blocks or grows without bound.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  static TraceBuffer& Global();
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  void Record(const SpanRecord& span);
+
+  /// Oldest-to-newest copy of the retained records.
+  std::vector<SpanRecord> Snapshot() const;
+
+  void Clear();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Spans ever recorded, including those already overwritten.
+  std::uint64_t total_recorded() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;       // ring slot the next record lands in
+  std::uint64_t recorded_ = 0;
+};
+
+/// RAII span: records wall time from construction to destruction into the
+/// global TraceBuffer (with the thread's current nesting depth) and, when
+/// `latency_us` is non-null, observes the duration in microseconds there.
+/// Use via TELEM_SPAN, which wires the histogram automatically.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* latency_us = nullptr);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* latency_us_;
+  std::uint32_t depth_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Nanoseconds since the process trace epoch (first use of the clock).
+std::uint64_t TraceNowNs();
+
+}  // namespace gemstone::telemetry
+
+#define GS_TELEM_CONCAT_INNER(a, b) a##b
+#define GS_TELEM_CONCAT(a, b) GS_TELEM_CONCAT_INNER(a, b)
+
+/// Opens a scoped trace span named by a string literal. Timings land in
+/// the global TraceBuffer and in the registry histogram `span.<name>`
+/// (microseconds), so every instrumented phase gets p50/p95/p99 for free.
+///
+///   TELEM_SPAN("commit.flip_root");
+#define TELEM_SPAN(name)                                                     \
+  static ::gemstone::telemetry::Histogram* GS_TELEM_CONCAT(                  \
+      gs_telem_hist_, __LINE__) =                                            \
+      ::gemstone::telemetry::MetricsRegistry::Global().GetHistogram(         \
+          std::string("span.") + (name));                                    \
+  ::gemstone::telemetry::ScopedSpan GS_TELEM_CONCAT(gs_telem_span_,          \
+                                                    __LINE__)(               \
+      (name), GS_TELEM_CONCAT(gs_telem_hist_, __LINE__))
+
+#endif  // GEMSTONE_TELEMETRY_TRACE_H_

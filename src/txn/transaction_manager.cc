@@ -1,13 +1,30 @@
 #include "txn/transaction_manager.h"
 
+#include <chrono>
 #include <mutex>
 
+#include "telemetry/trace.h"
+
 namespace gemstone::txn {
+
+TransactionManager::TransactionManager(ObjectMemory* memory,
+                                       storage::StorageEngine* engine)
+    : memory_(memory),
+      engine_(engine),
+      commit_latency_us_(telemetry::MetricsRegistry::Global().GetHistogram(
+          "txn.commit_latency_us")),
+      telemetry_(telemetry::MetricsRegistry::Global().Register(
+          [this](telemetry::SampleSink* sink) {
+            sink->Counter("txn.begun", begun_.value());
+            sink->Counter("txn.committed", committed_.value());
+            sink->Counter("txn.aborted", aborted_.value());
+            sink->Counter("txn.conflicts", conflicts_.value());
+          })) {}
 
 std::unique_ptr<Transaction> TransactionManager::Begin(SessionId session,
                                                        UserId user) {
   std::unique_lock lock(store_mu_);
-  ++stats_.begun;
+  begun_.Increment();
   return std::make_unique<Transaction>(session, clock_.load(), user);
 }
 
@@ -34,11 +51,19 @@ Status TransactionManager::Abort(Transaction* txn) {
   }
   txn->state_ = TxnState::kAborted;
   txn->working_.clear();
-  ++stats_.aborted;
+  aborted_.Increment();
   return Status::OK();
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
+  TELEM_SPAN("txn.commit");
+  const auto commit_start = std::chrono::steady_clock::now();
+  auto observe_latency = [&] {
+    commit_latency_us_->Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - commit_start)
+            .count()));
+  };
   std::unique_lock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("commit of a finished transaction");
@@ -56,8 +81,8 @@ Status TransactionManager::Commit(Transaction* txn) {
     if (conflicts(raw)) {
       txn->state_ = TxnState::kAborted;
       txn->working_.clear();
-      ++stats_.aborted;
-      ++stats_.conflicts;
+      aborted_.Increment();
+      conflicts_.Increment();
       return Status::TransactionConflict("read object " +
                                          Oid(raw).ToString() +
                                          " changed since start");
@@ -67,8 +92,8 @@ Status TransactionManager::Commit(Transaction* txn) {
     if (conflicts(raw)) {
       txn->state_ = TxnState::kAborted;
       txn->working_.clear();
-      ++stats_.aborted;
-      ++stats_.conflicts;
+      aborted_.Increment();
+      conflicts_.Increment();
       return Status::TransactionConflict("written object " +
                                          Oid(raw).ToString() +
                                          " changed since start");
@@ -78,7 +103,8 @@ Status TransactionManager::Commit(Transaction* txn) {
   // Nothing to publish: a read-only transaction commits trivially.
   if (txn->dirty_.empty() && txn->created_.empty()) {
     txn->state_ = TxnState::kCommitted;
-    ++stats_.committed;
+    committed_.Increment();
+    observe_latency();
     return Status::OK();
   }
 
@@ -148,13 +174,18 @@ Status TransactionManager::Commit(Transaction* txn) {
   clock_.store(commit_time);
   txn->state_ = TxnState::kCommitted;
   txn->working_.clear();
-  ++stats_.committed;
+  committed_.Increment();
+  observe_latency();
   return Status::OK();
 }
 
 TxnStats TransactionManager::stats() const {
-  std::shared_lock lock(store_mu_);
-  return stats_;
+  TxnStats stats;
+  stats.begun = begun_.value();
+  stats.committed = committed_.value();
+  stats.aborted = aborted_.value();
+  stats.conflicts = conflicts_.value();
+  return stats;
 }
 
 Result<Oid> TransactionManager::CreateObject(Transaction* txn, Oid class_oid) {

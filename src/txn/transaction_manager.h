@@ -12,10 +12,14 @@
 #include "core/result.h"
 #include "object/object_memory.h"
 #include "storage/storage_engine.h"
+#include "telemetry/metrics.h"
 #include "txn/transaction.h"
 
 namespace gemstone::txn {
 
+/// Thin snapshot of the manager's telemetry counters (`txn.*`). Commit
+/// latency percentiles live in the registry histogram
+/// `txn.commit_latency_us`.
 struct TxnStats {
   std::uint64_t begun = 0;
   std::uint64_t committed = 0;
@@ -41,8 +45,7 @@ class TransactionManager {
   /// `engine`, when non-null, must be open; every commit then also writes
   /// the changed objects durably before publishing them.
   explicit TransactionManager(ObjectMemory* memory,
-                              storage::StorageEngine* engine = nullptr)
-      : memory_(memory), engine_(engine) {}
+                              storage::StorageEngine* engine = nullptr);
 
   ObjectMemory& memory() { return *memory_; }
 
@@ -144,7 +147,13 @@ class TransactionManager {
   mutable std::shared_mutex store_mu_;
   std::atomic<TxnTime> clock_{0};
   std::unordered_map<std::uint64_t, TxnTime> last_commit_;
-  TxnStats stats_;
+
+  telemetry::Counter begun_;
+  telemetry::Counter committed_;
+  telemetry::Counter aborted_;
+  telemetry::Counter conflicts_;
+  telemetry::Histogram* commit_latency_us_;  // registry-owned
+  telemetry::Registration telemetry_;  // after the counters it samples
 };
 
 }  // namespace gemstone::txn

@@ -1,0 +1,81 @@
+#include "telemetry/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace gemstone::telemetry {
+namespace {
+
+Snapshot MakeSnapshot() {
+  Snapshot snap;
+  snap.counters["disk.seeks"] = 12;
+  snap.counters["txn.committed"] = 3;
+  snap.gauges["loom.resident_objects"] = 7;
+  Histogram h({10, 100});
+  h.Observe(5);
+  h.Observe(50);
+  h.Observe(500);
+  snap.histograms["txn.commit_latency_us"] = h.Snapshot();
+  return snap;
+}
+
+TEST(ExportTest, TextListsEverySection) {
+  const std::string text = ToText(MakeSnapshot());
+  EXPECT_NE(text.find("counters:"), std::string::npos);
+  EXPECT_NE(text.find("disk.seeks"), std::string::npos);
+  EXPECT_NE(text.find("gauges:"), std::string::npos);
+  EXPECT_NE(text.find("histograms (us):"), std::string::npos);
+  EXPECT_NE(text.find("count=3"), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+}
+
+TEST(ExportTest, TextEmptySnapshot) {
+  EXPECT_EQ(ToText(Snapshot{}), "no metrics recorded\n");
+}
+
+TEST(ExportTest, JsonStructure) {
+  const std::string json = ToJson(MakeSnapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"disk.seeks\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"loom.resident_objects\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  // Buckets render as [le, count] pairs; le -1 marks the overflow bucket.
+  EXPECT_NE(json.find("\"buckets\":[[10,1],[100,1],[-1,1]]"),
+            std::string::npos);
+}
+
+TEST(ExportTest, JsonEscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(ExportTest, PrometheusFormat) {
+  const std::string prom = ToPrometheus(MakeSnapshot());
+  EXPECT_NE(prom.find("# TYPE gemstone_disk_seeks counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gemstone_disk_seeks 12"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE gemstone_loom_resident_objects gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE gemstone_txn_commit_latency_us histogram"),
+            std::string::npos);
+  // Buckets are cumulative and finish with +Inf == count.
+  EXPECT_NE(prom.find("gemstone_txn_commit_latency_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gemstone_txn_commit_latency_us_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("gemstone_txn_commit_latency_us_bucket{le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(prom.find("gemstone_txn_commit_latency_us_sum 555"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gemstone_txn_commit_latency_us_count 3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemstone::telemetry

@@ -1,0 +1,147 @@
+// Round-trip tests: the thin *Stats snapshots subsystems expose must
+// agree with what the process-wide registry reports, and the registry
+// deltas must reflect real subsystem activity. All registry assertions
+// use deltas against a "before" snapshot — the registry is shared across
+// every test in the binary.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "executor/executor.h"
+#include "object/object_memory.h"
+#include "storage/simulated_disk.h"
+#include "storage/storage_engine.h"
+#include "telemetry/metrics.h"
+#include "txn/transaction_manager.h"
+
+namespace gemstone {
+namespace {
+
+std::uint64_t CounterIn(const telemetry::Snapshot& snap,
+                        const std::string& name) {
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+TEST(TelemetryIntegrationTest, DiskStatsMatchRegistryDeltas) {
+  const auto before = telemetry::MetricsRegistry::Global().Snapshot();
+
+  storage::SimulatedDisk disk(64, 1024);
+  ASSERT_TRUE(disk.WriteTrack(0, {1, 2, 3}).ok());
+  ASSERT_TRUE(disk.WriteTrack(10, {4, 5}).ok());
+  ASSERT_TRUE(disk.ReadTrack(0).ok());
+
+  const storage::DiskStats stats = disk.stats();
+  EXPECT_EQ(stats.tracks_written, 2u);
+  EXPECT_EQ(stats.tracks_read, 1u);
+
+  const auto after = telemetry::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(CounterIn(after, "disk.tracks_written") -
+                CounterIn(before, "disk.tracks_written"),
+            stats.tracks_written);
+  EXPECT_EQ(CounterIn(after, "disk.tracks_read") -
+                CounterIn(before, "disk.tracks_read"),
+            stats.tracks_read);
+  EXPECT_EQ(CounterIn(after, "disk.seeks") - CounterIn(before, "disk.seeks"),
+            stats.seeks);
+  EXPECT_EQ(CounterIn(after, "disk.seek_distance") -
+                CounterIn(before, "disk.seek_distance"),
+            stats.seek_distance);
+}
+
+TEST(TelemetryIntegrationTest, RetiredDiskKeepsProcessTotalsMonotonic) {
+  const auto before = telemetry::MetricsRegistry::Global().Snapshot();
+  {
+    storage::SimulatedDisk disk(16, 512);
+    ASSERT_TRUE(disk.WriteTrack(1, {9}).ok());
+  }
+  // The disk is gone, but its write survives in the retained totals.
+  const auto after = telemetry::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(CounterIn(after, "disk.tracks_written") -
+                CounterIn(before, "disk.tracks_written"),
+            1u);
+}
+
+TEST(TelemetryIntegrationTest, TxnStatsMatchRegistryDeltas) {
+  const auto before = telemetry::MetricsRegistry::Global().Snapshot();
+
+  ObjectMemory memory;
+  txn::TransactionManager manager(&memory);
+  const txn::TxnStats base = manager.stats();
+
+  {
+    auto txn = manager.Begin(1);
+    ASSERT_TRUE(
+        manager.CreateObject(txn.get(), memory.kernel().object).ok());
+    ASSERT_TRUE(manager.Commit(txn.get()).ok());
+  }
+  {
+    auto txn = manager.Begin(1);
+    ASSERT_TRUE(manager.Abort(txn.get()).ok());
+  }
+
+  const txn::TxnStats stats = manager.stats();
+  EXPECT_EQ(stats.begun - base.begun, 2u);
+  EXPECT_EQ(stats.committed - base.committed, 1u);
+  EXPECT_EQ(stats.aborted - base.aborted, 1u);
+  EXPECT_EQ(stats.conflicts - base.conflicts, 0u);
+
+  const auto after = telemetry::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(CounterIn(after, "txn.begun") - CounterIn(before, "txn.begun"),
+            2u);
+  EXPECT_EQ(CounterIn(after, "txn.committed") -
+                CounterIn(before, "txn.committed"),
+            1u);
+  EXPECT_EQ(CounterIn(after, "txn.aborted") -
+                CounterIn(before, "txn.aborted"),
+            1u);
+}
+
+TEST(TelemetryIntegrationTest, SnapshotSpansAtLeastSixSubsystems) {
+  // One durable OPAL session exercises the whole stack; the resulting
+  // snapshot must carry live series from >= 6 subsystem namespaces.
+  storage::SimulatedDisk disk(4096, 8192);
+  storage::StorageEngine engine(&disk);
+  ASSERT_TRUE(engine.Format().ok());
+  executor::Executor server(&engine);
+  const SessionId session = server.Login().ValueOrDie();
+  ASSERT_TRUE(server.Execute(session, "x := 1 + 2").ok());
+  ASSERT_TRUE(server.Execute(session, "System commitTransaction").ok());
+
+  const auto snap = telemetry::MetricsRegistry::Global().Snapshot();
+  std::set<std::string> subsystems;
+  auto note = [&subsystems](const std::string& name, bool active) {
+    if (active) subsystems.insert(name.substr(0, name.find('.')));
+  };
+  for (const auto& [name, value] : snap.counters) note(name, value > 0);
+  for (const auto& [name, value] : snap.gauges) note(name, value != 0);
+  for (const auto& [name, h] : snap.histograms) note(name, h.count > 0);
+
+  for (const char* expected :
+       {"disk", "engine", "txn", "opal", "executor", "span"}) {
+    EXPECT_TRUE(subsystems.count(expected) == 1)
+        << "missing live metrics from subsystem: " << expected;
+  }
+  EXPECT_GE(subsystems.size(), 6u);
+}
+
+TEST(TelemetryIntegrationTest, CommitLatencyHistogramPopulates) {
+  telemetry::Histogram* latency =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "txn.commit_latency_us");
+  const std::uint64_t before = latency->count();
+
+  ObjectMemory memory;
+  txn::TransactionManager manager(&memory);
+  auto txn = manager.Begin(1);
+  ASSERT_TRUE(manager.CreateObject(txn.get(), memory.kernel().object).ok());
+  ASSERT_TRUE(manager.Commit(txn.get()).ok());
+
+  EXPECT_GE(latency->count(), before + 1);
+  EXPECT_GT(latency->Snapshot().p50(), 0.0);
+}
+
+}  // namespace
+}  // namespace gemstone

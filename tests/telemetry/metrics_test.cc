@@ -1,0 +1,181 @@
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gemstone::telemetry {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(HistogramTest, BucketsFillByInclusiveUpperBound) {
+  Histogram h({10, 20, 30});
+  h.Observe(1);    // bucket 0 (<= 10)
+  h.Observe(10);   // bucket 0 (bounds are inclusive)
+  h.Observe(11);   // bucket 1
+  h.Observe(30);   // bucket 2
+  h.Observe(31);   // overflow bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1u + 10 + 11 + 30 + 31);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram h({25, 50, 75, 100});
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Observe(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  // Uniform 1..100: each bucket holds exactly 25 observations, so the
+  // interpolated percentile tracks the true value closely.
+  EXPECT_DOUBLE_EQ(snap.Percentile(25), 25.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(75), 75.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 100.0);
+  EXPECT_NEAR(snap.p95(), 95.0, 1.0);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram empty({10, 20});
+  EXPECT_DOUBLE_EQ(empty.Snapshot().p50(), 0.0);
+
+  // Everything in the overflow bucket reports the largest finite bound.
+  Histogram over({10, 20});
+  over.Observe(1000);
+  EXPECT_DOUBLE_EQ(over.Snapshot().p50(), 20.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreLossless) {
+  Histogram h({100, 200, 300});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<std::uint64_t>(t * 100 + 50));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // 50 -> bucket 0; 150 -> bucket 1; 250 -> bucket 2; 350 -> overflow.
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    EXPECT_EQ(snap.counts[i], static_cast<std::uint64_t>(kPerThread));
+  }
+}
+
+TEST(RegistryTest, InstrumentsAreCreatedOnceAndStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Increment(5);
+  EXPECT_EQ(registry.Snapshot().counters.at("x.count"), 5u);
+}
+
+TEST(RegistryTest, CollectorsSumByNameAndRetireMonotonically) {
+  MetricsRegistry registry;
+  Counter first, second;
+  first.Increment(3);
+  second.Increment(4);
+  Registration r1 = registry.Register([&first](SampleSink* sink) {
+    sink->Counter("s.events", first.value());
+  });
+  {
+    Registration r2 = registry.Register([&second](SampleSink* sink) {
+      sink->Counter("s.events", second.value());
+    });
+    EXPECT_EQ(registry.Snapshot().counters.at("s.events"), 7u);
+  }
+  // r2 retired: its final total is retained, process total stays 7.
+  EXPECT_EQ(registry.Snapshot().counters.at("s.events"), 7u);
+  first.Increment(1);
+  EXPECT_EQ(registry.Snapshot().counters.at("s.events"), 8u);
+}
+
+TEST(RegistryTest, GaugesFromCollectorsSum) {
+  MetricsRegistry registry;
+  Gauge g1, g2;
+  g1.Set(10);
+  g2.Set(5);
+  Registration r1 = registry.Register(
+      [&g1](SampleSink* sink) { sink->Gauge("pool.size", g1.value()); });
+  Registration r2 = registry.Register(
+      [&g2](SampleSink* sink) { sink->Gauge("pool.size", g2.value()); });
+  EXPECT_EQ(registry.Snapshot().gauges.at("pool.size"), 15);
+}
+
+TEST(RegistryTest, ResetForTestZeroesInstrumentsAndRetiredTotals) {
+  MetricsRegistry registry;
+  registry.GetCounter("a")->Increment(9);
+  registry.GetHistogram("h")->Observe(3);
+  {
+    Counter c;
+    c.Increment(2);
+    Registration r = registry.Register(
+        [&c](SampleSink* sink) { sink->Counter("b", c.value()); });
+  }
+  registry.ResetForTest();
+  const Snapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 0u);
+  EXPECT_EQ(snap.counters.count("b"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(RegistryTest, ConcurrentRegistryTraffic) {
+  MetricsRegistry registry;
+  Counter* shared = registry.GetCounter("mt.hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, shared] {
+      for (int i = 0; i < kPerThread; ++i) {
+        shared->Increment();
+        if (i % 1000 == 0) (void)registry.Snapshot();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.Snapshot().counters.at("mt.hits"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace gemstone::telemetry
