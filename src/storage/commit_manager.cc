@@ -27,21 +27,28 @@ Status CommitManager::WriteRoot(const RootState& root) {
 }
 
 Status CommitManager::Format() {
+  // Both slots receive a valid empty root. Slot B (epoch 1) is written
+  // last, so recovery — which prefers the highest epoch — starts from an
+  // empty catalog at epoch 1 and the first commit flips epoch 2 into
+  // slot A, preserving the even/odd slot alternation.
   RootState empty;
   empty.epoch = 0;
   GS_RETURN_IF_ERROR(WriteRoot(empty));
   RootState second = empty;
   second.epoch = 1;
-  GS_RETURN_IF_ERROR(WriteRoot(second));
-  // Leave epoch 0 as the newest *meaningful* state: re-write slot A last
-  // so recovery (which prefers the highest epoch) starts from an empty
-  // catalog at epoch 1.
-  return Status::OK();
+  return WriteRoot(second);
 }
 
 Result<RootState> CommitManager::RecoverRoot() const {
-  RootState best;
-  bool found = false;
+  std::vector<RootState> candidates = RecoverRootCandidates();
+  if (candidates.empty()) {
+    return Status::Corruption("no valid root block on device");
+  }
+  return std::move(candidates.front());
+}
+
+std::vector<RootState> CommitManager::RecoverRootCandidates() const {
+  std::vector<RootState> candidates;
   for (TrackId slot : {kRootSlotA, kRootSlotB}) {
     auto bytes_result = disk_->ReadTrack(slot);
     if (!bytes_result.ok()) continue;
@@ -76,15 +83,13 @@ Result<RootState> CommitManager::RecoverRoot() const {
       root.catalog_tracks.push_back(t.value());
     }
     if (!ok || in.remaining() != 0) continue;
-    if (!found || root.epoch > best.epoch) {
-      best = std::move(root);
-      found = true;
-    }
+    candidates.push_back(std::move(root));
   }
-  if (!found) {
-    return Status::Corruption("no valid root block on device");
-  }
-  return best;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RootState& a, const RootState& b) {
+              return a.epoch > b.epoch;
+            });
+  return candidates;
 }
 
 Status CommitManager::CommitGroup(
@@ -95,6 +100,11 @@ Status CommitManager::CommitGroup(
     std::uint64_t next_epoch) {
   const std::size_t chunk = disk_->track_capacity();
   const std::size_t needed = (catalog_bytes.size() + chunk - 1) / chunk;
+  // Validate before any track is written: a doomed commit performs zero
+  // I/O, so nothing needs undoing.
+  if (needed > catalog_tracks.size()) {
+    return Status::InvalidArgument("catalog does not fit allotted tracks");
+  }
   {
     TELEM_SPAN("commit.write_group");
     // Phase 1: shadow writes of the data group. A failure here leaves the
@@ -103,10 +113,6 @@ Status CommitManager::CommitGroup(
       GS_RETURN_IF_ERROR(disk_->WriteTrack(track, bytes));
     }
     // Phase 2: the catalog stream, chunked by track capacity.
-    if (needed > catalog_tracks.size() &&
-        !(catalog_bytes.empty() && catalog_tracks.empty())) {
-      return Status::InvalidArgument("catalog does not fit allotted tracks");
-    }
     for (std::size_t i = 0; i < needed; ++i) {
       const std::size_t begin = i * chunk;
       const std::size_t end =

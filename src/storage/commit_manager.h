@@ -43,6 +43,12 @@ class CommitManager {
   /// epoch; Corruption if neither slot holds a valid root.
   Result<RootState> RecoverRoot() const;
 
+  /// Every valid root on the device, newest epoch first (0–2 entries).
+  /// Recovery tries them in order: when the newest root's catalog stream
+  /// turns out unreadable, the older slot is the fallback — that is the
+  /// point of keeping two slots.
+  std::vector<RootState> RecoverRootCandidates() const;
+
   /// The safe group write. Writes `data_tracks` (shadow copies), chunks
   /// `catalog_bytes` across `catalog_tracks`, then flips the root to
   /// `next_epoch`. If any write fails, the function returns the error and

@@ -30,6 +30,10 @@ Result<std::vector<std::uint8_t>> SimulatedDisk::ReadTrack(
     return Status::OutOfRange("track " + std::to_string(track) +
                               " beyond device end");
   }
+  if (read_faults_.count(track) != 0) {
+    return Status::IoError("injected read fault at track " +
+                           std::to_string(track));
+  }
   AccountSeek(track);
   tracks_read_.Increment();
   return tracks_[track];
@@ -46,8 +50,18 @@ Status SimulatedDisk::WriteTrack(TrackId track,
     return Status::InvalidArgument("write of " + std::to_string(data.size()) +
                                    " bytes exceeds track capacity");
   }
-  if (fault_armed_) {
+  if (write_fault_ != WriteFault::kNone) {
     if (writes_until_failure_ == 0) {
+      if (write_fault_ == WriteFault::kTear) {
+        // The tear fires exactly once; the device then behaves as crashed.
+        write_fault_ = WriteFault::kFail;
+        data.resize(std::min(data.size(), tear_keep_bytes_));
+        AccountSeek(track);
+        tracks_written_.Increment();
+        tracks_[track] = std::move(data);
+        return Status::IoError("injected torn write at track " +
+                               std::to_string(track));
+      }
       return Status::IoError("injected write fault at track " +
                              std::to_string(track));
     }
@@ -62,13 +76,55 @@ Status SimulatedDisk::WriteTrack(TrackId track,
 void SimulatedDisk::InjectWriteFailureAfter(
     std::uint64_t writes_until_failure) {
   std::lock_guard<std::mutex> lock(mu_);
-  fault_armed_ = true;
+  write_fault_ = WriteFault::kFail;
   writes_until_failure_ = writes_until_failure;
+}
+
+void SimulatedDisk::InjectTornWriteAfter(std::uint64_t writes_until_tear,
+                                         std::size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_fault_ = WriteFault::kTear;
+  writes_until_failure_ = writes_until_tear;
+  tear_keep_bytes_ = keep_bytes;
+}
+
+void SimulatedDisk::InjectReadFault(TrackId track) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_faults_.insert(track);
 }
 
 void SimulatedDisk::ClearFault() {
   std::lock_guard<std::mutex> lock(mu_);
-  fault_armed_ = false;
+  write_fault_ = WriteFault::kNone;
+  read_faults_.clear();
+}
+
+Status SimulatedDisk::CorruptTrack(TrackId track, std::size_t offset,
+                                   std::uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (track >= num_tracks_) {
+    return Status::OutOfRange("track " + std::to_string(track) +
+                              " beyond device end");
+  }
+  if (offset >= tracks_[track].size()) {
+    return Status::OutOfRange("offset " + std::to_string(offset) +
+                              " beyond track contents");
+  }
+  tracks_[track][offset] ^= mask;
+  return Status::OK();
+}
+
+Status SimulatedDisk::TruncateTrack(TrackId track, std::size_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (track >= num_tracks_) {
+    return Status::OutOfRange("track " + std::to_string(track) +
+                              " beyond device end");
+  }
+  if (new_size > tracks_[track].size()) {
+    return Status::OutOfRange("truncation cannot grow the track");
+  }
+  tracks_[track].resize(new_size);
+  return Status::OK();
 }
 
 DiskStats SimulatedDisk::stats() const {

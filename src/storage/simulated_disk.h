@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "core/result.h"
@@ -50,9 +51,33 @@ class SimulatedDisk {
 
   /// After `writes_until_failure` more successful writes, every subsequent
   /// write fails with IoError until ClearFault(). Models a crash mid
-  /// commit group.
+  /// commit group: nothing from the failed write reaches the platter.
   void InjectWriteFailureAfter(std::uint64_t writes_until_failure);
+
+  /// After `writes_until_tear` more successful writes, the next write is
+  /// *torn*: only its first `keep_bytes` bytes reach the platter and the
+  /// call reports IoError. Every write after the tear fails outright, as
+  /// after `InjectWriteFailureAfter` — the device has crashed. Models
+  /// power loss mid-track, the case checksummed recovery must survive.
+  void InjectTornWriteAfter(std::uint64_t writes_until_tear,
+                            std::size_t keep_bytes);
+
+  /// Reads of `track` fail with IoError until ClearFault(). Models an
+  /// unreadable sector discovered at recovery time.
+  void InjectReadFault(TrackId track);
+
+  /// Clears every injected fault (write failures, tears, read faults).
   void ClearFault();
+
+  /// XORs `mask` into the platter byte at `offset` of `track` — silent
+  /// bit rot, detectable only by checksum. OutOfRange when the track or
+  /// offset does not exist.
+  Status CorruptTrack(TrackId track, std::size_t offset, std::uint8_t mask);
+
+  /// Discards the platter contents of `track` beyond `new_size` — a torn
+  /// write observed after the fact. OutOfRange for a bad id or a
+  /// `new_size` beyond the track's current length.
+  Status TruncateTrack(TrackId track, std::size_t new_size);
 
   DiskStats stats() const;
   void ResetStats();
@@ -61,11 +86,16 @@ class SimulatedDisk {
   const TrackId num_tracks_;
   const std::size_t track_capacity_;
 
+  /// What an armed write fault does when its countdown reaches zero.
+  enum class WriteFault : std::uint8_t { kNone, kFail, kTear };
+
   mutable std::mutex mu_;
   std::vector<std::vector<std::uint8_t>> tracks_;
   mutable TrackId last_track_ = 0;
-  bool fault_armed_ = false;
+  WriteFault write_fault_ = WriteFault::kNone;
   std::uint64_t writes_until_failure_ = 0;
+  std::size_t tear_keep_bytes_ = 0;
+  std::unordered_set<TrackId> read_faults_;
 
   mutable telemetry::Counter tracks_read_;
   mutable telemetry::Counter tracks_written_;

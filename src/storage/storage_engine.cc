@@ -18,6 +18,8 @@ StorageEngine::StorageEngine(SimulatedDisk* disk)
             sink->Counter("engine.objects_written", objects_written_.value());
             sink->Counter("engine.bytes_written", bytes_written_.value());
             sink->Counter("engine.objects_loaded", objects_loaded_.value());
+            sink->Counter("engine.recovery_fallbacks",
+                          recovery_fallbacks_.value());
             sink->Gauge("engine.free_tracks", free_tracks_gauge_.value());
             sink->Gauge("engine.epoch", epoch_gauge_.value());
           })) {}
@@ -28,6 +30,7 @@ EngineStats StorageEngine::stats() const {
   stats.objects_written = objects_written_.value();
   stats.bytes_written = bytes_written_.value();
   stats.objects_loaded = objects_loaded_.value();
+  stats.recovery_fallbacks = recovery_fallbacks_.value();
   return stats;
 }
 
@@ -37,16 +40,46 @@ Status StorageEngine::Format() {
 }
 
 Status StorageEngine::Open() {
-  GS_ASSIGN_OR_RETURN(RootState root, commit_manager_.RecoverRoot());
-  if (root.catalog_tracks.empty()) {
-    catalog_ = Catalog();
-  } else {
-    GS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> bytes,
-                        commit_manager_.ReadCatalogBytes(root));
-    GS_ASSIGN_OR_RETURN(catalog_, Catalog::Deserialize(bytes));
+  const std::vector<RootState> candidates =
+      commit_manager_.RecoverRootCandidates();
+  if (candidates.empty()) {
+    return Status::Corruption("no valid root block on device");
   }
-  epoch_ = root.epoch;
-  catalog_tracks_ = root.catalog_tracks;
+  // Try the newest root first; when its catalog stream is unreadable
+  // (torn track, bit rot, read fault), fall back to the older slot — the
+  // reason the device keeps two. The fallback epoch is the pre-crash
+  // committed state, so recovering it is correct, never a hybrid.
+  Catalog catalog;
+  const RootState* adopted = nullptr;
+  Status last_error = Status::OK();
+  for (const RootState& root : candidates) {
+    if (root.catalog_tracks.empty()) {
+      catalog = Catalog();
+      adopted = &root;
+      break;
+    }
+    auto bytes = commit_manager_.ReadCatalogBytes(root);
+    if (!bytes.ok()) {
+      recovery_fallbacks_.Increment();
+      last_error = bytes.status();
+      continue;
+    }
+    auto parsed = Catalog::Deserialize(bytes.value());
+    if (!parsed.ok()) {
+      recovery_fallbacks_.Increment();
+      last_error = parsed.status();
+      continue;
+    }
+    catalog = std::move(parsed).value();
+    adopted = &root;
+    break;
+  }
+  if (adopted == nullptr) {
+    return last_error;
+  }
+  catalog_ = std::move(catalog);
+  epoch_ = adopted->epoch;
+  catalog_tracks_ = adopted->catalog_tracks;
 
   std::set<TrackId> used = {CommitManager::kRootSlotA,
                             CommitManager::kRootSlotB};

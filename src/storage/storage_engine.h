@@ -23,6 +23,7 @@ struct EngineStats {
   std::uint64_t objects_written = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t objects_loaded = 0;
+  std::uint64_t recovery_fallbacks = 0;  // roots abandoned during Open
 };
 
 /// The secondary-storage face of the Object Manager: orchestrates the
@@ -43,8 +44,11 @@ class StorageEngine {
   /// Initializes an empty store (destroys any previous contents).
   Status Format();
 
-  /// Recovers the newest valid root and loads its catalog; rebuilds the
-  /// free-track map from the catalog's extents.
+  /// Recovers the newest valid root whose catalog stream reads back
+  /// intact — falling back to the older root slot (and counting
+  /// `engine.recovery_fallbacks`) when the newest one's catalog fails its
+  /// checksum — then rebuilds the free-track map from the catalog's
+  /// extents.
   Status Open();
 
   bool is_open() const { return open_; }
@@ -98,6 +102,7 @@ class StorageEngine {
   telemetry::Counter objects_written_;
   telemetry::Counter bytes_written_;
   telemetry::Counter objects_loaded_;
+  telemetry::Counter recovery_fallbacks_;
   // Mirrors of non-atomic state so the collector never races a commit.
   telemetry::Gauge free_tracks_gauge_;
   telemetry::Gauge epoch_gauge_;

@@ -39,6 +39,8 @@ class Transaction {
   std::size_t read_set_size() const { return read_set_.size(); }
   std::size_t dirty_object_count() const { return dirty_.size(); }
   std::size_t created_count() const { return created_.size(); }
+  /// Private copies still held; zero once the transaction finishes.
+  std::size_t workspace_size() const { return working_.size(); }
 
  private:
   friend class TransactionManager;

@@ -19,6 +19,8 @@ TransactionManager::TransactionManager(ObjectMemory* memory,
             sink->Counter("txn.committed", committed_.value());
             sink->Counter("txn.aborted", aborted_.value());
             sink->Counter("txn.conflicts", conflicts_.value());
+            sink->Counter("txn.commit_storage_failures",
+                          commit_storage_failures_.value());
           })) {}
 
 std::unique_ptr<Transaction> TransactionManager::Begin(SessionId session,
@@ -110,18 +112,39 @@ Status TransactionManager::Commit(Transaction* txn) {
 
   const TxnTime commit_time = clock_.load() + 1;
 
-  // Link phase: fold dirty elements into the permanent store, re-stamping
-  // the provisional (kTimeNow) workspace bindings with the commit time.
-  std::vector<const GsObject*> changed;
+  // Any failure from here on aborts cleanly: the store, last_commit_, and
+  // the clock are untouched until the publish phase, which cannot fail.
+  auto abort_cleanly = [&](Status status) {
+    txn->state_ = TxnState::kAborted;
+    txn->working_.clear();
+    aborted_.Increment();
+    return status;
+  };
+
+  // Stage phase: build each dirty object's post-commit image beside the
+  // store, re-stamping the provisional (kTimeNow) workspace bindings with
+  // the commit time.
+  struct Staged {
+    std::uint64_t raw;
+    GsObject image;
+    GsObject* permanent;  // destination; nullptr for a created object
+  };
+  std::vector<Staged> staged;
+  staged.reserve(txn->dirty_.size());
   for (auto& [raw, marks] : txn->dirty_) {
     const Oid oid{raw};
     auto working_it = txn->working_.find(raw);
     if (working_it == txn->working_.end()) {
-      return Status::Internal("dirty object lacks a workspace copy");
+      return abort_cleanly(
+          Status::Internal("dirty object lacks a workspace copy"));
     }
     const GsObject& copy = working_it->second;
     if (txn->created_.count(raw) != 0) {
       // New object: materialize with every provisional binding re-stamped.
+      if (memory_->Find(oid) != nullptr) {
+        return abort_cleanly(
+            Status::Internal("created oid already in permanent store"));
+      }
       GsObject fresh(copy.oid(), copy.class_oid());
       for (const NamedElement& element : copy.named_elements()) {
         for (const Association& a : element.table.entries()) {
@@ -136,41 +159,57 @@ Status TransactionManager::Commit(Transaction* txn) {
                              a.value);
         }
       }
-      GS_RETURN_IF_ERROR(memory_->Insert(std::move(fresh)));
+      staged.push_back({raw, std::move(fresh), nullptr});
     } else {
       GsObject* permanent = memory_->FindMutable(oid);
       if (permanent == nullptr) {
-        return Status::Internal("dirty object vanished from permanent store");
+        return abort_cleanly(
+            Status::Internal("dirty object vanished from permanent store"));
       }
+      GsObject image = *permanent;
       for (SymbolId name : marks.named) {
         const Value* v = copy.ReadNamed(name, kTimeNow);
-        permanent->WriteNamed(name, commit_time, v ? *v : Value::Nil());
+        image.WriteNamed(name, commit_time, v ? *v : Value::Nil());
       }
-      // Ascending order so appends extend the permanent object correctly.
+      // Ascending order so appends extend the image correctly.
       std::vector<std::size_t> indexed(marks.indexed.begin(),
                                        marks.indexed.end());
       std::sort(indexed.begin(), indexed.end());
       for (std::size_t index : indexed) {
         const Value* v = copy.ReadIndexed(index, kTimeNow);
-        permanent->WriteIndexed(index, commit_time, v ? *v : Value::Nil());
+        image.WriteIndexed(index, commit_time, v ? *v : Value::Nil());
       }
+      staged.push_back({raw, std::move(image), permanent});
     }
-    last_commit_[raw] = commit_time;
-    changed.push_back(memory_->Find(oid));
   }
 
-  // Safe group write of the changed objects (Boxer/Linker/CommitManager).
+  // Persist phase: the safe group write (Boxer/Linker/CommitManager) makes
+  // the staged images durable before any becomes visible. On failure the
+  // disk still recovers to the previous root and memory is unchanged, so a
+  // retry of the same writes sees no phantom conflicts.
   if (engine_ != nullptr) {
+    std::vector<const GsObject*> changed;
+    changed.reserve(staged.size());
+    for (const Staged& s : staged) changed.push_back(&s.image);
     Status persisted = engine_->CommitObjects(changed, memory_->symbols());
     if (!persisted.ok()) {
-      // The in-memory publish already happened; surface the storage error
-      // but keep the logical state consistent by advancing the clock.
-      clock_.store(commit_time);
-      txn->state_ = TxnState::kAborted;
-      return persisted;
+      commit_storage_failures_.Increment();
+      return abort_cleanly(persisted);
     }
   }
 
+  // Publish phase: durability achieved; fold the staged images into the
+  // permanent store and advance the logical state. Nothing fallible left
+  // (ObjectMemory pointers are stable and created oids were verified
+  // absent under this same exclusive lock).
+  for (Staged& s : staged) {
+    if (s.permanent == nullptr) {
+      (void)memory_->Insert(std::move(s.image));
+    } else {
+      *s.permanent = std::move(s.image);
+    }
+    last_commit_[s.raw] = commit_time;
+  }
   clock_.store(commit_time);
   txn->state_ = TxnState::kCommitted;
   txn->working_.clear();
@@ -185,6 +224,7 @@ TxnStats TransactionManager::stats() const {
   stats.committed = committed_.value();
   stats.aborted = aborted_.value();
   stats.conflicts = conflicts_.value();
+  stats.commit_storage_failures = commit_storage_failures_.value();
   return stats;
 }
 

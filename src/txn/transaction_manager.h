@@ -25,6 +25,7 @@ struct TxnStats {
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
   std::uint64_t conflicts = 0;  // aborts caused by validation failure
+  std::uint64_t commit_storage_failures = 0;  // aborts from the safe write
 };
 
 /// The shared Transaction Manager (§6): "handles concurrent use of the
@@ -34,9 +35,13 @@ struct TxnStats {
 /// Concurrency model: readers hold a shared lock per operation; Commit
 /// holds the unique lock while it validates (backward validation at
 /// object granularity: any object read or written whose last commit time
-/// exceeds the transaction's start time is a conflict), merges dirty
-/// elements into the permanent store at the freshly assigned commit time,
-/// and — when a StorageEngine is attached — performs the safe group write.
+/// exceeds the transaction's start time is a conflict), stages each dirty
+/// object's post-commit image beside the store, and — when a
+/// StorageEngine is attached — performs the safe group write *before*
+/// publishing anything: the staged images fold into the permanent store,
+/// and `last_commit_` / the clock advance, only after the root flip
+/// succeeds. Every failure path leaves the transaction aborted and
+/// ObjectMemory, `last_commit_`, and the clock exactly as they were.
 ///
 /// All element access from sessions goes through this class so that no
 /// raw object pointer outlives its lock scope.
@@ -152,6 +157,7 @@ class TransactionManager {
   telemetry::Counter committed_;
   telemetry::Counter aborted_;
   telemetry::Counter conflicts_;
+  telemetry::Counter commit_storage_failures_;
   telemetry::Histogram* commit_latency_us_;  // registry-owned
   telemetry::Registration telemetry_;  // after the counters it samples
 };

@@ -55,5 +55,50 @@ TEST(SimulatedDiskTest, FaultInjectionFiresAfterBudget) {
   EXPECT_TRUE(disk.WriteTrack(2, {7}).ok());
 }
 
+TEST(SimulatedDiskTest, TornWritePersistsPrefixThenDeviceFails) {
+  SimulatedDisk disk(8, 64);
+  disk.InjectTornWriteAfter(1, 3);
+  EXPECT_TRUE(disk.WriteTrack(0, {1, 2, 3, 4, 5}).ok());
+  // The tear: only the first 3 bytes reach the platter, the call errors.
+  EXPECT_TRUE(disk.WriteTrack(1, {9, 8, 7, 6, 5}).IsIoError());
+  EXPECT_EQ(disk.ReadTrack(1).ValueOrDie(),
+            (std::vector<std::uint8_t>{9, 8, 7}));
+  // The device is down from the tear on.
+  EXPECT_TRUE(disk.WriteTrack(2, {1}).IsIoError());
+  EXPECT_TRUE(disk.ReadTrack(2).ValueOrDie().empty());
+  disk.ClearFault();
+  EXPECT_TRUE(disk.WriteTrack(2, {1}).ok());
+}
+
+TEST(SimulatedDiskTest, ReadFaultFiresPerTrackUntilCleared) {
+  SimulatedDisk disk(8, 64);
+  ASSERT_TRUE(disk.WriteTrack(3, {1, 2}).ok());
+  disk.InjectReadFault(3);
+  EXPECT_TRUE(disk.ReadTrack(3).status().IsIoError());
+  EXPECT_TRUE(disk.ReadTrack(4).ok());  // other tracks unaffected
+  disk.ClearFault();
+  EXPECT_EQ(disk.ReadTrack(3).ValueOrDie(),
+            (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(SimulatedDiskTest, CorruptTrackFlipsBitsInPlace) {
+  SimulatedDisk disk(8, 64);
+  ASSERT_TRUE(disk.WriteTrack(0, {0x0F, 0xF0}).ok());
+  ASSERT_TRUE(disk.CorruptTrack(0, 1, 0xFF).ok());
+  EXPECT_EQ(disk.ReadTrack(0).ValueOrDie(),
+            (std::vector<std::uint8_t>{0x0F, 0x0F}));
+  EXPECT_EQ(disk.CorruptTrack(0, 2, 0x01).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.CorruptTrack(9, 0, 0x01).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimulatedDiskTest, TruncateTrackDropsTail) {
+  SimulatedDisk disk(8, 64);
+  ASSERT_TRUE(disk.WriteTrack(0, {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(disk.TruncateTrack(0, 2).ok());
+  EXPECT_EQ(disk.ReadTrack(0).ValueOrDie(),
+            (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(disk.TruncateTrack(0, 3).code(), StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace gemstone::storage

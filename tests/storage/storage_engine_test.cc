@@ -235,5 +235,132 @@ TEST_F(StorageEngineTest, ClusteredObjectsLandOnAdjacentTracks) {
   EXPECT_LE(hi - lo, 8u);
 }
 
+// Regression for Format's contract: recovery over a freshly formatted
+// device starts from an empty catalog at epoch 1 (slot B written last),
+// so the first commit flips epoch 2 into slot A.
+TEST_F(StorageEngineTest, FormatRecoversAtEpochOne) {
+  CommitManager manager(&disk_);
+  auto root = manager.RecoverRoot();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(root->epoch, 1u);
+  EXPECT_TRUE(root->catalog_tracks.empty());
+  EXPECT_EQ(engine_.epoch(), 1u);
+
+  GsObject emp = MakeEmployee(100, "Ellen", 24650, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&emp}, symbols_).ok());
+  EXPECT_EQ(engine_.epoch(), 2u);
+  EXPECT_EQ(manager.RecoverRoot()->epoch, 2u);
+}
+
+// A doomed commit must perform zero I/O: the catalog-fit check runs
+// before any track is written.
+TEST_F(StorageEngineTest, OversizedCatalogCommitWritesNothing) {
+  CommitManager manager(&disk_);
+  const std::uint64_t written_before = disk_.stats().tracks_written;
+  std::vector<std::uint8_t> catalog(disk_.track_capacity() * 2, 7);
+  Status s = manager.CommitGroup({{5, {1, 2, 3}}}, /*catalog_tracks=*/{6},
+                                 catalog, /*next_epoch=*/2);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk_.stats().tracks_written, written_before);
+  EXPECT_TRUE(disk_.ReadTrack(5).ValueOrDie().empty());
+}
+
+// The dual-root payoff: when the newest epoch's catalog stream fails its
+// checksum, Open falls back to the older valid root instead of failing.
+TEST_F(StorageEngineTest, OpenFallsBackWhenNewestCatalogCorrupt) {
+  GsObject v1 = MakeEmployee(100, "Ellen", 24650, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&v1}, symbols_).ok());  // epoch 2
+  GsObject v2 = v1;
+  v2.WriteNamed(symbols_.Intern("salary"), 5, Value::Integer(30000));
+  GsObject extra = MakeEmployee(101, "Robert", 24000, 5);
+  ASSERT_TRUE(engine_.CommitObjects({&v2, &extra}, symbols_).ok());  // 3
+
+  // Bit rot inside epoch 3's catalog stream.
+  CommitManager manager(&disk_);
+  auto newest = manager.RecoverRoot().ValueOrDie();
+  ASSERT_EQ(newest.epoch, 3u);
+  ASSERT_FALSE(newest.catalog_tracks.empty());
+  ASSERT_TRUE(disk_.CorruptTrack(newest.catalog_tracks[0], 0, 0xFF).ok());
+
+  StorageEngine recovered(&disk_);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.epoch(), 2u);  // the older slot's state
+  EXPECT_GE(recovered.stats().recovery_fallbacks, 1u);
+  SymbolTable fresh;
+  auto loaded = recovered.LoadObject(Oid(100), &fresh).ValueOrDie();
+  EXPECT_EQ(*loaded.ReadNamed(fresh.Lookup("salary"), kTimeNow),
+            Value::Integer(24650));
+  EXPECT_FALSE(recovered.Contains(Oid(101)));
+}
+
+// Same fallback when the newest catalog track is unreadable outright.
+TEST_F(StorageEngineTest, OpenFallsBackOnCatalogReadFault) {
+  GsObject v1 = MakeEmployee(100, "Ellen", 24650, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&v1}, symbols_).ok());
+  GsObject v2 = v1;
+  v2.WriteNamed(symbols_.Intern("salary"), 5, Value::Integer(30000));
+  ASSERT_TRUE(engine_.CommitObjects({&v2}, symbols_).ok());
+
+  CommitManager manager(&disk_);
+  auto newest = manager.RecoverRoot().ValueOrDie();
+  ASSERT_FALSE(newest.catalog_tracks.empty());
+  disk_.InjectReadFault(newest.catalog_tracks[0]);
+
+  StorageEngine recovered(&disk_);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.epoch(), newest.epoch - 1);
+  EXPECT_GE(recovered.stats().recovery_fallbacks, 1u);
+  disk_.ClearFault();
+}
+
+// LoadObject/LoadObjects corruption paths, driven by the fault hooks.
+TEST_F(StorageEngineTest, BitFlippedTrackFailsImageChecksum) {
+  GsObject a = MakeEmployee(100, "Ellen", 24650, 1);
+  GsObject b = MakeEmployee(101, "Robert", 24000, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&a, &b}, symbols_).ok());
+  const Extent* extent = engine_.catalog().Find(Oid(100));
+  ASSERT_NE(extent, nullptr);
+  const TrackId track = extent->tracks[0];
+  // Flip the last payload byte: framing stays intact, the image doesn't.
+  const std::size_t len = disk_.ReadTrack(track).ValueOrDie().size();
+  ASSERT_TRUE(disk_.CorruptTrack(track, len - 1, 0x40).ok());
+
+  EXPECT_EQ(engine_.LoadObject(Oid(101), &symbols_).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(engine_.LoadObjects({Oid(100), Oid(101)}, &symbols_)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(StorageEngineTest, TruncatedTrackYieldsIncompleteImage) {
+  GsObject big{Oid(500), Oid(7)};
+  for (int i = 0; i < 500; ++i) {
+    big.AppendIndexed(1, Value::String("padding-padding-" + std::to_string(i)));
+  }
+  ASSERT_TRUE(engine_.CommitObjects({&big}, symbols_).ok());
+  const Extent* extent = engine_.catalog().Find(Oid(500));
+  ASSERT_GT(extent->tracks.size(), 1u);
+  // Drop the whole tail track: the image cannot be reassembled.
+  ASSERT_TRUE(disk_.TruncateTrack(extent->tracks.back(), 0).ok());
+
+  EXPECT_EQ(engine_.LoadObject(Oid(500), &symbols_).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(engine_.LoadObjects({Oid(500)}, &symbols_).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(StorageEngineTest, ReadFaultSurfacesAsIoError) {
+  GsObject emp = MakeEmployee(100, "Ellen", 24650, 1);
+  ASSERT_TRUE(engine_.CommitObjects({&emp}, symbols_).ok());
+  const Extent* extent = engine_.catalog().Find(Oid(100));
+  disk_.InjectReadFault(extent->tracks[0]);
+  EXPECT_TRUE(engine_.LoadObject(Oid(100), &symbols_).status().IsIoError());
+  EXPECT_TRUE(
+      engine_.LoadObjects({Oid(100)}, &symbols_).status().IsIoError());
+  disk_.ClearFault();
+  EXPECT_TRUE(engine_.LoadObject(Oid(100), &symbols_).ok());
+}
+
 }  // namespace
 }  // namespace gemstone::storage

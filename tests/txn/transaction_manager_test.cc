@@ -311,6 +311,70 @@ TEST_F(PersistentTxnTest, CommitsAreDurable) {
   EXPECT_EQ(value.value(), Value::String("durable"));
 }
 
+// A storage-failed commit is a clean abort: counted as aborted (plus the
+// dedicated failure counter), workspace discarded, and nothing published —
+// ObjectMemory, last_commit_, and the clock stay exactly as they were, so
+// a retry of the same writes sees no phantom conflicts.
+TEST_F(PersistentTxnTest, StorageFailedCommitIsCleanAbort) {
+  SymbolId x = memory_.symbols().Intern("x");
+  auto seed = manager_.Begin(0);
+  Oid oid = manager_.CreateObject(seed.get(), memory_.kernel().object)
+                .ValueOrDie();
+  ASSERT_TRUE(manager_.WriteNamed(seed.get(), oid, x, Value::Integer(1)).ok());
+  ASSERT_TRUE(manager_.Commit(seed.get()).ok());
+  const TxnTime clock_before = manager_.Now();
+
+  disk_.InjectWriteFailureAfter(0);
+  auto doomed = manager_.Begin(1);
+  ASSERT_TRUE(
+      manager_.WriteNamed(doomed.get(), oid, x, Value::Integer(2)).ok());
+  Status failed = manager_.Commit(doomed.get());
+  ASSERT_TRUE(failed.IsIoError()) << failed.ToString();
+  EXPECT_EQ(doomed->state(), TxnState::kAborted);
+  EXPECT_EQ(doomed->workspace_size(), 0u);
+
+  TxnStats stats = manager_.stats();
+  EXPECT_EQ(stats.committed, 1u);  // the seed only
+  EXPECT_EQ(stats.aborted, 1u);
+  EXPECT_EQ(stats.commit_storage_failures, 1u);
+  EXPECT_EQ(stats.conflicts, 0u);
+  EXPECT_EQ(manager_.Now(), clock_before);  // clock did not advance
+
+  // Memory untouched by the failed publish.
+  auto check = manager_.Begin(2);
+  EXPECT_EQ(manager_.ReadNamed(check.get(), oid, x).ValueOrDie(),
+            Value::Integer(1));
+
+  // The retry commits without a phantom conflict against the failure.
+  disk_.ClearFault();
+  auto retry = manager_.Begin(1);
+  ASSERT_TRUE(
+      manager_.WriteNamed(retry.get(), oid, x, Value::Integer(2)).ok());
+  Status retried = manager_.Commit(retry.get());
+  ASSERT_TRUE(retried.ok()) << retried.ToString();
+  EXPECT_EQ(manager_.Now(), clock_before + 1);
+  EXPECT_EQ(manager_.stats().commit_storage_failures, 1u);
+}
+
+// A created-in-this-transaction object must not linger anywhere after a
+// storage failure — neither in memory nor on disk after recovery.
+TEST_F(PersistentTxnTest, StorageFailureDiscardsCreatedObjects) {
+  disk_.InjectWriteFailureAfter(1);  // fail partway through the group
+  auto txn = manager_.Begin(0);
+  Oid oid = manager_.CreateObject(txn.get(), memory_.kernel().object)
+                .ValueOrDie();
+  SymbolId x = memory_.symbols().Intern("x");
+  ASSERT_TRUE(manager_.WriteNamed(txn.get(), oid, x, Value::Integer(7)).ok());
+  ASSERT_TRUE(manager_.Commit(txn.get()).IsIoError());
+  EXPECT_EQ(memory_.Find(oid), nullptr);
+
+  disk_.ClearFault();
+  storage::StorageEngine recovered(&disk_);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_FALSE(recovered.Contains(oid));
+  EXPECT_EQ(recovered.catalog().size(), 0u);
+}
+
 TEST_F(PersistentTxnTest, OnlyChangedObjectsHitDisk) {
   auto txn = manager_.Begin(0);
   Oid a = manager_.CreateObject(txn.get(), memory_.kernel().object)
