@@ -12,7 +12,7 @@ AuthorizationManager::AuthorizationManager() {
 
 SegmentId AuthorizationManager::CreateSegment(UserId owner,
                                               std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const SegmentId id = next_segment_++;
   Segment segment;
   segment.name = std::move(name);
@@ -24,7 +24,7 @@ SegmentId AuthorizationManager::CreateSegment(UserId owner,
 
 Status AuthorizationManager::Grant(UserId grantor, SegmentId segment,
                                    UserId user, AccessRight right) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = segments_.find(segment);
   if (it == segments_.end()) return Status::NotFound("no such segment");
   if (it->second.owner != grantor) {
@@ -36,7 +36,7 @@ Status AuthorizationManager::Grant(UserId grantor, SegmentId segment,
 
 Status AuthorizationManager::Revoke(UserId grantor, SegmentId segment,
                                     UserId user) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = segments_.find(segment);
   if (it == segments_.end()) return Status::NotFound("no such segment");
   if (it->second.owner != grantor) {
@@ -48,7 +48,7 @@ Status AuthorizationManager::Revoke(UserId grantor, SegmentId segment,
 
 Status AuthorizationManager::AssignObject(UserId actor, Oid oid,
                                           SegmentId segment) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = segments_.find(segment);
   if (it == segments_.end()) return Status::NotFound("no such segment");
   if (it->second.owner != actor) {
@@ -60,7 +60,7 @@ Status AuthorizationManager::AssignObject(UserId actor, Oid oid,
 }
 
 SegmentId AuthorizationManager::SegmentOf(Oid oid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = object_segment_.find(oid.raw);
   return it == object_segment_.end() ? 0 : it->second;
 }
@@ -74,7 +74,7 @@ AccessRight AuthorizationManager::RightOf(const Segment& segment,
 }
 
 Status AuthorizationManager::CheckRead(UserId user, Oid oid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto seg_it = object_segment_.find(oid.raw);
   const SegmentId seg = seg_it == object_segment_.end() ? 0 : seg_it->second;
   const Segment& segment = segments_.at(seg);
@@ -87,7 +87,7 @@ Status AuthorizationManager::CheckRead(UserId user, Oid oid) const {
 }
 
 Status AuthorizationManager::CheckWrite(UserId user, Oid oid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto seg_it = object_segment_.find(oid.raw);
   const SegmentId seg = seg_it == object_segment_.end() ? 0 : seg_it->second;
   const Segment& segment = segments_.at(seg);
@@ -100,12 +100,12 @@ Status AuthorizationManager::CheckWrite(UserId user, Oid oid) const {
 }
 
 void AuthorizationManager::SetDefaultSegmentWorldAccess(AccessRight right) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   segments_.at(0).world = right;
 }
 
 std::size_t AuthorizationManager::segment_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return segments_.size();
 }
 

@@ -2,12 +2,13 @@
 #define GEMSTONE_ADMIN_AUTHORIZATION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/access_control.h"
+#include "core/annotations.h"
+#include "core/sync.h"
 #include "core/ids.h"
 #include "core/result.h"
 #include "core/status.h"
@@ -65,12 +66,16 @@ class AuthorizationManager : public AccessController {
     std::unordered_map<UserId, AccessRight> acl;
   };
 
-  AccessRight RightOf(const Segment& segment, UserId user) const;
+  /// ACL resolution over guarded segment state; commit-path callers
+  /// already hold mu_.
+  AccessRight RightOf(const Segment& segment, UserId user) const
+      GS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<SegmentId, Segment> segments_;
-  std::unordered_map<std::uint64_t, SegmentId> object_segment_;
-  SegmentId next_segment_ = 1;
+  mutable Mutex mu_;
+  std::unordered_map<SegmentId, Segment> segments_ GS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, SegmentId> object_segment_
+      GS_GUARDED_BY(mu_);
+  SegmentId next_segment_ GS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace gemstone::admin

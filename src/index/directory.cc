@@ -53,7 +53,7 @@ std::string Directory::KeyOf(const Value& value) {
 }
 
 std::vector<Oid> Directory::Lookup(const Value& key, TxnTime at) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lookups_.Increment();
   std::vector<Oid> out;
   auto it = postings_.find(KeyOf(key));
@@ -67,7 +67,7 @@ std::vector<Oid> Directory::Lookup(const Value& key, TxnTime at) const {
 
 std::vector<Oid> Directory::LookupRange(const Value& lo, const Value& hi,
                                         TxnTime at) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lookups_.Increment();
   std::vector<Oid> out;
   auto begin = postings_.lower_bound(KeyOf(lo));
@@ -82,7 +82,7 @@ std::vector<Oid> Directory::LookupRange(const Value& lo, const Value& hi,
 }
 
 void Directory::Add(const Value& key, Oid member, TxnTime at) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   updates_.Increment();
   // Close a currently-open posting first (discriminator change).
   auto open_it = open_.find(member.raw);
@@ -97,7 +97,7 @@ void Directory::Add(const Value& key, Oid member, TxnTime at) {
 }
 
 void Directory::Remove(Oid member, TxnTime at) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   updates_.Increment();
   auto open_it = open_.find(member.raw);
   if (open_it == open_.end()) return;
@@ -108,7 +108,7 @@ void Directory::Remove(Oid member, TxnTime at) {
 }
 
 std::size_t Directory::posting_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [key, postings] : postings_) n += postings.size();
   return n;
@@ -156,14 +156,14 @@ Status DirectoryManager::CreateDirectory(txn::Session* session,
     }
     directory->Add(key, member.ref(), now);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   directories_.push_back(std::move(directory));
   return Status::OK();
 }
 
 Directory* DirectoryManager::Find(Oid collection,
                                   const std::vector<SymbolId>& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& d : directories_) {
     if (d->collection() == collection && d->path() == path) return d.get();
   }
@@ -171,7 +171,7 @@ Directory* DirectoryManager::Find(Oid collection,
 }
 
 Directory* DirectoryManager::FindByFirstStep(Oid collection, SymbolId first) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& d : directories_) {
     if (d->collection() == collection && !d->path().empty() &&
         d->path().front() == first) {
@@ -186,7 +186,7 @@ Status DirectoryManager::NoteAdd(txn::Session* session, Oid collection,
   if (!member.IsRef()) return Status::OK();  // simple values are not indexed
   std::vector<Directory*> affected;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& d : directories_) {
       if (d->collection() == collection) affected.push_back(d.get());
     }
@@ -204,7 +204,7 @@ Status DirectoryManager::NoteRemove(txn::Session* session, Oid collection,
   if (!member.IsRef()) return Status::OK();
   std::vector<Directory*> affected;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& d : directories_) {
       if (d->collection() == collection) affected.push_back(d.get());
     }

@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/result.h"
+#include "core/sync.h"
 #include "object/object_memory.h"
 #include "telemetry/metrics.h"
 #include "txn/session.h"
@@ -28,6 +29,8 @@ struct Posting {
 
 /// Thin snapshot of one directory's telemetry counters. The registry
 /// view (`directory.*`) sums every live directory plus retired ones.
+/// Relaxed-atomic reads without the directory lock: individually
+/// monotonic, no cross-field consistency under concurrent lookups.
 struct DirectoryStats {
   std::uint64_t lookups = 0;
   std::uint64_t postings_scanned = 0;
@@ -74,11 +77,11 @@ class Directory {
   Oid collection_;
   std::vector<SymbolId> path_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Ordered so range probes walk a contiguous key span.
-  std::map<std::string, std::vector<Posting>> postings_;
+  std::map<std::string, std::vector<Posting>> postings_ GS_GUARDED_BY(mu_);
   // member -> key of its currently-open posting (for Remove/Re-Add).
-  std::unordered_map<std::uint64_t, std::string> open_;
+  std::unordered_map<std::uint64_t, std::string> open_ GS_GUARDED_BY(mu_);
 
   mutable telemetry::Counter lookups_;
   mutable telemetry::Counter postings_scanned_;
@@ -114,7 +117,10 @@ class DirectoryManager {
   Status NoteRemove(txn::Session* session, Oid collection,
                     const Value& member);
 
-  std::size_t directory_count() const { return directories_.size(); }
+  std::size_t directory_count() const {
+    MutexLock lock(mu_);
+    return directories_.size();
+  }
 
   /// Evaluates a discriminator path against one member value.
   static Result<Value> ReadPath(txn::Session* session, const Value& member,
@@ -122,8 +128,11 @@ class DirectoryManager {
 
  private:
   ObjectMemory* memory_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Directory>> directories_;
+  mutable Mutex mu_;
+  // Directories are never destroyed once registered, so the raw pointers
+  // Find hands out stay valid without holding mu_; Directory itself is
+  // internally synchronized.
+  std::vector<std::unique_ptr<Directory>> directories_ GS_GUARDED_BY(mu_);
 };
 
 }  // namespace gemstone::index

@@ -50,7 +50,7 @@ ObjectMemory::ObjectMemory() : classes_(&symbols_) {
 }
 
 Status ObjectMemory::Insert(GsObject object) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   const std::uint64_t key = object.oid().raw;
   if (objects_.count(key) != 0) {
     return Status::AlreadyExists("object already in permanent space: " +
@@ -62,24 +62,24 @@ Status ObjectMemory::Insert(GsObject object) {
 }
 
 const GsObject* ObjectMemory::Find(Oid oid) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = objects_.find(oid.raw);
   return it == objects_.end() ? nullptr : it->second.get();
 }
 
 GsObject* ObjectMemory::FindMutable(Oid oid) {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = objects_.find(oid.raw);
   return it == objects_.end() ? nullptr : it->second.get();
 }
 
 bool ObjectMemory::Contains(Oid oid) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return objects_.count(oid.raw) != 0;
 }
 
 Result<GsObject> ObjectMemory::Detach(Oid oid) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = objects_.find(oid.raw);
   if (it == objects_.end()) {
     return Status::NotFound("cannot archive absent object: " + oid.ToString());
@@ -91,18 +91,18 @@ Result<GsObject> ObjectMemory::Detach(Oid oid) {
 }
 
 bool ObjectMemory::IsArchived(Oid oid) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = archived_.find(oid.raw);
   return it != archived_.end() && it->second;
 }
 
 std::size_t ObjectMemory::NumObjects() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return objects_.size();
 }
 
 std::vector<Oid> ObjectMemory::AllOids() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<Oid> oids;
   oids.reserve(objects_.size());
   for (const auto& [raw, obj] : objects_) oids.push_back(Oid(raw));

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/ids.h"
+#include "core/sync.h"
 #include "core/result.h"
 #include "core/status.h"
 #include "object/class_registry.h"
@@ -138,11 +139,12 @@ class ObjectMemory {
   KernelClasses kernel_;
   std::atomic<std::uint64_t> next_oid_{1};
 
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   // The global object table ("GOOP ... resolved through a global object
   // table", §6): identity -> object representation.
-  std::unordered_map<std::uint64_t, std::unique_ptr<GsObject>> objects_;
-  std::unordered_map<std::uint64_t, bool> archived_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<GsObject>> objects_
+      GS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, bool> archived_ GS_GUARDED_BY(mu_);
 };
 
 }  // namespace gemstone

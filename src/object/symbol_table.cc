@@ -2,55 +2,56 @@
 
 namespace gemstone {
 
-SymbolId SymbolTable::Intern(std::string_view text) {
-  std::lock_guard<std::mutex> lock(mu_);
+SymbolId SymbolTable::InternLocked(std::string_view text, bool alias) {
   auto it = ids_.find(std::string(text));
-  if (it != ids_.end()) return it->second;
+  if (it != ids_.end()) {
+    if (alias) is_alias_[it->second] = true;
+    return it->second;
+  }
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(text);
-  is_alias_.push_back(false);
+  is_alias_.push_back(alias);
   ids_.emplace(names_.back(), id);
   return id;
 }
 
+SymbolId SymbolTable::Intern(std::string_view text) {
+  MutexLock lock(mu_);
+  return InternLocked(text, /*alias=*/false);
+}
+
 SymbolId SymbolTable::Lookup(std::string_view text) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ids_.find(std::string(text));
   return it == ids_.end() ? kInvalidSymbol : it->second;
 }
 
 const std::string& SymbolTable::Name(SymbolId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_.at(id);
 }
 
 SymbolId SymbolTable::GenerateAlias() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string name;
   do {
     name = "_a" + std::to_string(next_alias_++);
   } while (ids_.count(name) != 0);
-  SymbolId id = static_cast<SymbolId>(names_.size());
-  names_.push_back(name);
-  is_alias_.push_back(true);
-  ids_.emplace(names_.back(), id);
-  return id;
+  return InternLocked(name, /*alias=*/true);
 }
 
 SymbolId SymbolTable::InternAlias(std::string_view text) {
-  SymbolId id = Intern(text);
-  std::lock_guard<std::mutex> lock(mu_);
-  is_alias_[id] = true;
-  return id;
+  MutexLock lock(mu_);
+  return InternLocked(text, /*alias=*/true);
 }
 
 bool SymbolTable::IsAlias(SymbolId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return id < is_alias_.size() && is_alias_[id];
 }
 
 std::size_t SymbolTable::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_.size();
 }
 

@@ -1,13 +1,15 @@
 #ifndef GEMSTONE_OBJECT_SYMBOL_TABLE_H_
 #define GEMSTONE_OBJECT_SYMBOL_TABLE_H_
 
-#include <mutex>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/ids.h"
+#include "core/sync.h"
 
 namespace gemstone {
 
@@ -17,6 +19,12 @@ namespace gemstone {
 /// comparison anywhere in the system is an integer compare. Also mints
 /// the "arbitrary aliases" §5.1 requires as element names for unlabeled
 /// set members.
+///
+/// Thread-safe. Every mutation is a single critical section, so two
+/// sessions interning the same spelling concurrently always agree on the
+/// id. Interned spellings live in a deque and are immutable afterwards,
+/// so the reference Name() returns stays valid (and its characters
+/// stable) for the table's lifetime, even while other threads intern.
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -38,6 +46,8 @@ class SymbolTable {
 
   /// Interns `text` and marks it as an alias — used when recovering
   /// serialized objects whose alias names must keep their alias-ness.
+  /// One critical section: the id is already an alias by the time any
+  /// other thread can observe it.
   SymbolId InternAlias(std::string_view text);
 
   /// True if `id` was produced by GenerateAlias.
@@ -46,11 +56,17 @@ class SymbolTable {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> names_;
-  std::vector<bool> is_alias_;
-  std::unordered_map<std::string, SymbolId> ids_;
-  std::uint64_t next_alias_ = 1;
+  /// Lookup-or-insert shared by Intern/InternAlias/GenerateAlias.
+  SymbolId InternLocked(std::string_view text, bool alias)
+      GS_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  // Deque: interned spellings never move, so Name() references survive
+  // concurrent interning.
+  std::deque<std::string> names_ GS_GUARDED_BY(mu_);
+  std::vector<bool> is_alias_ GS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, SymbolId> ids_ GS_GUARDED_BY(mu_);
+  std::uint64_t next_alias_ GS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace gemstone

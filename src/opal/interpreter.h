@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/result.h"
+#include "core/sync.h"
 #include "object/object_memory.h"
 #include "opal/bytecode.h"
 #include "telemetry/metrics.h"
@@ -40,14 +41,16 @@ class BlockClosure : public RuntimeHandle {
 
 /// Shared global namespace ("UserGlobals"): symbol -> value. Class names
 /// resolve through the ClassRegistry before this table is consulted.
+/// Thread-safe: one GlobalEnv is shared by every session's interpreter
+/// (the Interpreter itself is session-confined).
 class GlobalEnv {
  public:
   void Set(SymbolId name, Value value) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     values_[name] = std::move(value);
   }
   bool Get(SymbolId name, Value* out) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = values_.find(name);
     if (it == values_.end()) return false;
     *out = it->second;
@@ -55,13 +58,14 @@ class GlobalEnv {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<SymbolId, Value> values_;
+  mutable Mutex mu_;
+  std::unordered_map<SymbolId, Value> values_ GS_GUARDED_BY(mu_);
 };
 
 /// Thin snapshot of one session's telemetry counters. The registry view
 /// (`opal.*`) sums every live session plus retired ones, so it reads as
-/// process-lifetime totals.
+/// process-lifetime totals. Relaxed-atomic reads: individually monotonic,
+/// no cross-field consistency while the session executes.
 struct InterpreterStats {
   std::uint64_t message_sends = 0;
   std::uint64_t primitive_calls = 0;

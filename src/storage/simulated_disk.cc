@@ -25,7 +25,7 @@ void SimulatedDisk::AccountSeek(TrackId track) const {
 
 Result<std::vector<std::uint8_t>> SimulatedDisk::ReadTrack(
     TrackId track) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (track >= num_tracks_) {
     return Status::OutOfRange("track " + std::to_string(track) +
                               " beyond device end");
@@ -41,7 +41,7 @@ Result<std::vector<std::uint8_t>> SimulatedDisk::ReadTrack(
 
 Status SimulatedDisk::WriteTrack(TrackId track,
                                  std::vector<std::uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (track >= num_tracks_) {
     return Status::OutOfRange("track " + std::to_string(track) +
                               " beyond device end");
@@ -75,33 +75,33 @@ Status SimulatedDisk::WriteTrack(TrackId track,
 
 void SimulatedDisk::InjectWriteFailureAfter(
     std::uint64_t writes_until_failure) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   write_fault_ = WriteFault::kFail;
   writes_until_failure_ = writes_until_failure;
 }
 
 void SimulatedDisk::InjectTornWriteAfter(std::uint64_t writes_until_tear,
                                          std::size_t keep_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   write_fault_ = WriteFault::kTear;
   writes_until_failure_ = writes_until_tear;
   tear_keep_bytes_ = keep_bytes;
 }
 
 void SimulatedDisk::InjectReadFault(TrackId track) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   read_faults_.insert(track);
 }
 
 void SimulatedDisk::ClearFault() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   write_fault_ = WriteFault::kNone;
   read_faults_.clear();
 }
 
 Status SimulatedDisk::CorruptTrack(TrackId track, std::size_t offset,
                                    std::uint8_t mask) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (track >= num_tracks_) {
     return Status::OutOfRange("track " + std::to_string(track) +
                               " beyond device end");
@@ -115,7 +115,7 @@ Status SimulatedDisk::CorruptTrack(TrackId track, std::size_t offset,
 }
 
 Status SimulatedDisk::TruncateTrack(TrackId track, std::size_t new_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (track >= num_tracks_) {
     return Status::OutOfRange("track " + std::to_string(track) +
                               " beyond device end");

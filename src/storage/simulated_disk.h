@@ -2,12 +2,13 @@
 #define GEMSTONE_STORAGE_SIMULATED_DISK_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/result.h"
 #include "core/status.h"
+#include "core/sync.h"
 #include "telemetry/metrics.h"
 
 namespace gemstone::storage {
@@ -18,6 +19,11 @@ using TrackId = std::uint32_t;
 /// about *structure* (track-granular transfer, clustering, safe group
 /// writes); these counters are what the arguments quantify over. A thin
 /// snapshot of the device's telemetry counters (`disk.*` in the registry).
+///
+/// Snapshots are relaxed-atomic reads taken without the device lock: each
+/// field is individually monotonic, but no cross-field consistency is
+/// promised while I/O is in flight (e.g. `seeks` may momentarily lag the
+/// `tracks_read` that caused it).
 struct DiskStats {
   std::uint64_t tracks_read = 0;
   std::uint64_t tracks_written = 0;
@@ -89,13 +95,13 @@ class SimulatedDisk {
   /// What an armed write fault does when its countdown reaches zero.
   enum class WriteFault : std::uint8_t { kNone, kFail, kTear };
 
-  mutable std::mutex mu_;
-  std::vector<std::vector<std::uint8_t>> tracks_;
-  mutable TrackId last_track_ = 0;
-  WriteFault write_fault_ = WriteFault::kNone;
-  std::uint64_t writes_until_failure_ = 0;
-  std::size_t tear_keep_bytes_ = 0;
-  std::unordered_set<TrackId> read_faults_;
+  mutable Mutex mu_;
+  std::vector<std::vector<std::uint8_t>> tracks_ GS_GUARDED_BY(mu_);
+  mutable TrackId last_track_ GS_GUARDED_BY(mu_) = 0;
+  WriteFault write_fault_ GS_GUARDED_BY(mu_) = WriteFault::kNone;
+  std::uint64_t writes_until_failure_ GS_GUARDED_BY(mu_) = 0;
+  std::size_t tear_keep_bytes_ GS_GUARDED_BY(mu_) = 0;
+  std::unordered_set<TrackId> read_faults_ GS_GUARDED_BY(mu_);
 
   mutable telemetry::Counter tracks_read_;
   mutable telemetry::Counter tracks_written_;
@@ -103,7 +109,7 @@ class SimulatedDisk {
   mutable telemetry::Counter seek_distance_;
   telemetry::Registration telemetry_;  // after the counters it samples
 
-  void AccountSeek(TrackId track) const;
+  void AccountSeek(TrackId track) const GS_REQUIRES(mu_);
 };
 
 }  // namespace gemstone::storage

@@ -87,14 +87,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -106,14 +106,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<std::uint64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }
 
 Registration MetricsRegistry::Register(CollectFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t id = next_collector_id_++;
   collectors_.emplace(id, std::move(fn));
   return Registration(this, id);
@@ -153,7 +153,7 @@ class RetireSink : public SampleSink {
 }  // namespace
 
 void MetricsRegistry::Unregister(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = collectors_.find(id);
   if (it == collectors_.end()) return;
   RetireSink sink(&retired_counters_);
@@ -163,7 +163,7 @@ void MetricsRegistry::Unregister(std::uint64_t id) {
 
 telemetry::Snapshot MetricsRegistry::Snapshot() const {
   telemetry::Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] += counter->value();
   }
@@ -182,7 +182,7 @@ telemetry::Snapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Set(0);
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -6,10 +6,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/annotations.h"
+#include "core/sync.h"
 
 namespace gemstone::telemetry {
 
@@ -26,13 +28,25 @@ namespace gemstone::telemetry {
 /// monotonic across sessions logging in and out.
 
 /// A monotonically increasing event count. Increment is a single relaxed
-/// atomic add — safe from any thread, never takes a lock.
+/// atomic add by default — safe from any thread, never takes a lock.
+///
+/// Snapshot discipline: `value()` is an explicitly relaxed read, so each
+/// counter is individually monotonic but a multi-counter snapshot taken
+/// while writers run carries no cross-counter guarantee. Where a snapshot
+/// invariant *is* promised (see txn::TxnStats), the writer increments the
+/// implied counter first and the implying counter with release order, and
+/// the reader loads the implying counter with acquire order first — the
+/// release/acquire pair on one counter publishes the other.
 class Counter {
  public:
-  void Increment(std::uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
+  void Increment(std::uint64_t n = 1,
+                 std::memory_order order = std::memory_order_relaxed) {
+    value_.fetch_add(n, order);
   }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t value(
+      std::memory_order order = std::memory_order_relaxed) const {
+    return value_.load(order);
+  }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -164,13 +178,14 @@ class MetricsRegistry {
   friend class Registration;
   void Unregister(std::uint64_t id);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::uint64_t, CollectFn> collectors_;
-  std::map<std::string, std::uint64_t> retired_counters_;
-  std::uint64_t next_collector_id_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GS_GUARDED_BY(mu_);
+  std::map<std::uint64_t, CollectFn> collectors_ GS_GUARDED_BY(mu_);
+  std::map<std::string, std::uint64_t> retired_counters_ GS_GUARDED_BY(mu_);
+  std::uint64_t next_collector_id_ GS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace gemstone::telemetry

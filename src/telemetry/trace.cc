@@ -29,7 +29,7 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
 }
 
 void TraceBuffer::Record(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(span);
   } else {
@@ -40,7 +40,7 @@ void TraceBuffer::Record(const SpanRecord& span) {
 }
 
 std::vector<SpanRecord> TraceBuffer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -55,19 +55,19 @@ std::vector<SpanRecord> TraceBuffer::Snapshot() const {
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
 }
 
 std::size_t TraceBuffer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t TraceBuffer::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recorded_;
 }
 

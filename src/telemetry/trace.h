@@ -3,10 +3,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/annotations.h"
+#include "core/sync.h"
 #include "telemetry/metrics.h"
 
 namespace gemstone::telemetry {
@@ -45,10 +46,10 @@ class TraceBuffer {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;
-  std::size_t next_ = 0;       // ring slot the next record lands in
-  std::uint64_t recorded_ = 0;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> ring_ GS_GUARDED_BY(mu_);
+  std::size_t next_ GS_GUARDED_BY(mu_) = 0;  // slot the next record lands in
+  std::uint64_t recorded_ GS_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: records wall time from construction to destruction into the

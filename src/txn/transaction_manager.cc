@@ -1,7 +1,7 @@
 #include "txn/transaction_manager.h"
 
+#include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "telemetry/trace.h"
 
@@ -25,7 +25,7 @@ TransactionManager::TransactionManager(ObjectMemory* memory,
 
 std::unique_ptr<Transaction> TransactionManager::Begin(SessionId session,
                                                        UserId user) {
-  std::unique_lock lock(store_mu_);
+  WriterMutexLock lock(store_mu_);
   begun_.Increment();
   return std::make_unique<Transaction>(session, clock_.load(), user);
 }
@@ -47,14 +47,21 @@ Status TransactionManager::CheckWriteAccess(const Transaction* txn,
 }
 
 Status TransactionManager::Abort(Transaction* txn) {
-  std::unique_lock lock(store_mu_);
+  WriterMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("abort of a finished transaction");
   }
   txn->state_ = TxnState::kAborted;
   txn->working_.clear();
-  aborted_.Increment();
+  aborted_.Increment(1, std::memory_order_release);
   return Status::OK();
+}
+
+bool TransactionManager::HasConflictLocked(const Transaction& txn,
+                                           std::uint64_t raw) const {
+  if (txn.created_.count(raw) != 0) return false;
+  auto it = last_commit_.find(raw);
+  return it != last_commit_.end() && it->second > txn.start_time();
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
@@ -66,46 +73,35 @@ Status TransactionManager::Commit(Transaction* txn) {
             std::chrono::steady_clock::now() - commit_start)
             .count()));
   };
-  std::unique_lock lock(store_mu_);
+  WriterMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("commit of a finished transaction");
   }
 
   // Backward validation: any accessed object committed after our start is
   // a conflict ("validates them for consistency when a transaction
-  // commits", §6). Created objects are invisible to others, so they skip.
-  auto conflicts = [&](std::uint64_t raw) {
-    if (txn->created_.count(raw) != 0) return false;
-    auto it = last_commit_.find(raw);
-    return it != last_commit_.end() && it->second > txn->start_time();
+  // commits", §6). Counter order (aborted, then the cause with release)
+  // upholds the TxnStats snapshot invariants.
+  auto abort_conflicted = [&](std::uint64_t raw, const char* what) {
+    txn->state_ = TxnState::kAborted;
+    txn->working_.clear();
+    aborted_.Increment(1, std::memory_order_release);
+    conflicts_.Increment(1, std::memory_order_release);
+    return Status::TransactionConflict(std::string(what) + " object " +
+                                       Oid(raw).ToString() +
+                                       " changed since start");
   };
   for (std::uint64_t raw : txn->read_set_) {
-    if (conflicts(raw)) {
-      txn->state_ = TxnState::kAborted;
-      txn->working_.clear();
-      aborted_.Increment();
-      conflicts_.Increment();
-      return Status::TransactionConflict("read object " +
-                                         Oid(raw).ToString() +
-                                         " changed since start");
-    }
+    if (HasConflictLocked(*txn, raw)) return abort_conflicted(raw, "read");
   }
   for (const auto& [raw, marks] : txn->dirty_) {
-    if (conflicts(raw)) {
-      txn->state_ = TxnState::kAborted;
-      txn->working_.clear();
-      aborted_.Increment();
-      conflicts_.Increment();
-      return Status::TransactionConflict("written object " +
-                                         Oid(raw).ToString() +
-                                         " changed since start");
-    }
+    if (HasConflictLocked(*txn, raw)) return abort_conflicted(raw, "written");
   }
 
   // Nothing to publish: a read-only transaction commits trivially.
   if (txn->dirty_.empty() && txn->created_.empty()) {
     txn->state_ = TxnState::kCommitted;
-    committed_.Increment();
+    committed_.Increment(1, std::memory_order_release);
     observe_latency();
     return Status::OK();
   }
@@ -117,7 +113,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   auto abort_cleanly = [&](Status status) {
     txn->state_ = TxnState::kAborted;
     txn->working_.clear();
-    aborted_.Increment();
+    aborted_.Increment(1, std::memory_order_release);
     return status;
   };
 
@@ -193,8 +189,11 @@ Status TransactionManager::Commit(Transaction* txn) {
     for (const Staged& s : staged) changed.push_back(&s.image);
     Status persisted = engine_->CommitObjects(changed, memory_->symbols());
     if (!persisted.ok()) {
-      commit_storage_failures_.Increment();
-      return abort_cleanly(persisted);
+      // Abort (aborted_) before the cause counter: a stats() snapshot
+      // that observes the storage failure has already observed the abort.
+      Status status = abort_cleanly(persisted);
+      commit_storage_failures_.Increment(1, std::memory_order_release);
+      return status;
     }
   }
 
@@ -213,23 +212,28 @@ Status TransactionManager::Commit(Transaction* txn) {
   clock_.store(commit_time);
   txn->state_ = TxnState::kCommitted;
   txn->working_.clear();
-  committed_.Increment();
+  committed_.Increment(1, std::memory_order_release);
   observe_latency();
   return Status::OK();
 }
 
 TxnStats TransactionManager::stats() const {
+  // Load order is the reverse of the writers' increment order: abort
+  // causes first (acquire), then outcomes (acquire), then begun — see the
+  // TxnStats invariants. Writers release the last counter they touch, so
+  // each acquire load publishes everything incremented before it.
   TxnStats stats;
+  stats.conflicts = conflicts_.value(std::memory_order_acquire);
+  stats.commit_storage_failures =
+      commit_storage_failures_.value(std::memory_order_acquire);
+  stats.aborted = aborted_.value(std::memory_order_acquire);
+  stats.committed = committed_.value(std::memory_order_acquire);
   stats.begun = begun_.value();
-  stats.committed = committed_.value();
-  stats.aborted = aborted_.value();
-  stats.conflicts = conflicts_.value();
-  stats.commit_storage_failures = commit_storage_failures_.value();
   return stats;
 }
 
 Result<Oid> TransactionManager::CreateObject(Transaction* txn, Oid class_oid) {
-  std::unique_lock lock(store_mu_);
+  WriterMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("create outside an active transaction");
   }
@@ -279,7 +283,7 @@ Result<GsObject*> TransactionManager::WorkingCopyLocked(Transaction* txn,
 
 Result<Value> TransactionManager::ReadNamed(Transaction* txn, Oid oid,
                                             SymbolId name, TxnTime at) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("read outside an active transaction");
   }
@@ -292,7 +296,7 @@ Result<Value> TransactionManager::ReadNamed(Transaction* txn, Oid oid,
 
 Status TransactionManager::WriteNamed(Transaction* txn, Oid oid, SymbolId name,
                                       Value value) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("write outside an active transaction");
   }
@@ -305,7 +309,7 @@ Status TransactionManager::WriteNamed(Transaction* txn, Oid oid, SymbolId name,
 
 Result<Value> TransactionManager::ReadIndexed(Transaction* txn, Oid oid,
                                               std::size_t index, TxnTime at) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("read outside an active transaction");
   }
@@ -323,7 +327,7 @@ Result<Value> TransactionManager::ReadIndexed(Transaction* txn, Oid oid,
 
 Status TransactionManager::WriteIndexed(Transaction* txn, Oid oid,
                                         std::size_t index, Value value) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("write outside an active transaction");
   }
@@ -339,7 +343,7 @@ Status TransactionManager::WriteIndexed(Transaction* txn, Oid oid,
 
 Result<std::size_t> TransactionManager::AppendIndexed(Transaction* txn,
                                                       Oid oid, Value value) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("write outside an active transaction");
   }
@@ -352,7 +356,7 @@ Result<std::size_t> TransactionManager::AppendIndexed(Transaction* txn,
 
 Result<std::size_t> TransactionManager::IndexedSize(Transaction* txn, Oid oid,
                                                     TxnTime at) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("read outside an active transaction");
   }
@@ -363,7 +367,7 @@ Result<std::size_t> TransactionManager::IndexedSize(Transaction* txn, Oid oid,
 }
 
 Result<Oid> TransactionManager::ClassOfObject(Transaction* txn, Oid oid) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("read outside an active transaction");
   }
@@ -373,7 +377,7 @@ Result<Oid> TransactionManager::ClassOfObject(Transaction* txn, Oid oid) {
 
 Result<std::vector<std::pair<SymbolId, Value>>> TransactionManager::ListNamed(
     Transaction* txn, Oid oid, TxnTime at, bool skip_unbound) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("read outside an active transaction");
   }
@@ -393,7 +397,7 @@ Result<std::vector<std::pair<SymbolId, Value>>> TransactionManager::ListNamed(
 Result<std::vector<Association>> TransactionManager::History(Transaction* txn,
                                                              Oid oid,
                                                              SymbolId name) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("read outside an active transaction");
   }
@@ -410,7 +414,7 @@ Result<std::vector<Association>> TransactionManager::History(Transaction* txn,
 
 Result<bool> TransactionManager::DeepEquals(Transaction* txn, const Value& a,
                                             const Value& b, TxnTime at) {
-  std::shared_lock lock(store_mu_);
+  ReaderMutexLock lock(store_mu_);
   if (!txn->active()) {
     return Status::TransactionState("read outside an active transaction");
   }

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/result.h"
+#include "core/sync.h"
 #include "object/object_memory.h"
 #include "storage/storage_engine.h"
 #include "telemetry/metrics.h"
@@ -20,6 +21,22 @@ namespace gemstone::txn {
 /// Thin snapshot of the manager's telemetry counters (`txn.*`). Commit
 /// latency percentiles live in the registry histogram
 /// `txn.commit_latency_us`.
+///
+/// Concurrency: stats() is lock-free and may run while commits are in
+/// flight. Each field is individually monotonic, and these cross-field
+/// invariants hold in every snapshot, however it interleaves with
+/// writers:
+///
+///   conflicts + commit_storage_failures <= aborted
+///   aborted + committed                 <= begun
+///
+/// The guarantee comes from an explicit ordering discipline rather than a
+/// lock: writers (already serialized by the manager's store lock)
+/// increment the implied counter first (begun, then aborted/committed,
+/// then the abort-cause counter) and give the *last* increment release
+/// order; stats() loads in the reverse order, cause counters first with
+/// acquire. Observing a cause therefore implies observing its abort, and
+/// observing an outcome implies observing its begin.
 struct TxnStats {
   std::uint64_t begun = 0;
   std::uint64_t committed = 0;
@@ -129,16 +146,24 @@ class TransactionManager {
 
  private:
   /// The transaction's readable view of `oid` (workspace copy if present,
-  /// else permanent). Caller must hold store_mu_ (shared).
-  Result<const GsObject*> ViewLocked(Transaction* txn, Oid oid,
-                                     TxnTime at) const;
+  /// else permanent). Caller must hold store_mu_ (at least shared).
+  Result<const GsObject*> ViewLocked(Transaction* txn, Oid oid, TxnTime at)
+      const GS_REQUIRES_SHARED(store_mu_);
 
   /// Copy-on-first-write into the workspace. Caller holds store_mu_.
-  Result<GsObject*> WorkingCopyLocked(Transaction* txn, Oid oid);
+  Result<GsObject*> WorkingCopyLocked(Transaction* txn, Oid oid)
+      GS_REQUIRES_SHARED(store_mu_);
 
   bool DeepEqualsLocked(
       Transaction* txn, const Value& a, const Value& b, TxnTime at,
-      std::unordered_map<std::uint64_t, std::uint64_t>* assumed) const;
+      std::unordered_map<std::uint64_t, std::uint64_t>* assumed) const
+      GS_REQUIRES_SHARED(store_mu_);
+
+  /// Backward validation for one accessed object: true when it committed
+  /// after `txn` started (created objects are invisible to others and
+  /// never conflict). Commit-path only.
+  bool HasConflictLocked(const Transaction& txn, std::uint64_t raw) const
+      GS_REQUIRES(store_mu_);
 
   /// Authorization hooks: a transaction's own created objects are always
   /// accessible (they join a segment only after publication).
@@ -149,9 +174,10 @@ class TransactionManager {
   storage::StorageEngine* engine_;
   const AccessController* access_ = nullptr;
 
-  mutable std::shared_mutex store_mu_;
+  mutable SharedMutex store_mu_;
   std::atomic<TxnTime> clock_{0};
-  std::unordered_map<std::uint64_t, TxnTime> last_commit_;
+  std::unordered_map<std::uint64_t, TxnTime> last_commit_
+      GS_GUARDED_BY(store_mu_);
 
   telemetry::Counter begun_;
   telemetry::Counter committed_;

@@ -1,0 +1,189 @@
+// Directory stress tests (ctest -L tsan): temporal posting mutation under
+// concurrent lookups, plus the DirectoryManager registry under a
+// create/find race (regression for the previously unlocked
+// directory_count()).
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/directory.h"
+#include "object/object_memory.h"
+#include "txn/session.h"
+#include "txn/transaction_manager.h"
+
+namespace gemstone::index {
+namespace {
+
+// Writers churn disjoint member sets between two keys while readers run
+// point and range lookups at a safe past time. The end state is exact:
+// every member's final posting carries its thread's terminal key.
+TEST(DirectoryStress, MutationUnderConcurrentLookup) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr int kMembersPerWriter = 40;
+
+  ObjectMemory memory;
+  const SymbolId step = memory.symbols().Intern("color");
+  Directory directory(Oid(1), {step});
+
+  const Value red = Value::String("red");
+  const Value blue = Value::String("blue");
+
+  // Seed every member at key "red" at t=1; readers pin t=1 and must see
+  // exactly this state no matter what the writers do at later times.
+  std::vector<std::vector<Oid>> members(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kMembersPerWriter; ++i) {
+      Oid member(static_cast<std::uint64_t>(w) * 1000 + i + 1);
+      members[w].push_back(member);
+      directory.Add(red, member, /*at=*/1);
+    }
+  }
+
+  std::atomic<std::uint64_t> clock{2};
+  std::barrier start(kWriters + kReaders);
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      start.arrive_and_wait();
+      for (Oid member : members[w]) {
+        // red -> (remove) -> blue; each step at a fresh logical time.
+        directory.Remove(member, clock.fetch_add(1));
+        directory.Add(blue, member, clock.fetch_add(1));
+      }
+    });
+  }
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      while (!done.load(std::memory_order_acquire)) {
+        // The past is immutable: at t=1 every member is red.
+        if (directory.Lookup(red, 1).size() !=
+            static_cast<std::size_t>(kWriters * kMembersPerWriter)) {
+          errors.fetch_add(1);
+        }
+        if (!directory.Lookup(blue, 1).empty()) errors.fetch_add(1);
+        // Range over the whole key space at the current instant: every
+        // member is somewhere (red, blue, or mid-transition absent), so
+        // the count is bounded by the member population.
+        std::vector<Oid> range = directory.LookupRange(
+            Value::String("a"), Value::String("z"), clock.load());
+        if (range.size() > static_cast<std::size_t>(kWriters * kMembersPerWriter)) {
+          errors.fetch_add(1);
+        }
+        (void)directory.posting_count();
+        (void)directory.stats();
+      }
+    });
+  }
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  for (int r = 0; r < kReaders; ++r) threads[kWriters + r].join();
+
+  EXPECT_EQ(errors.load(), 0);
+  const TxnTime now = clock.load();
+  EXPECT_EQ(directory.Lookup(blue, now).size(),
+            static_cast<std::size_t>(kWriters * kMembersPerWriter));
+  EXPECT_TRUE(directory.Lookup(red, now).empty());
+  // Every member contributed exactly two postings (red then blue).
+  EXPECT_EQ(directory.posting_count(),
+            static_cast<std::size_t>(2 * kWriters * kMembersPerWriter));
+}
+
+// DirectoryManager: threads create directories over disjoint collections
+// while others poll Find/FindByFirstStep/directory_count. The count was
+// previously read without the registry lock — TSan catches any backslide.
+TEST(DirectoryStress, ManagerCreateVsFindAndCount) {
+  constexpr int kCreators = 3;
+  constexpr int kFinders = 2;
+  constexpr int kPerCreator = 12;
+
+  ObjectMemory memory;
+  txn::TransactionManager manager(&memory);
+  DirectoryManager directories(&memory);
+  const SymbolId step = memory.symbols().Intern("name");
+
+  // One empty Set per future directory, committed up front.
+  std::vector<std::vector<Oid>> collections(kCreators);
+  {
+    txn::Session setup(&manager, 0);
+    ASSERT_TRUE(setup.Begin().ok());
+    for (int c = 0; c < kCreators; ++c) {
+      for (int i = 0; i < kPerCreator; ++i) {
+        auto created = setup.Create(memory.kernel().set);
+        ASSERT_TRUE(created.ok());
+        collections[c].push_back(created.value());
+      }
+    }
+    ASSERT_TRUE(setup.Commit().ok());
+  }
+
+  std::barrier start(kCreators + kFinders);
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+
+  for (int c = 0; c < kCreators; ++c) {
+    threads.emplace_back([&, c] {
+      txn::Session session(&manager, static_cast<SessionId>(c + 1));
+      start.arrive_and_wait();
+      for (Oid collection : collections[c]) {
+        if (!session.Begin().ok() ||
+            !directories.CreateDirectory(&session, collection, {step}).ok() ||
+            !session.Commit().ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        if (directories.Find(collection, {step}) == nullptr) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (int f = 0; f < kFinders; ++f) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      std::size_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        std::size_t count = directories.directory_count();
+        if (count < last) errors.fetch_add(1);  // monotonic while creating
+        last = count;
+        for (int c = 0; c < kCreators; ++c) {
+          for (Oid collection : collections[c]) {
+            Directory* found = directories.Find(collection, {step});
+            if (found != nullptr &&
+                directories.FindByFirstStep(collection, step) == nullptr) {
+              errors.fetch_add(1);
+            }
+            if (found != nullptr && found->collection() != collection) {
+              errors.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  for (int c = 0; c < kCreators; ++c) threads[c].join();
+  done.store(true, std::memory_order_release);
+  for (int f = 0; f < kFinders; ++f) threads[kCreators + f].join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(directories.directory_count(),
+            static_cast<std::size_t>(kCreators * kPerCreator));
+}
+
+}  // namespace
+}  // namespace gemstone::index

@@ -1,0 +1,221 @@
+// SimulatedDisk and AuthorizationManager stress tests (ctest -L tsan).
+// Both classes are documented thread-safe; these tests drive mixed
+// read/write workloads against them and assert exact end states.
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "admin/authorization.h"
+#include "core/access_control.h"
+#include "storage/simulated_disk.h"
+#include "telemetry/metrics.h"
+
+namespace gemstone {
+namespace {
+
+using storage::TrackId;
+
+// Writers own disjoint track ranges; readers sweep every track and check
+// that each observed track is internally consistent (all bytes equal — a
+// torn in-memory read would show mixed generations). Stats are polled
+// concurrently; per-field monotonicity is all the contract promises.
+TEST(StorageStress, DiskWritersVsReadersAndStats) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr TrackId kTracksPerWriter = 8;
+  constexpr int kGenerations = 40;
+  constexpr std::size_t kPayload = 64;
+
+  storage::SimulatedDisk disk(kWriters * kTracksPerWriter, 512);
+
+  // Seed generation 0 so readers never hit an unwritten track.
+  for (TrackId track = 0; track < disk.num_tracks(); ++track) {
+    ASSERT_TRUE(
+        disk.WriteTrack(track, std::vector<std::uint8_t>(kPayload, 0)).ok());
+  }
+
+  std::barrier start(kWriters + kReaders + 1);
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      start.arrive_and_wait();
+      for (int gen = 1; gen <= kGenerations; ++gen) {
+        for (TrackId i = 0; i < kTracksPerWriter; ++i) {
+          TrackId track = static_cast<TrackId>(w * kTracksPerWriter + i);
+          auto byte = static_cast<std::uint8_t>(gen % 251);
+          if (!disk.WriteTrack(track, std::vector<std::uint8_t>(kPayload, byte))
+                   .ok()) {
+            errors.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      while (!done.load(std::memory_order_acquire)) {
+        for (TrackId track = 0; track < disk.num_tracks(); ++track) {
+          auto read = disk.ReadTrack(track);
+          if (!read.ok() || read.value().size() != kPayload) {
+            errors.fetch_add(1);
+            continue;
+          }
+          for (std::uint8_t byte : read.value()) {
+            if (byte != read.value().front()) {
+              errors.fetch_add(1);  // torn read: mixed generations
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  threads.emplace_back([&] {  // stats poller
+    start.arrive_and_wait();
+    storage::DiskStats last;
+    while (!done.load(std::memory_order_acquire)) {
+      storage::DiskStats now = disk.stats();
+      if (now.tracks_read < last.tracks_read ||
+          now.tracks_written < last.tracks_written ||
+          now.seeks < last.seeks || now.seek_distance < last.seek_distance) {
+        errors.fetch_add(1);
+      }
+      last = now;
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  for (std::size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(errors.load(), 0);
+  // Final state is exact: every track carries its writer's last generation.
+  for (TrackId track = 0; track < disk.num_tracks(); ++track) {
+    auto read = disk.ReadTrack(track);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value().front(),
+              static_cast<std::uint8_t>(kGenerations % 251));
+  }
+  EXPECT_GE(disk.stats().tracks_written,
+            static_cast<std::uint64_t>(disk.num_tracks()) * (kGenerations + 1));
+}
+
+// Owners grant and revoke on their own segments while checkers resolve
+// access for the same users. Any single check may land before or after a
+// toggle — both outcomes are legal — but the answer must always be one of
+// the two, and the final converged state is exact.
+TEST(AdminStress, GrantRevokeVsAccessChecks) {
+  constexpr int kOwners = 3;
+  constexpr int kCheckers = 3;
+  constexpr int kToggles = 120;
+  constexpr UserId kAudience = 50;
+
+  admin::AuthorizationManager auth;
+
+  std::vector<admin::SegmentId> segments;
+  std::vector<Oid> objects;
+  for (int o = 0; o < kOwners; ++o) {
+    UserId owner = static_cast<UserId>(o + 1);
+    admin::SegmentId segment =
+        auth.CreateSegment(owner, "seg" + std::to_string(o));
+    segments.push_back(segment);
+    Oid oid(static_cast<std::uint64_t>(1000 + o));
+    ASSERT_TRUE(auth.AssignObject(owner, oid, segment).ok());
+    objects.push_back(oid);
+  }
+
+  std::barrier start(kOwners + kCheckers);
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+
+  for (int o = 0; o < kOwners; ++o) {
+    threads.emplace_back([&, o] {
+      UserId owner = static_cast<UserId>(o + 1);
+      start.arrive_and_wait();
+      for (int i = 0; i < kToggles; ++i) {
+        if (!auth.Grant(owner, segments[o], kAudience, admin::AccessRight::kRead)
+                 .ok()) {
+          errors.fetch_add(1);
+        }
+        if (!auth.Revoke(owner, segments[o], kAudience).ok()) {
+          errors.fetch_add(1);
+        }
+      }
+      // Converge: leave the audience readable everywhere.
+      if (!auth.Grant(owner, segments[o], kAudience, admin::AccessRight::kRead)
+               .ok()) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+
+  for (int c = 0; c < kCheckers; ++c) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      while (!done.load(std::memory_order_acquire)) {
+        for (int o = 0; o < kOwners; ++o) {
+          // Mid-toggle either verdict is legal; owners always read, and
+          // the audience never writes.
+          (void)auth.CheckRead(kAudience, objects[o]);
+          if (!auth.CheckRead(static_cast<UserId>(o + 1), objects[o]).ok()) {
+            errors.fetch_add(1);
+          }
+          if (auth.CheckWrite(kAudience, objects[o]).ok()) {
+            errors.fetch_add(1);
+          }
+          if (auth.SegmentOf(objects[o]) != segments[o]) {
+            errors.fetch_add(1);
+          }
+        }
+        (void)auth.segment_count();
+      }
+    });
+  }
+
+  for (int o = 0; o < kOwners; ++o) threads[o].join();
+  done.store(true, std::memory_order_release);
+  for (int c = 0; c < kCheckers; ++c) threads[kOwners + c].join();
+
+  EXPECT_EQ(errors.load(), 0);
+  for (int o = 0; o < kOwners; ++o) {
+    EXPECT_TRUE(auth.CheckRead(kAudience, objects[o]).ok());
+    EXPECT_FALSE(auth.CheckWrite(kAudience, objects[o]).ok());
+  }
+}
+
+// Registry instrument identity: every thread asking for the same metric
+// name must receive the same pointer, even when all ask at once.
+TEST(AdminStress, MetricsRegistrySameNameSameInstrument) {
+  constexpr int kThreads = 8;
+
+  telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Global();
+  std::vector<telemetry::Counter*> counters(kThreads, nullptr);
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      counters[t] = registry.GetCounter("stress.identity.counter");
+      counters[t]->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(counters[t], counters[0]);
+  EXPECT_GE(counters[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace gemstone

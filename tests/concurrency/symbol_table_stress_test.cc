@@ -1,0 +1,186 @@
+// SymbolTable stress tests (ctest -L tsan). Two regressions live here:
+//  - the InternAlias double-lock collapse: alias intern must be one
+//    critical section, so a racing Intern of the same text can never
+//    observe (or produce) a second id;
+//  - Name() reference stability: names are stored in a deque precisely
+//    so a reference handed out under the lock survives later interns
+//    that would have reallocated a vector.
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ids.h"
+#include "object/symbol_table.h"
+
+namespace gemstone {
+namespace {
+
+// Every thread interns the same vocabulary in a different order; all
+// threads must agree on every id, and the table must end at exactly the
+// vocabulary size. Name() is called mid-storm to exercise reference
+// stability while other threads grow the table.
+TEST(SymbolTableStress, InternStormAgreesOnIds) {
+  constexpr int kThreads = 8;
+  constexpr int kWords = 200;
+
+  SymbolTable table;
+  std::vector<std::string> words;
+  words.reserve(kWords);
+  for (int i = 0; i < kWords; ++i) words.push_back("word" + std::to_string(i));
+
+  std::vector<std::map<std::string, SymbolId>> seen(kThreads);
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      // Per-thread stride (coprime with kWords) walks the whole
+      // vocabulary in a distinct order.
+      static constexpr int kStrides[] = {1, 3, 7, 9, 11, 13, 17, 19};
+      for (int i = 0; i < kWords; ++i) {
+        const std::string& word = words[(i * kStrides[t] + t) % kWords];
+        SymbolId id = table.Intern(word);
+        // Read the name back immediately, while other threads intern.
+        const std::string& name = table.Name(id);
+        ASSERT_EQ(name, word);
+        seen[t][word] = id;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kWords));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]) << "thread " << t << " disagrees on ids";
+  }
+  for (const auto& [word, id] : seen[0]) {
+    EXPECT_EQ(table.Lookup(word), id);
+    EXPECT_EQ(table.Name(id), word);
+  }
+}
+
+// Satellite regression: two threads intern the same brand-new text at the
+// same instant, round after round. With the old two-lock InternAlias a
+// collision could mint duplicate entries; now both threads must get one
+// id and the table grows by exactly one per round.
+TEST(SymbolTableStress, TwoThreadInternCollisionRegression) {
+  constexpr int kRounds = 300;
+
+  SymbolTable table;
+  const std::size_t base = table.size();
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::string text = "collide" + std::to_string(round);
+    SymbolId ids[2] = {kInvalidSymbol, kInvalidSymbol};
+    std::barrier sync(2);
+    std::thread a([&] {
+      sync.arrive_and_wait();
+      ids[0] = table.Intern(text);
+    });
+    std::thread b([&] {
+      sync.arrive_and_wait();
+      ids[1] = table.InternAlias(text);
+    });
+    a.join();
+    b.join();
+
+    ASSERT_EQ(ids[0], ids[1]) << "round " << round;
+    ASSERT_EQ(table.size(), base + round + 1) << "round " << round;
+    // Whichever thread won the race, the alias intern marked the entry.
+    ASSERT_TRUE(table.IsAlias(ids[0])) << "round " << round;
+    ASSERT_EQ(table.Name(ids[0]), text) << "round " << round;
+  }
+}
+
+// GenerateAlias from many threads: every generated symbol is fresh,
+// unique, and flagged as an alias.
+TEST(SymbolTableStress, GenerateAliasUniqueAcrossThreads) {
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 100;
+
+  SymbolTable table;
+  std::vector<std::vector<SymbolId>> generated(kThreads);
+  std::barrier start(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kPerThread; ++i) {
+        generated[t].push_back(table.GenerateAlias());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::set<SymbolId> all;
+  for (const auto& ids : generated) {
+    for (SymbolId id : ids) {
+      EXPECT_TRUE(all.insert(id).second) << "duplicate alias id " << id;
+      EXPECT_TRUE(table.IsAlias(id));
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+// Mixed workload: interners grow the table while readers hold and use
+// Name() references and run Lookup scans. Under the old vector-backed
+// storage this was a use-after-free the moment the vector reallocated;
+// TSan (and ASan) flag any regression.
+TEST(SymbolTableStress, ReadersSurviveConcurrentGrowth) {
+  constexpr int kInterners = 4;
+  constexpr int kReaders = 3;
+  constexpr int kWords = 400;
+
+  SymbolTable table;
+  // Pre-intern a stable prefix the readers hold references into.
+  std::vector<SymbolId> stable;
+  for (int i = 0; i < 32; ++i) {
+    stable.push_back(table.Intern("stable" + std::to_string(i)));
+  }
+
+  std::barrier start(kInterners + kReaders);
+  std::atomic<bool> done{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kInterners; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      for (int i = 0; i < kWords; ++i) {
+        table.Intern("grow" + std::to_string(t) + "_" + std::to_string(i));
+      }
+    });
+  }
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      start.arrive_and_wait();
+      while (!done.load(std::memory_order_acquire)) {
+        for (std::size_t i = 0; i < stable.size(); ++i) {
+          const std::string& name = table.Name(stable[i]);
+          if (name != "stable" + std::to_string(i)) errors.fetch_add(1);
+          if (table.Lookup(name) != stable[i]) errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (int t = 0; t < kInterners; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  for (int r = 0; r < kReaders; ++r) threads[kInterners + r].join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(table.size(),
+            static_cast<std::size_t>(32 + kInterners * kWords));
+}
+
+}  // namespace
+}  // namespace gemstone
