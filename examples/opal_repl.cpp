@@ -13,7 +13,13 @@
 //   :stats       process-wide telemetry report (all subsystems)
 //   :stats json  the same snapshot as JSON
 //   :stats prom  the same snapshot in Prometheus text format
-//   :spans       recent trace spans (most recent last)
+//   :spans       recent trace spans (most recent last) + drop count
+//   :profile on|off|reset      toggle / clear the execution profiler
+//   :profile [json]            hot selectors and call edges
+//   :explain <query>           set-algebra plan for a §5.1 calculus query
+//   :explain analyze <query>   the plan, executed and annotated
+//   :flightrec [json]          dump the flight recorder ring
+//   :flightrec arm <path>      auto-dump to <path> on abort/conflict/fault
 
 #include <unistd.h>
 
@@ -22,7 +28,9 @@
 
 #include "executor/executor.h"
 #include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/trace.h"
 
 using gemstone::SessionId;
@@ -61,10 +69,75 @@ int main() {
       continue;
     }
     if (line == ":spans") {
-      for (const auto& span :
-           gemstone::telemetry::TraceBuffer::Global().Snapshot()) {
+      auto& buffer = gemstone::telemetry::TraceBuffer::Global();
+      for (const auto& span : buffer.Snapshot()) {
         std::cout << std::string(span.depth * 2, ' ') << span.name << " "
                   << span.duration_ns / 1000 << "us\n";
+      }
+      std::cout << "(" << buffer.total_recorded() << " recorded, "
+                << buffer.dropped() << " dropped by ring wrap)\n";
+      continue;
+    }
+    if (line.rfind(":profile", 0) == 0) {
+      auto& profiler = gemstone::telemetry::Profiler::Global();
+      const std::string arg = line.size() > 8 ? line.substr(9) : "";
+      if (arg == "on") {
+        profiler.Enable();
+        std::cout << "profiler on\n";
+      } else if (arg == "off") {
+        profiler.Disable();
+        std::cout << "profiler off\n";
+      } else if (arg == "reset") {
+        profiler.Reset();
+        std::cout << "profiler reset\n";
+      } else if (arg == "json") {
+        std::cout << profiler.ReportJson() << "\n";
+      } else {
+        std::cout << profiler.ReportText();
+      }
+      continue;
+    }
+    if (line.rfind(":explain", 0) == 0) {
+      std::string query = line.substr(8);
+      bool analyze = false;
+      while (!query.empty() && query.front() == ' ') query.erase(0, 1);
+      if (query.rfind("analyze", 0) == 0) {
+        analyze = true;
+        query.erase(0, 7);
+        while (!query.empty() && query.front() == ' ') query.erase(0, 1);
+      }
+      if (query.empty()) {
+        std::cout << "usage: :explain [analyze] {{L: v} where (v in X!S)}\n";
+        continue;
+      }
+      auto explained = server.ExplainStdm(session, query, analyze);
+      if (explained.ok()) {
+        std::cout << explained.value();
+      } else {
+        std::cout << "!! " << explained.status().ToString() << "\n";
+      }
+      continue;
+    }
+    if (line.rfind(":flightrec", 0) == 0) {
+      auto& recorder = gemstone::telemetry::FlightRecorder::Global();
+      const std::string arg = line.size() > 10 ? line.substr(11) : "";
+      if (arg.rfind("arm ", 0) == 0) {
+        recorder.SetAutoDumpPath(arg.substr(4));
+        std::cout << "flight recorder armed: " << recorder.auto_dump_path()
+                  << "\n";
+      } else if (arg == "json") {
+        std::cout << recorder.DumpJson() << "\n";
+      } else {
+        for (const auto& event : recorder.Snapshot()) {
+          std::cout << "#" << event.seq << " "
+                    << gemstone::telemetry::FlightEventKindName(event.kind)
+                    << " session=" << event.session << " a=" << event.a
+                    << " b=" << event.b
+                    << (event.detail.empty() ? "" : " " + event.detail)
+                    << "\n";
+        }
+        std::cout << "(" << recorder.total_recorded() << " recorded, ring "
+                  << recorder.capacity() << ")\n";
       }
       continue;
     }

@@ -1,8 +1,16 @@
 #include "executor/executor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <sstream>
 
+#include "stdm/calculus_parser.h"
+#include "stdm/gsdm_bridge.h"
+#include "stdm/translate.h"
 #include "storage/serializer.h"
+#include "telemetry/io_attribution.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -104,6 +112,114 @@ Result<std::string> Executor::ExecuteToString(SessionId session,
   GS_ASSIGN_OR_RETURN(Value result, Execute(session, source));
   auto it = sessions_.find(session);
   return it->second.interpreter->DefaultPrintString(result);
+}
+
+namespace {
+
+std::string MsString(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string IoLine(std::uint64_t ns, const telemetry::IoTally& io) {
+  return "time=" + MsString(ns) + "ms reads=" +
+         std::to_string(io.tracks_read) + " writes=" +
+         std::to_string(io.tracks_written) + " seeks=" +
+         std::to_string(io.seeks);
+}
+
+}  // namespace
+
+Result<std::string> Executor::ExplainStdm(SessionId session,
+                                          std::string_view query_text,
+                                          bool analyze) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session));
+  }
+  txn::Session* s = it->second.session.get();
+
+  GS_ASSIGN_OR_RETURN(stdm::CalculusQuery query,
+                      stdm::ParseCalculus(query_text));
+  GS_ASSIGN_OR_RETURN(stdm::AlgebraPlan plan, stdm::TranslateToAlgebra(query));
+
+  // Free variables: everything the query mentions minus its range vars,
+  // in first-mention order.
+  std::vector<std::string> mentioned;
+  for (const auto& [label, term] : query.target) term.CollectVars(&mentioned);
+  for (const stdm::Range& r : query.ranges) {
+    r.source.CollectVars(&mentioned);
+  }
+  query.condition.CollectVars(&mentioned);
+  std::set<std::string> range_vars;
+  for (const stdm::Range& r : query.ranges) range_vars.insert(r.var);
+  std::vector<std::string> free_names;
+  std::set<std::string> seen;
+  for (const std::string& v : mentioned) {
+    if (range_vars.count(v) == 0 && seen.insert(v).second) {
+      free_names.push_back(v);
+    }
+  }
+
+  std::ostringstream out;
+  out << (analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") << query.ToString()
+      << "\n";
+  if (s->DialSet()) {
+    out << "time dial: " << s->EffectiveTime()
+        << " (free variables export at the dialed time)\n";
+  } else {
+    out << "time dial: now\n";
+  }
+
+  // Bind phase: resolve free variables from the globals and export each
+  // object graph at the session's effective time. The deque keeps the
+  // exported values' addresses stable for the Bindings.
+  const std::uint64_t bind_start = telemetry::TraceNowNs();
+  const telemetry::IoTally bind_before = telemetry::ThreadIoTally();
+  std::deque<stdm::StdmValue> exported;
+  stdm::Bindings free;
+  for (const std::string& name : free_names) {
+    Value value;
+    if (!globals_.Get(memory_.symbols().Intern(name), &value)) {
+      return Status::NotFound("free variable '" + name +
+                              "' is not bound to a global");
+    }
+    GS_ASSIGN_OR_RETURN(stdm::StdmValue v,
+                        stdm::ExportStdm(s, &memory_, value));
+    exported.push_back(std::move(v));
+    free.Push(name, &exported.back());
+  }
+  const telemetry::IoTally bind_io =
+      telemetry::IoDelta(bind_before, telemetry::ThreadIoTally());
+  const std::uint64_t bind_ns = telemetry::TraceNowNs() - bind_start;
+
+  if (!analyze) {
+    out << plan.ToString();
+    return out.str();
+  }
+
+  stdm::ExplainContext ctx;
+  stdm::AlgebraStats stats;
+  const std::uint64_t exec_start = telemetry::TraceNowNs();
+  const telemetry::IoTally exec_before = telemetry::ThreadIoTally();
+  GS_ASSIGN_OR_RETURN(stdm::StdmValue result,
+                      plan.Execute(free, &stats, &ctx));
+  const telemetry::IoTally exec_io =
+      telemetry::IoDelta(exec_before, telemetry::ThreadIoTally());
+  const std::uint64_t exec_ns = telemetry::TraceNowNs() - exec_start;
+
+  out << plan.ToString(&ctx);
+  out << "bind (" << free_names.size() << " free vars): "
+      << IoLine(bind_ns, bind_io) << "\n";
+  telemetry::IoTally total_io = bind_io;
+  total_io.tracks_read += exec_io.tracks_read;
+  total_io.tracks_written += exec_io.tracks_written;
+  total_io.seeks += exec_io.seeks;
+  out << "totals: rows=" << result.size() << " scanned=" << stats.rows_scanned
+      << " examined=" << stats.rows_examined << " "
+      << IoLine(bind_ns + exec_ns, total_io) << "\n";
+  return out.str();
 }
 
 // --- Schema persistence --------------------------------------------------------

@@ -64,6 +64,16 @@ class Executor {
   Result<std::string> ExecuteToString(SessionId session,
                                       std::string_view source);
 
+  /// EXPLAIN (and with `analyze`, EXPLAIN ANALYZE) for a §5.1 set-calculus
+  /// query: parses `query_text`, translates it to set algebra, and renders
+  /// the operator tree. Free variables resolve from the globals and export
+  /// at the session's effective time, so a time-dialed session explains
+  /// the plan over the past state it would query. With `analyze` the plan
+  /// runs and every operator line carries measured in/out cardinalities,
+  /// exclusive time, and attributed disk track reads/writes/seeks.
+  Result<std::string> ExplainStdm(SessionId session,
+                                  std::string_view query_text, bool analyze);
+
   // --- Schema persistence -----------------------------------------------------
 
   /// Persists user class definitions + method sources into the system

@@ -1,5 +1,7 @@
 #include "opal/interpreter.h"
 
+#include "telemetry/profiler.h"
+
 namespace gemstone::opal {
 
 namespace {
@@ -117,6 +119,12 @@ Result<Value> Interpreter::DispatchSend(const Value& receiver,
                                         std::vector<Value> args,
                                         bool super_send, Oid defining_class) {
   message_sends_.Increment();
+  // Selector-name lookup only when profiling (the name is an interned
+  // string with process lifetime, so the scope's view stays valid).
+  telemetry::ProfileScope profile_scope(
+      telemetry::Profiler::Enabled()
+          ? std::string_view(memory_->symbols().Name(selector))
+          : std::string_view());
   Oid lookup_class;
   if (super_send) {
     const GsClass* defining = memory_->classes().Get(defining_class);

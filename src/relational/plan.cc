@@ -1,0 +1,116 @@
+#include "relational/plan.h"
+
+#include <cstdio>
+
+#include "telemetry/trace.h"
+
+namespace gemstone::relational {
+
+namespace {
+
+void Indent(int indent, std::string* out) {
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+std::string FormatMs(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+Result<Table> RelPlanNode::Run(const Database& db, RelationalStats* stats,
+                               RelExplainContext* ctx) const {
+  if (ctx == nullptr) return Execute(db, stats, ctx);
+  const std::uint64_t start_ns = telemetry::TraceNowNs();
+  const telemetry::IoTally io_before = telemetry::ThreadIoTally();
+  Result<Table> table = Execute(db, stats, ctx);
+  const telemetry::IoTally io_delta =
+      telemetry::IoDelta(io_before, telemetry::ThreadIoTally());
+  const std::uint64_t elapsed_ns = telemetry::TraceNowNs() - start_ns;
+  RelNodeStats& node = ctx->StatsFor(this);
+  node.calls += 1;
+  node.elapsed_ns += elapsed_ns;
+  node.io.tracks_read += io_delta.tracks_read;
+  node.io.tracks_written += io_delta.tracks_written;
+  node.io.seeks += io_delta.seeks;
+  if (table.ok()) node.rows_out += table.value().size();
+  return table;
+}
+
+void RelPlanNode::Render(int indent, std::string* out,
+                         const RelExplainContext* ctx) const {
+  Indent(indent, out);
+  out->append(Label());
+  const std::vector<const RelPlanNode*> kids = children();
+  const RelNodeStats* node = ctx != nullptr ? ctx->Find(this) : nullptr;
+  if (node != nullptr) {
+    std::uint64_t rows_in = 0;
+    std::uint64_t child_ns = 0;
+    telemetry::IoTally child_io;
+    for (const RelPlanNode* kid : kids) {
+      if (const RelNodeStats* k = ctx->Find(kid); k != nullptr) {
+        rows_in += k->rows_out;
+        child_ns += k->elapsed_ns;
+        child_io.tracks_read += k->io.tracks_read;
+        child_io.tracks_written += k->io.tracks_written;
+        child_io.seeks += k->io.seeks;
+      }
+    }
+    const std::uint64_t excl_ns =
+        node->elapsed_ns > child_ns ? node->elapsed_ns - child_ns : 0;
+    const telemetry::IoTally excl_io = telemetry::IoDelta(child_io, node->io);
+    out->append(" (in=" + std::to_string(rows_in) +
+                " out=" + std::to_string(node->rows_out) + " time=" +
+                FormatMs(excl_ns) + "ms reads=" +
+                std::to_string(excl_io.tracks_read) + " writes=" +
+                std::to_string(excl_io.tracks_written) + " seeks=" +
+                std::to_string(excl_io.seeks) + ")");
+  }
+  out->append("\n");
+  for (const RelPlanNode* kid : kids) kid->Render(indent + 1, out, ctx);
+}
+
+Result<Table> RelScanNode::Execute(const Database& db, RelationalStats* stats,
+                                   RelExplainContext*) const {
+  const Table* table = db.Find(table_);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + table_);
+  }
+  if (stats != nullptr) stats->rows_examined += table->size();
+  return *table;
+}
+
+Result<Table> RelSelectEqNode::Execute(const Database& db,
+                                       RelationalStats* stats,
+                                       RelExplainContext* ctx) const {
+  GS_ASSIGN_OR_RETURN(Table input, child_->Run(db, stats, ctx));
+  return SelectEq(input, column_, key_, stats);
+}
+
+std::string RelProjectNode::Label() const {
+  std::string out = "Project[";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += columns_[i];
+  }
+  return out + "]";
+}
+
+Result<Table> RelProjectNode::Execute(const Database& db,
+                                      RelationalStats* stats,
+                                      RelExplainContext* ctx) const {
+  GS_ASSIGN_OR_RETURN(Table input, child_->Run(db, stats, ctx));
+  return Project(input, columns_, stats);
+}
+
+Result<Table> RelHashJoinNode::Execute(const Database& db,
+                                       RelationalStats* stats,
+                                       RelExplainContext* ctx) const {
+  GS_ASSIGN_OR_RETURN(Table left, left_->Run(db, stats, ctx));
+  GS_ASSIGN_OR_RETURN(Table right, right_->Run(db, stats, ctx));
+  return HashJoin(left, left_column_, right, right_column_, stats);
+}
+
+}  // namespace gemstone::relational

@@ -1,0 +1,159 @@
+#ifndef GEMSTONE_RELATIONAL_PLAN_H_
+#define GEMSTONE_RELATIONAL_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relational.h"
+#include "telemetry/io_attribution.h"
+
+namespace gemstone::relational {
+
+class RelPlanNode;
+
+/// Per-operator measurements from one EXPLAIN ANALYZE run of a relational
+/// plan (same shape as stdm::PlanNodeStats; the relational baseline gets
+/// the same observability treatment as the set algebra).
+struct RelNodeStats {
+  std::uint64_t calls = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t elapsed_ns = 0;
+  telemetry::IoTally io;
+};
+
+class RelExplainContext {
+ public:
+  RelNodeStats& StatsFor(const RelPlanNode* node) { return stats_[node]; }
+  const RelNodeStats* Find(const RelPlanNode* node) const {
+    auto it = stats_.find(node);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<const RelPlanNode*, RelNodeStats> stats_;
+};
+
+/// Operator tree over the relational baseline: σ/π/⋈ composed as an
+/// explainable plan instead of immediate function calls. Run() with a
+/// context measures each operator (EXPLAIN ANALYZE).
+class RelPlanNode {
+ public:
+  virtual ~RelPlanNode() = default;
+
+  Result<Table> Run(const Database& db, RelationalStats* stats,
+                    RelExplainContext* ctx) const;
+
+  virtual std::string Label() const = 0;
+  virtual std::vector<const RelPlanNode*> children() const { return {}; }
+
+  void Render(int indent, std::string* out,
+              const RelExplainContext* ctx = nullptr) const;
+
+  virtual Result<Table> Execute(const Database& db, RelationalStats* stats,
+                                RelExplainContext* ctx) const = 0;
+};
+
+/// Leaf: the named base table (copied; copies carry the base indexes, so
+/// an index select directly above a scan still probes).
+class RelScanNode : public RelPlanNode {
+ public:
+  explicit RelScanNode(std::string table) : table_(std::move(table)) {}
+  Result<Table> Execute(const Database& db, RelationalStats* stats,
+                        RelExplainContext* ctx) const override;
+  std::string Label() const override { return "Scan[" + table_ + "]"; }
+
+ private:
+  std::string table_;
+};
+
+/// σ column = key, via the column's index when the input carries one.
+class RelSelectEqNode : public RelPlanNode {
+ public:
+  RelSelectEqNode(std::unique_ptr<RelPlanNode> child, std::string column,
+                  Field key)
+      : child_(std::move(child)), column_(std::move(column)),
+        key_(std::move(key)) {}
+  Result<Table> Execute(const Database& db, RelationalStats* stats,
+                        RelExplainContext* ctx) const override;
+  std::string Label() const override {
+    return "SelectEq[" + column_ + " = " + FieldToString(key_) + "]";
+  }
+  std::vector<const RelPlanNode*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<RelPlanNode> child_;
+  std::string column_;
+  Field key_;
+};
+
+/// π of the named columns.
+class RelProjectNode : public RelPlanNode {
+ public:
+  RelProjectNode(std::unique_ptr<RelPlanNode> child,
+                 std::vector<std::string> columns)
+      : child_(std::move(child)), columns_(std::move(columns)) {}
+  Result<Table> Execute(const Database& db, RelationalStats* stats,
+                        RelExplainContext* ctx) const override;
+  std::string Label() const override;
+  std::vector<const RelPlanNode*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  std::unique_ptr<RelPlanNode> child_;
+  std::vector<std::string> columns_;
+};
+
+/// ⋈ on left.column = right.column (hash join, right builds).
+class RelHashJoinNode : public RelPlanNode {
+ public:
+  RelHashJoinNode(std::unique_ptr<RelPlanNode> left,
+                  std::unique_ptr<RelPlanNode> right, std::string left_column,
+                  std::string right_column)
+      : left_(std::move(left)), right_(std::move(right)),
+        left_column_(std::move(left_column)),
+        right_column_(std::move(right_column)) {}
+  Result<Table> Execute(const Database& db, RelationalStats* stats,
+                        RelExplainContext* ctx) const override;
+  std::string Label() const override {
+    return "HashJoin[" + left_column_ + " = " + right_column_ + "]";
+  }
+  std::vector<const RelPlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  std::unique_ptr<RelPlanNode> left_, right_;
+  std::string left_column_, right_column_;
+};
+
+/// A complete relational plan with EXPLAIN / EXPLAIN ANALYZE rendering.
+class RelPlan {
+ public:
+  explicit RelPlan(std::unique_ptr<RelPlanNode> root)
+      : root_(std::move(root)) {}
+
+  Result<Table> Execute(const Database& db, RelationalStats* stats = nullptr,
+                        RelExplainContext* ctx = nullptr) const {
+    return root_->Run(db, stats, ctx);
+  }
+
+  std::string ToString(const RelExplainContext* ctx = nullptr) const {
+    std::string out;
+    root_->Render(0, &out, ctx);
+    return out;
+  }
+
+  const RelPlanNode* root() const { return root_.get(); }
+
+ private:
+  std::unique_ptr<RelPlanNode> root_;
+};
+
+}  // namespace gemstone::relational
+
+#endif  // GEMSTONE_RELATIONAL_PLAN_H_

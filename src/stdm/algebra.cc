@@ -1,5 +1,6 @@
 #include "stdm/algebra.h"
 
+#include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -21,6 +22,20 @@ std::vector<std::size_t> Union(const std::vector<std::size_t>& a,
   return out;
 }
 
+std::vector<std::size_t> Intersect(const std::vector<std::size_t>& a,
+                                   const std::vector<std::size_t>& b) {
+  std::vector<std::size_t> out;
+  for (std::size_t s : a) {
+    for (std::size_t t : b) {
+      if (s == t) {
+        out.push_back(s);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<std::size_t> WithSlot(const std::vector<std::size_t>& a,
                                   std::size_t slot) {
   std::vector<std::size_t> out = a;
@@ -32,6 +47,12 @@ void Indent(int indent, std::string* out) {
   out->append(static_cast<std::size_t>(indent) * 2, ' ');
 }
 
+std::string FormatMs(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
 }  // namespace
 
 Bindings RowEnv(const std::vector<std::string>& vars, const Bindings& free,
@@ -41,17 +62,71 @@ Bindings RowEnv(const std::vector<std::string>& vars, const Bindings& free,
   return env;
 }
 
+// --- PlanNode (measurement + rendering) -------------------------------------
+
+Result<std::vector<Row>> PlanNode::Run(const std::vector<std::string>& vars,
+                                       const Bindings& free,
+                                       AlgebraStats* stats,
+                                       ExplainContext* ctx) const {
+  if (ctx == nullptr) return Execute(vars, free, stats, ctx);
+  const std::uint64_t start_ns = telemetry::TraceNowNs();
+  const telemetry::IoTally io_before = telemetry::ThreadIoTally();
+  Result<std::vector<Row>> rows = Execute(vars, free, stats, ctx);
+  const telemetry::IoTally io_delta =
+      telemetry::IoDelta(io_before, telemetry::ThreadIoTally());
+  const std::uint64_t elapsed_ns = telemetry::TraceNowNs() - start_ns;
+  PlanNodeStats& node = ctx->StatsFor(this);
+  node.calls += 1;
+  node.elapsed_ns += elapsed_ns;
+  node.io.tracks_read += io_delta.tracks_read;
+  node.io.tracks_written += io_delta.tracks_written;
+  node.io.seeks += io_delta.seeks;
+  if (rows.ok()) node.rows_out += rows.value().size();
+  return rows;
+}
+
+void PlanNode::Render(int indent, std::string* out,
+                      const ExplainContext* ctx) const {
+  Indent(indent, out);
+  out->append(Label());
+  const std::vector<const PlanNode*> kids = children();
+  const PlanNodeStats* node = ctx != nullptr ? ctx->Find(this) : nullptr;
+  if (node != nullptr) {
+    // Input cardinality = sum of child outputs; time and I/O shown are
+    // exclusive (this operator minus its subtrees), so the per-line I/O
+    // figures sum to the whole execution's device work.
+    std::uint64_t rows_in = 0;
+    std::uint64_t child_ns = 0;
+    telemetry::IoTally child_io;
+    for (const PlanNode* kid : kids) {
+      if (const PlanNodeStats* k = ctx->Find(kid); k != nullptr) {
+        rows_in += k->rows_out;
+        child_ns += k->elapsed_ns;
+        child_io.tracks_read += k->io.tracks_read;
+        child_io.tracks_written += k->io.tracks_written;
+        child_io.seeks += k->io.seeks;
+      }
+    }
+    const std::uint64_t excl_ns =
+        node->elapsed_ns > child_ns ? node->elapsed_ns - child_ns : 0;
+    const telemetry::IoTally excl_io = telemetry::IoDelta(child_io, node->io);
+    out->append(" (in=" + std::to_string(rows_in) +
+                " out=" + std::to_string(node->rows_out) + " time=" +
+                FormatMs(excl_ns) + "ms reads=" +
+                std::to_string(excl_io.tracks_read) + " writes=" +
+                std::to_string(excl_io.tracks_written) + " seeks=" +
+                std::to_string(excl_io.seeks) + ")");
+  }
+  out->append("\n");
+  for (const PlanNode* kid : kids) kid->Render(indent + 1, out, ctx);
+}
+
 // --- UnitNode ---------------------------------------------------------------
 
 Result<std::vector<Row>> UnitNode::Execute(const std::vector<std::string>&,
-                                           const Bindings&,
-                                           AlgebraStats*) const {
+                                           const Bindings&, AlgebraStats*,
+                                           ExplainContext*) const {
   return std::vector<Row>{Row(width_)};
-}
-
-void UnitNode::Render(int indent, std::string* out) const {
-  Indent(indent, out);
-  out->append("Unit\n");
 }
 
 // --- ScanNode ---------------------------------------------------------------
@@ -61,7 +136,8 @@ ScanNode::ScanNode(std::size_t width, std::size_t slot, Term source)
 
 Result<std::vector<Row>> ScanNode::Execute(const std::vector<std::string>&,
                                            const Bindings& free,
-                                           AlgebraStats* stats) const {
+                                           AlgebraStats* stats,
+                                           ExplainContext*) const {
   GS_ASSIGN_OR_RETURN(StdmValue source, EvalTerm(source_, free));
   if (!source.IsSet()) {
     return Status::TypeMismatch("scan source is not a set: " +
@@ -78,12 +154,7 @@ Result<std::vector<Row>> ScanNode::Execute(const std::vector<std::string>&,
   return rows;
 }
 
-void ScanNode::Render(int indent, std::string* out) const {
-  Indent(indent, out);
-  out->append("Scan[" + source_.ToString() + "]\n");
-}
-
-// --- DependentScanNode --------------------------------------------------------
+// --- DependentScanNode ------------------------------------------------------
 
 DependentScanNode::DependentScanNode(std::unique_ptr<PlanNode> child,
                                      std::size_t slot, Term source)
@@ -94,9 +165,9 @@ DependentScanNode::DependentScanNode(std::unique_ptr<PlanNode> child,
 
 Result<std::vector<Row>> DependentScanNode::Execute(
     const std::vector<std::string>& vars, const Bindings& free,
-    AlgebraStats* stats) const {
+    AlgebraStats* stats, ExplainContext* ctx) const {
   GS_ASSIGN_OR_RETURN(std::vector<Row> input,
-                      child_->Execute(vars, free, stats));
+                      child_->Run(vars, free, stats, ctx));
   std::vector<Row> rows;
   for (Row& row : input) {
     if (stats != nullptr) ++stats->rows_examined;
@@ -116,22 +187,16 @@ Result<std::vector<Row>> DependentScanNode::Execute(
   return rows;
 }
 
-void DependentScanNode::Render(int indent, std::string* out) const {
-  Indent(indent, out);
-  out->append("DependentScan[" + source_.ToString() + "]\n");
-  child_->Render(indent + 1, out);
-}
-
-// --- FilterNode ---------------------------------------------------------------
+// --- FilterNode -------------------------------------------------------------
 
 FilterNode::FilterNode(std::unique_ptr<PlanNode> child, Predicate predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
 Result<std::vector<Row>> FilterNode::Execute(
     const std::vector<std::string>& vars, const Bindings& free,
-    AlgebraStats* stats) const {
+    AlgebraStats* stats, ExplainContext* ctx) const {
   GS_ASSIGN_OR_RETURN(std::vector<Row> input,
-                      child_->Execute(vars, free, stats));
+                      child_->Run(vars, free, stats, ctx));
   std::vector<Row> rows;
   for (Row& row : input) {
     if (stats != nullptr) ++stats->rows_examined;
@@ -144,13 +209,7 @@ Result<std::vector<Row>> FilterNode::Execute(
   return rows;
 }
 
-void FilterNode::Render(int indent, std::string* out) const {
-  Indent(indent, out);
-  out->append("Filter[" + predicate_.ToString() + "]\n");
-  child_->Render(indent + 1, out);
-}
-
-// --- HashJoinNode ---------------------------------------------------------------
+// --- HashJoinNode -----------------------------------------------------------
 
 HashJoinNode::HashJoinNode(std::unique_ptr<PlanNode> left,
                            std::unique_ptr<PlanNode> right, Term left_key,
@@ -163,9 +222,9 @@ HashJoinNode::HashJoinNode(std::unique_ptr<PlanNode> left,
 
 Result<std::vector<Row>> HashJoinNode::Execute(
     const std::vector<std::string>& vars, const Bindings& free,
-    AlgebraStats* stats) const {
+    AlgebraStats* stats, ExplainContext* ctx) const {
   GS_ASSIGN_OR_RETURN(std::vector<Row> build_rows,
-                      right_->Execute(vars, free, stats));
+                      right_->Run(vars, free, stats, ctx));
   // The hash key is the canonical rendering of the evaluated key term;
   // consistent with StdmValue equality for simple values (equi-joins on
   // set-valued keys fall back to a residual equality check below).
@@ -178,7 +237,7 @@ Result<std::vector<Row>> HashJoinNode::Execute(
     table[build_keys[i].ToString()].push_back(&build_rows[i]);
   }
   GS_ASSIGN_OR_RETURN(std::vector<Row> probe_rows,
-                      left_->Execute(vars, free, stats));
+                      left_->Run(vars, free, stats, ctx));
   std::vector<Row> rows;
   for (Row& probe : probe_rows) {
     if (stats != nullptr) {
@@ -200,15 +259,7 @@ Result<std::vector<Row>> HashJoinNode::Execute(
   return rows;
 }
 
-void HashJoinNode::Render(int indent, std::string* out) const {
-  Indent(indent, out);
-  out->append("HashJoin[" + left_key_.ToString() + " = " +
-              right_key_.ToString() + "]\n");
-  left_->Render(indent + 1, out);
-  right_->Render(indent + 1, out);
-}
-
-// --- ProductNode ---------------------------------------------------------------
+// --- ProductNode ------------------------------------------------------------
 
 ProductNode::ProductNode(std::unique_ptr<PlanNode> left,
                          std::unique_ptr<PlanNode> right)
@@ -218,11 +269,11 @@ ProductNode::ProductNode(std::unique_ptr<PlanNode> left,
 
 Result<std::vector<Row>> ProductNode::Execute(
     const std::vector<std::string>& vars, const Bindings& free,
-    AlgebraStats* stats) const {
+    AlgebraStats* stats, ExplainContext* ctx) const {
   GS_ASSIGN_OR_RETURN(std::vector<Row> left_rows,
-                      left_->Execute(vars, free, stats));
+                      left_->Run(vars, free, stats, ctx));
   GS_ASSIGN_OR_RETURN(std::vector<Row> right_rows,
-                      right_->Execute(vars, free, stats));
+                      right_->Run(vars, free, stats, ctx));
   std::vector<Row> rows;
   rows.reserve(left_rows.size() * right_rows.size());
   for (const Row& l : left_rows) {
@@ -236,14 +287,27 @@ Result<std::vector<Row>> ProductNode::Execute(
   return rows;
 }
 
-void ProductNode::Render(int indent, std::string* out) const {
-  Indent(indent, out);
-  out->append("Product\n");
-  left_->Render(indent + 1, out);
-  right_->Render(indent + 1, out);
+// --- UnionNode --------------------------------------------------------------
+
+UnionNode::UnionNode(std::unique_ptr<PlanNode> left,
+                     std::unique_ptr<PlanNode> right)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      filled_(Intersect(left_->filled_slots(), right_->filled_slots())) {}
+
+Result<std::vector<Row>> UnionNode::Execute(
+    const std::vector<std::string>& vars, const Bindings& free,
+    AlgebraStats* stats, ExplainContext* ctx) const {
+  GS_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                      left_->Run(vars, free, stats, ctx));
+  GS_ASSIGN_OR_RETURN(std::vector<Row> right_rows,
+                      right_->Run(vars, free, stats, ctx));
+  rows.reserve(rows.size() + right_rows.size());
+  for (Row& row : right_rows) rows.push_back(std::move(row));
+  return rows;
 }
 
-// --- AlgebraPlan ---------------------------------------------------------------
+// --- AlgebraPlan ------------------------------------------------------------
 
 namespace {
 
@@ -282,11 +346,13 @@ class AlgebraStatsFold {
 }  // namespace
 
 Result<StdmValue> AlgebraPlan::Execute(const Bindings& free,
-                                       AlgebraStats* stats) const {
+                                       AlgebraStats* stats,
+                                       ExplainContext* ctx) const {
   TELEM_SPAN("algebra.execute");
   AlgebraStatsFold fold(stats);
   stats = fold.stats();
-  GS_ASSIGN_OR_RETURN(std::vector<Row> rows, root_->Execute(vars_, free, stats));
+  GS_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                      root_->Run(vars_, free, stats, ctx));
   StdmValue result = StdmValue::Set();
   std::unordered_set<std::string> seen;
   for (const Row& row : rows) {
@@ -302,14 +368,14 @@ Result<StdmValue> AlgebraPlan::Execute(const Bindings& free,
   return result;
 }
 
-std::string AlgebraPlan::ToString() const {
+std::string AlgebraPlan::ToString(const ExplainContext* ctx) const {
   std::string out = "Project[";
   for (std::size_t i = 0; i < target_.size(); ++i) {
     if (i != 0) out += ", ";
     out += target_[i].first;
   }
   out += "]\n";
-  root_->Render(1, &out);
+  root_->Render(1, &out, ctx);
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/result.h"
 #include "stdm/calculus.h"
+#include "stdm/explain.h"
 #include "stdm/stdm_value.h"
 
 namespace gemstone::stdm {
@@ -29,21 +30,45 @@ using Row = std::vector<StdmValue>;
 
 /// Base of the physical operator tree. Operators materialize their output
 /// (sets here are CoW, so rows are cheap to copy).
+///
+/// Entry point is Run(): with a null ExplainContext it is exactly
+/// Execute(); with one, it brackets Execute() with a clock read and a
+/// thread-local I/O tally snapshot, attributing elapsed time, device
+/// work, and output cardinality to this operator (EXPLAIN ANALYZE).
+/// Operators recurse through their children via Run() so the context
+/// sees every node.
 class PlanNode {
  public:
   virtual ~PlanNode() = default;
 
   /// Executes the subtree. `vars` maps slot -> variable name; `free` binds
-  /// the query's free variables (database roots).
-  virtual Result<std::vector<Row>> Execute(
-      const std::vector<std::string>& vars, const Bindings& free,
-      AlgebraStats* stats) const = 0;
+  /// the query's free variables (database roots). Measured when `ctx` is
+  /// non-null.
+  Result<std::vector<Row>> Run(const std::vector<std::string>& vars,
+                               const Bindings& free, AlgebraStats* stats,
+                               ExplainContext* ctx) const;
 
   /// Slots guaranteed filled in this node's output rows.
   virtual const std::vector<std::size_t>& filled_slots() const = 0;
 
-  /// Indented operator-tree rendering for tests and EXPLAIN-style output.
-  virtual void Render(int indent, std::string* out) const = 0;
+  /// One-line operator description, e.g. "Scan[d!Employees]".
+  virtual std::string Label() const = 0;
+
+  /// Child operators, left to right (empty for leaves).
+  virtual std::vector<const PlanNode*> children() const { return {}; }
+
+  /// Indented operator-tree rendering for tests and EXPLAIN output. With
+  /// `ctx`, every line is annotated with that execution's measurements
+  /// (EXPLAIN ANALYZE): in/out cardinalities, exclusive time, and the
+  /// operator's own attributed track reads/writes/seeks.
+  void Render(int indent, std::string* out,
+              const ExplainContext* ctx = nullptr) const;
+
+  /// The unmeasured execution; operators call children via Run(). Public
+  /// so hand-assembled plans and tests can drive a subtree directly.
+  virtual Result<std::vector<Row>> Execute(
+      const std::vector<std::string>& vars, const Bindings& free,
+      AlgebraStats* stats, ExplainContext* ctx) const = 0;
 };
 
 /// Emits a single all-nil row; the identity for the first join step.
@@ -51,12 +76,12 @@ class UnitNode : public PlanNode {
  public:
   explicit UnitNode(std::size_t width) : width_(width) {}
   Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
-                                   const Bindings& free,
-                                   AlgebraStats* stats) const override;
+                                   const Bindings& free, AlgebraStats* stats,
+                                   ExplainContext* ctx) const override;
   const std::vector<std::size_t>& filled_slots() const override {
     return filled_;
   }
-  void Render(int indent, std::string* out) const override;
+  std::string Label() const override { return "Unit"; }
 
  private:
   std::size_t width_;
@@ -69,12 +94,14 @@ class ScanNode : public PlanNode {
  public:
   ScanNode(std::size_t width, std::size_t slot, Term source);
   Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
-                                   const Bindings& free,
-                                   AlgebraStats* stats) const override;
+                                   const Bindings& free, AlgebraStats* stats,
+                                   ExplainContext* ctx) const override;
   const std::vector<std::size_t>& filled_slots() const override {
     return filled_;
   }
-  void Render(int indent, std::string* out) const override;
+  std::string Label() const override {
+    return "Scan[" + source_.ToString() + "]";
+  }
 
   std::size_t slot() const { return slot_; }
   const Term& source() const { return source_; }
@@ -95,12 +122,17 @@ class DependentScanNode : public PlanNode {
   DependentScanNode(std::unique_ptr<PlanNode> child, std::size_t slot,
                     Term source);
   Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
-                                   const Bindings& free,
-                                   AlgebraStats* stats) const override;
+                                   const Bindings& free, AlgebraStats* stats,
+                                   ExplainContext* ctx) const override;
   const std::vector<std::size_t>& filled_slots() const override {
     return filled_;
   }
-  void Render(int indent, std::string* out) const override;
+  std::string Label() const override {
+    return "DependentScan[" + source_.ToString() + "]";
+  }
+  std::vector<const PlanNode*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<PlanNode> child_;
@@ -115,12 +147,17 @@ class FilterNode : public PlanNode {
  public:
   FilterNode(std::unique_ptr<PlanNode> child, Predicate predicate);
   Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
-                                   const Bindings& free,
-                                   AlgebraStats* stats) const override;
+                                   const Bindings& free, AlgebraStats* stats,
+                                   ExplainContext* ctx) const override;
   const std::vector<std::size_t>& filled_slots() const override {
     return child_->filled_slots();
   }
-  void Render(int indent, std::string* out) const override;
+  std::string Label() const override {
+    return "Filter[" + predicate_.ToString() + "]";
+  }
+  std::vector<const PlanNode*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<PlanNode> child_;
@@ -134,12 +171,18 @@ class HashJoinNode : public PlanNode {
   HashJoinNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right,
                Term left_key, Term right_key);
   Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
-                                   const Bindings& free,
-                                   AlgebraStats* stats) const override;
+                                   const Bindings& free, AlgebraStats* stats,
+                                   ExplainContext* ctx) const override;
   const std::vector<std::size_t>& filled_slots() const override {
     return filled_;
   }
-  void Render(int indent, std::string* out) const override;
+  std::string Label() const override {
+    return "HashJoin[" + left_key_.ToString() + " = " + right_key_.ToString() +
+           "]";
+  }
+  std::vector<const PlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
 
  private:
   std::unique_ptr<PlanNode> left_, right_;
@@ -152,16 +195,43 @@ class ProductNode : public PlanNode {
  public:
   ProductNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right);
   Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
-                                   const Bindings& free,
-                                   AlgebraStats* stats) const override;
+                                   const Bindings& free, AlgebraStats* stats,
+                                   ExplainContext* ctx) const override;
   const std::vector<std::size_t>& filled_slots() const override {
     return filled_;
   }
-  void Render(int indent, std::string* out) const override;
+  std::string Label() const override { return "Product"; }
+  std::vector<const PlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
 
  private:
   std::unique_ptr<PlanNode> left_, right_;
   std::vector<std::size_t> filled_;
+};
+
+/// Set union of two subplans over the same variable space: emits every
+/// left row then every right row (duplicates collapse at projection, the
+/// same place the calculus evaluator collapses them). The translator
+/// builds this for top-level OR conditions — §5.2's disjunctive queries
+/// become one branch per disjunct.
+class UnionNode : public PlanNode {
+ public:
+  UnionNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right);
+  Result<std::vector<Row>> Execute(const std::vector<std::string>& vars,
+                                   const Bindings& free, AlgebraStats* stats,
+                                   ExplainContext* ctx) const override;
+  const std::vector<std::size_t>& filled_slots() const override {
+    return filled_;
+  }
+  std::string Label() const override { return "Union"; }
+  std::vector<const PlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  std::unique_ptr<PlanNode> left_, right_;
+  std::vector<std::size_t> filled_;  // slots filled by BOTH branches
 };
 
 /// A complete physical plan: operator tree plus the target-tuple
@@ -175,14 +245,18 @@ class AlgebraPlan {
         target_(std::move(target)) {}
 
   /// Runs the plan and constructs the result set of labeled tuples
-  /// (duplicates collapse, as in the calculus evaluator).
+  /// (duplicates collapse, as in the calculus evaluator). A non-null
+  /// `ctx` collects per-operator measurements for EXPLAIN ANALYZE.
   Result<StdmValue> Execute(const Bindings& free,
-                            AlgebraStats* stats = nullptr) const;
+                            AlgebraStats* stats = nullptr,
+                            ExplainContext* ctx = nullptr) const;
 
-  /// EXPLAIN-style rendering of the operator tree.
-  std::string ToString() const;
+  /// EXPLAIN-style rendering of the operator tree; pass the context from
+  /// an Execute() call for the ANALYZE form.
+  std::string ToString(const ExplainContext* ctx = nullptr) const;
 
   const std::vector<std::string>& vars() const { return vars_; }
+  const PlanNode* root() const { return root_.get(); }
 
  private:
   std::vector<std::string> vars_;

@@ -1,0 +1,43 @@
+#ifndef GEMSTONE_STDM_EXPLAIN_H_
+#define GEMSTONE_STDM_EXPLAIN_H_
+
+#include <cstdint>
+#include <map>
+
+#include "telemetry/io_attribution.h"
+
+namespace gemstone::stdm {
+
+class PlanNode;
+
+/// Per-operator measurements from one EXPLAIN ANALYZE execution. Times
+/// and I/O tallies are *inclusive* (the node plus its subtree); renderers
+/// subtract children to show exclusive figures, and input cardinality is
+/// the sum of the children's output cardinalities.
+struct PlanNodeStats {
+  std::uint64_t calls = 0;
+  std::uint64_t rows_out = 0;
+  std::uint64_t elapsed_ns = 0;
+  telemetry::IoTally io;
+};
+
+/// Collects PlanNodeStats keyed by operator identity during one plan
+/// execution. Not thread-safe: one context per executing query, on the
+/// executing thread (which is also what makes the thread-local I/O tally
+/// attribution exact).
+class ExplainContext {
+ public:
+  PlanNodeStats& StatsFor(const PlanNode* node) { return stats_[node]; }
+  const PlanNodeStats* Find(const PlanNode* node) const {
+    auto it = stats_.find(node);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+  bool empty() const { return stats_.empty(); }
+
+ private:
+  std::map<const PlanNode*, PlanNodeStats> stats_;
+};
+
+}  // namespace gemstone::stdm
+
+#endif  // GEMSTONE_STDM_EXPLAIN_H_

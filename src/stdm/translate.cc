@@ -46,22 +46,16 @@ bool IsSubset(const std::unordered_set<std::string>& a,
                      [&](const std::string& v) { return b.count(v) != 0; });
 }
 
-}  // namespace
-
-Result<AlgebraPlan> TranslateToAlgebra(const CalculusQuery& query) {
+// Builds the operator tree for the query's ranges under one conjunctive
+// condition: scans joined left-deep (equi-join where a usable conjunct
+// exists, product otherwise) with selections pushed as low as their
+// variable sets allow.
+Result<std::unique_ptr<PlanNode>> BuildBranch(
+    const CalculusQuery& query, const Predicate& condition,
+    const std::unordered_set<std::string>& range_vars) {
   const std::size_t width = query.ranges.size();
-  std::vector<std::string> vars;
-  std::unordered_set<std::string> range_vars;
-  for (const Range& r : query.ranges) {
-    if (range_vars.count(r.var) != 0) {
-      return Status::InvalidArgument("duplicate range variable: " + r.var);
-    }
-    vars.push_back(r.var);
-    range_vars.insert(r.var);
-  }
-
   std::vector<Predicate> conjuncts;
-  FlattenConjuncts(query.condition, &conjuncts);
+  FlattenConjuncts(condition, &conjuncts);
   std::vector<bool> used(conjuncts.size(), false);
 
   std::unique_ptr<PlanNode> plan;
@@ -142,6 +136,41 @@ Result<AlgebraPlan> TranslateToAlgebra(const CalculusQuery& query) {
       plan = std::make_unique<FilterNode>(std::move(plan), conjuncts[c]);
       used[c] = true;
     }
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<AlgebraPlan> TranslateToAlgebra(const CalculusQuery& query) {
+  std::vector<std::string> vars;
+  std::unordered_set<std::string> range_vars;
+  for (const Range& r : query.ranges) {
+    if (range_vars.count(r.var) != 0) {
+      return Status::InvalidArgument("duplicate range variable: " + r.var);
+    }
+    vars.push_back(r.var);
+    range_vars.insert(r.var);
+  }
+
+  // A top-level disjunction becomes a union of per-disjunct branches, each
+  // planned independently so selection pushdown and join selection see a
+  // purely conjunctive condition. Duplicates across branches collapse at
+  // projection, matching the calculus evaluator's set semantics.
+  std::unique_ptr<PlanNode> plan;
+  if (query.condition.kind == Predicate::Kind::kOr) {
+    for (const Predicate& disjunct : query.condition.children) {
+      GS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> branch,
+                          BuildBranch(query, disjunct, range_vars));
+      plan = plan == nullptr ? std::move(branch)
+                             : std::make_unique<UnionNode>(std::move(plan),
+                                                           std::move(branch));
+    }
+    if (plan == nullptr) {
+      plan = std::make_unique<UnitNode>(query.ranges.size());
+    }
+  } else {
+    GS_ASSIGN_OR_RETURN(plan, BuildBranch(query, query.condition, range_vars));
   }
 
   return AlgebraPlan(std::move(vars), std::move(plan), query.target);

@@ -1,5 +1,8 @@
 #include "storage/simulated_disk.h"
 
+#include "telemetry/flight_recorder.h"
+#include "telemetry/io_attribution.h"
+
 namespace gemstone::storage {
 
 SimulatedDisk::SimulatedDisk(TrackId num_tracks, std::size_t track_capacity)
@@ -18,7 +21,10 @@ void SimulatedDisk::AccountSeek(TrackId track) const {
   const std::uint64_t delta = track >= last_track_
                                   ? track - last_track_
                                   : last_track_ - track;
-  if (delta > 1) seeks_.Increment();
+  if (delta > 1) {
+    seeks_.Increment();
+    ++telemetry::ThreadIoTally().seeks;
+  }
   seek_distance_.Increment(delta);
   last_track_ = track;
 }
@@ -31,11 +37,15 @@ Result<std::vector<std::uint8_t>> SimulatedDisk::ReadTrack(
                               " beyond device end");
   }
   if (read_faults_.count(track) != 0) {
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightEventKind::kStorageFault, 0, track, 0,
+        "injected read fault");
     return Status::IoError("injected read fault at track " +
                            std::to_string(track));
   }
   AccountSeek(track);
   tracks_read_.Increment();
+  ++telemetry::ThreadIoTally().tracks_read;
   return tracks_[track];
 }
 
@@ -58,10 +68,17 @@ Status SimulatedDisk::WriteTrack(TrackId track,
         data.resize(std::min(data.size(), tear_keep_bytes_));
         AccountSeek(track);
         tracks_written_.Increment();
+        ++telemetry::ThreadIoTally().tracks_written;
         tracks_[track] = std::move(data);
+        telemetry::FlightRecorder::Global().Record(
+            telemetry::FlightEventKind::kStorageFault, 0, track, 0,
+            "injected torn write");
         return Status::IoError("injected torn write at track " +
                                std::to_string(track));
       }
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightEventKind::kStorageFault, 0, track, 0,
+          "injected write fault");
       return Status::IoError("injected write fault at track " +
                              std::to_string(track));
     }
@@ -69,6 +86,7 @@ Status SimulatedDisk::WriteTrack(TrackId track,
   }
   AccountSeek(track);
   tracks_written_.Increment();
+  ++telemetry::ThreadIoTally().tracks_written;
   tracks_[track] = std::move(data);
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "storage/serializer.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/trace.h"
 
 namespace gemstone::storage {
@@ -61,12 +62,18 @@ Status StorageEngine::Open() {
     auto bytes = commit_manager_.ReadCatalogBytes(root);
     if (!bytes.ok()) {
       recovery_fallbacks_.Increment();
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightEventKind::kRecoveryFallback, 0, root.epoch, 0,
+          bytes.status().message());
       last_error = bytes.status();
       continue;
     }
     auto parsed = Catalog::Deserialize(bytes.value());
     if (!parsed.ok()) {
       recovery_fallbacks_.Increment();
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightEventKind::kRecoveryFallback, 0, root.epoch, 0,
+          parsed.status().message());
       last_error = parsed.status();
       continue;
     }

@@ -50,6 +50,20 @@ std::string JsonEscape(const std::string& in) {
   return out;
 }
 
+std::string PromLabelEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string ToText(const Snapshot& snapshot) {
   std::ostringstream out;
   std::size_t width = 0;
@@ -144,13 +158,10 @@ std::string ToPrometheus(const Snapshot& snapshot) {
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       cumulative += h.counts[i];
-      out << prom << "_bucket{le=\"";
-      if (i < h.bounds.size()) {
-        out << h.bounds[i];
-      } else {
-        out << "+Inf";
-      }
-      out << "\"} " << cumulative << "\n";
+      const std::string le =
+          i < h.bounds.size() ? std::to_string(h.bounds[i]) : "+Inf";
+      out << prom << "_bucket{le=\"" << PromLabelEscape(le) << "\"} "
+          << cumulative << "\n";
     }
     out << prom << "_sum " << h.sum << "\n"
         << prom << "_count " << h.count << "\n";

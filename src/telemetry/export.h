@@ -26,6 +26,11 @@ std::string ToPrometheus(const Snapshot& snapshot);
 /// JSON string escaping (shared with the bench emitters).
 std::string JsonEscape(const std::string& in);
 
+/// Prometheus label-value escaping: `\` -> `\\`, `"` -> `\"`, newline ->
+/// `\n` (the three escapes the exposition format defines). Every label
+/// value ToPrometheus emits goes through this.
+std::string PromLabelEscape(const std::string& in);
+
 }  // namespace gemstone::telemetry
 
 #endif  // GEMSTONE_TELEMETRY_EXPORT_H_

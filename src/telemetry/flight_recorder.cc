@@ -1,0 +1,140 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gemstone::telemetry {
+
+std::string_view FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kTxnBegin: return "txn_begin";
+    case FlightEventKind::kTxnCommit: return "txn_commit";
+    case FlightEventKind::kTxnAbort: return "txn_abort";
+    case FlightEventKind::kTxnConflict: return "txn_conflict";
+    case FlightEventKind::kStorageFault: return "storage_fault";
+    case FlightEventKind::kRecoveryFallback: return "recovery_fallback";
+    case FlightEventKind::kSlowOp: return "slow_op";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsFailureKind(FlightEventKind kind) {
+  return kind == FlightEventKind::kTxnAbort ||
+         kind == FlightEventKind::kTxnConflict ||
+         kind == FlightEventKind::kStorageFault;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never dies
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void FlightRecorder::Record(FlightEventKind kind, std::uint64_t session,
+                            std::uint64_t a, std::uint64_t b,
+                            std::string_view detail) {
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  {
+    MutexLock lock(slot.mu);
+    slot.event.seq = seq;
+    slot.event.ts_ns = TraceNowNs();
+    slot.event.kind = kind;
+    slot.event.session = session;
+    slot.event.a = a;
+    slot.event.b = b;
+    slot.event.detail.assign(detail);
+  }
+  // Registry view of the event flow (exporters pick this up for free).
+  static Counter* recorded =
+      MetricsRegistry::Global().GetCounter("flightrec.events");
+  recorded->Increment();
+  if (IsFailureKind(kind)) {
+    std::string path;
+    {
+      MutexLock lock(config_mu_);
+      path = auto_dump_path_;
+    }
+    if (!path.empty()) {
+      static Counter* dumps =
+          MetricsRegistry::Global().GetCounter("flightrec.auto_dumps");
+      dumps->Increment();
+      (void)DumpToFile(path);
+    }
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    MutexLock lock(slot.mu);
+    if (slot.event.seq != 0) out.push_back(slot.event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  const std::uint64_t recorded = total_recorded();
+  std::ostringstream out;
+  out << "{\"capacity\":" << capacity_ << ",\"recorded\":" << recorded
+      << ",\"dropped\":" << (recorded - events.size()) << ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"seq\":" << event.seq << ",\"ts_ns\":" << event.ts_ns
+        << ",\"kind\":\"" << FlightEventKindName(event.kind)
+        << "\",\"session\":" << event.session << ",\"a\":" << event.a
+        << ",\"b\":" << event.b << ",\"detail\":\""
+        << JsonEscape(event.detail) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << DumpJson() << "\n";
+  return static_cast<bool>(file);
+}
+
+void FlightRecorder::SetAutoDumpPath(std::string path) {
+  MutexLock lock(config_mu_);
+  auto_dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::auto_dump_path() const {
+  MutexLock lock(config_mu_);
+  return auto_dump_path_;
+}
+
+void FlightRecorder::ClearForTest() {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[i];
+    MutexLock lock(slot.mu);
+    slot.event = FlightEvent{};
+  }
+}
+
+}  // namespace gemstone::telemetry

@@ -1,0 +1,10 @@
+#include "telemetry/io_attribution.h"
+
+namespace gemstone::telemetry {
+
+IoTally& ThreadIoTally() {
+  thread_local IoTally tally;
+  return tally;
+}
+
+}  // namespace gemstone::telemetry

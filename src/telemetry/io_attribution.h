@@ -1,0 +1,34 @@
+#ifndef GEMSTONE_TELEMETRY_IO_ATTRIBUTION_H_
+#define GEMSTONE_TELEMETRY_IO_ATTRIBUTION_H_
+
+#include <cstdint>
+
+namespace gemstone::telemetry {
+
+/// Per-thread running totals of device work, maintained by the storage
+/// layer (SimulatedDisk bumps them alongside its process-wide counters).
+/// Consumers — EXPLAIN ANALYZE, the profiler — snapshot the tally before
+/// and after an operation and attribute the delta to it. Because the
+/// counters are thread-local the attribution is exact for single-threaded
+/// work (one query, one commit) with no locking at all.
+struct IoTally {
+  std::uint64_t tracks_read = 0;
+  std::uint64_t tracks_written = 0;
+  std::uint64_t seeks = 0;
+};
+
+/// This thread's monotonic I/O tally. Never resets; take deltas.
+IoTally& ThreadIoTally();
+
+/// `after - before`, field-wise.
+inline IoTally IoDelta(const IoTally& before, const IoTally& after) {
+  IoTally d;
+  d.tracks_read = after.tracks_read - before.tracks_read;
+  d.tracks_written = after.tracks_written - before.tracks_written;
+  d.seeks = after.seeks - before.seeks;
+  return d;
+}
+
+}  // namespace gemstone::telemetry
+
+#endif  // GEMSTONE_TELEMETRY_IO_ATTRIBUTION_H_

@@ -86,16 +86,57 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  const char first = name.front();
+  const bool first_ok = (first >= 'a' && first <= 'z') ||
+                        (first >= 'A' && first <= 'Z') || first == '_';
+  if (!first_ok) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    out.push_back(ok ? c : '_');
+  }
+  const char first = out.front();
+  if (!((first >= 'a' && first <= 'z') || (first >= 'A' && first <= 'Z') ||
+        first == '_')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string MetricsRegistry::AdmitNameLocked(const std::string& name) {
+  if (IsValidMetricName(name)) return name;
+  // Rejected: the instrument registers under the sanitized spelling and
+  // the rejection itself is observable (telemetry.invalid_metric_names).
+  auto& rejected = counters_["telemetry.invalid_metric_names"];
+  if (rejected == nullptr) rejected = std::make_unique<Counter>();
+  rejected->Increment();
+  return SanitizeMetricName(name);
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   MutexLock lock(mu_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[AdmitNameLocked(name)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   MutexLock lock(mu_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[AdmitNameLocked(name)];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
@@ -107,7 +148,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<std::uint64_t> bounds) {
   MutexLock lock(mu_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[AdmitNameLocked(name)];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }

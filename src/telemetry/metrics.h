@@ -148,6 +148,14 @@ class Registration {
   std::uint64_t id_ = 0;
 };
 
+/// A legal metric name: `[a-zA-Z_][a-zA-Z0-9_.]*` — everything the text,
+/// JSON, and Prometheus exporters can emit without quoting surprises.
+bool IsValidMetricName(std::string_view name);
+
+/// `name` with every illegal character replaced by '_' (prefixed with '_'
+/// when the first character cannot start a name).
+std::string SanitizeMetricName(std::string_view name);
+
 /// The process-wide metric namespace. Thread-safe.
 class MetricsRegistry {
  public:
@@ -155,6 +163,9 @@ class MetricsRegistry {
 
   /// Named instruments owned by the registry; created on first use, never
   /// deallocated, so the returned pointer may be cached indefinitely.
+  /// Invalid names (see IsValidMetricName) are rejected at registration:
+  /// the instrument registers under the sanitized spelling instead and
+  /// `telemetry.invalid_metric_names` counts the rejection.
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
@@ -177,6 +188,9 @@ class MetricsRegistry {
  private:
   friend class Registration;
   void Unregister(std::uint64_t id);
+
+  /// Validates (and when invalid, sanitizes + counts) a requested name.
+  std::string AdmitNameLocked(const std::string& name) GS_REQUIRES(mu_);
 
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_ GS_GUARDED_BY(mu_);

@@ -1,0 +1,197 @@
+#include "telemetry/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/export.h"
+#include "telemetry/trace.h"
+
+namespace gemstone::telemetry {
+
+namespace {
+
+// The innermost open scope on this thread (caller chain for attribution).
+thread_local ProfileScope* tls_top_scope = nullptr;
+
+// Accessor so ProfileScope methods can touch the TLS without exposing it.
+ProfileScope*& TopScope() { return tls_top_scope; }
+
+std::string FormatUs(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::atomic<bool> Profiler::enabled_{false};
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // never dies
+  return *profiler;
+}
+
+void Profiler::Reset() {
+  MutexLock lock(mu_);
+  edges_.clear();
+}
+
+void Profiler::RecordEdge(std::string_view caller, std::string_view callee,
+                          std::uint64_t inclusive_ns,
+                          std::uint64_t exclusive_ns,
+                          std::uint64_t allocations) {
+  std::string key;
+  key.reserve(caller.size() + callee.size() + 1);
+  key.append(caller);
+  key.push_back('\x1f');
+  key.append(callee);
+  MutexLock lock(mu_);
+  Cell& cell = edges_[key];
+  cell.calls += 1;
+  cell.inclusive_ns += inclusive_ns;
+  cell.exclusive_ns += exclusive_ns;
+  cell.allocations += allocations;
+}
+
+void Profiler::CountAlloc() {
+  if (!Enabled()) return;
+  ProfileScope* top = TopScope();
+  if (top != nullptr) {
+    // Private to this thread; ProfileScope grants the friendship.
+    ++top->allocations_;
+  }
+}
+
+std::vector<ProfileEdge> Profiler::Edges() const {
+  std::vector<ProfileEdge> out;
+  MutexLock lock(mu_);
+  out.reserve(edges_.size());
+  for (const auto& [key, cell] : edges_) {
+    const std::size_t sep = key.find('\x1f');
+    ProfileEdge edge;
+    edge.caller = key.substr(0, sep);
+    edge.callee = key.substr(sep + 1);
+    edge.calls = cell.calls;
+    edge.inclusive_ns = cell.inclusive_ns;
+    edge.exclusive_ns = cell.exclusive_ns;
+    edge.allocations = cell.allocations;
+    out.push_back(std::move(edge));
+  }
+  return out;
+}
+
+std::vector<ProfileSelector> Profiler::BySelector() const {
+  std::map<std::string, ProfileSelector> rollup;
+  for (const ProfileEdge& edge : Edges()) {
+    ProfileSelector& row = rollup[edge.callee];
+    row.selector = edge.callee;
+    row.calls += edge.calls;
+    row.inclusive_ns += edge.inclusive_ns;
+    row.exclusive_ns += edge.exclusive_ns;
+    row.allocations += edge.allocations;
+  }
+  std::vector<ProfileSelector> out;
+  out.reserve(rollup.size());
+  for (auto& [name, row] : rollup) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(),
+            [](const ProfileSelector& a, const ProfileSelector& b) {
+              return a.exclusive_ns > b.exclusive_ns;
+            });
+  return out;
+}
+
+std::string Profiler::ReportText(std::size_t limit) const {
+  std::vector<ProfileSelector> selectors = BySelector();
+  std::vector<ProfileEdge> edges = Edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const ProfileEdge& a, const ProfileEdge& b) {
+              return a.exclusive_ns > b.exclusive_ns;
+            });
+  if (selectors.empty()) {
+    return Enabled() ? "profiler: no sends recorded yet\n"
+                     : "profiler: off (use :profile on)\n";
+  }
+  std::ostringstream out;
+  out << "selector                         calls   excl_us   incl_us  allocs\n";
+  std::size_t shown = 0;
+  for (const ProfileSelector& row : selectors) {
+    if (limit != 0 && shown++ >= limit) break;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-30s %7llu %9s %9s %7llu\n",
+                  row.selector.c_str(),
+                  static_cast<unsigned long long>(row.calls),
+                  FormatUs(row.exclusive_ns).c_str(),
+                  FormatUs(row.inclusive_ns).c_str(),
+                  static_cast<unsigned long long>(row.allocations));
+    out << line;
+  }
+  out << "call edges (caller -> callee):\n";
+  shown = 0;
+  for (const ProfileEdge& edge : edges) {
+    if (limit != 0 && shown++ >= limit) break;
+    const std::string site =
+        (edge.caller.empty() ? std::string("<top>") : edge.caller) + " -> " +
+        edge.callee;
+    char line[200];
+    std::snprintf(line, sizeof(line), "  %-40s %7llu %9s %9s %7llu\n",
+                  site.c_str(), static_cast<unsigned long long>(edge.calls),
+                  FormatUs(edge.exclusive_ns).c_str(),
+                  FormatUs(edge.inclusive_ns).c_str(),
+                  static_cast<unsigned long long>(edge.allocations));
+    out << line;
+  }
+  return out.str();
+}
+
+std::string Profiler::ReportJson() const {
+  std::ostringstream out;
+  out << "{\"enabled\":" << (Enabled() ? "true" : "false")
+      << ",\"selectors\":[";
+  bool first = true;
+  for (const ProfileSelector& row : BySelector()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"selector\":\"" << JsonEscape(row.selector)
+        << "\",\"calls\":" << row.calls
+        << ",\"inclusive_ns\":" << row.inclusive_ns
+        << ",\"exclusive_ns\":" << row.exclusive_ns
+        << ",\"allocations\":" << row.allocations << "}";
+  }
+  out << "],\"edges\":[";
+  first = true;
+  for (const ProfileEdge& edge : Edges()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"caller\":\"" << JsonEscape(edge.caller) << "\",\"callee\":\""
+        << JsonEscape(edge.callee) << "\",\"calls\":" << edge.calls
+        << ",\"inclusive_ns\":" << edge.inclusive_ns
+        << ",\"exclusive_ns\":" << edge.exclusive_ns
+        << ",\"allocations\":" << edge.allocations << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+ProfileScope::ProfileScope(std::string_view callee)
+    : active_(!callee.empty() && Profiler::Enabled()), callee_(callee) {
+  if (!active_) return;
+  ProfileScope*& top = TopScope();
+  parent_ = top;
+  caller_ = top != nullptr ? top->callee_ : std::string_view();
+  top = this;
+  start_ns_ = TraceNowNs();
+}
+
+ProfileScope::~ProfileScope() {
+  if (!active_) return;
+  const std::uint64_t inclusive = TraceNowNs() - start_ns_;
+  const std::uint64_t exclusive =
+      inclusive > child_ns_ ? inclusive - child_ns_ : 0;
+  TopScope() = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += inclusive;
+  Profiler::Global().RecordEdge(caller_, callee_, inclusive, exclusive,
+                                allocations_);
+}
+
+}  // namespace gemstone::telemetry

@@ -1,0 +1,127 @@
+#ifndef GEMSTONE_TELEMETRY_PROFILER_H_
+#define GEMSTONE_TELEMETRY_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/annotations.h"
+#include "core/sync.h"
+
+namespace gemstone::telemetry {
+
+/// Aggregated cost of one call edge: `caller` is the selector whose
+/// activation issued the send, "" at top level; `callee` is the selector
+/// sent. Times are wall-clock; `exclusive_ns` excludes time spent in
+/// nested profiled scopes (so exclusive times sum to total runtime).
+struct ProfileEdge {
+  std::string caller;
+  std::string callee;
+  std::uint64_t calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+  std::uint64_t allocations = 0;  // objects created while this scope was top
+};
+
+/// Per-selector rollup of every edge with that callee.
+struct ProfileSelector {
+  std::string selector;
+  std::uint64_t calls = 0;
+  std::uint64_t inclusive_ns = 0;
+  std::uint64_t exclusive_ns = 0;
+  std::uint64_t allocations = 0;
+};
+
+/// The OPAL execution profiler: attributes wall time, send counts and
+/// allocation counts per selector and per call edge. Sampling-free —
+/// every profiled send opens a ProfileScope — and toggleable at runtime.
+///
+/// Cost model: when disabled, opening a scope is one relaxed atomic load
+/// and nothing else (no clock read, no name lookup — callers gate the
+/// name lookup on `Enabled()` too). When enabled, a scope costs two clock
+/// reads plus one short critical section on close. The disabled path is
+/// bounded by a guard test (tests/telemetry/profiler_test.cc).
+///
+/// Thread model: scopes nest per thread (a thread-local stack carries the
+/// caller chain); the edge table is shared under a mutex, touched only on
+/// scope close while enabled. Enable/Disable may race scopes on other
+/// threads: a scope records only if profiling was on when it *opened*.
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  /// The runtime toggle, readable without synchronization.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Discards every recorded edge (open scopes on other threads may still
+  /// land after the reset; callers quiesce first for exact numbers).
+  void Reset();
+
+  /// Attributes one object allocation to the innermost open scope of this
+  /// thread, if any. No-op (one relaxed load) when disabled.
+  static void CountAlloc();
+
+  std::vector<ProfileEdge> Edges() const;
+  /// Edges rolled up by callee, sorted by descending exclusive time.
+  std::vector<ProfileSelector> BySelector() const;
+
+  /// Human-readable table: per-selector rollup, then the hottest call
+  /// edges. `limit` rows per section (0 = all).
+  std::string ReportText(std::size_t limit = 20) const;
+  /// {"selectors":[...],"edges":[...]} with the same fields.
+  std::string ReportJson() const;
+
+ private:
+  friend class ProfileScope;
+
+  struct Cell {
+    std::uint64_t calls = 0;
+    std::uint64_t inclusive_ns = 0;
+    std::uint64_t exclusive_ns = 0;
+    std::uint64_t allocations = 0;
+  };
+
+  void RecordEdge(std::string_view caller, std::string_view callee,
+                  std::uint64_t inclusive_ns, std::uint64_t exclusive_ns,
+                  std::uint64_t allocations);
+
+  static std::atomic<bool> enabled_;
+
+  mutable Mutex mu_;
+  // Keyed "caller\x1f callee": selectors never contain \x1f.
+  std::map<std::string, Cell> edges_ GS_GUARDED_BY(mu_);
+};
+
+/// RAII attribution scope for one profiled send. Construct with the
+/// callee's selector name; the characters must stay valid for the scope's
+/// lifetime (interned symbol names qualify). An empty name, or profiling
+/// being off at construction, makes the scope inert.
+class ProfileScope {
+ public:
+  explicit ProfileScope(std::string_view callee);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  friend class Profiler;  // CountAlloc bumps the open scope's tally
+
+  bool active_;
+  std::string_view callee_;
+  std::string_view caller_;      // top of the thread stack at open
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;   // filled by nested scopes on close
+  std::uint64_t allocations_ = 0;
+  ProfileScope* parent_ = nullptr;
+};
+
+}  // namespace gemstone::telemetry
+
+#endif  // GEMSTONE_TELEMETRY_PROFILER_H_

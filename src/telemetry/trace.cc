@@ -1,5 +1,7 @@
 #include "telemetry/trace.h"
 
+#include "telemetry/flight_recorder.h"
+
 namespace gemstone::telemetry {
 
 namespace {
@@ -29,14 +31,23 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
 }
 
 void TraceBuffer::Record(const SpanRecord& span) {
-  MutexLock lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(span);
-  } else {
-    ring_[next_] = span;
+  // Registry pointer resolved outside mu_ (GetCounter takes its own lock).
+  static Counter* dropped_counter =
+      MetricsRegistry::Global().GetCounter("telemetry.dropped_spans");
+  bool wrapped = false;
+  {
+    MutexLock lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(span);
+    } else {
+      ring_[next_] = span;
+      ++dropped_;
+      wrapped = true;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
   }
-  next_ = (next_ + 1) % capacity_;
-  ++recorded_;
+  if (wrapped) dropped_counter->Increment();
 }
 
 std::vector<SpanRecord> TraceBuffer::Snapshot() const {
@@ -59,6 +70,7 @@ void TraceBuffer::Clear() {
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
+  dropped_ = 0;
 }
 
 std::size_t TraceBuffer::size() const {
@@ -69,6 +81,11 @@ std::size_t TraceBuffer::size() const {
 std::uint64_t TraceBuffer::total_recorded() const {
   MutexLock lock(mu_);
   return recorded_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
 }
 
 ScopedSpan::ScopedSpan(const char* name, Histogram* latency_us)
@@ -95,6 +112,13 @@ ScopedSpan::~ScopedSpan() {
   span.duration_ns = duration_ns;
   TraceBuffer::Global().Record(span);
   if (latency_us_ != nullptr) latency_us_->Observe(duration_ns / 1000);
+  // Slow-op capture: spans past the flight-recorder threshold are worth
+  // remembering even after the trace ring has long since wrapped.
+  FlightRecorder& recorder = FlightRecorder::Global();
+  const std::uint64_t threshold = recorder.slow_op_threshold_ns();
+  if (threshold != 0 && duration_ns >= threshold) {
+    recorder.Record(FlightEventKind::kSlowOp, 0, duration_ns, depth_, name_);
+  }
 }
 
 }  // namespace gemstone::telemetry

@@ -43,6 +43,9 @@ class TraceBuffer {
   std::size_t size() const;
   /// Spans ever recorded, including those already overwritten.
   std::uint64_t total_recorded() const;
+  /// Spans overwritten because the ring wrapped. Mirrored into the
+  /// registry counter `telemetry.dropped_spans` so exporters see it too.
+  std::uint64_t dropped() const;
 
  private:
   const std::size_t capacity_;
@@ -50,6 +53,7 @@ class TraceBuffer {
   std::vector<SpanRecord> ring_ GS_GUARDED_BY(mu_);
   std::size_t next_ GS_GUARDED_BY(mu_) = 0;  // slot the next record lands in
   std::uint64_t recorded_ GS_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ GS_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: records wall time from construction to destruction into the

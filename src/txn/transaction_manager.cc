@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "telemetry/flight_recorder.h"
+#include "telemetry/profiler.h"
 #include "telemetry/trace.h"
 
 namespace gemstone::txn {
@@ -27,7 +29,11 @@ std::unique_ptr<Transaction> TransactionManager::Begin(SessionId session,
                                                        UserId user) {
   WriterMutexLock lock(store_mu_);
   begun_.Increment();
-  return std::make_unique<Transaction>(session, clock_.load(), user);
+  auto txn = std::make_unique<Transaction>(session, clock_.load(), user);
+  telemetry::FlightRecorder::Global().Record(
+      telemetry::FlightEventKind::kTxnBegin, session, txn->start_time(), 0,
+      "");
+  return txn;
 }
 
 Status TransactionManager::CheckReadAccess(const Transaction* txn,
@@ -54,6 +60,9 @@ Status TransactionManager::Abort(Transaction* txn) {
   txn->state_ = TxnState::kAborted;
   txn->working_.clear();
   aborted_.Increment(1, std::memory_order_release);
+  telemetry::FlightRecorder::Global().Record(
+      telemetry::FlightEventKind::kTxnAbort, txn->session(),
+      txn->start_time(), 0, "explicit abort");
   return Status::OK();
 }
 
@@ -87,6 +96,10 @@ Status TransactionManager::Commit(Transaction* txn) {
     txn->working_.clear();
     aborted_.Increment(1, std::memory_order_release);
     conflicts_.Increment(1, std::memory_order_release);
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightEventKind::kTxnConflict, txn->session(), raw, 0,
+        std::string(what) + " object " + Oid(raw).ToString() +
+            " changed since start");
     return Status::TransactionConflict(std::string(what) + " object " +
                                        Oid(raw).ToString() +
                                        " changed since start");
@@ -114,6 +127,9 @@ Status TransactionManager::Commit(Transaction* txn) {
     txn->state_ = TxnState::kAborted;
     txn->working_.clear();
     aborted_.Increment(1, std::memory_order_release);
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightEventKind::kTxnAbort, txn->session(),
+        txn->start_time(), 0, status.message());
     return status;
   };
 
@@ -213,6 +229,13 @@ Status TransactionManager::Commit(Transaction* txn) {
   txn->state_ = TxnState::kCommitted;
   txn->working_.clear();
   committed_.Increment(1, std::memory_order_release);
+  const std::uint64_t latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - commit_start)
+          .count());
+  telemetry::FlightRecorder::Global().Record(
+      telemetry::FlightEventKind::kTxnCommit, txn->session(), commit_time,
+      latency_us, "");
   observe_latency();
   return Status::OK();
 }
@@ -244,6 +267,7 @@ Result<Oid> TransactionManager::CreateObject(Transaction* txn, Oid class_oid) {
   txn->working_.emplace(oid.raw, GsObject(oid, class_oid));
   txn->created_.insert(oid.raw);
   txn->dirty_[oid.raw];  // ensure the object publishes even if never written
+  telemetry::Profiler::CountAlloc();
   return oid;
 }
 

@@ -1,0 +1,140 @@
+// EXPLAIN / EXPLAIN ANALYZE over the Executor: golden plan shapes for a
+// simple selection, a disjunctive (union) query, and a time-dialed
+// history query, plus the failure modes a REPL user will hit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../stdm/acme_fixture.h"
+#include "executor/executor.h"
+#include "stdm/gsdm_bridge.h"
+
+namespace gemstone::executor {
+namespace {
+
+constexpr const char* kSelectBurns =
+    "{{E: e} where (e in X!Employees) [(e!Salary > 24,500)]}";
+// Salaries are 24650 (Burns) and 24000 (Peters): each disjunct selects
+// exactly one employee, so the union yields both.
+constexpr const char* kEitherTail =
+    "{{E: e} where (e in X!Employees) "
+    "[(e!Salary > 24,500) or (e!Salary < 24,100)]}";
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() {
+    session_ = executor_.Login().ValueOrDie();
+    acme_ = stdm::ImportStdm(executor_.session(session_), &executor_.memory(),
+                             stdm::BuildAcmeDatabase())
+                .ValueOrDie();
+    executor_.globals().Set(executor_.memory().symbols().Intern("X"), acme_);
+    EXPECT_TRUE(executor_.session(session_)->Commit().ok());
+    EXPECT_TRUE(executor_.session(session_)->Begin().ok());
+  }
+
+  Executor executor_;
+  SessionId session_ = 0;
+  Value acme_;
+};
+
+TEST_F(ExplainTest, SimpleSelectShape) {
+  auto explained = executor_.ExplainStdm(session_, kSelectBurns, false);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  const std::string& text = explained.value();
+  EXPECT_EQ(text.rfind("EXPLAIN {", 0), 0u) << text;
+  EXPECT_NE(text.find("time dial: now"), std::string::npos) << text;
+  EXPECT_NE(text.find("Filter[(e!Salary > 24500)]"), std::string::npos)
+      << text;  // "24,500" parses with its grouping comma
+  EXPECT_NE(text.find("Scan[X!Employees]"), std::string::npos) << text;
+  // Plain EXPLAIN carries no measurements.
+  EXPECT_EQ(text.find("(in="), std::string::npos) << text;
+  EXPECT_EQ(text.find("totals:"), std::string::npos) << text;
+}
+
+TEST_F(ExplainTest, UnionShapeForTopLevelOr) {
+  auto explained = executor_.ExplainStdm(session_, kEitherTail, false);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  const std::string& text = explained.value();
+  // One branch per disjunct, folded under a Union; each branch plans its
+  // own pushed-down filter over the shared range.
+  EXPECT_NE(text.find("Union"), std::string::npos) << text;
+  const std::size_t first_scan = text.find("Scan[X!Employees]");
+  ASSERT_NE(first_scan, std::string::npos) << text;
+  EXPECT_NE(text.find("Scan[X!Employees]", first_scan + 1),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ExplainTest, AnalyzeAnnotatesEveryOperatorAndSumsTotals) {
+  auto explained = executor_.ExplainStdm(session_, kEitherTail, true);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  const std::string& text = explained.value();
+  EXPECT_EQ(text.rfind("EXPLAIN ANALYZE {", 0), 0u) << text;
+  // Every plan line carries measurements; the union saw one row from each
+  // branch and emitted both.
+  EXPECT_NE(text.find("Union (in=2 out=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("time="), std::string::npos) << text;
+  EXPECT_NE(text.find("reads=0 writes=0 seeks=0"), std::string::npos) << text;
+  EXPECT_NE(text.find("bind (1 free vars):"), std::string::npos) << text;
+  EXPECT_NE(text.find("totals: rows=2 "), std::string::npos) << text;
+}
+
+TEST_F(ExplainTest, TimeDialedSessionExplainsThePast) {
+  // Commit a raise for Peters, then dial back before it: the analyzed
+  // query must see the historical salary (no employee under 24,100 any
+  // more at head, exactly one in the past).
+  txn::Session* s = executor_.session(session_);
+  const TxnTime before_raise = executor_.transactions().Now();
+  SymbolTable& symbols = executor_.memory().symbols();
+  Value employees =
+      s->ReadNamed(acme_.ref(), symbols.Intern("Employees")).ValueOrDie();
+  Value peters =
+      s->ReadNamed(employees.ref(), symbols.Intern("E83")).ValueOrDie();
+  ASSERT_TRUE(s->WriteNamed(peters.ref(), symbols.Intern("Salary"),
+                            Value::Integer(30000))
+                  .ok());
+  ASSERT_TRUE(s->Commit().ok());
+  ASSERT_TRUE(s->Begin().ok());
+
+  constexpr const char* kLowPaid =
+      "{{E: e} where (e in X!Employees) [(e!Salary < 24,100)]}";
+  auto now_rows = executor_.ExplainStdm(session_, kLowPaid, true);
+  ASSERT_TRUE(now_rows.ok()) << now_rows.status().ToString();
+  EXPECT_NE(now_rows->find("time dial: now"), std::string::npos);
+  EXPECT_NE(now_rows->find("totals: rows=0 "), std::string::npos)
+      << now_rows.value();
+
+  s->SetTimeDial(before_raise);
+  auto past_rows = executor_.ExplainStdm(session_, kLowPaid, true);
+  ASSERT_TRUE(past_rows.ok()) << past_rows.status().ToString();
+  EXPECT_NE(past_rows->find("time dial: " + std::to_string(before_raise) +
+                            " (free variables export at the dialed time)"),
+            std::string::npos)
+      << past_rows.value();
+  EXPECT_NE(past_rows->find("totals: rows=1 "), std::string::npos)
+      << past_rows.value();
+  s->ClearTimeDial();
+}
+
+TEST_F(ExplainTest, UnboundFreeVariableIsAClearError) {
+  auto explained = executor_.ExplainStdm(
+      session_, "{{E: e} where (e in Y!Employees) [(e!Salary > 1)]}", false);
+  ASSERT_FALSE(explained.ok());
+  EXPECT_EQ(explained.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(explained.status().message().find("'Y'"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ParseErrorsPropagate) {
+  auto explained = executor_.ExplainStdm(session_, "{{ not a query", false);
+  EXPECT_FALSE(explained.ok());
+}
+
+TEST_F(ExplainTest, UnknownSessionRejected) {
+  auto explained = executor_.ExplainStdm(999, kSelectBurns, false);
+  ASSERT_FALSE(explained.ok());
+  EXPECT_EQ(explained.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gemstone::executor

@@ -1,0 +1,145 @@
+#include "telemetry/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/trace.h"
+
+namespace gemstone::telemetry {
+namespace {
+
+// The profiler is a process-global; each test starts from a clean,
+// disabled state and leaves it that way.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() {
+    Profiler::Global().Disable();
+    Profiler::Global().Reset();
+  }
+  ~ProfilerTest() override {
+    Profiler::Global().Disable();
+    Profiler::Global().Reset();
+  }
+};
+
+// Burn a little real time so inclusive/exclusive figures are non-zero and
+// ordered the way the assertions expect.
+void Spin() {
+  volatile std::uint64_t x = 0;
+  for (int i = 0; i < 20000; ++i) x = x + static_cast<std::uint64_t>(i);
+}
+
+TEST_F(ProfilerTest, RecordsSelectorsEdgesAndAllocations) {
+  Profiler& profiler = Profiler::Global();
+  profiler.Enable();
+  {
+    ProfileScope outer("doWork");
+    Spin();
+    {
+      ProfileScope inner("helper");
+      Spin();
+      Profiler::CountAlloc();
+      Profiler::CountAlloc();
+    }
+    {
+      ProfileScope inner("helper");
+      Spin();
+    }
+  }
+  profiler.Disable();
+
+  const auto selectors = profiler.BySelector();
+  ASSERT_EQ(selectors.size(), 2u);
+  const ProfileSelector* do_work = nullptr;
+  const ProfileSelector* helper = nullptr;
+  for (const auto& s : selectors) {
+    if (s.selector == "doWork") do_work = &s;
+    if (s.selector == "helper") helper = &s;
+  }
+  ASSERT_NE(do_work, nullptr);
+  ASSERT_NE(helper, nullptr);
+  EXPECT_EQ(do_work->calls, 1u);
+  EXPECT_EQ(helper->calls, 2u);
+  EXPECT_EQ(helper->allocations, 2u);
+  // doWork's inclusive time covers both helper calls; its exclusive time
+  // does not.
+  EXPECT_GE(do_work->inclusive_ns,
+            do_work->exclusive_ns + helper->inclusive_ns);
+
+  // The edge table attributes helper's sends to their caller.
+  bool found_edge = false;
+  for (const auto& e : profiler.Edges()) {
+    if (e.caller == "doWork" && e.callee == "helper") {
+      found_edge = true;
+      EXPECT_EQ(e.calls, 2u);
+      EXPECT_EQ(e.allocations, 2u);
+    }
+  }
+  EXPECT_TRUE(found_edge);
+}
+
+TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
+  Profiler& profiler = Profiler::Global();
+  {
+    ProfileScope scope("invisible");
+    Profiler::CountAlloc();
+  }
+  EXPECT_TRUE(profiler.Edges().empty());
+  EXPECT_NE(profiler.ReportText().find("off"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, EmptyNameScopeIsInertEvenWhenEnabled) {
+  Profiler& profiler = Profiler::Global();
+  profiler.Enable();
+  { ProfileScope scope{std::string_view()}; }
+  profiler.Disable();
+  EXPECT_TRUE(profiler.Edges().empty());
+}
+
+TEST_F(ProfilerTest, ResetClearsRecordedEdges) {
+  Profiler& profiler = Profiler::Global();
+  profiler.Enable();
+  { ProfileScope scope("transient"); }
+  profiler.Disable();
+  ASSERT_FALSE(profiler.Edges().empty());
+  profiler.Reset();
+  EXPECT_TRUE(profiler.Edges().empty());
+}
+
+TEST_F(ProfilerTest, ReportsRenderBothStates) {
+  Profiler& profiler = Profiler::Global();
+  profiler.Enable();
+  {
+    ProfileScope scope("renderMe");
+    Spin();
+  }
+  const std::string on_report = profiler.ReportText();
+  EXPECT_NE(on_report.find("selector"), std::string::npos);
+  EXPECT_NE(on_report.find("renderMe"), std::string::npos);
+  const std::string json = profiler.ReportJson();
+  EXPECT_NE(json.find("\"selectors\""), std::string::npos);
+  EXPECT_NE(json.find("\"edges\""), std::string::npos);
+  profiler.Disable();
+}
+
+// The guard the header advertises: a disabled ProfileScope is one relaxed
+// atomic load. The bound is deliberately generous (500 ns/scope averaged
+// over 200k scopes) so it only trips on a real regression — e.g. taking
+// the registry lock or reading the clock on the disabled path — not on CI
+// noise or sanitizer overhead.
+TEST_F(ProfilerTest, DisabledOverheadBounded) {
+  Profiler::Global().Disable();
+  constexpr int kIters = 200000;
+  const std::uint64_t start = TraceNowNs();
+  for (int i = 0; i < kIters; ++i) {
+    ProfileScope scope("neverRecorded");
+  }
+  const std::uint64_t elapsed = TraceNowNs() - start;
+  EXPECT_LT(elapsed / kIters, 500u)
+      << "disabled ProfileScope costs " << elapsed / kIters << " ns";
+  EXPECT_TRUE(Profiler::Global().Edges().empty());
+}
+
+}  // namespace
+}  // namespace gemstone::telemetry
