@@ -1,0 +1,157 @@
+// Gateway throughput and latency over real loopback sockets: a Server
+// with an in-memory Executor behind it, driven by blocking net::Clients.
+// Emits BENCH_net.json with requests/sec (net.bench_rps_* gauges) and the
+// gateway's own net.request_latency_us histogram (p50/p99), so CI's
+// bench-smoke artifact tracks the network link alongside the engine.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "admin/authorization.h"
+#include "bench_telemetry.h"
+#include "executor/executor.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+using gemstone::admin::AuthorizationManager;
+using gemstone::executor::Executor;
+using gemstone::net::Client;
+using gemstone::net::Server;
+using gemstone::net::ServerOptions;
+
+/// One gateway shared by every benchmark in the binary; tearing a server
+/// up and down per iteration would measure thread spawn, not the wire.
+struct Gateway {
+  Gateway() {
+    ServerOptions options;
+    options.workers = 4;
+    options.max_connections = 128;
+    server = std::make_unique<Server>(&executor, &auth, options);
+    if (!server->Start().ok()) std::abort();
+  }
+
+  Executor executor;
+  AuthorizationManager auth;
+  std::unique_ptr<Server> server;
+};
+
+Gateway& SharedGateway() {
+  static Gateway* gateway = new Gateway();  // lives for the process
+  return *gateway;
+}
+
+/// Round-trips of a trivial OPAL block: the floor for wire + framing +
+/// dispatch + compile-execute-return latency.
+void BM_NetExecuteRoundTrip(benchmark::State& state) {
+  Gateway& gateway = SharedGateway();
+  Client client;
+  if (!client.Connect(gateway.server->port()).ok() || !client.Login().ok()) {
+    state.SkipWithError("connect/login failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = client.Execute("3 + 4");
+    if (!result.ok()) {
+      state.SkipWithError("execute failed");
+      break;
+    }
+    benchmark::DoNotOptimize(result.value());
+  }
+  (void)client.Logout();
+  state.counters["rps"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetExecuteRoundTrip);
+
+/// Full transaction over the wire: write + commit + begin.
+void BM_NetCommitRoundTrip(benchmark::State& state) {
+  Gateway& gateway = SharedGateway();
+  Client client;
+  if (!client.Connect(gateway.server->port()).ok() || !client.Login().ok()) {
+    state.SkipWithError("connect/login failed");
+    return;
+  }
+  if (!client.Execute("BenchBox := Object new").ok() ||
+      !client.Commit().ok() || !client.Begin().ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!client.Execute("BenchBox instVarNamed: 'v' put: 1").ok() ||
+        !client.Commit().ok() || !client.Begin().ok()) {
+      state.SkipWithError("txn failed");
+      break;
+    }
+  }
+  (void)client.Logout();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetCommitRoundTrip);
+
+/// Concurrent clients hammering disjoint globals: gateway-level
+/// parallelism (framing, queueing, socket I/O overlap execution).
+void BM_NetConcurrentClients(benchmark::State& state) {
+  Gateway& gateway = SharedGateway();
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int i = 0; i < clients; ++i) {
+      threads.emplace_back([&gateway] {
+        Client client;
+        if (!client.Connect(gateway.server->port()).ok() ||
+            !client.Login().ok()) {
+          return;
+        }
+        for (int r = 0; r < 8; ++r) {
+          (void)client.Execute("2 * 21");
+        }
+        (void)client.Logout();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * 8);
+}
+BENCHMARK(BM_NetConcurrentClients)->Arg(2)->Arg(8);
+
+}  // namespace
+
+// After the run, fold requests/sec into a gauge so EmitTelemetryReport's
+// BENCH_net.json carries it next to net.request_latency_us p50/p99.
+int main(int argc, char** argv) {
+  char arg0_default[] = "benchmark";
+  char* args_default = arg0_default;
+  if (!argv) {
+    argc = 1;
+    argv = &args_default;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+
+  // requests/sec observed by the gateway itself over the whole run.
+  auto& registry = gemstone::telemetry::MetricsRegistry::Global();
+  const auto snapshot = registry.Snapshot();
+  const auto requests = snapshot.counters.find("net.requests");
+  const auto latency = snapshot.histograms.find("net.request_latency_us");
+  if (requests != snapshot.counters.end() &&
+      latency != snapshot.histograms.end() && latency->second.sum > 0) {
+    const double rps = static_cast<double>(requests->second) /
+                       (static_cast<double>(latency->second.sum) / 1e6);
+    registry.GetGauge("net.bench_rps")
+        ->Set(static_cast<std::int64_t>(rps));
+  }
+  SharedGateway().server->Stop();
+  gemstone::bench::EmitTelemetryReport("net");
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "executor/error_format.h"
 #include "executor/executor.h"
 #include "telemetry/export.h"
 #include "telemetry/flight_recorder.h"
@@ -114,7 +115,9 @@ int main() {
       if (explained.ok()) {
         std::cout << explained.value();
       } else {
-        std::cout << "!! " << explained.status().ToString() << "\n";
+        std::cout << "!! "
+                  << gemstone::executor::FormatErrorText(explained.status())
+                  << "\n";
       }
       continue;
     }
@@ -145,7 +148,9 @@ int main() {
     if (result.ok()) {
       std::cout << "==> " << result.value() << "\n";
     } else {
-      std::cout << "!! " << result.status().ToString() << "\n";
+      std::cout << "!! "
+                << gemstone::executor::FormatErrorText(result.status())
+                << "\n";
     }
   }
   (void)server.Logout(session);

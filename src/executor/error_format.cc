@@ -1,0 +1,12 @@
+#include "executor/error_format.h"
+
+namespace gemstone::executor {
+
+std::string FormatErrorText(const Status& status) {
+  // Status::ToString already renders "<CodeName>: <message>"; the helper
+  // pins that spelling as the REPL/wire contract so the two surfaces
+  // cannot drift apart even if Status grows richer renderings.
+  return status.ToString();
+}
+
+}  // namespace gemstone::executor

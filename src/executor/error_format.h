@@ -1,0 +1,22 @@
+#ifndef GEMSTONE_EXECUTOR_ERROR_FORMAT_H_
+#define GEMSTONE_EXECUTOR_ERROR_FORMAT_H_
+
+#include <string>
+
+#include "core/status.h"
+
+namespace gemstone::executor {
+
+/// The canonical user-facing rendering of a failed OPAL/STDM request:
+/// "<CodeName>: <message>" (e.g. "CompileError: unexpected token ')'").
+///
+/// This is the single source of the error text a user sees — the local
+/// REPL prints it after "!! ", and the network gateway ships it verbatim
+/// inside kError frames — so a remote session reports exactly the same
+/// diagnostics as a local one for the same failure. OK statuses render
+/// as "OK" (callers on error paths never pass one).
+std::string FormatErrorText(const Status& status);
+
+}  // namespace gemstone::executor
+
+#endif  // GEMSTONE_EXECUTOR_ERROR_FORMAT_H_

@@ -67,6 +67,7 @@ Result<SessionId> Executor::Login(UserId user) {
   entry.interpreter->set_directories(&directories_);
   GS_RETURN_IF_ERROR(entry.session->Begin());
   sessions_.emplace(id, std::move(entry));
+  session_count_.fetch_add(1, std::memory_order_release);
   LoginCounter()->Increment();
   ActiveSessionsGauge()->Add(1);
   return id;
@@ -81,6 +82,7 @@ Status Executor::Logout(SessionId session) {
     (void)it->second.session->Abort();
   }
   sessions_.erase(it);
+  session_count_.fetch_sub(1, std::memory_order_release);
   ActiveSessionsGauge()->Add(-1);
   return Status::OK();
 }
@@ -116,6 +118,27 @@ Result<std::string> Executor::ExecuteToString(SessionId session,
 
 namespace {
 
+/// Free variables of a calculus query: everything it mentions minus its
+/// range variables, in first-mention order.
+std::vector<std::string> FreeVariableNames(const stdm::CalculusQuery& query) {
+  std::vector<std::string> mentioned;
+  for (const auto& [label, term] : query.target) term.CollectVars(&mentioned);
+  for (const stdm::Range& r : query.ranges) {
+    r.source.CollectVars(&mentioned);
+  }
+  query.condition.CollectVars(&mentioned);
+  std::set<std::string> range_vars;
+  for (const stdm::Range& r : query.ranges) range_vars.insert(r.var);
+  std::vector<std::string> free_names;
+  std::set<std::string> seen;
+  for (const std::string& v : mentioned) {
+    if (range_vars.count(v) == 0 && seen.insert(v).second) {
+      free_names.push_back(v);
+    }
+  }
+  return free_names;
+}
+
 std::string MsString(std::uint64_t ns) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
@@ -143,24 +166,7 @@ Result<std::string> Executor::ExplainStdm(SessionId session,
   GS_ASSIGN_OR_RETURN(stdm::CalculusQuery query,
                       stdm::ParseCalculus(query_text));
   GS_ASSIGN_OR_RETURN(stdm::AlgebraPlan plan, stdm::TranslateToAlgebra(query));
-
-  // Free variables: everything the query mentions minus its range vars,
-  // in first-mention order.
-  std::vector<std::string> mentioned;
-  for (const auto& [label, term] : query.target) term.CollectVars(&mentioned);
-  for (const stdm::Range& r : query.ranges) {
-    r.source.CollectVars(&mentioned);
-  }
-  query.condition.CollectVars(&mentioned);
-  std::set<std::string> range_vars;
-  for (const stdm::Range& r : query.ranges) range_vars.insert(r.var);
-  std::vector<std::string> free_names;
-  std::set<std::string> seen;
-  for (const std::string& v : mentioned) {
-    if (range_vars.count(v) == 0 && seen.insert(v).second) {
-      free_names.push_back(v);
-    }
-  }
+  const std::vector<std::string> free_names = FreeVariableNames(query);
 
   std::ostringstream out;
   out << (analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") << query.ToString()
@@ -179,17 +185,7 @@ Result<std::string> Executor::ExplainStdm(SessionId session,
   const telemetry::IoTally bind_before = telemetry::ThreadIoTally();
   std::deque<stdm::StdmValue> exported;
   stdm::Bindings free;
-  for (const std::string& name : free_names) {
-    Value value;
-    if (!globals_.Get(memory_.symbols().Intern(name), &value)) {
-      return Status::NotFound("free variable '" + name +
-                              "' is not bound to a global");
-    }
-    GS_ASSIGN_OR_RETURN(stdm::StdmValue v,
-                        stdm::ExportStdm(s, &memory_, value));
-    exported.push_back(std::move(v));
-    free.Push(name, &exported.back());
-  }
+  GS_RETURN_IF_ERROR(BindFreeVariables(s, free_names, &exported, &free));
   const telemetry::IoTally bind_io =
       telemetry::IoDelta(bind_before, telemetry::ThreadIoTally());
   const std::uint64_t bind_ns = telemetry::TraceNowNs() - bind_start;
@@ -220,6 +216,47 @@ Result<std::string> Executor::ExplainStdm(SessionId session,
       << " examined=" << stats.rows_examined << " "
       << IoLine(bind_ns + exec_ns, total_io) << "\n";
   return out.str();
+}
+
+Status Executor::BindFreeVariables(txn::Session* s,
+                                   const std::vector<std::string>& names,
+                                   std::deque<stdm::StdmValue>* exported,
+                                   stdm::Bindings* free) {
+  for (const std::string& name : names) {
+    Value value;
+    if (!globals_.Get(memory_.symbols().Intern(name), &value)) {
+      return Status::NotFound("free variable '" + name +
+                              "' is not bound to a global");
+    }
+    GS_ASSIGN_OR_RETURN(stdm::StdmValue v, stdm::ExportStdm(s, &memory_, value));
+    exported->push_back(std::move(v));
+    free->Push(name, &exported->back());
+  }
+  return Status::OK();
+}
+
+Result<std::string> Executor::ExecuteStdm(SessionId session,
+                                          std::string_view query_text) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + std::to_string(session));
+  }
+  txn::Session* s = it->second.session.get();
+
+  TELEM_SPAN("executor.stdm_query");
+  GS_ASSIGN_OR_RETURN(stdm::CalculusQuery query,
+                      stdm::ParseCalculus(query_text));
+  GS_ASSIGN_OR_RETURN(stdm::AlgebraPlan plan, stdm::TranslateToAlgebra(query));
+
+  std::deque<stdm::StdmValue> exported;
+  stdm::Bindings free;
+  GS_RETURN_IF_ERROR(
+      BindFreeVariables(s, FreeVariableNames(query), &exported, &free));
+
+  stdm::AlgebraStats stats;
+  GS_ASSIGN_OR_RETURN(stdm::StdmValue result,
+                      plan.Execute(free, &stats, nullptr));
+  return result.ToString();
 }
 
 // --- Schema persistence --------------------------------------------------------

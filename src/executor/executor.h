@@ -1,16 +1,21 @@
 #ifndef GEMSTONE_EXECUTOR_EXECUTOR_H_
 #define GEMSTONE_EXECUTOR_EXECUTOR_H_
 
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "core/result.h"
 #include "index/directory.h"
 #include "object/object_memory.h"
 #include "opal/compiler.h"
 #include "opal/interpreter.h"
+#include "stdm/calculus.h"
+#include "stdm/stdm_value.h"
 #include "storage/storage_engine.h"
 #include "txn/session.h"
 #include "txn/transaction_manager.h"
@@ -64,6 +69,13 @@ class Executor {
   Result<std::string> ExecuteToString(SessionId session,
                                       std::string_view source);
 
+  /// Runs a §5.1 set-calculus query: parses `query_text`, translates it
+  /// to set algebra, binds free variables from the globals at the
+  /// session's effective time (a time-dialed session queries the past
+  /// state), executes the plan, and renders the result set.
+  Result<std::string> ExecuteStdm(SessionId session,
+                                  std::string_view query_text);
+
   /// EXPLAIN (and with `analyze`, EXPLAIN ANALYZE) for a §5.1 set-calculus
   /// query: parses `query_text`, translates it to set algebra, and renders
   /// the operator tree. Free variables resolve from the globals and export
@@ -89,7 +101,12 @@ class Executor {
   opal::GlobalEnv& globals() { return globals_; }
   txn::Session* session(SessionId id);
   opal::Interpreter* interpreter(SessionId id);
-  std::size_t active_sessions() const { return sessions_.size(); }
+  /// Safe to call from any thread: monitors observe the gateway tearing
+  /// sessions down concurrently, so the count is a release/acquire atomic
+  /// rather than a read of the (unsynchronized) session table.
+  std::size_t active_sessions() const {
+    return session_count_.load(std::memory_order_acquire);
+  }
 
  private:
   struct SessionEntry {
@@ -98,6 +115,14 @@ class Executor {
   };
 
   void Bootstrap();
+
+  /// Resolves each named free variable from the globals and exports its
+  /// object graph at the session's effective time; `exported` keeps the
+  /// values' addresses stable for the Bindings.
+  Status BindFreeVariables(txn::Session* s,
+                           const std::vector<std::string>& names,
+                           std::deque<stdm::StdmValue>* exported,
+                           stdm::Bindings* free);
 
   /// Serializes user classes (names, superclasses, formats, instance
   /// variables, method sources) for schema recovery.
@@ -111,6 +136,7 @@ class Executor {
 
   SessionId next_session_ = 1;
   std::unordered_map<SessionId, SessionEntry> sessions_;
+  std::atomic<std::size_t> session_count_{0};
 };
 
 }  // namespace gemstone::executor

@@ -1,0 +1,193 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+namespace gemstone::net {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::system_category().message(errno);
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      inbuf_(std::move(other.inbuf_)),
+      max_frame_len_(other.max_frame_len_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    inbuf_ = std::move(other.inbuf_);
+    max_frame_len_ = other.max_frame_len_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(std::uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IoError(ErrnoText("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IoError(ErrnoText("connect"));
+    Close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::ReadFrame() {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  while (true) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeResult r =
+        DecodeFrame(inbuf_, max_frame_len_, &frame, &consumed);
+    if (r == DecodeResult::kFrame) {
+      inbuf_.erase(0, consumed);
+      return frame;
+    }
+    if (r == DecodeResult::kMalformed) {
+      return Status::Corruption("malformed frame from server");
+    }
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("recv"));
+    }
+    inbuf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::string> Client::RoundTrip(MsgType type, std::string_view payload) {
+  GS_RETURN_IF_ERROR(SendRaw(EncodeFrame(type, payload)));
+  GS_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  switch (frame.type) {
+    case MsgType::kOk:
+      return std::move(frame.payload);
+    case MsgType::kError:
+      return DecodeErrorPayload(frame.payload);
+    case MsgType::kProtocolError:
+      return Status::InvalidArgument("protocol error: " + frame.payload);
+    default:
+      return Status::Corruption("unexpected response frame type");
+  }
+}
+
+Result<std::uint64_t> Client::Login(UserId user) {
+  std::string payload;
+  AppendU32(&payload, static_cast<std::uint32_t>(user));
+  GS_ASSIGN_OR_RETURN(std::string response,
+                      RoundTrip(MsgType::kLogin, payload));
+  std::uint64_t session = 0;
+  if (!ReadU64(response, 0, &session)) {
+    return Status::Corruption("Login response missing session id");
+  }
+  return session;
+}
+
+Status Client::Logout() {
+  return RoundTrip(MsgType::kLogout, "").status();
+}
+
+Result<std::string> Client::Execute(std::string_view opal_source) {
+  return RoundTrip(MsgType::kExecuteOpal, opal_source);
+}
+
+Result<std::string> Client::Stdm(std::string_view query_text) {
+  return RoundTrip(MsgType::kStdmQuery, query_text);
+}
+
+Status Client::Begin() { return RoundTrip(MsgType::kBegin, "").status(); }
+
+Result<std::uint64_t> Client::Commit() {
+  GS_ASSIGN_OR_RETURN(std::string response, RoundTrip(MsgType::kCommit, ""));
+  std::uint64_t time = 0;
+  if (!ReadU64(response, 0, &time)) {
+    return Status::Corruption("Commit response missing commit time");
+  }
+  return time;
+}
+
+Status Client::Abort() { return RoundTrip(MsgType::kAbort, "").status(); }
+
+Status Client::SetTimeDial(std::uint64_t time) {
+  std::string payload(1, static_cast<char>(kDialExplicit));
+  AppendU64(&payload, time);
+  return RoundTrip(MsgType::kSetTimeDial, payload).status();
+}
+
+Status Client::SetTimeDialToSafeTime() {
+  return RoundTrip(MsgType::kSetTimeDial,
+                   std::string(1, static_cast<char>(kDialSafeTime)))
+      .status();
+}
+
+Status Client::ClearTimeDial() {
+  return RoundTrip(MsgType::kSetTimeDial,
+                   std::string(1, static_cast<char>(kDialClear)))
+      .status();
+}
+
+Result<std::string> Client::Explain(std::string_view query_text,
+                                    bool analyze) {
+  std::string payload(1, analyze ? '\1' : '\0');
+  payload.append(query_text);
+  return RoundTrip(MsgType::kExplain, payload);
+}
+
+Result<std::string> Client::Stats(std::uint8_t format) {
+  return RoundTrip(MsgType::kStats,
+                   std::string(1, static_cast<char>(format)));
+}
+
+}  // namespace gemstone::net

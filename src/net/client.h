@@ -1,0 +1,87 @@
+#ifndef GEMSTONE_NET_CLIENT_H_
+#define GEMSTONE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "core/status.h"
+#include "net/wire.h"
+
+namespace gemstone::net {
+
+/// A blocking client for the gemstone::net gateway — the host-machine side
+/// of §6's network link. One Client is one connection is (after Login) one
+/// session; it is not thread-safe — give each thread its own Client, the
+/// way each host terminal in the paper owns its session.
+///
+/// Every request method blocks until the matching response frame arrives.
+/// kError responses become the carried Status (the same text a local REPL
+/// would print); kProtocolError responses become InvalidArgument. A torn
+/// connection surfaces as IoError.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to a gateway on 127.0.0.1:`port`.
+  Status Connect(std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Opens the connection's session as `user`; answers the session id.
+  Result<std::uint64_t> Login(UserId user = kDbaUser);
+  Status Logout();
+
+  /// Compiles and runs one block of OPAL source; answers the printString
+  /// of the block's value.
+  Result<std::string> Execute(std::string_view opal_source);
+
+  /// Runs a §5.1 set-calculus query; answers the rendered result set.
+  Result<std::string> Stdm(std::string_view query_text);
+
+  Status Begin();
+  /// Commits; answers the database's logical clock after the commit, so a
+  /// remote client can learn times to dial back to.
+  Result<std::uint64_t> Commit();
+  Status Abort();
+
+  Status SetTimeDial(std::uint64_t time);
+  Status SetTimeDialToSafeTime();
+  Status ClearTimeDial();
+
+  /// EXPLAIN (or EXPLAIN ANALYZE) for a set-calculus query.
+  Result<std::string> Explain(std::string_view query_text, bool analyze);
+
+  /// The gateway's metrics snapshot (kStatsText/kStatsJson/kStatsProm).
+  Result<std::string> Stats(std::uint8_t format = kStatsText);
+
+  // --- Low-level escape hatches (protocol tests) -------------------------------
+
+  /// Writes raw bytes to the socket, bypassing framing. Fuzz tests use
+  /// this to send garbage.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one complete frame (blocking). IoError on EOF/reset — a clean
+  /// server-side close after a protocol error lands here.
+  Result<Frame> ReadFrame();
+
+ private:
+  /// Sends one frame and reads the response; kOk answers the payload.
+  Result<std::string> RoundTrip(MsgType type, std::string_view payload);
+
+  int fd_ = -1;
+  std::string inbuf_;
+  std::uint32_t max_frame_len_ = 1u << 20;
+};
+
+}  // namespace gemstone::net
+
+#endif  // GEMSTONE_NET_CLIENT_H_

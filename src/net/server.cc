@@ -1,0 +1,740 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "executor/error_format.h"
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/trace.h"
+
+namespace gemstone::net {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " +
+         std::system_category().message(errno);
+}
+
+std::uint64_t NowMs() { return telemetry::TraceNowNs() / 1'000'000; }
+
+/// Scoped Session owner binding: the worker claims the session for the
+/// duration of one request (GS_THREAD_SAFETY builds assert this), then
+/// releases it so the next request may run on any worker.
+class SessionOwnerBinding {
+ public:
+  explicit SessionOwnerBinding(txn::Session* session) : session_(session) {
+    if (session_ != nullptr) session_->BindOwnerToCurrentThread();
+  }
+  ~SessionOwnerBinding() {
+    if (session_ != nullptr) session_->ReleaseOwner();
+  }
+  SessionOwnerBinding(const SessionOwnerBinding&) = delete;
+  SessionOwnerBinding& operator=(const SessionOwnerBinding&) = delete;
+
+ private:
+  txn::Session* session_;
+};
+
+}  // namespace
+
+/// One parsed request waiting for a worker.
+struct Server::Request {
+  MsgType type = MsgType::kOk;
+  std::string payload;
+  std::uint64_t enqueued_ns = 0;
+};
+
+/// Per-connection state. The socket, read buffer, and timestamps belong
+/// to the event-loop thread; pending/outbox/flags are shared with workers
+/// under `mu`. `session`/`logged_in` are written by the single worker
+/// serving the connection and read by the reaper only after it observes
+/// `scheduled == false` under `mu`, which orders the accesses.
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+
+  // Event-loop-thread state.
+  std::string inbuf;
+  std::uint64_t last_frame_ms = 0;
+  bool read_paused = false;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  // Worker-owned session binding (see struct comment).
+  SessionId session = 0;
+  bool logged_in = false;
+
+  mutable Mutex mu;
+  std::deque<Request> pending GS_GUARDED_BY(mu);
+  std::string outbox GS_GUARDED_BY(mu);
+  bool scheduled GS_GUARDED_BY(mu) = false;
+  bool dead GS_GUARDED_BY(mu) = false;
+  bool close_after_flush GS_GUARDED_BY(mu) = false;
+  std::string close_reason GS_GUARDED_BY(mu);
+};
+
+Server::Server(executor::Executor* executor,
+               admin::AuthorizationManager* auth, ServerOptions options)
+    : executor_(executor), auth_(auth), options_(options) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  connections_gauge_ = registry.GetGauge("net.connections");
+  accepted_ = registry.GetCounter("net.connections_accepted");
+  rejected_ = registry.GetCounter("net.connections_rejected");
+  requests_ = registry.GetCounter("net.requests");
+  request_errors_ = registry.GetCounter("net.request_errors");
+  protocol_errors_ = registry.GetCounter("net.protocol_errors");
+  bytes_in_ = registry.GetCounter("net.bytes_in");
+  bytes_out_ = registry.GetCounter("net.bytes_out");
+  backpressure_stalls_ = registry.GetCounter("net.backpressure_stalls");
+  idle_timeouts_ = registry.GetCounter("net.idle_timeouts");
+  request_timeouts_ = registry.GetCounter("net.request_timeouts");
+  request_latency_us_ = registry.GetHistogram("net.request_latency_us");
+}
+
+Server::~Server() { Stop(); }
+
+std::int64_t Server::connection_count() const {
+  return connections_gauge_->value();
+}
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  if (auth_ != nullptr) {
+    executor_->transactions().set_access_controller(auth_);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::IoError(ErrnoText("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IoError(ErrnoText("bind"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IoError(ErrnoText("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  int wake[2] = {-1, -1};
+  if (::pipe2(wake, O_NONBLOCK | O_CLOEXEC) < 0) {
+    Status s = Status::IoError(ErrnoText("pipe2"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  wake_read_fd_ = wake[0];
+  wake_write_fd_ = wake[1];
+
+  stopping_.store(false, std::memory_order_release);
+  workers_done_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = false;
+    queue_.clear();
+  }
+
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+  worker_threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    worker_threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  stopping_.store(true, std::memory_order_release);
+  WakeLoop();
+
+  // Drain: workers finish everything already parsed (in-flight commits
+  // included), then exit when the queue runs dry.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : worker_threads_) worker.join();
+  worker_threads_.clear();
+
+  // With the pool gone, outboxes are final: the loop flushes and exits.
+  workers_done_.store(true, std::memory_order_release);
+  WakeLoop();
+  loop_thread_.join();
+
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+void Server::WakeLoop() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+// --- Event loop ----------------------------------------------------------------
+
+void Server::EventLoop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Connection>> polled;
+  std::uint64_t drain_deadline_ms = 0;
+
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping && drain_deadline_ms == 0) {
+      drain_deadline_ms = NowMs() + 5000;
+    }
+
+    fds.clear();
+    polled.clear();
+    if (!stopping && listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+    } else {
+      fds.push_back({-1, 0, 0});  // keep indices stable
+    }
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+
+    bool flushing = false;  // any outbox still draining
+    for (auto& [id, conn] : connections_) {
+      if (conn->fd < 0) continue;
+      short events = 0;
+      bool paused_by_limits = false;
+      bool flushed_and_closing = false;
+      bool dead = false;
+      {
+        MutexLock lock(conn->mu);
+        dead = conn->dead;
+        if (!dead) {
+          const bool limits = conn->pending.size() >= options_.max_pipeline ||
+                              conn->outbox.size() >= options_.outbox_limit;
+          const bool want_read =
+              !stopping && !conn->close_after_flush && !limits;
+          paused_by_limits = limits && !stopping && !conn->close_after_flush;
+          if (want_read) events |= POLLIN;
+          if (!conn->outbox.empty()) {
+            events |= POLLOUT;
+            flushing = true;
+          } else if (conn->close_after_flush) {
+            // Response already flushed; nothing left to wait for.
+            flushed_and_closing = true;
+          }
+        }
+      }
+      if (dead) continue;
+      if (flushed_and_closing) {
+        MarkDead(conn.get(), "closed after protocol error");
+        continue;
+      }
+      if (paused_by_limits && !conn->read_paused) {
+        conn->read_paused = true;
+        backpressure_stalls_->Increment();
+      } else if (!paused_by_limits) {
+        conn->read_paused = false;
+      }
+      fds.push_back({conn->fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    if (stopping) {
+      bool workers_busy = false;
+      if (!workers_done_.load(std::memory_order_acquire)) {
+        workers_busy = true;
+      }
+      if ((!workers_busy && !flushing) || NowMs() >= drain_deadline_ms) {
+        break;
+      }
+    }
+
+    const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    if (n < 0 && errno != EINTR) break;
+
+    // Drain wakeup bytes.
+    if (fds[1].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    if (fds[0].revents & POLLIN) AcceptReady();
+
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const pollfd& pfd = fds[i + 2];
+      Connection* conn = polled[i].get();
+      if (conn->fd < 0) continue;
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        MarkDead(conn, "socket error");
+        continue;
+      }
+      if (pfd.revents & POLLOUT) WriteReady(conn);
+      if (conn->fd >= 0 && (pfd.revents & (POLLIN | POLLHUP))) {
+        ReadReady(polled[i]);
+      }
+    }
+
+    // Idle-timeout sweep.
+    if (options_.idle_timeout_ms > 0 && !stopping) {
+      const std::uint64_t now = NowMs();
+      for (auto& [id, conn] : connections_) {
+        if (conn->fd < 0) continue;
+        if (now - conn->last_frame_ms > options_.idle_timeout_ms) {
+          idle_timeouts_->Increment();
+          MarkDead(conn.get(), "idle timeout");
+        }
+      }
+    }
+
+    ReapDeadConnections();
+  }
+
+  // Teardown: whatever survives the drain is closed and its session
+  // aborted (logout aborts any open transaction).
+  for (auto& [id, conn] : connections_) {
+    MarkDead(conn.get(), "server shutdown");
+    {
+      MutexLock lock(conn->mu);
+      conn->pending.clear();
+      conn->scheduled = false;
+    }
+  }
+  ReapDeadConnections();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptReady() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: poll again
+    if (connections_.size() >= options_.max_connections) {
+      rejected_->Increment();
+      const std::string frame =
+          EncodeFrame(MsgType::kProtocolError, "server at connection capacity");
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_frame_ms = NowMs();
+    connections_.emplace(conn->id, conn);
+    accepted_->Increment();
+    connections_gauge_->Add(1);
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightEventKind::kNetConnOpen, 0, conn->id, 0, "");
+  }
+}
+
+void Server::ReadReady(const std::shared_ptr<Connection>& conn) {
+  char buf[65536];
+  const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+  if (n == 0) {
+    MarkDead(conn.get(), "peer closed");
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    MarkDead(conn.get(), ErrnoText("read"));
+    return;
+  }
+  bytes_in_->Increment(static_cast<std::uint64_t>(n));
+  conn->bytes_in += static_cast<std::uint64_t>(n);
+  conn->inbuf.append(buf, static_cast<std::size_t>(n));
+  ParseFrames(conn);
+}
+
+void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
+  std::size_t offset = 0;
+  bool scheduled_any = false;
+  while (true) {
+    Frame frame;
+    std::size_t used = 0;
+    const DecodeResult r =
+        DecodeFrame(std::string_view(conn->inbuf).substr(offset),
+                    options_.max_frame_len, &frame, &used);
+    if (r == DecodeResult::kNeedMore) break;
+    if (r == DecodeResult::kMalformed) {
+      // The length prefix is garbage, so the stream cannot resync:
+      // answer once, flush, close.
+      protocol_errors_->Increment();
+      const std::string response = EncodeFrame(
+          MsgType::kProtocolError,
+          "malformed frame: length must be in [1, " +
+              std::to_string(options_.max_frame_len) + "]");
+      MutexLock lock(conn->mu);
+      conn->outbox += response;
+      conn->close_after_flush = true;
+      conn->inbuf.clear();
+      return;
+    }
+    offset += used;
+    conn->last_frame_ms = NowMs();
+    Request request;
+    request.type = frame.type;
+    request.payload = std::move(frame.payload);
+    request.enqueued_ns = telemetry::TraceNowNs();
+    {
+      MutexLock lock(conn->mu);
+      conn->pending.push_back(std::move(request));
+    }
+    scheduled_any = true;
+  }
+  if (offset > 0) conn->inbuf.erase(0, offset);
+  if (scheduled_any) Schedule(conn);
+}
+
+void Server::WriteReady(Connection* conn) {
+  constexpr std::size_t kMaxWrite = 256 * 1024;
+  std::string chunk;
+  {
+    MutexLock lock(conn->mu);
+    if (conn->outbox.empty()) return;
+    chunk.assign(conn->outbox, 0, std::min(kMaxWrite, conn->outbox.size()));
+  }
+  const ssize_t n = ::send(conn->fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    MarkDead(conn, ErrnoText("write"));
+    return;
+  }
+  bytes_out_->Increment(static_cast<std::uint64_t>(n));
+  conn->bytes_out += static_cast<std::uint64_t>(n);
+  bool close_now = false;
+  {
+    MutexLock lock(conn->mu);
+    conn->outbox.erase(0, static_cast<std::size_t>(n));
+    close_now = conn->close_after_flush && conn->outbox.empty();
+  }
+  if (close_now) MarkDead(conn, "closed after protocol error");
+}
+
+void Server::Schedule(const std::shared_ptr<Connection>& conn) {
+  bool enqueue = false;
+  {
+    MutexLock lock(conn->mu);
+    if (!conn->scheduled && !conn->dead && !conn->pending.empty()) {
+      conn->scheduled = true;
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::MarkDead(Connection* conn, const std::string& reason) {
+  {
+    MutexLock lock(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+    conn->close_reason = reason;
+  }
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void Server::ReapDeadConnections() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* conn = it->second.get();
+    bool reap = false;
+    std::string reason;
+    {
+      MutexLock lock(conn->mu);
+      // A scheduled connection is still referenced by a worker; its
+      // teardown waits for the completion wakeup.
+      reap = conn->dead && !conn->scheduled;
+      reason = conn->close_reason;
+    }
+    if (!reap) {
+      ++it;
+      continue;
+    }
+    if (conn->logged_in) {
+      MutexLock lock(executor_mu_);
+      // Logout aborts any transaction the disconnected client left open.
+      (void)executor_->Logout(conn->session);
+    }
+    connections_gauge_->Add(-1);
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightEventKind::kNetConnClose, conn->session,
+        conn->bytes_in, conn->bytes_out, reason);
+    it = connections_.erase(it);
+  }
+}
+
+// --- Worker pool ---------------------------------------------------------------
+
+void Server::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return queue_closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    Request request;
+    bool have = false;
+    {
+      MutexLock lock(conn->mu);
+      if (conn->dead) {
+        conn->pending.clear();
+        conn->scheduled = false;
+      } else if (!conn->pending.empty()) {
+        request = std::move(conn->pending.front());
+        conn->pending.pop_front();
+        have = true;
+      } else {
+        conn->scheduled = false;
+      }
+    }
+
+    if (have) HandleRequest(conn.get(), std::move(request));
+
+    // Round-robin fairness: a pipelining client goes to the back of the
+    // queue instead of monopolizing this worker.
+    bool more = false;
+    {
+      MutexLock lock(conn->mu);
+      if (conn->dead || conn->pending.empty()) {
+        if (conn->dead) conn->pending.clear();
+        conn->scheduled = false;
+      } else {
+        more = true;
+      }
+    }
+    if (more) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_.push_back(conn);
+      }
+      queue_cv_.notify_one();
+    }
+    WakeLoop();
+  }
+}
+
+std::string Server::ErrorFrame(const Status& status) {
+  request_errors_->Increment();
+  return EncodeFrame(MsgType::kError, EncodeErrorPayload(status));
+}
+
+void Server::HandleRequest(Connection* conn, Request&& request) {
+  requests_->Increment();
+  std::string response;
+
+  const std::uint64_t now_ns = telemetry::TraceNowNs();
+  const std::uint64_t timeout_ns = options_.request_timeout_ms * 1'000'000;
+  if (timeout_ns > 0 && now_ns - request.enqueued_ns > timeout_ns) {
+    request_timeouts_->Increment();
+    response = ErrorFrame(Status::Unavailable(
+        "request timed out waiting for a worker (server overloaded)"));
+  } else if (request.type == MsgType::kStats) {
+    // Stats is a monitoring endpoint: no login, no executor lock.
+    const std::uint8_t format =
+        request.payload.empty()
+            ? kStatsText
+            : static_cast<std::uint8_t>(request.payload[0]);
+    const telemetry::Snapshot snapshot =
+        telemetry::MetricsRegistry::Global().Snapshot();
+    std::string text;
+    switch (format) {
+      case kStatsJson: text = telemetry::ToJson(snapshot); break;
+      case kStatsProm: text = telemetry::ToPrometheus(snapshot); break;
+      default: text = telemetry::ToText(snapshot); break;
+    }
+    response = EncodeFrame(MsgType::kOk, text);
+  } else {
+    MutexLock lock(executor_mu_);
+    response = DispatchLocked(conn, request);
+  }
+
+  request_latency_us_->Observe(
+      (telemetry::TraceNowNs() - request.enqueued_ns) / 1000);
+
+  {
+    MutexLock lock(conn->mu);
+    if (!conn->dead) conn->outbox += response;
+  }
+}
+
+std::string Server::DispatchLocked(Connection* conn, const Request& request) {
+  // Everything below Login requires a bound session.
+  if (request.type != MsgType::kLogin && !conn->logged_in) {
+    if (request.type == MsgType::kExecuteOpal ||
+        request.type == MsgType::kStdmQuery ||
+        request.type == MsgType::kBegin || request.type == MsgType::kCommit ||
+        request.type == MsgType::kAbort ||
+        request.type == MsgType::kSetTimeDial ||
+        request.type == MsgType::kExplain ||
+        request.type == MsgType::kLogout) {
+      return ErrorFrame(
+          Status::TransactionState("not logged in: send Login first"));
+    }
+  }
+
+  // Login and Logout sit outside the owner binding: Login has no session
+  // yet, and Logout destroys the Session inside the call — a binding's
+  // release would touch freed memory.
+  if (request.type == MsgType::kLogin) {
+    if (conn->logged_in) {
+      return ErrorFrame(
+          Status::TransactionState("connection already logged in"));
+    }
+    std::uint32_t user = 0;
+    if (request.payload.size() != 4 || !ReadU32(request.payload, 0, &user)) {
+      return ErrorFrame(
+          Status::InvalidArgument("Login payload must be a u32 user id"));
+    }
+    auto logged = executor_->Login(static_cast<UserId>(user));
+    if (!logged.ok()) return ErrorFrame(logged.status());
+    conn->session = logged.value();
+    conn->logged_in = true;
+    std::string payload;
+    AppendU64(&payload, conn->session);
+    return EncodeFrame(MsgType::kOk, payload);
+  }
+  if (request.type == MsgType::kLogout) {
+    Status s = executor_->Logout(conn->session);
+    conn->logged_in = false;
+    conn->session = 0;
+    if (!s.ok()) return ErrorFrame(s);
+    return EncodeFrame(MsgType::kOk, "");
+  }
+
+  txn::Session* session =
+      conn->logged_in ? executor_->session(conn->session) : nullptr;
+  SessionOwnerBinding owner(session);
+
+  switch (request.type) {
+    case MsgType::kExecuteOpal: {
+      auto result = executor_->ExecuteToString(conn->session, request.payload);
+      if (!result.ok()) return ErrorFrame(result.status());
+      return EncodeFrame(MsgType::kOk, result.value());
+    }
+
+    case MsgType::kStdmQuery: {
+      auto result = executor_->ExecuteStdm(conn->session, request.payload);
+      if (!result.ok()) return ErrorFrame(result.status());
+      return EncodeFrame(MsgType::kOk, result.value());
+    }
+
+    case MsgType::kBegin: {
+      Status s = session->Begin();
+      if (!s.ok()) return ErrorFrame(s);
+      return EncodeFrame(MsgType::kOk, "");
+    }
+
+    case MsgType::kCommit: {
+      // 1:1 with Session::Commit — the transaction ends either way; the
+      // client decides when to Begin the next one. A conflict travels
+      // back as an error frame, never a disconnect.
+      Status s = session->Commit();
+      if (!s.ok()) return ErrorFrame(s);
+      std::string payload;
+      AppendU64(&payload, executor_->transactions().Now());
+      return EncodeFrame(MsgType::kOk, payload);
+    }
+
+    case MsgType::kAbort: {
+      Status s = session->Abort();
+      if (!s.ok()) return ErrorFrame(s);
+      return EncodeFrame(MsgType::kOk, "");
+    }
+
+    case MsgType::kSetTimeDial: {
+      if (request.payload.empty()) {
+        return ErrorFrame(Status::InvalidArgument(
+            "SetTimeDial payload must carry a mode byte"));
+      }
+      const auto mode = static_cast<std::uint8_t>(request.payload[0]);
+      if (mode == kDialClear && request.payload.size() == 1) {
+        session->ClearTimeDial();
+      } else if (mode == kDialSafeTime && request.payload.size() == 1) {
+        session->SetTimeDialToSafeTime();
+      } else if (mode == kDialExplicit && request.payload.size() == 9) {
+        std::uint64_t time = 0;
+        ReadU64(request.payload, 1, &time);
+        session->SetTimeDial(time);
+      } else {
+        return ErrorFrame(
+            Status::InvalidArgument("malformed SetTimeDial payload"));
+      }
+      return EncodeFrame(MsgType::kOk, "");
+    }
+
+    case MsgType::kExplain: {
+      if (request.payload.empty()) {
+        return ErrorFrame(Status::InvalidArgument(
+            "Explain payload must carry an analyze byte and a query"));
+      }
+      const bool analyze = request.payload[0] != 0;
+      auto result = executor_->ExplainStdm(
+          conn->session, std::string_view(request.payload).substr(1), analyze);
+      if (!result.ok()) return ErrorFrame(result.status());
+      return EncodeFrame(MsgType::kOk, result.value());
+    }
+
+    default: {
+      // A well-framed but unknown type: semantic error, connection keeps
+      // going — a newer client against an older server degrades politely.
+      protocol_errors_->Increment();
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "0x%02x",
+                    static_cast<unsigned>(request.type));
+      return EncodeFrame(MsgType::kProtocolError,
+                         std::string("unknown message type ") + hex);
+    }
+  }
+}
+
+}  // namespace gemstone::net

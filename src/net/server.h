@@ -1,0 +1,185 @@
+#ifndef GEMSTONE_NET_SERVER_H_
+#define GEMSTONE_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "admin/authorization.h"
+#include "core/annotations.h"
+#include "core/status.h"
+#include "core/sync.h"
+#include "executor/executor.h"
+#include "net/wire.h"
+#include "telemetry/metrics.h"
+
+namespace gemstone::net {
+
+/// Tuning and robustness knobs. The defaults suit tests and small
+/// deployments; every limit exists so one client cannot take the gateway
+/// down (the §6 deployment serves many host machines from one system).
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1... 0 picks an ephemeral port
+  /// (Server::port() reports the choice).
+  std::uint16_t port = 0;
+
+  /// Worker threads executing requests. Dispatch into the Executor is
+  /// serialized (see DESIGN.md §10); extra workers still overlap framing,
+  /// response writes, and queue handoff with execution.
+  int workers = 4;
+
+  /// Accepted connections beyond this are answered with a kProtocolError
+  /// frame ("server at connection capacity") and closed.
+  std::size_t max_connections = 64;
+
+  /// Frames whose length prefix exceeds this are a framing error: the
+  /// connection gets a kProtocolError frame and is closed (the stream
+  /// cannot resync).
+  std::uint32_t max_frame_len = 1u << 20;
+
+  /// Parsed-but-unserved requests a connection may pipeline before the
+  /// gateway stops reading from it (backpressure).
+  std::size_t max_pipeline = 32;
+
+  /// Bytes a connection's outbox may buffer before the gateway stops
+  /// reading new requests from it (backpressure).
+  std::size_t outbox_limit = 4u << 20;
+
+  /// Close connections with no complete frame for this long. 0 disables.
+  std::uint64_t idle_timeout_ms = 0;
+
+  /// Requests that waited in the dispatch queue longer than this are
+  /// answered with an Unavailable error frame instead of executing
+  /// (admission control under overload). 0 disables.
+  std::uint64_t request_timeout_ms = 0;
+};
+
+/// The multi-session network gateway (§6's "network link"): a poll(2)
+/// event loop accepts connections and parses length-prefixed frames
+/// without blocking; complete requests are handed to a bounded worker
+/// pool; each connection is bound to one txn::Session created at login
+/// and torn down (aborting any open transaction) when the connection
+/// dies. Failures of user code travel back as error frames — the gateway
+/// never answers an OPAL/STDM failure with a disconnect.
+///
+/// Threading model (DESIGN.md §10): one event-loop thread owns every
+/// socket; `workers` threads own request execution. A connection is in
+/// the dispatch queue at most once, so its requests execute in order and
+/// its Session is never touched by two workers at once (enforced in
+/// GS_THREAD_SAFETY builds by the Session owner assertion).
+class Server {
+ public:
+  /// `executor` must outlive the server. `auth`, when non-null, is
+  /// installed as the transaction manager's access controller, so every
+  /// remote read/write is checked against the logged-in user's segments.
+  Server(executor::Executor* executor, admin::AuthorizationManager* auth,
+         ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event loop and worker pool.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting and reading, lets in-flight
+  /// requests (including commits) finish, flushes outboxes, aborts the
+  /// sessions of surviving connections, closes every socket, and joins
+  /// all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Live connection count (telemetry-backed; test convenience).
+  std::int64_t connection_count() const;
+
+ private:
+  struct Connection;
+  struct Request;
+
+  void EventLoop();
+  void WorkerLoop();
+
+  void AcceptReady();
+  void ReadReady(const std::shared_ptr<Connection>& conn);
+  void WriteReady(Connection* conn);
+  /// Parses complete frames out of conn->inbuf and schedules them.
+  void ParseFrames(const std::shared_ptr<Connection>& conn);
+  void Schedule(const std::shared_ptr<Connection>& conn);
+  /// Marks a connection dead and closes its socket; session teardown
+  /// happens later in ReapDeadConnections once no worker references it.
+  void MarkDead(Connection* conn, const std::string& reason);
+  void ReapDeadConnections();
+  void WakeLoop();
+
+  /// Executes one request and appends the response frame to the outbox.
+  void HandleRequest(Connection* conn, Request&& request);
+  std::string DispatchLocked(Connection* conn, const Request& request)
+      GS_REQUIRES(executor_mu_);
+  /// Renders a failure as a kError frame (and counts it).
+  std::string ErrorFrame(const Status& status);
+
+  executor::Executor* executor_;
+  admin::AuthorizationManager* auth_;
+  const ServerOptions options_;
+
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Set by Stop() once the worker pool has drained and joined; the event
+  /// loop then only flushes outboxes before exiting.
+  std::atomic<bool> workers_done_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  /// Serializes every call into the Executor: its session table, compiler,
+  /// class registry, and interpreters are session-confined or shared
+  /// without locks; the TransactionManager below is thread-safe, so this
+  /// is the gateway's single coarse lock (see DESIGN.md §10).
+  Mutex executor_mu_;
+
+  /// Dispatch queue: connections with pending requests, each present at
+  /// most once. Guarded by queue_mu_ — a raw std::mutex (invisible to the
+  /// thread-safety analysis) because the workers block on a condvar.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Connection>> queue_;
+  bool queue_closed_ = false;
+
+  /// Connection table; event-loop thread only.
+  std::map<int, std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Telemetry (registry-owned; pointers stable for process lifetime).
+  telemetry::Gauge* connections_gauge_;
+  telemetry::Counter* accepted_;
+  telemetry::Counter* rejected_;
+  telemetry::Counter* requests_;
+  telemetry::Counter* request_errors_;
+  telemetry::Counter* protocol_errors_;
+  telemetry::Counter* bytes_in_;
+  telemetry::Counter* bytes_out_;
+  telemetry::Counter* backpressure_stalls_;
+  telemetry::Counter* idle_timeouts_;
+  telemetry::Counter* request_timeouts_;
+  telemetry::Histogram* request_latency_us_;
+};
+
+}  // namespace gemstone::net
+
+#endif  // GEMSTONE_NET_SERVER_H_

@@ -1,0 +1,109 @@
+#include "net/wire.h"
+
+#include "executor/error_format.h"
+
+namespace gemstone::net {
+
+std::string_view MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kLogin: return "Login";
+    case MsgType::kExecuteOpal: return "ExecuteOpal";
+    case MsgType::kStdmQuery: return "StdmQuery";
+    case MsgType::kBegin: return "Begin";
+    case MsgType::kCommit: return "Commit";
+    case MsgType::kAbort: return "Abort";
+    case MsgType::kSetTimeDial: return "SetTimeDial";
+    case MsgType::kExplain: return "Explain";
+    case MsgType::kStats: return "Stats";
+    case MsgType::kLogout: return "Logout";
+    case MsgType::kOk: return "Ok";
+    case MsgType::kError: return "Error";
+    case MsgType::kProtocolError: return "ProtocolError";
+  }
+  return "unknown";
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  AppendU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  AppendU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+bool ReadU32(std::string_view buf, std::size_t offset, std::uint32_t* out) {
+  if (buf.size() < offset + 4) return false;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buf[offset + i]));
+  };
+  *out = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  return true;
+}
+
+bool ReadU64(std::string_view buf, std::size_t offset, std::uint64_t* out) {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  if (!ReadU32(buf, offset, &lo) || !ReadU32(buf, offset + 4, &hi)) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(lo) |
+         (static_cast<std::uint64_t>(hi) << 32);
+  return true;
+}
+
+void AppendFrame(std::string* out, MsgType type, std::string_view payload) {
+  AppendU32(out, static_cast<std::uint32_t>(payload.size() + 1));
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+std::string EncodeFrame(MsgType type, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+DecodeResult DecodeFrame(std::string_view buf, std::uint32_t max_frame_len,
+                         Frame* out, std::size_t* consumed) {
+  std::uint32_t len = 0;
+  if (!ReadU32(buf, 0, &len)) return DecodeResult::kNeedMore;
+  if (len == 0 || len > max_frame_len) return DecodeResult::kMalformed;
+  if (buf.size() < 4u + len) return DecodeResult::kNeedMore;
+  out->type = static_cast<MsgType>(static_cast<unsigned char>(buf[4]));
+  out->payload.assign(buf.substr(5, len - 1));
+  *consumed = 4u + len;
+  return DecodeResult::kFrame;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string payload;
+  payload.push_back(static_cast<char>(status.code()));
+  payload += executor::FormatErrorText(status);
+  return payload;
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::Internal("empty error frame");
+  }
+  const auto raw = static_cast<unsigned char>(payload[0]);
+  StatusCode code = StatusCode::kInternal;
+  if (raw <= static_cast<unsigned char>(StatusCode::kInternal)) {
+    code = static_cast<StatusCode>(raw);
+  }
+  std::string text(payload.substr(1));
+  if (code == StatusCode::kOk) {
+    // An error frame must carry an error; a lying peer degrades to
+    // Internal rather than minting an OK-coded failure.
+    return Status::Internal("error frame carried OK code: " + text);
+  }
+  return Status(code, std::move(text));
+}
+
+}  // namespace gemstone::net

@@ -1,0 +1,125 @@
+#ifndef GEMSTONE_NET_WIRE_H_
+#define GEMSTONE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/access_control.h"
+#include "core/ids.h"
+#include "core/status.h"
+
+namespace gemstone::net {
+
+/// The network link of §6: host machines talk to the GemStone system over
+/// a length-prefixed binary protocol whose unit of communication matches
+/// the paper's — "blocks of code" in, "results and error messages" out.
+///
+/// Frame grammar (all integers little-endian):
+///
+///   frame   := u32 len | u8 type | payload[len - 1]
+///
+/// `len` counts the type byte plus the payload, so the smallest legal
+/// frame has len == 1 (a bare type byte). len == 0 and len >
+/// max_frame_len are framing errors: the receiver cannot resync, answers
+/// with a kProtocolError frame, and closes.
+///
+/// Request payloads:
+///   kLogin        u32 user
+///   kExecuteOpal  OPAL source text
+///   kStdmQuery    §5.1 set-calculus query text
+///   kBegin        (empty)
+///   kCommit       (empty)
+///   kAbort        (empty)
+///   kSetTimeDial  u8 mode (kDialClear | kDialSafeTime | kDialExplicit),
+///                 then u64 time when explicit
+///   kExplain      u8 analyze (0/1) | query text
+///   kStats        u8 format (kStatsText | kStatsJson | kStatsProm)
+///   kLogout       (empty)
+///
+/// Response payloads:
+///   kOk            request-specific: Login answers u64 session id,
+///                  Commit answers u64 commit time, text otherwise
+///   kError         u8 StatusCode | error text — the same structured text
+///                  the local REPL prints (executor::FormatErrorText).
+///                  An error frame never implies a disconnect.
+///   kProtocolError text; sent for malformed input. The server closes the
+///                  connection only when framing cannot resync (bad len);
+///                  an unknown type byte inside a well-formed frame keeps
+///                  the connection open.
+enum class MsgType : std::uint8_t {
+  kLogin = 0x01,
+  kExecuteOpal = 0x02,
+  kStdmQuery = 0x03,
+  kBegin = 0x04,
+  kCommit = 0x05,
+  kAbort = 0x06,
+  kSetTimeDial = 0x07,
+  kExplain = 0x08,
+  kStats = 0x09,
+  kLogout = 0x0A,
+
+  kOk = 0x80,
+  kError = 0x81,
+  kProtocolError = 0x82,
+};
+
+std::string_view MsgTypeName(MsgType type);
+
+// SetTimeDial modes.
+inline constexpr std::uint8_t kDialClear = 0;
+inline constexpr std::uint8_t kDialSafeTime = 1;
+inline constexpr std::uint8_t kDialExplicit = 2;
+
+// Stats formats.
+inline constexpr std::uint8_t kStatsText = 0;
+inline constexpr std::uint8_t kStatsJson = 1;
+inline constexpr std::uint8_t kStatsProm = 2;
+
+/// One decoded frame: the type byte plus its payload bytes.
+struct Frame {
+  MsgType type = MsgType::kOk;
+  std::string payload;
+};
+
+// --- Little-endian integer helpers ------------------------------------------
+
+void AppendU32(std::string* out, std::uint32_t v);
+void AppendU64(std::string* out, std::uint64_t v);
+
+/// Reads a u32/u64 at `offset`; false when the buffer is too short.
+bool ReadU32(std::string_view buf, std::size_t offset, std::uint32_t* out);
+bool ReadU64(std::string_view buf, std::size_t offset, std::uint64_t* out);
+
+// --- Frame encode / decode ---------------------------------------------------
+
+/// Appends one complete frame (length prefix included) to `out`.
+void AppendFrame(std::string* out, MsgType type, std::string_view payload);
+
+std::string EncodeFrame(MsgType type, std::string_view payload);
+
+enum class DecodeResult {
+  kNeedMore,   // buffer holds a frame prefix only; read more bytes
+  kFrame,      // *out holds a frame; *consumed bytes were used
+  kMalformed,  // len == 0 or len > max_frame_len; stream cannot resync
+};
+
+/// Attempts to decode one frame from the front of `buf`. On kFrame,
+/// `*consumed` is the byte count to drop from the buffer. The type byte
+/// is *not* validated — unknown types are a semantic error the dispatch
+/// layer answers with kProtocolError, not a framing error.
+DecodeResult DecodeFrame(std::string_view buf, std::uint32_t max_frame_len,
+                         Frame* out, std::size_t* consumed);
+
+// --- Error-frame payload encoding -------------------------------------------
+
+/// kError payload: u8 StatusCode | message text (FormatErrorText form).
+std::string EncodeErrorPayload(const Status& status);
+
+/// Reconstructs the Status a kError payload carries; codes outside the
+/// StatusCode range (a newer peer) degrade to kInternal.
+Status DecodeErrorPayload(std::string_view payload);
+
+}  // namespace gemstone::net
+
+#endif  // GEMSTONE_NET_WIRE_H_

@@ -19,6 +19,8 @@ std::string_view FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kStorageFault: return "storage_fault";
     case FlightEventKind::kRecoveryFallback: return "recovery_fallback";
     case FlightEventKind::kSlowOp: return "slow_op";
+    case FlightEventKind::kNetConnOpen: return "net_conn_open";
+    case FlightEventKind::kNetConnClose: return "net_conn_close";
   }
   return "unknown";
 }

@@ -23,6 +23,8 @@ enum class FlightEventKind : std::uint8_t {
   kStorageFault,      // device error surfaced; detail = status message
   kRecoveryFallback,  // Open abandoned a root slot; detail = why
   kSlowOp,            // a span exceeded the slow-op threshold; a = ns
+  kNetConnOpen,       // gateway accepted a connection; a = connection id
+  kNetConnClose,      // a = bytes in, b = bytes out; detail = reason
 };
 
 std::string_view FlightEventKindName(FlightEventKind kind);

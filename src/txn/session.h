@@ -1,6 +1,8 @@
 #ifndef GEMSTONE_TXN_SESSION_H_
 #define GEMSTONE_TXN_SESSION_H_
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <optional>
 
@@ -21,6 +23,14 @@ namespace gemstone::txn {
 /// transaction can make changes."
 class Session {
  public:
+  /// A Session is deliberately unsynchronized: it belongs to one thread
+  /// at a time (DESIGN.md §8, "session-confined"). In GS_THREAD_SAFETY
+  /// builds every transaction-control and data-access call runs a cheap
+  /// owner check — two relaxed atomic ops — and the process aborts with a
+  /// diagnostic if two threads are ever inside the session concurrently,
+  /// or if a call arrives from a thread other than a bound owner. A
+  /// mis-wired worker pool therefore fails loudly instead of silently
+  /// corrupting the transaction workspace.
   Session(TransactionManager* manager, SessionId id, UserId user = kDbaUser)
       : manager_(manager), id_(id), user_(user) {}
 
@@ -65,15 +75,54 @@ class Session {
   /// Structural equivalence at the session's effective time (§4.2).
   Result<bool> DeepEquals(const Value& a, const Value& b);
 
+  // --- Owning-thread assertion (GS_THREAD_SAFETY builds) ----------------------
+
+  /// Pins the session to the calling thread until ReleaseOwner(): any
+  /// call from another thread aborts. The network gateway binds a worker
+  /// before dispatching a request and releases it after, so ownership may
+  /// legally migrate between requests but never mid-request. No-op (and
+  /// zero cost) when GS_THREAD_SAFETY is off.
+  void BindOwnerToCurrentThread() const;
+  void ReleaseOwner() const;
+
  private:
   Status RequireActive() const;
   Status RequireWritable() const;
+
+#ifdef GS_THREAD_SAFETY
+  /// RAII reentrancy detector entered by every fallible public method.
+  /// Entry CASes owner_ from 0 to this thread's token; a CAS loss against
+  /// a *different* thread means two threads are inside concurrently →
+  /// abort. Exit clears owner_ when the outermost guard leaves, unless an
+  /// explicit bind holds it.
+  class OwnerGuard {
+   public:
+    explicit OwnerGuard(const Session* session);
+    ~OwnerGuard();
+    OwnerGuard(const OwnerGuard&) = delete;
+    OwnerGuard& operator=(const OwnerGuard&) = delete;
+
+   private:
+    const Session* session_;
+  };
+#else
+  class OwnerGuard {
+   public:
+    explicit OwnerGuard(const Session*) {}
+  };
+#endif
 
   TransactionManager* manager_;
   SessionId id_;
   UserId user_;
   std::unique_ptr<Transaction> txn_;
   std::optional<TxnTime> dial_;
+
+#ifdef GS_THREAD_SAFETY
+  mutable std::atomic<std::size_t> owner_{0};  // thread token; 0 = unowned
+  mutable std::atomic<std::uint32_t> owner_depth_{0};
+  mutable std::atomic<bool> owner_bound_{false};
+#endif
 };
 
 }  // namespace gemstone::txn

@@ -1,0 +1,143 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gemstone::net {
+namespace {
+
+TEST(WireTest, IntegersRoundTripLittleEndian) {
+  std::string buf;
+  AppendU32(&buf, 0x01020304u);
+  ASSERT_EQ(buf.size(), 4u);
+  // Little-endian: least significant byte first.
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+  std::uint32_t v32 = 0;
+  ASSERT_TRUE(ReadU32(buf, 0, &v32));
+  EXPECT_EQ(v32, 0x01020304u);
+
+  buf.clear();
+  AppendU64(&buf, 0x1122334455667788ull);
+  std::uint64_t v64 = 0;
+  ASSERT_TRUE(ReadU64(buf, 0, &v64));
+  EXPECT_EQ(v64, 0x1122334455667788ull);
+
+  EXPECT_FALSE(ReadU32("abc", 0, &v32));
+  EXPECT_FALSE(ReadU64(buf, 1, &v64));
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  const std::string encoded = EncodeFrame(MsgType::kExecuteOpal, "3 + 4");
+  ASSERT_EQ(encoded.size(), 4u + 1u + 5u);
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(encoded, 1u << 20, &frame, &consumed),
+            DecodeResult::kFrame);
+  EXPECT_EQ(consumed, encoded.size());
+  EXPECT_EQ(frame.type, MsgType::kExecuteOpal);
+  EXPECT_EQ(frame.payload, "3 + 4");
+}
+
+TEST(WireTest, EmptyPayloadFrameIsLegal) {
+  const std::string encoded = EncodeFrame(MsgType::kBegin, "");
+  ASSERT_EQ(encoded.size(), 5u);  // len=1: just the type byte
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(encoded, 16, &frame, &consumed), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kBegin);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireTest, PartialFramesNeedMore) {
+  const std::string encoded = EncodeFrame(MsgType::kStdmQuery, "query");
+  Frame frame;
+  std::size_t consumed = 0;
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_EQ(DecodeFrame(std::string_view(encoded).substr(0, cut), 1u << 20,
+                          &frame, &consumed),
+              DecodeResult::kNeedMore)
+        << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, TwoFramesDecodeInSequence) {
+  std::string buf;
+  AppendFrame(&buf, MsgType::kBegin, "");
+  AppendFrame(&buf, MsgType::kCommit, "");
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(buf, 64, &frame, &consumed), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kBegin);
+  buf.erase(0, consumed);
+  ASSERT_EQ(DecodeFrame(buf, 64, &frame, &consumed), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kCommit);
+  EXPECT_EQ(buf.size(), consumed);
+}
+
+TEST(WireTest, ZeroLengthIsMalformed) {
+  std::string buf;
+  AppendU32(&buf, 0);
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(buf, 1u << 20, &frame, &consumed),
+            DecodeResult::kMalformed);
+}
+
+TEST(WireTest, OversizedLengthIsMalformed) {
+  std::string buf;
+  AppendU32(&buf, 1024 + 1);
+  buf.push_back(static_cast<char>(MsgType::kBegin));
+  Frame frame;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(buf, 1024, &frame, &consumed),
+            DecodeResult::kMalformed);
+  // The same prefix under a bigger cap is merely incomplete.
+  EXPECT_EQ(DecodeFrame(buf, 2048, &frame, &consumed),
+            DecodeResult::kNeedMore);
+}
+
+TEST(WireTest, UnknownTypeByteIsNotAFramingError) {
+  // The framing layer hands unknown types through; dispatch answers them.
+  std::string buf;
+  AppendU32(&buf, 1);
+  buf.push_back('\x7f');
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(buf, 64, &frame, &consumed), DecodeResult::kFrame);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame.type), 0x7f);
+}
+
+TEST(WireTest, ErrorPayloadRoundTripsStatus) {
+  const Status conflict =
+      Status::TransactionConflict("write-write conflict on oid 7");
+  const Status decoded = DecodeErrorPayload(EncodeErrorPayload(conflict));
+  EXPECT_EQ(decoded.code(), StatusCode::kTransactionConflict);
+  // The text is the shared REPL rendering: "<CodeName>: <message>".
+  EXPECT_NE(decoded.message().find("write-write conflict on oid 7"),
+            std::string::npos);
+}
+
+TEST(WireTest, ErrorPayloadRejectsLies) {
+  // Empty payload and OK-coded "errors" degrade to Internal.
+  EXPECT_EQ(DecodeErrorPayload("").code(), StatusCode::kInternal);
+  std::string ok_coded(1, '\0');
+  ok_coded += "fine";
+  EXPECT_EQ(DecodeErrorPayload(ok_coded).code(), StatusCode::kInternal);
+  // Out-of-range codes (a newer peer) degrade rather than crash.
+  std::string future(1, '\xee');
+  future += "novel failure";
+  const Status s = DecodeErrorPayload(future);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "novel failure");
+}
+
+TEST(WireTest, MsgTypeNamesAreStable) {
+  EXPECT_EQ(MsgTypeName(MsgType::kLogin), "Login");
+  EXPECT_EQ(MsgTypeName(MsgType::kProtocolError), "ProtocolError");
+  EXPECT_EQ(MsgTypeName(static_cast<MsgType>(0x7f)), "unknown");
+}
+
+}  // namespace
+}  // namespace gemstone::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace gemstone::txn {
 namespace {
 
@@ -224,6 +226,44 @@ TEST_F(Figure1SessionTest, SafeTimeReadOnlySessionNeverConflicts) {
   // ...and its commit validates trivially.
   EXPECT_TRUE(reader.Commit().ok());
 }
+
+#ifdef GS_THREAD_SAFETY
+using SessionOwnerDeathTest = SessionTest;
+
+TEST_F(SessionOwnerDeathTest, CallFromNonOwnerThreadAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_TRUE(session_.Begin().ok());
+  // Pin the session to this thread; a call from any other thread must
+  // abort with the single-threaded-session diagnostic.
+  session_.BindOwnerToCurrentThread();
+  EXPECT_DEATH(
+      {
+        std::thread intruder([this] { (void)session_.Commit(); });
+        intruder.join();
+      },
+      "single-threaded");
+  session_.ReleaseOwner();
+}
+
+TEST_F(SessionOwnerDeathTest, OwnershipMigratesBetweenRequests) {
+  // The gateway pattern: different workers serve successive requests, each
+  // binding and releasing around its dispatch. Legal — never aborts.
+  ASSERT_TRUE(session_.Begin().ok());
+  std::thread worker_a([this] {
+    session_.BindOwnerToCurrentThread();
+    EXPECT_TRUE(
+        session_.Create(memory_.kernel().object).ok());
+    session_.ReleaseOwner();
+  });
+  worker_a.join();
+  std::thread worker_b([this] {
+    session_.BindOwnerToCurrentThread();
+    EXPECT_TRUE(session_.Commit().ok());
+    session_.ReleaseOwner();
+  });
+  worker_b.join();
+}
+#endif  // GS_THREAD_SAFETY
 
 }  // namespace
 }  // namespace gemstone::txn

@@ -1,0 +1,94 @@
+// gemstone_serve: the GemStone system side of §6's network link. Stands up
+// an in-memory database behind a gemstone::net gateway on 127.0.0.1 and
+// serves until SIGINT/SIGTERM, then drains in-flight commits and exits.
+//
+//   gemstone_serve --port 7844 --workers 4 --max-conns 64 \
+//                  --idle-timeout-ms 60000 --request-timeout-ms 0
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "admin/authorization.h"
+#include "executor/executor.h"
+#include "net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--max-conns N]\n"
+               "          [--idle-timeout-ms N] [--request-timeout-ms N]\n"
+               "(--port 0 picks an ephemeral port and prints it)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gemstone::net::ServerOptions options;
+  options.port = 7844;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    std::uint64_t n = 0;
+    if (std::strcmp(arg, "--help") == 0) return Usage(argv[0]);
+    if (value == nullptr || !ParseUint(value, &n)) return Usage(argv[0]);
+    ++i;
+    if (std::strcmp(arg, "--port") == 0) {
+      options.port = static_cast<std::uint16_t>(n);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      options.workers = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--max-conns") == 0) {
+      options.max_connections = n;
+    } else if (std::strcmp(arg, "--idle-timeout-ms") == 0) {
+      options.idle_timeout_ms = n;
+    } else if (std::strcmp(arg, "--request-timeout-ms") == 0) {
+      options.request_timeout_ms = n;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  gemstone::executor::Executor executor;
+  gemstone::admin::AuthorizationManager auth;
+  gemstone::net::Server server(&executor, &auth, options);
+
+  const gemstone::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "gemstone_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("gemstone_serve: listening on 127.0.0.1:%u (%d workers)\n",
+              static_cast<unsigned>(server.port()), options.workers);
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("gemstone_serve: draining and shutting down\n");
+  server.Stop();
+  return 0;
+}
