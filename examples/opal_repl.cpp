@@ -20,12 +20,17 @@
 //   :explain analyze <query>   the plan, executed and annotated
 //   :flightrec [json]          dump the flight recorder ring
 //   :flightrec arm <path>      auto-dump to <path> on abort/conflict/fault
+//   :slowlog                   slow-request events only (JSON)
+//   :admin <port>              serve /metrics /flightrec /slowlog /healthz
+//                              over HTTP on 127.0.0.1:<port> (0 = pick)
 
 #include <unistd.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "admin/http_endpoint.h"
 #include "executor/error_format.h"
 #include "executor/executor.h"
 #include "telemetry/export.h"
@@ -40,6 +45,7 @@ using gemstone::executor::Executor;
 int main() {
   Executor server;
   SessionId session = server.Login().ValueOrDie();
+  gemstone::admin::HttpEndpoint admin;  // idle until :admin starts it
   const bool interactive = false || isatty(0);
 
   if (interactive) {
@@ -141,6 +147,43 @@ int main() {
         }
         std::cout << "(" << recorder.total_recorded() << " recorded, ring "
                   << recorder.capacity() << ")\n";
+      }
+      continue;
+    }
+    if (line == ":slowlog") {
+      std::cout << gemstone::telemetry::FlightRecorder::Global()
+                       .DumpJsonOfKind(
+                           gemstone::telemetry::FlightEventKind::kSlowRequest)
+                << "\n";
+      continue;
+    }
+    if (line.rfind(":admin", 0) == 0) {
+      if (admin.running()) {
+        std::cout << "admin endpoint already on http://127.0.0.1:"
+                  << admin.port() << "\n";
+        continue;
+      }
+      gemstone::admin::HttpEndpointOptions options;
+      options.port = static_cast<std::uint16_t>(
+          line.size() > 6 ? std::strtoul(line.c_str() + 7, nullptr, 10) : 0);
+      admin.AddRoute("/metrics", "text/plain; version=0.0.4", [] {
+        return gemstone::telemetry::ToPrometheus(
+            gemstone::telemetry::MetricsRegistry::Global().Snapshot());
+      });
+      admin.AddRoute("/flightrec", "application/json", [] {
+        return gemstone::telemetry::FlightRecorder::Global().DumpJson();
+      });
+      admin.AddRoute("/slowlog", "application/json", [] {
+        return gemstone::telemetry::FlightRecorder::Global().DumpJsonOfKind(
+            gemstone::telemetry::FlightEventKind::kSlowRequest);
+      });
+      admin.AddRoute("/healthz", "text/plain", [] { return "ok\n"; });
+      const gemstone::Status started = admin.Start();
+      if (started.ok()) {
+        std::cout << "admin endpoint on http://127.0.0.1:" << admin.port()
+                  << "\n";
+      } else {
+        std::cout << "!! " << started.ToString() << "\n";
       }
       continue;
     }

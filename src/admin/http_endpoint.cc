@@ -1,0 +1,279 @@
+#include "admin/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <map>
+#include <system_error>
+#include <vector>
+
+namespace gemstone::admin {
+
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::system_category().message(errno);
+}
+
+std::string HttpResponse(int code, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// One in-flight scrape. The endpoint never trusts the peer: reads are
+/// bounded, writes are best-effort, everything closes after one exchange.
+struct HttpConn {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  bool responding = false;  // head parsed; draining `out`
+  std::uint64_t deadline_ms = 0;
+};
+
+std::uint64_t MonotonicMs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(HttpEndpointOptions options)
+    : options_(options) {}
+
+HttpEndpoint::~HttpEndpoint() { Stop(); }
+
+void HttpEndpoint::AddRoute(const std::string& path,
+                            const std::string& content_type,
+                            Handler handler) {
+  routes_[path] = Route{content_type, std::move(handler)};
+}
+
+Status HttpEndpoint::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("http endpoint already running");
+  }
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IoError(ErrnoText("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IoError(ErrnoText("bind"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status s = Status::IoError(ErrnoText("listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  int wake[2] = {-1, -1};
+  if (::pipe2(wake, O_NONBLOCK | O_CLOEXEC) < 0) {
+    Status s = Status::IoError(ErrnoText("pipe2"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  wake_read_fd_ = wake[0];
+  wake_write_fd_ = wake[1];
+
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void HttpEndpoint::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+  thread_.join();
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+bool HttpEndpoint::BuildResponse(const std::string& in,
+                                 std::string* out) const {
+  const std::size_t head_end = in.find("\r\n\r\n");
+  const std::size_t line_end = in.find("\r\n");
+  if (head_end == std::string::npos) {
+    // An admin GET has no body, so a bare request line is enough to act
+    // on — but only once the *line* is complete.
+    if (line_end == std::string::npos) return false;
+  }
+
+  // Request line: METHOD SP target SP version. Anything else is a 400 —
+  // the endpoint does not guess.
+  const std::string line = in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    *out = HttpResponse(400, "Bad Request", "text/plain",
+                        "malformed request line\n");
+    return true;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) {
+    *out = HttpResponse(400, "Bad Request", "text/plain",
+                        "malformed request line\n");
+    return true;
+  }
+  if (method != "GET") {
+    *out = HttpResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is served here\n");
+    return true;
+  }
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  const auto route = routes_.find(target);
+  if (route == routes_.end()) {
+    std::string body = "no such route: " + target + "\nroutes:\n";
+    for (const auto& [path, unused] : routes_) body += "  " + path + "\n";
+    *out = HttpResponse(404, "Not Found", "text/plain", body);
+    return true;
+  }
+  *out = HttpResponse(200, "OK", route->second.content_type,
+                      route->second.handler());
+  return true;
+}
+
+void HttpEndpoint::Serve() {
+  std::vector<HttpConn> conns;
+  std::vector<pollfd> fds;
+
+  const auto close_conn = [](HttpConn& conn) {
+    if (conn.fd >= 0) ::close(conn.fd);
+    conn.fd = -1;
+  };
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const HttpConn& conn : conns) {
+      short events = conn.responding ? POLLOUT : POLLIN;
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    const int n = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 1000);
+    if (n < 0 && errno != EINTR) break;
+
+    if (fds[1].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Only the connections that were present when poll() ran have pollfd
+    // entries; ones accepted below wait for the next iteration.
+    const std::size_t polled = conns.size();
+
+    if (fds[0].revents & POLLIN) {
+      while (true) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        HttpConn conn;
+        conn.fd = fd;
+        conn.deadline_ms = MonotonicMs() + options_.idle_timeout_ms;
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      HttpConn& conn = conns[i];
+      const pollfd& pfd = fds[i + 2];
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        close_conn(conn);
+        continue;
+      }
+      // POLLHUP still drains: a peer that shut down its write side after
+      // sending the request is owed its response.
+      if (!conn.responding && (pfd.revents & (POLLIN | POLLHUP))) {
+        char buf[4096];
+        const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR)) {
+          close_conn(conn);
+          continue;
+        }
+        if (r > 0) {
+          conn.in.append(buf, static_cast<std::size_t>(r));
+          if (conn.in.size() > options_.max_request_bytes) {
+            conn.out = HttpResponse(431, "Request Header Fields Too Large",
+                                    "text/plain", "request too large\n");
+            conn.responding = true;
+          } else if (BuildResponse(conn.in, &conn.out)) {
+            conn.responding = true;
+          }
+        }
+      }
+      if (conn.fd >= 0 && conn.responding && !conn.out.empty()) {
+        const ssize_t w =
+            ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+        if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR) {
+          close_conn(conn);
+          continue;
+        }
+        if (w > 0) {
+          conn.out.erase(0, static_cast<std::size_t>(w));
+          if (conn.out.empty()) close_conn(conn);  // one exchange, done
+        }
+      }
+    }
+
+    // Sweep closed and overdue connections.
+    const std::uint64_t now = MonotonicMs();
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->fd >= 0 && now >= it->deadline_ms) close_conn(*it);
+      it = it->fd < 0 ? conns.erase(it) : ++it;
+    }
+  }
+
+  for (HttpConn& conn : conns) close_conn(conn);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace gemstone::admin

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <system_error>
 #include <utility>
 
@@ -25,7 +26,12 @@ Client::~Client() { Close(); }
 Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
       inbuf_(std::move(other.inbuf_)),
-      max_frame_len_(other.max_frame_len_) {
+      max_frame_len_(other.max_frame_len_),
+      trace_nonce_(other.trace_nonce_),
+      trace_id_override_(other.trace_id_override_),
+      last_trace_id_(other.last_trace_id_),
+      next_seq_(other.next_seq_),
+      last_seq_(other.last_seq_) {
   other.fd_ = -1;
 }
 
@@ -35,6 +41,11 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = other.fd_;
     inbuf_ = std::move(other.inbuf_);
     max_frame_len_ = other.max_frame_len_;
+    trace_nonce_ = other.trace_nonce_;
+    trace_id_override_ = other.trace_id_override_;
+    last_trace_id_ = other.last_trace_id_;
+    next_seq_ = other.next_seq_;
+    last_seq_ = other.last_seq_;
     other.fd_ = -1;
   }
   return *this;
@@ -55,6 +66,15 @@ Status Client::Connect(std::uint16_t port) {
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Per-connection trace nonce: clock entropy mixed with the fd keeps two
+  // clients' auto-stamped ids from colliding in a shared server dump.
+  // The top bit stays clear — it marks server-assigned ids.
+  trace_nonce_ =
+      (static_cast<std::uint64_t>(
+           std::chrono::steady_clock::now().time_since_epoch().count())
+       ^ (static_cast<std::uint64_t>(fd_) << 40)) &
+      ~(1ull << 63);
+  next_seq_ = 0;
   return Status::OK();
 }
 
@@ -109,14 +129,33 @@ Result<Frame> Client::ReadFrame() {
 }
 
 Result<std::string> Client::RoundTrip(MsgType type, std::string_view payload) {
-  GS_RETURN_IF_ERROR(SendRaw(EncodeFrame(type, payload)));
+  const std::uint32_t seq = ++next_seq_;
+  std::uint64_t trace_id = trace_id_override_ != 0
+                               ? trace_id_override_
+                               : ((trace_nonce_ + seq) & ~(1ull << 63));
+  if (trace_id == 0) trace_id = 1;
+  last_trace_id_ = trace_id;
+  last_seq_ = seq;
+  GS_RETURN_IF_ERROR(SendRaw(EncodeFrame(type, trace_id, seq, payload)));
   GS_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
   switch (frame.type) {
     case MsgType::kOk:
-      return std::move(frame.payload);
     case MsgType::kError:
-      return DecodeErrorPayload(frame.payload);
+      // Responses echo the request's trace header; a mismatch means the
+      // stream slipped a frame (a reply paired with the wrong request).
+      if (frame.seq != seq) {
+        return Status::Corruption(
+            "response echoed sequence " + std::to_string(frame.seq) +
+            ", expected " + std::to_string(seq));
+      }
+      last_trace_id_ = frame.trace_id;
+      if (frame.type == MsgType::kError) {
+        return DecodeErrorPayload(frame.payload);
+      }
+      return std::move(frame.payload);
     case MsgType::kProtocolError:
+      // Framing-level notices may answer no particular request (trace
+      // header zeroed), so the seq check does not apply.
       return Status::InvalidArgument("protocol error: " + frame.payload);
     default:
       return Status::Corruption("unexpected response frame type");

@@ -63,6 +63,27 @@ class Client {
   /// The gateway's metrics snapshot (kStatsText/kStatsJson/kStatsProm).
   Result<std::string> Stats(std::uint8_t format = kStatsText);
 
+  /// The gateway's JSON status page (kStatsStatusz): per-connection
+  /// table, in-flight request stages, stage latency percentiles — the
+  /// same document `GET /statusz` serves.
+  Result<std::string> Statusz() { return Stats(kStatsStatusz); }
+
+  // --- Trace context -----------------------------------------------------------
+  //
+  // Every request carries a 64-bit trace id and a per-connection sequence
+  // number; the server echoes both on the reply and attributes its
+  // internal work (spans, I/O, flight events) to the id. By default the
+  // client stamps a fresh id per request (connection nonce + sequence).
+
+  /// Forces the next requests to carry `id` (0 restores per-request ids).
+  /// Lets a caller propagate its own correlation id end to end.
+  void set_trace_id(std::uint64_t id) { trace_id_override_ = id; }
+
+  /// The trace id the *last* request carried (as echoed by the server).
+  std::uint64_t last_trace_id() const { return last_trace_id_; }
+  /// The sequence number the last request carried.
+  std::uint32_t last_seq() const { return last_seq_; }
+
   // --- Low-level escape hatches (protocol tests) -------------------------------
 
   /// Writes raw bytes to the socket, bypassing framing. Fuzz tests use
@@ -75,11 +96,18 @@ class Client {
 
  private:
   /// Sends one frame and reads the response; kOk answers the payload.
+  /// Verifies the reply echoes the request's sequence number.
   Result<std::string> RoundTrip(MsgType type, std::string_view payload);
 
   int fd_ = -1;
   std::string inbuf_;
   std::uint32_t max_frame_len_ = 1u << 20;
+
+  std::uint64_t trace_nonce_ = 0;  // per-connection; set at Connect
+  std::uint64_t trace_id_override_ = 0;
+  std::uint64_t last_trace_id_ = 0;
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t last_seq_ = 0;
 };
 
 }  // namespace gemstone::net

@@ -10,12 +10,14 @@
 
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <system_error>
 #include <utility>
 
 #include "executor/error_format.h"
 #include "telemetry/export.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/io_attribution.h"
 #include "telemetry/trace.h"
 
 namespace gemstone::net {
@@ -49,18 +51,34 @@ class SessionOwnerBinding {
 
 }  // namespace
 
-/// One parsed request waiting for a worker.
+std::string_view RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kIdle: return "idle";
+    case RequestStage::kLockWait: return "lock_wait";
+    case RequestStage::kExecute: return "execute";
+    case RequestStage::kSerialize: return "serialize";
+    case RequestStage::kFlush: return "flush";
+  }
+  return "unknown";
+}
+
+/// One parsed request waiting for a worker. `received_ns` is stamped when
+/// the frame came off the socket — the zero point every stage delta
+/// telescopes from.
 struct Server::Request {
   MsgType type = MsgType::kOk;
+  std::uint64_t trace_id = 0;
+  std::uint32_t seq = 0;
   std::string payload;
-  std::uint64_t enqueued_ns = 0;
+  std::uint64_t received_ns = 0;
 };
 
 /// Per-connection state. The socket, read buffer, and timestamps belong
 /// to the event-loop thread; pending/outbox/flags are shared with workers
 /// under `mu`. `session`/`logged_in` are written by the single worker
-/// serving the connection and read by the reaper only after it observes
-/// `scheduled == false` under `mu`, which orders the accesses.
+/// serving the connection; they (and the byte counters and in-flight
+/// markers) are relaxed atomics so the status page can read them from any
+/// thread without joining the lock dance.
 struct Server::Connection {
   int fd = -1;
   std::uint64_t id = 0;
@@ -69,16 +87,28 @@ struct Server::Connection {
   std::string inbuf;
   std::uint64_t last_frame_ms = 0;
   bool read_paused = false;
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
+
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
 
   // Worker-owned session binding (see struct comment).
-  SessionId session = 0;
-  bool logged_in = false;
+  std::atomic<SessionId> session{0};
+  std::atomic<bool> logged_in{false};
+
+  // The request this connection's worker is serving right now (status
+  // page only; monitoring-grade consistency).
+  std::atomic<std::uint8_t> inflight_stage{0};  // RequestStage
+  std::atomic<std::uint64_t> inflight_trace_id{0};
+  std::atomic<std::uint8_t> inflight_type{0};  // MsgType
 
   mutable Mutex mu;
   std::deque<Request> pending GS_GUARDED_BY(mu);
   std::string outbox GS_GUARDED_BY(mu);
+  /// Cumulative bytes ever appended to / flushed out of the outbox; a
+  /// PendingFlush completes when flushed catches up to its target.
+  std::uint64_t outbox_appended GS_GUARDED_BY(mu) = 0;
+  std::uint64_t outbox_flushed GS_GUARDED_BY(mu) = 0;
+  std::deque<PendingFlush> awaiting_flush GS_GUARDED_BY(mu);
   bool scheduled GS_GUARDED_BY(mu) = false;
   bool dead GS_GUARDED_BY(mu) = false;
   bool close_after_flush GS_GUARDED_BY(mu) = false;
@@ -100,7 +130,21 @@ Server::Server(executor::Executor* executor,
   backpressure_stalls_ = registry.GetCounter("net.backpressure_stalls");
   idle_timeouts_ = registry.GetCounter("net.idle_timeouts");
   request_timeouts_ = registry.GetCounter("net.request_timeouts");
-  request_latency_us_ = registry.GetHistogram("net.request_latency_us");
+  slow_requests_ = registry.GetCounter("net.slow_requests");
+  // Loopback stages sit in single-digit microseconds: these distributions
+  // need the dense MicroLatencyBounds or the histogram cannot resolve
+  // them (satellite fix — the default decade ladder put a 5 µs median in
+  // a 2.5 µs-wide bucket).
+  const auto& micro = telemetry::Histogram::MicroLatencyBounds();
+  request_latency_us_ =
+      registry.GetHistogram("net.request_latency_us", micro);
+  stage_queue_us_ = registry.GetHistogram("net.stage.queue_us", micro);
+  stage_lock_wait_us_ =
+      registry.GetHistogram("net.stage.lock_wait_us", micro);
+  stage_execute_us_ = registry.GetHistogram("net.stage.execute_us", micro);
+  stage_serialize_us_ =
+      registry.GetHistogram("net.stage.serialize_us", micro);
+  stage_flush_us_ = registry.GetHistogram("net.stage.flush_us", micro);
 }
 
 Server::~Server() { Stop(); }
@@ -170,6 +214,7 @@ Status Server::Start() {
     worker_threads_.emplace_back([this] { WorkerLoop(); });
   }
   loop_thread_ = std::thread([this] { EventLoop(); });
+  start_ns_ = telemetry::TraceNowNs();
   running_.store(true, std::memory_order_release);
   return Status::OK();
 }
@@ -230,44 +275,49 @@ void Server::EventLoop() {
     fds.push_back({wake_read_fd_, POLLIN, 0});
 
     bool flushing = false;  // any outbox still draining
-    for (auto& [id, conn] : connections_) {
-      if (conn->fd < 0) continue;
-      short events = 0;
-      bool paused_by_limits = false;
-      bool flushed_and_closing = false;
-      bool dead = false;
-      {
-        MutexLock lock(conn->mu);
-        dead = conn->dead;
-        if (!dead) {
-          const bool limits = conn->pending.size() >= options_.max_pipeline ||
-                              conn->outbox.size() >= options_.outbox_limit;
-          const bool want_read =
-              !stopping && !conn->close_after_flush && !limits;
-          paused_by_limits = limits && !stopping && !conn->close_after_flush;
-          if (want_read) events |= POLLIN;
-          if (!conn->outbox.empty()) {
-            events |= POLLOUT;
-            flushing = true;
-          } else if (conn->close_after_flush) {
-            // Response already flushed; nothing left to wait for.
-            flushed_and_closing = true;
+    {
+      MutexLock table(conn_table_mu_);
+      for (auto& [id, conn] : connections_) {
+        if (conn->fd < 0) continue;
+        short events = 0;
+        bool paused_by_limits = false;
+        bool flushed_and_closing = false;
+        bool dead = false;
+        {
+          MutexLock lock(conn->mu);
+          dead = conn->dead;
+          if (!dead) {
+            const bool limits =
+                conn->pending.size() >= options_.max_pipeline ||
+                conn->outbox.size() >= options_.outbox_limit;
+            const bool want_read =
+                !stopping && !conn->close_after_flush && !limits;
+            paused_by_limits =
+                limits && !stopping && !conn->close_after_flush;
+            if (want_read) events |= POLLIN;
+            if (!conn->outbox.empty()) {
+              events |= POLLOUT;
+              flushing = true;
+            } else if (conn->close_after_flush) {
+              // Response already flushed; nothing left to wait for.
+              flushed_and_closing = true;
+            }
           }
         }
+        if (dead) continue;
+        if (flushed_and_closing) {
+          MarkDead(conn.get(), "closed after protocol error");
+          continue;
+        }
+        if (paused_by_limits && !conn->read_paused) {
+          conn->read_paused = true;
+          backpressure_stalls_->Increment();
+        } else if (!paused_by_limits) {
+          conn->read_paused = false;
+        }
+        fds.push_back({conn->fd, events, 0});
+        polled.push_back(conn);
       }
-      if (dead) continue;
-      if (flushed_and_closing) {
-        MarkDead(conn.get(), "closed after protocol error");
-        continue;
-      }
-      if (paused_by_limits && !conn->read_paused) {
-        conn->read_paused = true;
-        backpressure_stalls_->Increment();
-      } else if (!paused_by_limits) {
-        conn->read_paused = false;
-      }
-      fds.push_back({conn->fd, events, 0});
-      polled.push_back(conn);
     }
 
     if (stopping) {
@@ -309,6 +359,7 @@ void Server::EventLoop() {
     // Idle-timeout sweep.
     if (options_.idle_timeout_ms > 0 && !stopping) {
       const std::uint64_t now = NowMs();
+      MutexLock table(conn_table_mu_);
       for (auto& [id, conn] : connections_) {
         if (conn->fd < 0) continue;
         if (now - conn->last_frame_ms > options_.idle_timeout_ms) {
@@ -323,12 +374,15 @@ void Server::EventLoop() {
 
   // Teardown: whatever survives the drain is closed and its session
   // aborted (logout aborts any open transaction).
-  for (auto& [id, conn] : connections_) {
-    MarkDead(conn.get(), "server shutdown");
-    {
-      MutexLock lock(conn->mu);
-      conn->pending.clear();
-      conn->scheduled = false;
+  {
+    MutexLock table(conn_table_mu_);
+    for (auto& [id, conn] : connections_) {
+      MarkDead(conn.get(), "server shutdown");
+      {
+        MutexLock lock(conn->mu);
+        conn->pending.clear();
+        conn->scheduled = false;
+      }
     }
   }
   ReapDeadConnections();
@@ -343,7 +397,12 @@ void Server::AcceptReady() {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error: poll again
-    if (connections_.size() >= options_.max_connections) {
+    bool at_capacity = false;
+    {
+      MutexLock table(conn_table_mu_);
+      at_capacity = connections_.size() >= options_.max_connections;
+    }
+    if (at_capacity) {
       rejected_->Increment();
       const std::string frame =
           EncodeFrame(MsgType::kProtocolError, "server at connection capacity");
@@ -356,9 +415,12 @@ void Server::AcceptReady() {
 
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    conn->id = next_conn_id_++;
     conn->last_frame_ms = NowMs();
-    connections_.emplace(conn->id, conn);
+    {
+      MutexLock table(conn_table_mu_);
+      conn->id = next_conn_id_++;
+      connections_.emplace(conn->id, conn);
+    }
     accepted_->Increment();
     connections_gauge_->Add(1);
     telemetry::FlightRecorder::Global().Record(
@@ -379,7 +441,8 @@ void Server::ReadReady(const std::shared_ptr<Connection>& conn) {
     return;
   }
   bytes_in_->Increment(static_cast<std::uint64_t>(n));
-  conn->bytes_in += static_cast<std::uint64_t>(n);
+  conn->bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
   conn->inbuf.append(buf, static_cast<std::size_t>(n));
   ParseFrames(conn);
 }
@@ -400,10 +463,12 @@ void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
       protocol_errors_->Increment();
       const std::string response = EncodeFrame(
           MsgType::kProtocolError,
-          "malformed frame: length must be in [1, " +
+          "malformed frame: length must be in [" +
+              std::to_string(kFrameHeaderLen) + ", " +
               std::to_string(options_.max_frame_len) + "]");
       MutexLock lock(conn->mu);
       conn->outbox += response;
+      conn->outbox_appended += response.size();
       conn->close_after_flush = true;
       conn->inbuf.clear();
       return;
@@ -412,8 +477,16 @@ void Server::ParseFrames(const std::shared_ptr<Connection>& conn) {
     conn->last_frame_ms = NowMs();
     Request request;
     request.type = frame.type;
+    // A zero trace id asks the gateway to assign one; the top bit marks
+    // server-assigned ids so mixed dumps stay unambiguous.
+    request.trace_id =
+        frame.trace_id != 0
+            ? frame.trace_id
+            : ((1ull << 63) |
+               next_trace_id_.fetch_add(1, std::memory_order_relaxed));
+    request.seq = frame.seq;
     request.payload = std::move(frame.payload);
-    request.enqueued_ns = telemetry::TraceNowNs();
+    request.received_ns = telemetry::TraceNowNs();
     {
       MutexLock lock(conn->mu);
       conn->pending.push_back(std::move(request));
@@ -439,14 +512,66 @@ void Server::WriteReady(Connection* conn) {
     return;
   }
   bytes_out_->Increment(static_cast<std::uint64_t>(n));
-  conn->bytes_out += static_cast<std::uint64_t>(n);
+  conn->bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
   bool close_now = false;
   {
     MutexLock lock(conn->mu);
     conn->outbox.erase(0, static_cast<std::size_t>(n));
+    conn->outbox_flushed += static_cast<std::uint64_t>(n);
     close_now = conn->close_after_flush && conn->outbox.empty();
   }
+  CompleteFlushes(conn, telemetry::TraceNowNs());
   if (close_now) MarkDead(conn, "closed after protocol error");
+}
+
+void Server::CompleteFlushes(Connection* conn, std::uint64_t now_ns) {
+  // Collect completed responses under the lock, observe outside it.
+  std::vector<PendingFlush> done;
+  {
+    MutexLock lock(conn->mu);
+    while (!conn->awaiting_flush.empty() &&
+           conn->awaiting_flush.front().outbox_target <=
+               conn->outbox_flushed) {
+      done.push_back(std::move(conn->awaiting_flush.front()));
+      conn->awaiting_flush.pop_front();
+    }
+    if (done.empty()) return;
+    if (conn->awaiting_flush.empty() &&
+        conn->inflight_stage.load(std::memory_order_relaxed) ==
+            static_cast<std::uint8_t>(RequestStage::kFlush)) {
+      conn->inflight_stage.store(
+          static_cast<std::uint8_t>(RequestStage::kIdle),
+          std::memory_order_relaxed);
+    }
+  }
+  for (const PendingFlush& pf : done) {
+    const std::uint64_t flush_us =
+        (now_ns > pf.appended_ns ? now_ns - pf.appended_ns : 0) / 1000;
+    const std::uint64_t total_us =
+        (now_ns > pf.received_ns ? now_ns - pf.received_ns : 0) / 1000;
+    stage_flush_us_->Observe(flush_us);
+    request_latency_us_->Observe(total_us);
+    if (options_.slow_request_us != 0 &&
+        total_us >= options_.slow_request_us) {
+      slow_requests_->Increment();
+      std::ostringstream detail;
+      detail << MsgTypeName(pf.type) << " queue=" << pf.queue_us
+             << "us lock_wait=" << pf.lock_wait_us
+             << "us execute=" << pf.execute_us
+             << "us serialize=" << pf.serialize_us
+             << "us flush=" << flush_us
+             << "us tracks_read=" << pf.tracks_read
+             << " tracks_written=" << pf.tracks_written;
+      // Bind the request's trace id so the event carries it — the flush
+      // completes on the event-loop thread, outside the dispatch scope.
+      telemetry::TraceContextScope trace(pf.trace_id);
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightEventKind::kSlowRequest,
+          conn->session.load(std::memory_order_relaxed), total_us, pf.seq,
+          detail.str());
+    }
+  }
 }
 
 void Server::Schedule(const std::shared_ptr<Connection>& conn) {
@@ -481,6 +606,7 @@ void Server::MarkDead(Connection* conn, const std::string& reason) {
 }
 
 void Server::ReapDeadConnections() {
+  MutexLock table(conn_table_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     Connection* conn = it->second.get();
     bool reap = false;
@@ -496,15 +622,17 @@ void Server::ReapDeadConnections() {
       ++it;
       continue;
     }
-    if (conn->logged_in) {
+    const SessionId session = conn->session.load(std::memory_order_relaxed);
+    if (conn->logged_in.load(std::memory_order_relaxed)) {
       MutexLock lock(executor_mu_);
       // Logout aborts any transaction the disconnected client left open.
-      (void)executor_->Logout(conn->session);
+      (void)executor_->Logout(session);
     }
     connections_gauge_->Add(-1);
     telemetry::FlightRecorder::Global().Record(
-        telemetry::FlightEventKind::kNetConnClose, conn->session,
-        conn->bytes_in, conn->bytes_out, reason);
+        telemetry::FlightEventKind::kNetConnClose, session,
+        conn->bytes_in.load(std::memory_order_relaxed),
+        conn->bytes_out.load(std::memory_order_relaxed), reason);
     it = connections_.erase(it);
   }
 }
@@ -563,53 +691,128 @@ void Server::WorkerLoop() {
   }
 }
 
-std::string Server::ErrorFrame(const Status& status) {
+Server::Reply Server::ErrorReply(const Status& status) {
   request_errors_->Increment();
-  return EncodeFrame(MsgType::kError, EncodeErrorPayload(status));
+  return Reply{MsgType::kError, EncodeErrorPayload(status)};
 }
 
 void Server::HandleRequest(Connection* conn, Request&& request) {
   requests_->Increment();
-  std::string response;
 
-  const std::uint64_t now_ns = telemetry::TraceNowNs();
+  // Stage clock. Every delta telescopes from received_ns, so
+  //   total = queue + lock_wait + execute + serialize + flush
+  // holds exactly for each request (flush completes in CompleteFlushes).
+  const std::uint64_t dequeue_ns = telemetry::TraceNowNs();
+  stage_queue_us_->Observe((dequeue_ns - request.received_ns) / 1000);
+
+  // Everything this thread records while serving the request — spans,
+  // flight events, slow-op captures — now names the owning request.
+  telemetry::TraceContextScope trace(request.trace_id);
+  conn->inflight_trace_id.store(request.trace_id, std::memory_order_relaxed);
+  conn->inflight_type.store(static_cast<std::uint8_t>(request.type),
+                            std::memory_order_relaxed);
+  conn->inflight_stage.store(
+      static_cast<std::uint8_t>(RequestStage::kLockWait),
+      std::memory_order_relaxed);
+
+  const telemetry::IoTally io_before = telemetry::ThreadIoTally();
+  Reply reply;
+  std::uint64_t lock_acquired_ns = dequeue_ns;
+
   const std::uint64_t timeout_ns = options_.request_timeout_ms * 1'000'000;
-  if (timeout_ns > 0 && now_ns - request.enqueued_ns > timeout_ns) {
+  if (timeout_ns > 0 && dequeue_ns - request.received_ns > timeout_ns) {
     request_timeouts_->Increment();
-    response = ErrorFrame(Status::Unavailable(
+    conn->inflight_stage.store(
+        static_cast<std::uint8_t>(RequestStage::kExecute),
+        std::memory_order_relaxed);
+    reply = ErrorReply(Status::Unavailable(
         "request timed out waiting for a worker (server overloaded)"));
   } else if (request.type == MsgType::kStats) {
-    // Stats is a monitoring endpoint: no login, no executor lock.
+    // Stats is a monitoring endpoint: no login, no executor lock (the
+    // lock_wait stage is genuinely zero here).
+    conn->inflight_stage.store(
+        static_cast<std::uint8_t>(RequestStage::kExecute),
+        std::memory_order_relaxed);
     const std::uint8_t format =
         request.payload.empty()
             ? kStatsText
             : static_cast<std::uint8_t>(request.payload[0]);
-    const telemetry::Snapshot snapshot =
-        telemetry::MetricsRegistry::Global().Snapshot();
     std::string text;
-    switch (format) {
-      case kStatsJson: text = telemetry::ToJson(snapshot); break;
-      case kStatsProm: text = telemetry::ToPrometheus(snapshot); break;
-      default: text = telemetry::ToText(snapshot); break;
+    if (format == kStatsStatusz) {
+      text = StatusJson();
+    } else {
+      const telemetry::Snapshot snapshot =
+          telemetry::MetricsRegistry::Global().Snapshot();
+      switch (format) {
+        case kStatsJson: text = telemetry::ToJson(snapshot); break;
+        case kStatsProm: text = telemetry::ToPrometheus(snapshot); break;
+        default: text = telemetry::ToText(snapshot); break;
+      }
     }
-    response = EncodeFrame(MsgType::kOk, text);
+    reply = Reply{MsgType::kOk, std::move(text)};
   } else {
     MutexLock lock(executor_mu_);
-    response = DispatchLocked(conn, request);
+    lock_acquired_ns = telemetry::TraceNowNs();
+    conn->inflight_stage.store(
+        static_cast<std::uint8_t>(RequestStage::kExecute),
+        std::memory_order_relaxed);
+    reply = DispatchLocked(conn, request);
   }
 
-  request_latency_us_->Observe(
-      (telemetry::TraceNowNs() - request.enqueued_ns) / 1000);
+  const std::uint64_t execute_done_ns = telemetry::TraceNowNs();
+  stage_lock_wait_us_->Observe((lock_acquired_ns - dequeue_ns) / 1000);
+  stage_execute_us_->Observe((execute_done_ns - lock_acquired_ns) / 1000);
+  const telemetry::IoTally io_after = telemetry::ThreadIoTally();
+  const telemetry::IoTally io = telemetry::IoDelta(io_before, io_after);
 
+  // Serialize outside the executor lock: framing is the response's cost,
+  // not the database's.
+  conn->inflight_stage.store(
+      static_cast<std::uint8_t>(RequestStage::kSerialize),
+      std::memory_order_relaxed);
+  const std::string response =
+      EncodeFrame(reply.type, request.trace_id, request.seq, reply.payload);
+  const std::uint64_t serialized_ns = telemetry::TraceNowNs();
+  stage_serialize_us_->Observe((serialized_ns - execute_done_ns) / 1000);
+
+  PendingFlush pf;
+  pf.received_ns = request.received_ns;
+  pf.appended_ns = serialized_ns;
+  pf.trace_id = request.trace_id;
+  pf.seq = request.seq;
+  pf.type = request.type;
+  pf.queue_us = (dequeue_ns - request.received_ns) / 1000;
+  pf.lock_wait_us = (lock_acquired_ns - dequeue_ns) / 1000;
+  pf.execute_us = (execute_done_ns - lock_acquired_ns) / 1000;
+  pf.serialize_us = (serialized_ns - execute_done_ns) / 1000;
+  pf.tracks_read = io.tracks_read;
+  pf.tracks_written = io.tracks_written;
+
+  bool appended = false;
   {
     MutexLock lock(conn->mu);
-    if (!conn->dead) conn->outbox += response;
+    if (!conn->dead) {
+      conn->outbox += response;
+      conn->outbox_appended += response.size();
+      pf.outbox_target = conn->outbox_appended;
+      conn->awaiting_flush.push_back(pf);
+      appended = true;
+    }
   }
+  conn->inflight_stage.store(
+      static_cast<std::uint8_t>(appended ? RequestStage::kFlush
+                                         : RequestStage::kIdle),
+      std::memory_order_relaxed);
 }
 
-std::string Server::DispatchLocked(Connection* conn, const Request& request) {
+Server::Reply Server::DispatchLocked(Connection* conn,
+                                     const Request& request) {
+  const bool logged_in = conn->logged_in.load(std::memory_order_relaxed);
+  const SessionId conn_session =
+      conn->session.load(std::memory_order_relaxed);
+
   // Everything below Login requires a bound session.
-  if (request.type != MsgType::kLogin && !conn->logged_in) {
+  if (request.type != MsgType::kLogin && !logged_in) {
     if (request.type == MsgType::kExecuteOpal ||
         request.type == MsgType::kStdmQuery ||
         request.type == MsgType::kBegin || request.type == MsgType::kCommit ||
@@ -617,7 +820,7 @@ std::string Server::DispatchLocked(Connection* conn, const Request& request) {
         request.type == MsgType::kSetTimeDial ||
         request.type == MsgType::kExplain ||
         request.type == MsgType::kLogout) {
-      return ErrorFrame(
+      return ErrorReply(
           Status::TransactionState("not logged in: send Login first"));
     }
   }
@@ -626,52 +829,52 @@ std::string Server::DispatchLocked(Connection* conn, const Request& request) {
   // yet, and Logout destroys the Session inside the call — a binding's
   // release would touch freed memory.
   if (request.type == MsgType::kLogin) {
-    if (conn->logged_in) {
-      return ErrorFrame(
+    if (logged_in) {
+      return ErrorReply(
           Status::TransactionState("connection already logged in"));
     }
     std::uint32_t user = 0;
     if (request.payload.size() != 4 || !ReadU32(request.payload, 0, &user)) {
-      return ErrorFrame(
+      return ErrorReply(
           Status::InvalidArgument("Login payload must be a u32 user id"));
     }
     auto logged = executor_->Login(static_cast<UserId>(user));
-    if (!logged.ok()) return ErrorFrame(logged.status());
-    conn->session = logged.value();
-    conn->logged_in = true;
+    if (!logged.ok()) return ErrorReply(logged.status());
+    conn->session.store(logged.value(), std::memory_order_relaxed);
+    conn->logged_in.store(true, std::memory_order_relaxed);
     std::string payload;
-    AppendU64(&payload, conn->session);
-    return EncodeFrame(MsgType::kOk, payload);
+    AppendU64(&payload, logged.value());
+    return Reply{MsgType::kOk, std::move(payload)};
   }
   if (request.type == MsgType::kLogout) {
-    Status s = executor_->Logout(conn->session);
-    conn->logged_in = false;
-    conn->session = 0;
-    if (!s.ok()) return ErrorFrame(s);
-    return EncodeFrame(MsgType::kOk, "");
+    Status s = executor_->Logout(conn_session);
+    conn->logged_in.store(false, std::memory_order_relaxed);
+    conn->session.store(0, std::memory_order_relaxed);
+    if (!s.ok()) return ErrorReply(s);
+    return Reply{MsgType::kOk, ""};
   }
 
   txn::Session* session =
-      conn->logged_in ? executor_->session(conn->session) : nullptr;
+      logged_in ? executor_->session(conn_session) : nullptr;
   SessionOwnerBinding owner(session);
 
   switch (request.type) {
     case MsgType::kExecuteOpal: {
-      auto result = executor_->ExecuteToString(conn->session, request.payload);
-      if (!result.ok()) return ErrorFrame(result.status());
-      return EncodeFrame(MsgType::kOk, result.value());
+      auto result = executor_->ExecuteToString(conn_session, request.payload);
+      if (!result.ok()) return ErrorReply(result.status());
+      return Reply{MsgType::kOk, std::move(result.value())};
     }
 
     case MsgType::kStdmQuery: {
-      auto result = executor_->ExecuteStdm(conn->session, request.payload);
-      if (!result.ok()) return ErrorFrame(result.status());
-      return EncodeFrame(MsgType::kOk, result.value());
+      auto result = executor_->ExecuteStdm(conn_session, request.payload);
+      if (!result.ok()) return ErrorReply(result.status());
+      return Reply{MsgType::kOk, std::move(result.value())};
     }
 
     case MsgType::kBegin: {
       Status s = session->Begin();
-      if (!s.ok()) return ErrorFrame(s);
-      return EncodeFrame(MsgType::kOk, "");
+      if (!s.ok()) return ErrorReply(s);
+      return Reply{MsgType::kOk, ""};
     }
 
     case MsgType::kCommit: {
@@ -679,21 +882,21 @@ std::string Server::DispatchLocked(Connection* conn, const Request& request) {
       // client decides when to Begin the next one. A conflict travels
       // back as an error frame, never a disconnect.
       Status s = session->Commit();
-      if (!s.ok()) return ErrorFrame(s);
+      if (!s.ok()) return ErrorReply(s);
       std::string payload;
       AppendU64(&payload, executor_->transactions().Now());
-      return EncodeFrame(MsgType::kOk, payload);
+      return Reply{MsgType::kOk, std::move(payload)};
     }
 
     case MsgType::kAbort: {
       Status s = session->Abort();
-      if (!s.ok()) return ErrorFrame(s);
-      return EncodeFrame(MsgType::kOk, "");
+      if (!s.ok()) return ErrorReply(s);
+      return Reply{MsgType::kOk, ""};
     }
 
     case MsgType::kSetTimeDial: {
       if (request.payload.empty()) {
-        return ErrorFrame(Status::InvalidArgument(
+        return ErrorReply(Status::InvalidArgument(
             "SetTimeDial payload must carry a mode byte"));
       }
       const auto mode = static_cast<std::uint8_t>(request.payload[0]);
@@ -706,22 +909,22 @@ std::string Server::DispatchLocked(Connection* conn, const Request& request) {
         ReadU64(request.payload, 1, &time);
         session->SetTimeDial(time);
       } else {
-        return ErrorFrame(
+        return ErrorReply(
             Status::InvalidArgument("malformed SetTimeDial payload"));
       }
-      return EncodeFrame(MsgType::kOk, "");
+      return Reply{MsgType::kOk, ""};
     }
 
     case MsgType::kExplain: {
       if (request.payload.empty()) {
-        return ErrorFrame(Status::InvalidArgument(
+        return ErrorReply(Status::InvalidArgument(
             "Explain payload must carry an analyze byte and a query"));
       }
       const bool analyze = request.payload[0] != 0;
       auto result = executor_->ExplainStdm(
-          conn->session, std::string_view(request.payload).substr(1), analyze);
-      if (!result.ok()) return ErrorFrame(result.status());
-      return EncodeFrame(MsgType::kOk, result.value());
+          conn_session, std::string_view(request.payload).substr(1), analyze);
+      if (!result.ok()) return ErrorReply(result.status());
+      return Reply{MsgType::kOk, std::move(result.value())};
     }
 
     default: {
@@ -731,10 +934,119 @@ std::string Server::DispatchLocked(Connection* conn, const Request& request) {
       char hex[8];
       std::snprintf(hex, sizeof(hex), "0x%02x",
                     static_cast<unsigned>(request.type));
-      return EncodeFrame(MsgType::kProtocolError,
-                         std::string("unknown message type ") + hex);
+      return Reply{MsgType::kProtocolError,
+                   std::string("unknown message type ") + hex};
     }
   }
+}
+
+// --- Status page ---------------------------------------------------------------
+
+std::string Server::StatusJson() const {
+  std::ostringstream out;
+  out << "{\"uptime_s\":" << (telemetry::TraceNowNs() - start_ns_) / 1e9;
+  out << ",\"build\":{\"compiler\":\"" << telemetry::JsonEscape(__VERSION__)
+      << "\",\"mode\":\""
+#ifdef NDEBUG
+      << "release"
+#else
+      << "debug"
+#endif
+      << "\"}";
+  out << ",\"options\":{\"port\":" << port_
+      << ",\"workers\":" << options_.workers
+      << ",\"max_connections\":" << options_.max_connections
+      << ",\"max_pipeline\":" << options_.max_pipeline
+      << ",\"request_timeout_ms\":" << options_.request_timeout_ms
+      << ",\"slow_request_us\":" << options_.slow_request_us << "}";
+  out << ",\"counters\":{\"connections\":" << connections_gauge_->value()
+      << ",\"accepted\":" << accepted_->value()
+      << ",\"rejected\":" << rejected_->value()
+      << ",\"requests\":" << requests_->value()
+      << ",\"request_errors\":" << request_errors_->value()
+      << ",\"protocol_errors\":" << protocol_errors_->value()
+      << ",\"backpressure_stalls\":" << backpressure_stalls_->value()
+      << ",\"request_timeouts\":" << request_timeouts_->value()
+      << ",\"slow_requests\":" << slow_requests_->value() << "}";
+
+  const auto hist_json = [&out](const char* name,
+                                const telemetry::Histogram* hist) {
+    const telemetry::HistogramSnapshot snap = hist->Snapshot();
+    out << "\"" << name << "\":{\"count\":" << snap.count
+        << ",\"sum_us\":" << snap.sum << ",\"p50\":" << snap.p50()
+        << ",\"p95\":" << snap.p95() << ",\"p99\":" << snap.p99() << "}";
+  };
+  out << ",\"stages\":{";
+  hist_json("queue_us", stage_queue_us_);
+  out << ",";
+  hist_json("lock_wait_us", stage_lock_wait_us_);
+  out << ",";
+  hist_json("execute_us", stage_execute_us_);
+  out << ",";
+  hist_json("serialize_us", stage_serialize_us_);
+  out << ",";
+  hist_json("flush_us", stage_flush_us_);
+  out << "},";
+  hist_json("request_latency_us", request_latency_us_);
+
+  out << ",\"connections\":[";
+  {
+    bool first = true;
+    MutexLock table(conn_table_mu_);
+    for (const auto& [id, conn] : connections_) {
+      std::size_t pending = 0;
+      std::size_t outbox_bytes = 0;
+      std::size_t in_flush = 0;
+      bool dead = false;
+      {
+        MutexLock lock(conn->mu);
+        pending = conn->pending.size();
+        outbox_bytes = conn->outbox.size();
+        in_flush = conn->awaiting_flush.size();
+        dead = conn->dead;
+      }
+      if (dead) continue;
+      if (!first) out << ",";
+      first = false;
+      const auto stage = static_cast<RequestStage>(
+          conn->inflight_stage.load(std::memory_order_relaxed));
+      out << "{\"id\":" << conn->id << ",\"session\":"
+          << conn->session.load(std::memory_order_relaxed)
+          << ",\"logged_in\":"
+          << (conn->logged_in.load(std::memory_order_relaxed) ? "true"
+                                                              : "false")
+          << ",\"bytes_in\":"
+          << conn->bytes_in.load(std::memory_order_relaxed)
+          << ",\"bytes_out\":"
+          << conn->bytes_out.load(std::memory_order_relaxed)
+          << ",\"pending\":" << pending
+          << ",\"outbox_bytes\":" << outbox_bytes
+          << ",\"awaiting_flush\":" << in_flush << ",\"inflight\":{";
+      out << "\"stage\":\"" << RequestStageName(stage) << "\"";
+      if (stage != RequestStage::kIdle) {
+        out << ",\"type\":\""
+            << MsgTypeName(static_cast<MsgType>(
+                   conn->inflight_type.load(std::memory_order_relaxed)))
+            << "\",\"trace_id\":"
+            << conn->inflight_trace_id.load(std::memory_order_relaxed);
+      }
+      out << "}}";
+    }
+  }
+  out << "]";
+
+  out << ",\"conflict_hotspots\":[";
+  {
+    bool first = true;
+    for (const auto& [oid, count] :
+         executor_->transactions().ConflictHotspots()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"oid\":" << oid << ",\"conflicts\":" << count << "}";
+    }
+  }
+  out << "]}";
+  return out.str();
 }
 
 }  // namespace gemstone::net

@@ -59,7 +59,24 @@ struct ServerOptions {
   /// answered with an Unavailable error frame instead of executing
   /// (admission control under overload). 0 disables.
   std::uint64_t request_timeout_ms = 0;
+
+  /// Requests whose end-to-end latency (socket read to response flush)
+  /// meets this emit a kSlowRequest flight-recorder event carrying the
+  /// full stage breakdown and trace id. 0 disables.
+  std::uint64_t slow_request_us = 100'000;
 };
+
+/// Where a request currently sits in its lifecycle — the same stages the
+/// `net.stage.*` histograms measure. Exposed per connection in /statusz.
+enum class RequestStage : std::uint8_t {
+  kIdle = 0,    // no request being served
+  kLockWait,    // dequeued, waiting on executor_mu_
+  kExecute,     // inside the Executor
+  kSerialize,   // encoding the response frame
+  kFlush,       // response in the outbox, waiting for the socket
+};
+
+std::string_view RequestStageName(RequestStage stage);
 
 /// The multi-session network gateway (§6's "network link"): a poll(2)
 /// event loop accepts connections and parses length-prefixed frames
@@ -103,9 +120,43 @@ class Server {
   /// Live connection count (telemetry-backed; test convenience).
   std::int64_t connection_count() const;
 
+  /// JSON status page: uptime/build info, options, request counters,
+  /// per-stage latency percentiles, the per-connection table (with each
+  /// connection's in-flight request and its current stage), and the
+  /// hottest conflict objects. Served as `GET /statusz` by the admin
+  /// endpoint and as the kStatsStatusz wire format. Callable from any
+  /// thread while the server runs.
+  std::string StatusJson() const;
+
  private:
   struct Connection;
   struct Request;
+
+  /// A response before framing: DispatchLocked returns one of these so
+  /// the frame encode (the serialize stage) happens *outside*
+  /// executor_mu_ — the coarse lock holds only real Executor work.
+  struct Reply {
+    MsgType type = MsgType::kOk;
+    std::string payload;
+  };
+
+  /// Stage timings and identity of one response waiting in the outbox for
+  /// its flush; completes (and observes flush/total latency) when the
+  /// event loop has written the connection's outbox past `outbox_target`.
+  struct PendingFlush {
+    std::uint64_t outbox_target = 0;
+    std::uint64_t received_ns = 0;
+    std::uint64_t appended_ns = 0;
+    std::uint64_t trace_id = 0;
+    std::uint32_t seq = 0;
+    MsgType type = MsgType::kOk;
+    std::uint64_t queue_us = 0;
+    std::uint64_t lock_wait_us = 0;
+    std::uint64_t execute_us = 0;
+    std::uint64_t serialize_us = 0;
+    std::uint64_t tracks_read = 0;
+    std::uint64_t tracks_written = 0;
+  };
 
   void EventLoop();
   void WorkerLoop();
@@ -122,12 +173,17 @@ class Server {
   void ReapDeadConnections();
   void WakeLoop();
 
-  /// Executes one request and appends the response frame to the outbox.
+  /// Executes one request and appends the response frame to the outbox,
+  /// observing the queue/lock_wait/execute/serialize stage histograms.
   void HandleRequest(Connection* conn, Request&& request);
-  std::string DispatchLocked(Connection* conn, const Request& request)
+  Reply DispatchLocked(Connection* conn, const Request& request)
       GS_REQUIRES(executor_mu_);
-  /// Renders a failure as a kError frame (and counts it).
-  std::string ErrorFrame(const Status& status);
+  /// Renders a failure as a kError reply (and counts it).
+  Reply ErrorReply(const Status& status);
+  /// Completes flushed responses on `conn`: pops every PendingFlush whose
+  /// bytes have reached the socket, observing flush and total latency and
+  /// emitting kSlowRequest events past the threshold.
+  void CompleteFlushes(Connection* conn, std::uint64_t now_ns);
 
   executor::Executor* executor_;
   admin::AuthorizationManager* auth_;
@@ -161,9 +217,20 @@ class Server {
   std::deque<std::shared_ptr<Connection>> queue_;
   bool queue_closed_ = false;
 
-  /// Connection table; event-loop thread only.
-  std::map<int, std::shared_ptr<Connection>> connections_;
-  std::uint64_t next_conn_id_ = 1;
+  /// Connection table. Written by the event-loop thread; StatusJson (any
+  /// thread) reads it, so the table itself is lock-protected. Lock order:
+  /// conn_table_mu_ before conn->mu and before executor_mu_; workers take
+  /// it only from the (otherwise lock-free) status path.
+  mutable Mutex conn_table_mu_;
+  std::map<int, std::shared_ptr<Connection>> connections_
+      GS_GUARDED_BY(conn_table_mu_);
+  std::uint64_t next_conn_id_ GS_GUARDED_BY(conn_table_mu_) = 1;
+
+  /// Source of server-assigned trace ids (client stamped 0). The top bit
+  /// marks "assigned here" so mixed dumps stay disambiguated.
+  std::atomic<std::uint64_t> next_trace_id_{1};
+
+  std::uint64_t start_ns_ = 0;  // Start() time; uptime in /statusz
 
   // Telemetry (registry-owned; pointers stable for process lifetime).
   telemetry::Gauge* connections_gauge_;
@@ -177,7 +244,16 @@ class Server {
   telemetry::Counter* backpressure_stalls_;
   telemetry::Counter* idle_timeouts_;
   telemetry::Counter* request_timeouts_;
+  telemetry::Counter* slow_requests_;
+  /// End-to-end latency (socket read to response flushed) and the five
+  /// stage histograms it telescopes into: total = queue + lock_wait +
+  /// execute + serialize + flush for every request, by construction.
   telemetry::Histogram* request_latency_us_;
+  telemetry::Histogram* stage_queue_us_;
+  telemetry::Histogram* stage_lock_wait_us_;
+  telemetry::Histogram* stage_execute_us_;
+  telemetry::Histogram* stage_serialize_us_;
+  telemetry::Histogram* stage_flush_us_;
 };
 
 }  // namespace gemstone::net

@@ -56,16 +56,20 @@ bool ReadU64(std::string_view buf, std::size_t offset, std::uint64_t* out) {
   return true;
 }
 
-void AppendFrame(std::string* out, MsgType type, std::string_view payload) {
-  AppendU32(out, static_cast<std::uint32_t>(payload.size() + 1));
+void AppendFrame(std::string* out, MsgType type, std::uint64_t trace_id,
+                 std::uint32_t seq, std::string_view payload) {
+  AppendU32(out, static_cast<std::uint32_t>(payload.size() + kFrameHeaderLen));
   out->push_back(static_cast<char>(type));
+  AppendU64(out, trace_id);
+  AppendU32(out, seq);
   out->append(payload);
 }
 
-std::string EncodeFrame(MsgType type, std::string_view payload) {
+std::string EncodeFrame(MsgType type, std::uint64_t trace_id,
+                        std::uint32_t seq, std::string_view payload) {
   std::string out;
-  out.reserve(5 + payload.size());
-  AppendFrame(&out, type, payload);
+  out.reserve(4 + kFrameHeaderLen + payload.size());
+  AppendFrame(&out, type, trace_id, seq, payload);
   return out;
 }
 
@@ -73,10 +77,14 @@ DecodeResult DecodeFrame(std::string_view buf, std::uint32_t max_frame_len,
                          Frame* out, std::size_t* consumed) {
   std::uint32_t len = 0;
   if (!ReadU32(buf, 0, &len)) return DecodeResult::kNeedMore;
-  if (len == 0 || len > max_frame_len) return DecodeResult::kMalformed;
+  if (len < kFrameHeaderLen || len > max_frame_len) {
+    return DecodeResult::kMalformed;
+  }
   if (buf.size() < 4u + len) return DecodeResult::kNeedMore;
   out->type = static_cast<MsgType>(static_cast<unsigned char>(buf[4]));
-  out->payload.assign(buf.substr(5, len - 1));
+  ReadU64(buf, 5, &out->trace_id);
+  ReadU32(buf, 13, &out->seq);
+  out->payload.assign(buf.substr(4u + kFrameHeaderLen, len - kFrameHeaderLen));
   *consumed = 4u + len;
   return DecodeResult::kFrame;
 }

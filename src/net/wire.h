@@ -17,12 +17,22 @@ namespace gemstone::net {
 ///
 /// Frame grammar (all integers little-endian):
 ///
-///   frame   := u32 len | u8 type | payload[len - 1]
+///   frame   := u32 len | u8 type | u64 trace_id | u32 seq
+///              | payload[len - 13]
 ///
-/// `len` counts the type byte plus the payload, so the smallest legal
-/// frame has len == 1 (a bare type byte). len == 0 and len >
-/// max_frame_len are framing errors: the receiver cannot resync, answers
-/// with a kProtocolError frame, and closes.
+/// Every frame carries a trace header: a 64-bit trace id naming the
+/// request across machines and a per-connection request sequence number.
+/// A client stamps both on each request (trace id 0 asks the server to
+/// assign one); the server echoes them verbatim on the matching response,
+/// and binds the trace id into a thread-local trace context for the
+/// duration of dispatch, so server-side spans, I/O attribution, and
+/// flight-recorder events all name the owning request.
+///
+/// `len` counts the type byte, the trace header, and the payload, so the
+/// smallest legal frame has len == kFrameHeaderLen (a bare header).
+/// len < kFrameHeaderLen and len > max_frame_len are framing errors: the
+/// receiver cannot trust the stream, answers with a kProtocolError frame,
+/// and closes.
 ///
 /// Request payloads:
 ///   kLogin        u32 user
@@ -66,6 +76,10 @@ enum class MsgType : std::uint8_t {
 
 std::string_view MsgTypeName(MsgType type);
 
+/// Bytes of every frame between the length prefix and the payload:
+/// u8 type + u64 trace_id + u32 seq.
+inline constexpr std::uint32_t kFrameHeaderLen = 13;
+
 // SetTimeDial modes.
 inline constexpr std::uint8_t kDialClear = 0;
 inline constexpr std::uint8_t kDialSafeTime = 1;
@@ -75,10 +89,15 @@ inline constexpr std::uint8_t kDialExplicit = 2;
 inline constexpr std::uint8_t kStatsText = 0;
 inline constexpr std::uint8_t kStatsJson = 1;
 inline constexpr std::uint8_t kStatsProm = 2;
+/// The gateway's own status page (the same JSON `GET /statusz` serves):
+/// per-connection table, in-flight request stages, stage histograms.
+inline constexpr std::uint8_t kStatsStatusz = 3;
 
-/// One decoded frame: the type byte plus its payload bytes.
+/// One decoded frame: the type byte, the trace header, and the payload.
 struct Frame {
   MsgType type = MsgType::kOk;
+  std::uint64_t trace_id = 0;  // 0 on a request = "server, assign one"
+  std::uint32_t seq = 0;       // per-connection request sequence
   std::string payload;
 };
 
@@ -94,14 +113,22 @@ bool ReadU64(std::string_view buf, std::size_t offset, std::uint64_t* out);
 // --- Frame encode / decode ---------------------------------------------------
 
 /// Appends one complete frame (length prefix included) to `out`.
-void AppendFrame(std::string* out, MsgType type, std::string_view payload);
+void AppendFrame(std::string* out, MsgType type, std::uint64_t trace_id,
+                 std::uint32_t seq, std::string_view payload);
 
-std::string EncodeFrame(MsgType type, std::string_view payload);
+std::string EncodeFrame(MsgType type, std::uint64_t trace_id,
+                        std::uint32_t seq, std::string_view payload);
+
+/// Control-plane convenience: a frame with an empty trace header (trace
+/// id 0, seq 0) — connection-level notices that answer no request.
+inline std::string EncodeFrame(MsgType type, std::string_view payload) {
+  return EncodeFrame(type, 0, 0, payload);
+}
 
 enum class DecodeResult {
   kNeedMore,   // buffer holds a frame prefix only; read more bytes
   kFrame,      // *out holds a frame; *consumed bytes were used
-  kMalformed,  // len == 0 or len > max_frame_len; stream cannot resync
+  kMalformed,  // len outside [kFrameHeaderLen, max_frame_len]; cannot resync
 };
 
 /// Attempts to decode one frame from the front of `buf`. On kFrame,

@@ -21,6 +21,7 @@ std::string_view FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kSlowOp: return "slow_op";
     case FlightEventKind::kNetConnOpen: return "net_conn_open";
     case FlightEventKind::kNetConnClose: return "net_conn_close";
+    case FlightEventKind::kSlowRequest: return "slow_request";
   }
   return "unknown";
 }
@@ -56,6 +57,9 @@ void FlightRecorder::Record(FlightEventKind kind, std::uint64_t session,
     slot.event.ts_ns = TraceNowNs();
     slot.event.kind = kind;
     slot.event.session = session;
+    // Request attribution for free: whatever wire request this thread is
+    // currently serving (0 when recording outside any dispatch).
+    slot.event.trace_id = CurrentTraceId();
     slot.event.a = a;
     slot.event.b = b;
     slot.event.detail.assign(detail);
@@ -94,24 +98,48 @@ std::vector<FlightEvent> FlightRecorder::Snapshot() const {
   return out;
 }
 
-std::string FlightRecorder::DumpJson() const {
-  const std::vector<FlightEvent> events = Snapshot();
-  const std::uint64_t recorded = total_recorded();
+namespace {
+
+std::string DumpEventsJson(std::size_t capacity, std::uint64_t recorded,
+                           std::uint64_t dropped,
+                           const std::vector<FlightEvent>& events) {
   std::ostringstream out;
-  out << "{\"capacity\":" << capacity_ << ",\"recorded\":" << recorded
-      << ",\"dropped\":" << (recorded - events.size()) << ",\"events\":[";
+  out << "{\"capacity\":" << capacity << ",\"recorded\":" << recorded
+      << ",\"dropped\":" << dropped << ",\"events\":[";
   bool first = true;
   for (const FlightEvent& event : events) {
     if (!first) out << ",";
     first = false;
     out << "{\"seq\":" << event.seq << ",\"ts_ns\":" << event.ts_ns
         << ",\"kind\":\"" << FlightEventKindName(event.kind)
-        << "\",\"session\":" << event.session << ",\"a\":" << event.a
+        << "\",\"session\":" << event.session
+        << ",\"trace_id\":" << event.trace_id << ",\"a\":" << event.a
         << ",\"b\":" << event.b << ",\"detail\":\""
         << JsonEscape(event.detail) << "\"}";
   }
   out << "]}";
   return out.str();
+}
+
+}  // namespace
+
+std::string FlightRecorder::DumpJson() const {
+  const std::vector<FlightEvent> events = Snapshot();
+  const std::uint64_t recorded = total_recorded();
+  return DumpEventsJson(capacity_, recorded, recorded - events.size(),
+                        events);
+}
+
+std::string FlightRecorder::DumpJsonOfKind(FlightEventKind kind) const {
+  std::vector<FlightEvent> events = Snapshot();
+  const std::uint64_t recorded = total_recorded();
+  const std::uint64_t dropped = recorded - events.size();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [kind](const FlightEvent& e) {
+                                return e.kind != kind;
+                              }),
+               events.end());
+  return DumpEventsJson(capacity_, recorded, dropped, events);
 }
 
 bool FlightRecorder::DumpToFile(const std::string& path) const {

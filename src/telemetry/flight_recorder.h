@@ -25,6 +25,10 @@ enum class FlightEventKind : std::uint8_t {
   kSlowOp,            // a span exceeded the slow-op threshold; a = ns
   kNetConnOpen,       // gateway accepted a connection; a = connection id
   kNetConnClose,      // a = bytes in, b = bytes out; detail = reason
+  kSlowRequest,       // a wire request exceeded the slow-request
+                      // threshold; a = total us, b = seq; detail = the
+                      // per-stage breakdown (queue/lock_wait/execute/
+                      // serialize/flush) plus I/O tally
 };
 
 std::string_view FlightEventKindName(FlightEventKind kind);
@@ -36,8 +40,11 @@ struct FlightEvent {
   std::uint64_t seq = 0;
   std::uint64_t ts_ns = 0;  // TraceNowNs at record time
   FlightEventKind kind = FlightEventKind::kTxnBegin;
-  std::uint64_t session = 0;  // 0 when not session-scoped
-  std::uint64_t a = 0;        // kind-specific, see FlightEventKind
+  std::uint64_t session = 0;   // 0 when not session-scoped
+  std::uint64_t trace_id = 0;  // owning wire request (0 = none bound);
+                               // filled from the thread-local trace
+                               // context at record time
+  std::uint64_t a = 0;         // kind-specific, see FlightEventKind
   std::uint64_t b = 0;
   std::string detail;
 };
@@ -70,6 +77,10 @@ class FlightRecorder {
 
   /// {"capacity":..,"recorded":..,"dropped":..,"events":[{..},..]}.
   std::string DumpJson() const;
+
+  /// DumpJson restricted to one event kind — the `:slowlog` dump is
+  /// DumpJsonOfKind(kSlowRequest).
+  std::string DumpJsonOfKind(FlightEventKind kind) const;
 
   /// Writes DumpJson() to `path` (truncating). Returns false on I/O error
   /// — callers on failure paths cannot do much about it, but tests can.

@@ -37,6 +37,15 @@ const std::vector<std::uint64_t>& Histogram::DefaultLatencyBounds() {
   return kBounds;
 }
 
+const std::vector<std::uint64_t>& Histogram::MicroLatencyBounds() {
+  static const std::vector<std::uint64_t> kBounds = {
+      1,    2,    3,    4,     5,     6,      7,      8,      9,     10,
+      15,   20,   25,   35,    50,    75,     100,    150,    250,   500,
+      1000, 2500, 5000, 10000, 25000, 50000,  100000, 250000, 500000,
+      1000000};
+  return kBounds;
+}
+
 Histogram::Histogram(std::vector<std::uint64_t> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
 

@@ -89,6 +89,13 @@ class Histogram {
   /// Microsecond-scale latency bounds: 1,2,5,... decades up to 1e6.
   static const std::vector<std::uint64_t>& DefaultLatencyBounds();
 
+  /// Dense sub-millisecond bounds for distributions whose p50 sits in the
+  /// single-digit microseconds (loopback request stages). The default
+  /// 1/2/5 decade ladder puts a ~5 µs median inside a 2.5 µs-wide bucket
+  /// whose interpolation error is ~half the median itself; these bounds
+  /// keep sub-10 µs buckets ≤ 1 µs wide while still reaching 1 s.
+  static const std::vector<std::uint64_t>& MicroLatencyBounds();
+
   Histogram() : Histogram(DefaultLatencyBounds()) {}
   explicit Histogram(std::vector<std::uint64_t> bounds);
 

@@ -6,6 +6,7 @@ namespace gemstone::telemetry {
 
 namespace {
 thread_local std::uint32_t tls_span_depth = 0;
+thread_local std::uint64_t tls_trace_id = 0;
 
 std::chrono::steady_clock::time_point TraceEpoch() {
   static const std::chrono::steady_clock::time_point epoch =
@@ -20,6 +21,15 @@ std::uint64_t TraceNowNs() {
           std::chrono::steady_clock::now() - TraceEpoch())
           .count());
 }
+
+std::uint64_t CurrentTraceId() { return tls_trace_id; }
+
+TraceContextScope::TraceContextScope(std::uint64_t trace_id)
+    : saved_(tls_trace_id) {
+  tls_trace_id = trace_id;
+}
+
+TraceContextScope::~TraceContextScope() { tls_trace_id = saved_; }
 
 TraceBuffer& TraceBuffer::Global() {
   static TraceBuffer* buffer = new TraceBuffer();  // never dies
@@ -100,6 +110,7 @@ ScopedSpan::~ScopedSpan() {
   SpanRecord span;
   span.name = name_;
   span.depth = depth_;
+  span.trace_id = tls_trace_id;
   // The epoch initializes lazily, so the very first span can start a hair
   // before it; clamp instead of wrapping the unsigned subtraction.
   const auto start_rel = std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -15,11 +15,13 @@ namespace gemstone::telemetry {
 /// One completed scoped span. `depth` is the nesting level on the
 /// recording thread at the time the span opened (0 = outermost), so a
 /// drained buffer reconstructs the call tree without parent pointers.
+/// `trace_id` names the wire request the span served (0 = none bound).
 struct SpanRecord {
   const char* name = "";  // must point at a string literal
   std::uint32_t depth = 0;
   std::uint64_t start_ns = 0;  // since process trace epoch (steady clock)
   std::uint64_t duration_ns = 0;
+  std::uint64_t trace_id = 0;
 };
 
 /// Bounded ring of recently completed spans. When full, the oldest record
@@ -76,6 +78,31 @@ class ScopedSpan {
 
 /// Nanoseconds since the process trace epoch (first use of the clock).
 std::uint64_t TraceNowNs();
+
+// --- Request trace context ---------------------------------------------------
+//
+// The wire layer binds the 64-bit trace id of the request it is serving
+// into a thread-local for the duration of dispatch. Everything recorded
+// on that thread while the scope is live — spans, flight-recorder
+// events, slow-op captures — picks the id up implicitly, so existing
+// call sites need no plumbing to become request-attributed.
+
+/// The trace id bound on this thread, or 0 when no request is in scope.
+std::uint64_t CurrentTraceId();
+
+/// RAII binding of a trace id to the current thread. Nests: the previous
+/// id is restored on destruction, so re-entrant dispatch keeps the
+/// innermost (most specific) request attribution.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(std::uint64_t trace_id);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
 
 }  // namespace gemstone::telemetry
 

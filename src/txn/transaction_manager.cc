@@ -96,6 +96,19 @@ Status TransactionManager::Commit(Transaction* txn) {
     txn->working_.clear();
     aborted_.Increment(1, std::memory_order_release);
     conflicts_.Increment(1, std::memory_order_release);
+    // Per-object contention evidence (ConflictHotspots). We already hold
+    // store_mu_ exclusively on the commit path.
+    auto hot = conflict_by_oid_.find(raw);
+    if (hot != conflict_by_oid_.end()) {
+      ++hot->second;
+    } else if (conflict_by_oid_.size() < kConflictHotspotCap) {
+      conflict_by_oid_.emplace(raw, 1);
+    } else {
+      static telemetry::Counter* dropped =
+          telemetry::MetricsRegistry::Global().GetCounter(
+              "txn.conflict_oids_dropped");
+      dropped->Increment();
+    }
     telemetry::FlightRecorder::Global().Record(
         telemetry::FlightEventKind::kTxnConflict, txn->session(), raw, 0,
         std::string(what) + " object " + Oid(raw).ToString() +
@@ -253,6 +266,20 @@ TxnStats TransactionManager::stats() const {
   stats.committed = committed_.value(std::memory_order_acquire);
   stats.begun = begun_.value();
   return stats;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+TransactionManager::ConflictHotspots(std::size_t top_n) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  {
+    ReaderMutexLock lock(store_mu_);
+    out.assign(conflict_by_oid_.begin(), conflict_by_oid_.end());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (out.size() > top_n) out.resize(top_n);
+  return out;
 }
 
 Result<Oid> TransactionManager::CreateObject(Transaction* txn, Oid class_oid) {

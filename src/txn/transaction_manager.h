@@ -100,6 +100,15 @@ class TransactionManager {
 
   TxnStats stats() const;
 
+  /// The objects that caused the most validation conflicts, hottest
+  /// first: (raw oid, conflict count) pairs, at most `top_n`. This is the
+  /// per-object contention evidence the MVCC plan (ROADMAP item 1) needs
+  /// — which objects would still serialize under finer concurrency
+  /// control. Bounded: only the first kConflictHotspotCap distinct
+  /// objects are tracked (`txn.conflict_oids_dropped` counts the rest).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ConflictHotspots(
+      std::size_t top_n = 10) const;
+
   /// Recovery support: restores the logical clock to the largest commit
   /// time found in a recovered image. Call before any Begin.
   void RestoreClock(TxnTime t) { clock_.store(t); }
@@ -177,6 +186,13 @@ class TransactionManager {
   mutable SharedMutex store_mu_;
   std::atomic<TxnTime> clock_{0};
   std::unordered_map<std::uint64_t, TxnTime> last_commit_
+      GS_GUARDED_BY(store_mu_);
+
+  /// Per-object conflict tally, maintained on the (already exclusive)
+  /// commit validation path. Bounded so a pathological workload cannot
+  /// grow it without limit.
+  static constexpr std::size_t kConflictHotspotCap = 4096;
+  std::unordered_map<std::uint64_t, std::uint64_t> conflict_by_oid_
       GS_GUARDED_BY(store_mu_);
 
   telemetry::Counter begun_;

@@ -1,0 +1,268 @@
+// The admin HTTP endpoint under friendly and hostile clients: registered
+// routes serve, malformed request lines get clean 4xx answers, oversized
+// heads are bounded, slow/partial writers don't wedge the loop, and
+// concurrent scrapes all complete while wire traffic flows. CI runs this
+// under ASan (sanitize job) and TSan (tsan job) via the `net` label.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "admin/authorization.h"
+#include "admin/http_endpoint.h"
+#include "executor/executor.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace gemstone::admin {
+namespace {
+
+/// A deliberately dumb HTTP client: connect, write the raw bytes, read to
+/// EOF. The endpoint speaks Connection: close, so EOF delimits the reply.
+std::string RawExchange(std::uint16_t port, const std::string& request,
+                        bool half_close_after_send = false) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  if (half_close_after_send) ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(std::uint16_t port, const std::string& target) {
+  return RawExchange(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+}
+
+class HttpEndpointTest : public ::testing::Test {
+ protected:
+  void StartEndpoint() {
+    endpoint_.AddRoute("/healthz", "text/plain", [] { return "ok\n"; });
+    endpoint_.AddRoute("/counterz", "text/plain", [this] {
+      return std::to_string(hits_.fetch_add(1) + 1) + "\n";
+    });
+    ASSERT_TRUE(endpoint_.Start().ok());
+    ASSERT_NE(endpoint_.port(), 0);
+  }
+
+  std::atomic<int> hits_{0};
+  HttpEndpoint endpoint_;  // port 0: ephemeral
+};
+
+TEST_F(HttpEndpointTest, ServesRegisteredRoutes) {
+  StartEndpoint();
+  const std::string response = Get(endpoint_.port(), "/healthz");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nok\n"), std::string::npos);
+  // Handlers run per request.
+  EXPECT_NE(Get(endpoint_.port(), "/counterz").find("\r\n\r\n1\n"),
+            std::string::npos);
+  EXPECT_NE(Get(endpoint_.port(), "/counterz").find("\r\n\r\n2\n"),
+            std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, QueryStringsAreStrippedBeforeRouting) {
+  StartEndpoint();
+  const std::string response =
+      Get(endpoint_.port(), "/healthz?verbose=1&format=json");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+}
+
+TEST_F(HttpEndpointTest, UnknownRouteIs404ListingRoutes) {
+  StartEndpoint();
+  const std::string response = Get(endpoint_.port(), "/nope");
+  EXPECT_EQ(response.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << response;
+  EXPECT_NE(response.find("/healthz"), std::string::npos);
+}
+
+TEST_F(HttpEndpointTest, NonGetMethodsAre405) {
+  StartEndpoint();
+  for (const char* method : {"POST", "PUT", "DELETE", "HEAD"}) {
+    const std::string response = RawExchange(
+        endpoint_.port(), std::string(method) + " /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_EQ(response.rfind("HTTP/1.0 405 ", 0), 0u)
+        << method << " -> " << response;
+  }
+}
+
+TEST_F(HttpEndpointTest, MalformedRequestLinesAre400) {
+  StartEndpoint();
+  const std::string malformed[] = {
+      "garbage\r\n",                      // no spaces at all
+      "GET /healthz\r\n",                 // missing version
+      "GET /healthz HTTP/1.0 extra\r\n",  // too many fields
+      "GET /healthz FTP/1.0\r\n",         // not an HTTP version
+      std::string("\x01\x02\x7f \xff ") + "\r\n",  // binary junk
+  };
+  for (const std::string& request : malformed) {
+    const std::string response = RawExchange(endpoint_.port(), request);
+    EXPECT_EQ(response.rfind("HTTP/1.0 400 Bad Request\r\n", 0), 0u)
+        << "for request: " << request << " got: " << response;
+  }
+}
+
+TEST_F(HttpEndpointTest, OversizedRequestHeadIs431) {
+  StartEndpoint();
+  // A request line that never ends: the endpoint bounds the buffer and
+  // answers 431 instead of accumulating forever.
+  const std::string response =
+      RawExchange(endpoint_.port(), "GET /" + std::string(8192, 'a'));
+  EXPECT_EQ(response.rfind("HTTP/1.0 431 ", 0), 0u) << response.substr(0, 64);
+}
+
+TEST_F(HttpEndpointTest, PartialRequestsAreBufferedAcrossPackets) {
+  StartEndpoint();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoint_.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Drip the request in three pieces.
+  for (const char* piece : {"GET /hea", "lthz HTT", "P/1.0\r\n\r\n"}) {
+    ASSERT_GT(::send(fd, piece, std::strlen(piece), MSG_NOSIGNAL), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::string response;
+  char buf[1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+}
+
+TEST_F(HttpEndpointTest, HalfClosedPeerStillGetsItsResponse) {
+  StartEndpoint();
+  const std::string response = RawExchange(
+      endpoint_.port(), "GET /healthz HTTP/1.0\r\n\r\n",
+      /*half_close_after_send=*/true);
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << response;
+}
+
+TEST_F(HttpEndpointTest, SilentConnectionsAreSweptByDeadline) {
+  HttpEndpointOptions options;
+  options.idle_timeout_ms = 50;
+  HttpEndpoint endpoint(options);
+  endpoint.AddRoute("/healthz", "text/plain", [] { return "ok\n"; });
+  ASSERT_TRUE(endpoint.Start().ok());
+  // Connect and say nothing: the endpoint hangs up (EOF), and stays
+  // healthy for the next real client.
+  const std::string nothing = RawExchange(endpoint.port(), "");
+  EXPECT_TRUE(nothing.empty());
+  EXPECT_EQ(Get(endpoint.port(), "/healthz").rfind("HTTP/1.0 200", 0), 0u);
+}
+
+TEST_F(HttpEndpointTest, StopIsIdempotentAndStartRejectsDoubleStart) {
+  StartEndpoint();
+  EXPECT_FALSE(endpoint_.Start().ok());
+  endpoint_.Stop();
+  EXPECT_FALSE(endpoint_.running());
+  endpoint_.Stop();  // idempotent
+}
+
+TEST_F(HttpEndpointTest, ConcurrentScrapesAllComplete) {
+  StartEndpoint();
+  constexpr int kThreads = 8;
+  constexpr int kScrapes = 20;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &ok] {
+      for (int i = 0; i < kScrapes; ++i) {
+        const std::string response = Get(endpoint_.port(), "/healthz");
+        if (response.rfind("HTTP/1.0 200 OK\r\n", 0) == 0) ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kScrapes);
+}
+
+// The full wiring: scrapes against a live gateway's statusz/metrics while
+// wire clients commit — the observability plane must never disturb or be
+// disturbed by the data plane.
+TEST(HttpEndpointIntegrationTest, ScrapesUnderWireTraffic) {
+  executor::Executor executor;
+  AuthorizationManager auth;
+  net::ServerOptions server_options;
+  server_options.workers = 2;
+  net::Server server(&executor, &auth, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpEndpoint endpoint;
+  endpoint.AddRoute("/statusz", "application/json",
+                    [&server] { return server.StatusJson(); });
+  ASSERT_TRUE(endpoint.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread traffic([&] {
+    net::Client client;
+    if (!client.Connect(server.port()).ok() || !client.Login().ok()) {
+      failed = true;
+      return;
+    }
+    while (!stop.load()) {
+      if (!client.Execute("2 + 2").ok()) {
+        failed = true;
+        return;
+      }
+    }
+  });
+
+  int scraped = 0;
+  for (int i = 0; i < 25; ++i) {
+    const std::string response = Get(endpoint.port(), "/statusz");
+    if (response.rfind("HTTP/1.0 200 OK\r\n", 0) == 0 &&
+        response.find("\"stages\":") != std::string::npos) {
+      ++scraped;
+    }
+  }
+  stop = true;
+  traffic.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(scraped, 25);
+
+  endpoint.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace gemstone::admin

@@ -96,8 +96,10 @@ TEST_F(FrameFuzzTest, UnknownTypeByteKeepsConnectionOpen) {
   Client client;
   ASSERT_TRUE(client.Connect(server_->port()).ok());
   std::string frame_bytes;
-  AppendU32(&frame_bytes, 5);
+  AppendU32(&frame_bytes, kFrameHeaderLen + 4);
   frame_bytes.push_back('\x5f');  // no such request type
+  AppendU64(&frame_bytes, 77);    // trace id
+  AppendU32(&frame_bytes, 1);     // seq
   frame_bytes += "junk";
   ASSERT_TRUE(client.SendRaw(frame_bytes).ok());
   auto response = client.ReadFrame();

@@ -29,25 +29,44 @@ TEST(WireTest, IntegersRoundTripLittleEndian) {
 }
 
 TEST(WireTest, FrameRoundTrip) {
-  const std::string encoded = EncodeFrame(MsgType::kExecuteOpal, "3 + 4");
-  ASSERT_EQ(encoded.size(), 4u + 1u + 5u);
+  const std::string encoded =
+      EncodeFrame(MsgType::kExecuteOpal, 0xabcdef1234ull, 7, "3 + 4");
+  ASSERT_EQ(encoded.size(), 4u + kFrameHeaderLen + 5u);
   Frame frame;
   std::size_t consumed = 0;
   ASSERT_EQ(DecodeFrame(encoded, 1u << 20, &frame, &consumed),
             DecodeResult::kFrame);
   EXPECT_EQ(consumed, encoded.size());
   EXPECT_EQ(frame.type, MsgType::kExecuteOpal);
+  EXPECT_EQ(frame.trace_id, 0xabcdef1234ull);
+  EXPECT_EQ(frame.seq, 7u);
   EXPECT_EQ(frame.payload, "3 + 4");
 }
 
 TEST(WireTest, EmptyPayloadFrameIsLegal) {
   const std::string encoded = EncodeFrame(MsgType::kBegin, "");
-  ASSERT_EQ(encoded.size(), 5u);  // len=1: just the type byte
+  // len == kFrameHeaderLen: type byte + trace header, no payload.
+  ASSERT_EQ(encoded.size(), 4u + kFrameHeaderLen);
   Frame frame;
   std::size_t consumed = 0;
   ASSERT_EQ(DecodeFrame(encoded, 16, &frame, &consumed), DecodeResult::kFrame);
   EXPECT_EQ(frame.type, MsgType::kBegin);
+  EXPECT_EQ(frame.trace_id, 0u);  // the control-plane overload zeroes it
+  EXPECT_EQ(frame.seq, 0u);
   EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireTest, TraceHeaderRoundTripsExtremes) {
+  const std::uint64_t server_assigned = (1ull << 63) | 42;
+  const std::string encoded = EncodeFrame(
+      MsgType::kOk, server_assigned, 0xffffffffu, std::string("x"));
+  Frame frame;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(encoded, 1u << 20, &frame, &consumed),
+            DecodeResult::kFrame);
+  EXPECT_EQ(frame.trace_id, server_assigned);
+  EXPECT_EQ(frame.seq, 0xffffffffu);
+  EXPECT_EQ(frame.payload, "x");
 }
 
 TEST(WireTest, PartialFramesNeedMore) {
@@ -64,8 +83,8 @@ TEST(WireTest, PartialFramesNeedMore) {
 
 TEST(WireTest, TwoFramesDecodeInSequence) {
   std::string buf;
-  AppendFrame(&buf, MsgType::kBegin, "");
-  AppendFrame(&buf, MsgType::kCommit, "");
+  AppendFrame(&buf, MsgType::kBegin, 1, 1, "");
+  AppendFrame(&buf, MsgType::kCommit, 1, 2, "");
   Frame frame;
   std::size_t consumed = 0;
   ASSERT_EQ(DecodeFrame(buf, 64, &frame, &consumed), DecodeResult::kFrame);
@@ -85,6 +104,22 @@ TEST(WireTest, ZeroLengthIsMalformed) {
             DecodeResult::kMalformed);
 }
 
+TEST(WireTest, LengthShorterThanTraceHeaderIsMalformed) {
+  // Old-format peers (len counts only type byte + payload) produce
+  // lengths below kFrameHeaderLen for small frames; the strict check
+  // gives them a clean protocol-error close instead of a garbled parse.
+  for (std::uint32_t len = 1; len < kFrameHeaderLen; ++len) {
+    std::string buf;
+    AppendU32(&buf, len);
+    buf.append(len, '\x01');
+    Frame frame;
+    std::size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(buf, 1u << 20, &frame, &consumed),
+              DecodeResult::kMalformed)
+        << "len=" << len;
+  }
+}
+
 TEST(WireTest, OversizedLengthIsMalformed) {
   std::string buf;
   AppendU32(&buf, 1024 + 1);
@@ -101,12 +136,15 @@ TEST(WireTest, OversizedLengthIsMalformed) {
 TEST(WireTest, UnknownTypeByteIsNotAFramingError) {
   // The framing layer hands unknown types through; dispatch answers them.
   std::string buf;
-  AppendU32(&buf, 1);
+  AppendU32(&buf, kFrameHeaderLen);
   buf.push_back('\x7f');
+  AppendU64(&buf, 9);  // trace id
+  AppendU32(&buf, 1);  // seq
   Frame frame;
   std::size_t consumed = 0;
   ASSERT_EQ(DecodeFrame(buf, 64, &frame, &consumed), DecodeResult::kFrame);
   EXPECT_EQ(static_cast<std::uint8_t>(frame.type), 0x7f);
+  EXPECT_EQ(frame.trace_id, 9u);
 }
 
 TEST(WireTest, ErrorPayloadRoundTripsStatus) {

@@ -168,5 +168,34 @@ TEST(FlightRecorderTest, ThresholdZeroDisablesSlowOpCapture) {
   global.ClearForTest();
 }
 
+TEST(FlightRecorderTest, EventsCaptureTheBoundTraceContext) {
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventKind::kTxnBegin, 1, 0, 0, "");
+  {
+    TraceContextScope scope(0xfeedu);
+    recorder.Record(FlightEventKind::kTxnCommit, 1, 2, 3, "");
+  }
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[1].trace_id, 0xfeedu);
+  EXPECT_NE(recorder.DumpJson().find("\"trace_id\":65261"),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpJsonOfKindFiltersToOneKind) {
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventKind::kTxnCommit, 1, 0, 0, "");
+  recorder.Record(FlightEventKind::kSlowRequest, 1, 500, 7,
+                  "queue=1us lock_wait=2us");
+  recorder.Record(FlightEventKind::kTxnAbort, 1, 0, 0, "");
+  const std::string dump =
+      recorder.DumpJsonOfKind(FlightEventKind::kSlowRequest);
+  EXPECT_NE(dump.find("\"slow_request\""), std::string::npos);
+  EXPECT_NE(dump.find("lock_wait=2us"), std::string::npos);
+  EXPECT_EQ(dump.find("txn_commit"), std::string::npos);
+  EXPECT_EQ(dump.find("txn_abort"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gemstone::telemetry

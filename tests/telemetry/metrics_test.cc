@@ -158,6 +158,46 @@ TEST(RegistryTest, ResetForTestZeroesInstrumentsAndRetiredTotals) {
   EXPECT_EQ(snap.histograms.at("h").count, 0u);
 }
 
+TEST(HistogramTest, MicroLatencyBoundsResolveSingleDigitMicros) {
+  // Regression: the 1/2/5 decade ladder put a 5 µs observation in the
+  // (2, 5] bucket, so linear interpolation reported a ~3.5 µs median for
+  // a distribution whose every sample is 5 µs — off by ~30%. The dense
+  // micro bounds keep sub-10 µs buckets ≤ 1 µs wide.
+  Histogram coarse(Histogram::DefaultLatencyBounds());
+  Histogram dense(Histogram::MicroLatencyBounds());
+  for (int i = 0; i < 1000; ++i) {
+    coarse.Observe(5);
+    dense.Observe(5);
+  }
+  const HistogramSnapshot coarse_snap = coarse.Snapshot();
+  const HistogramSnapshot dense_snap = dense.Snapshot();
+
+  // Dense buckets: both p50 and p95 land within 1 µs of the true value.
+  EXPECT_GE(dense_snap.p50(), 4.0);
+  EXPECT_LE(dense_snap.p50(), 5.0);
+  EXPECT_GE(dense_snap.p95(), 4.0);
+  EXPECT_LE(dense_snap.p95(), 5.0);
+
+  // The coarse ladder demonstrably cannot: its (2, 5] bucket smears the
+  // median more than a microsecond low. (If this ever starts passing,
+  // DefaultLatencyBounds grew dense sub-10 µs buckets and
+  // MicroLatencyBounds can fold back into it.)
+  EXPECT_LT(coarse_snap.p50(), 4.0);
+}
+
+TEST(HistogramTest, MicroLatencyBoundsAreSortedAndReachOneSecond) {
+  const std::vector<std::uint64_t>& bounds = Histogram::MicroLatencyBounds();
+  ASSERT_FALSE(bounds.empty());
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "unsorted at " << i;
+    // Sub-10 µs region: buckets no wider than 1 µs.
+    if (bounds[i] <= 10) {
+      EXPECT_LE(bounds[i] - bounds[i - 1], 1u);
+    }
+  }
+  EXPECT_EQ(bounds.back(), 1'000'000u);  // 1 s, in µs
+}
+
 TEST(RegistryTest, ConcurrentRegistryTraffic) {
   MetricsRegistry registry;
   Counter* shared = registry.GetCounter("mt.hits");

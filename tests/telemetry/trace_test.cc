@@ -71,6 +71,35 @@ TEST(ScopedSpanTest, NestedSpansRecordDepthAndCloseInnerFirst) {
   EXPECT_GE(outer.duration_ns, inner.duration_ns);
 }
 
+TEST(TraceContextTest, ScopeBindsNestsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    TraceContextScope outer(0x1111);
+    EXPECT_EQ(CurrentTraceId(), 0x1111u);
+    {
+      TraceContextScope inner(0x2222);
+      EXPECT_EQ(CurrentTraceId(), 0x2222u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 0x1111u);  // nesting restores, not clears
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST(TraceContextTest, SpansRecordedInScopeCarryTheTraceId) {
+  TraceBuffer::Global().Clear();
+  {
+    TraceContextScope scope(0xabcd);
+    TELEM_SPAN("test.traced");
+  }
+  {
+    TELEM_SPAN("test.untraced");
+  }
+  const auto spans = TraceBuffer::Global().Snapshot();
+  ASSERT_GE(spans.size(), 2u);
+  EXPECT_EQ(spans[spans.size() - 2].trace_id, 0xabcdu);
+  EXPECT_EQ(spans[spans.size() - 1].trace_id, 0u);
+}
+
 TEST(ScopedSpanTest, SpanFeedsRegistryHistogram) {
   Histogram* histogram =
       MetricsRegistry::Global().GetHistogram("span.test.timed");

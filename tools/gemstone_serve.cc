@@ -2,8 +2,16 @@
 // an in-memory database behind a gemstone::net gateway on 127.0.0.1 and
 // serves until SIGINT/SIGTERM, then drains in-flight commits and exits.
 //
-//   gemstone_serve --port 7844 --workers 4 --max-conns 64 \
+//   gemstone_serve --port 7844 --workers 4 --max-conns 64
 //                  --idle-timeout-ms 60000 --request-timeout-ms 0
+//                  --admin-port 7845 --slow-request-us 100000
+//
+// --admin-port (0 = ephemeral, prints the choice; omit to disable)
+// stands up the HTTP observability endpoint beside the wire gateway:
+//   curl http://127.0.0.1:7845/metrics    Prometheus scrape
+//   curl http://127.0.0.1:7845/statusz    live JSON status page
+//   curl http://127.0.0.1:7845/flightrec  flight-recorder dump
+//   curl http://127.0.0.1:7845/slowlog    slow-request events only
 
 #include <chrono>
 #include <csignal>
@@ -14,8 +22,12 @@
 #include <thread>
 
 #include "admin/authorization.h"
+#include "admin/http_endpoint.h"
 #include "executor/executor.h"
 #include "net/server.h"
+#include "telemetry/export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -35,7 +47,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--workers N] [--max-conns N]\n"
                "          [--idle-timeout-ms N] [--request-timeout-ms N]\n"
-               "(--port 0 picks an ephemeral port and prints it)\n",
+               "          [--slow-request-us N] [--admin-port N]\n"
+               "(--port/--admin-port 0 pick ephemeral ports and print them;\n"
+               " omit --admin-port to disable the HTTP admin endpoint)\n",
                argv0);
   return 2;
 }
@@ -45,6 +59,8 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   gemstone::net::ServerOptions options;
   options.port = 7844;
+  bool admin_enabled = false;
+  gemstone::admin::HttpEndpointOptions admin_options;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -63,6 +79,11 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = n;
     } else if (std::strcmp(arg, "--request-timeout-ms") == 0) {
       options.request_timeout_ms = n;
+    } else if (std::strcmp(arg, "--slow-request-us") == 0) {
+      options.slow_request_us = n;
+    } else if (std::strcmp(arg, "--admin-port") == 0) {
+      admin_enabled = true;
+      admin_options.port = static_cast<std::uint16_t>(n);
     } else {
       return Usage(argv[0]);
     }
@@ -78,10 +99,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  gemstone::admin::HttpEndpoint admin(admin_options);
+  if (admin_enabled) {
+    admin.AddRoute("/metrics", "text/plain; version=0.0.4", [] {
+      return gemstone::telemetry::ToPrometheus(
+          gemstone::telemetry::MetricsRegistry::Global().Snapshot());
+    });
+    admin.AddRoute("/statusz", "application/json",
+                   [&server] { return server.StatusJson(); });
+    admin.AddRoute("/flightrec", "application/json", [] {
+      return gemstone::telemetry::FlightRecorder::Global().DumpJson();
+    });
+    admin.AddRoute("/slowlog", "application/json", [] {
+      return gemstone::telemetry::FlightRecorder::Global().DumpJsonOfKind(
+          gemstone::telemetry::FlightEventKind::kSlowRequest);
+    });
+    admin.AddRoute("/healthz", "text/plain", [] { return "ok\n"; });
+    const gemstone::Status admin_started = admin.Start();
+    if (!admin_started.ok()) {
+      std::fprintf(stderr, "gemstone_serve: admin endpoint: %s\n",
+                   admin_started.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::printf("gemstone_serve: listening on 127.0.0.1:%u (%d workers)\n",
               static_cast<unsigned>(server.port()), options.workers);
+  if (admin_enabled) {
+    std::printf("gemstone_serve: admin endpoint on http://127.0.0.1:%u\n",
+                static_cast<unsigned>(admin.port()));
+  }
   std::fflush(stdout);
 
   while (g_stop == 0) {
@@ -89,6 +139,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("gemstone_serve: draining and shutting down\n");
+  admin.Stop();
   server.Stop();
   return 0;
 }
