@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -123,6 +124,103 @@ void BM_NetConcurrentClients(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * clients * 8);
 }
 BENCHMARK(BM_NetConcurrentClients)->Arg(2)->Arg(8);
+
+/// The read-path scaling evidence (DESIGN.md §12): four client threads on
+/// a 90/10 read/write mix against a gateway with Arg(0) workers. Reads
+/// are execute-heavy OPAL (so the old coarse lock, not the socket, was
+/// the wall) on a shared committed object; each client writes a disjoint
+/// global, so OCC conflicts stay ~0 and the measurement isolates lock
+/// contention. CI's bench-smoke gate requires 4-worker throughput ≥ 2x
+/// 1-worker (net.bench_read_mix_rps_{1,4}w in BENCH_net.json).
+void BM_NetReadHeavyMix(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 50;
+
+  // Own gateway per run: the variable under test is the worker count.
+  Executor executor;
+  AuthorizationManager auth;
+  ServerOptions options;
+  options.workers = workers;
+  options.max_connections = 32;
+  Server server(&executor, &auth, options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  const char* write_targets[kClients] = {"Wa", "Wb", "Wc", "Wd"};
+  {
+    Client setup;
+    if (!setup.Connect(server.port()).ok() || !setup.Login().ok()) {
+      state.SkipWithError("setup connect failed");
+      return;
+    }
+    bool ok = setup.Execute("MixBox := Object new. "
+                            "MixBox instVarNamed: 'v' put: 1")
+                  .ok();
+    for (const char* target : write_targets) {
+      ok = ok && setup.Execute(std::string(target) + " := Object new").ok();
+    }
+    if (!ok || !setup.Commit().ok()) {
+      state.SkipWithError("seed failed");
+      return;
+    }
+    (void)setup.Logout();
+  }
+
+  // Execution-dominated read: ~2000 interpreted instVar reads per request.
+  const std::string read_block =
+      "| s | s := 0. 1 to: 2000 do: [:i | "
+      "s := s + (MixBox instVarNamed: 'v')]. s";
+
+  double total_ops = 0;
+  double total_secs = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        Client client;
+        if (!client.Connect(server.port()).ok() || !client.Login().ok()) {
+          return;
+        }
+        const std::string write_block =
+            std::string(write_targets[c]) + " instVarNamed: 'v' put: 2";
+        for (int op = 0; op < kOpsPerClient; ++op) {
+          if (op % 10 == 9) {
+            // The write dirties the session, so it (and its commit) runs
+            // on the exclusive path; Begin restores read-path
+            // eligibility.
+            (void)client.Execute(write_block);
+            (void)client.Commit();
+            (void)client.Begin();
+          } else {
+            (void)client.Execute(read_block);
+          }
+        }
+        (void)client.Logout();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    total_secs +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    total_ops += kClients * kOpsPerClient;
+  }
+  state.SetItemsProcessed(state.iterations() * kClients * kOpsPerClient);
+  if (total_secs > 0) {
+    const double rps = total_ops / total_secs;
+    state.counters["rps"] = benchmark::Counter(rps);
+    gemstone::telemetry::MetricsRegistry::Global()
+        .GetGauge(workers == 1 ? "net.bench_read_mix_rps_1w"
+                               : "net.bench_read_mix_rps_4w")
+        ->Set(static_cast<std::int64_t>(rps));
+  }
+}
+BENCHMARK(BM_NetReadHeavyMix)->Arg(1)->Arg(4)->UseRealTime();
 
 }  // namespace
 

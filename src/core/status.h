@@ -29,6 +29,8 @@ enum class StatusCode {
   kUnavailable,         // object migrated to archival media
   kNotImplemented,
   kInternal,            // invariant violation inside the library
+  kReadOnlyRetry,       // side effect on the snapshot read path; rerun
+                        // the request on the exclusive write path
 };
 
 /// Returns a stable human-readable name, e.g. "TransactionConflict".
@@ -103,6 +105,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ReadOnlyRetry(std::string msg) {
+    return Status(StatusCode::kReadOnlyRetry, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -116,6 +121,9 @@ class Status {
     return code() == StatusCode::kTransactionConflict;
   }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsReadOnlyRetry() const {
+    return code() == StatusCode::kReadOnlyRetry;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

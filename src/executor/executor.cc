@@ -59,14 +59,17 @@ void Executor::Bootstrap() {
 }
 
 Result<SessionId> Executor::Login(UserId user) {
-  const SessionId id = next_session_++;
+  const SessionId id = next_session_.fetch_add(1, std::memory_order_relaxed);
   SessionEntry entry;
   entry.session = std::make_unique<txn::Session>(&transactions_, id, user);
   entry.interpreter = std::make_unique<opal::Interpreter>(
       &memory_, entry.session.get(), &globals_);
   entry.interpreter->set_directories(&directories_);
   GS_RETURN_IF_ERROR(entry.session->Begin());
-  sessions_.emplace(id, std::move(entry));
+  {
+    WriterMutexLock lock(sessions_mu_);
+    sessions_.emplace(id, std::move(entry));
+  }
   session_count_.fetch_add(1, std::memory_order_release);
   LoginCounter()->Increment();
   ActiveSessionsGauge()->Add(1);
@@ -74,46 +77,61 @@ Result<SessionId> Executor::Login(UserId user) {
 }
 
 Status Executor::Logout(SessionId session) {
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) {
-    return Status::NotFound("no such session: " + std::to_string(session));
+  // Move the entry out under the lock; abort and destroy outside it so a
+  // slow abort never stalls unrelated logins or read-path lookups.
+  SessionEntry entry;
+  {
+    WriterMutexLock lock(sessions_mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no such session: " + std::to_string(session));
+    }
+    entry = std::move(it->second);
+    sessions_.erase(it);
   }
-  if (it->second.session->InTransaction()) {
-    (void)it->second.session->Abort();
+  if (entry.session->InTransaction()) {
+    (void)entry.session->Abort();
   }
-  sessions_.erase(it);
   session_count_.fetch_sub(1, std::memory_order_release);
   ActiveSessionsGauge()->Add(-1);
   return Status::OK();
 }
 
 txn::Session* Executor::session(SessionId id) {
+  ReaderMutexLock lock(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second.session.get();
 }
 
 opal::Interpreter* Executor::interpreter(SessionId id) {
+  ReaderMutexLock lock(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second.interpreter.get();
 }
 
+bool Executor::SessionIsReadPathEligible(SessionId id) {
+  ReaderMutexLock lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return true;
+  return it->second.session->SnapshotReadEligible();
+}
+
 Result<Value> Executor::Execute(SessionId session, std::string_view source) {
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) {
+  opal::Interpreter* interp = interpreter(session);
+  if (interp == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session));
   }
   ExecuteCounter()->Increment();
   TELEM_SPAN("executor.execute");
   opal::Compiler compiler(&memory_);
   GS_ASSIGN_OR_RETURN(auto body, compiler.CompileBody(source));
-  return it->second.interpreter->Run(std::move(body));
+  return interp->Run(std::move(body));
 }
 
 Result<std::string> Executor::ExecuteToString(SessionId session,
                                               std::string_view source) {
   GS_ASSIGN_OR_RETURN(Value result, Execute(session, source));
-  auto it = sessions_.find(session);
-  return it->second.interpreter->DefaultPrintString(result);
+  return interpreter(session)->DefaultPrintString(result);
 }
 
 namespace {
@@ -157,11 +175,10 @@ std::string IoLine(std::uint64_t ns, const telemetry::IoTally& io) {
 Result<std::string> Executor::ExplainStdm(SessionId session,
                                           std::string_view query_text,
                                           bool analyze) {
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) {
+  txn::Session* s = this->session(session);
+  if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session));
   }
-  txn::Session* s = it->second.session.get();
 
   GS_ASSIGN_OR_RETURN(stdm::CalculusQuery query,
                       stdm::ParseCalculus(query_text));
@@ -237,11 +254,10 @@ Status Executor::BindFreeVariables(txn::Session* s,
 
 Result<std::string> Executor::ExecuteStdm(SessionId session,
                                           std::string_view query_text) {
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) {
+  txn::Session* s = this->session(session);
+  if (s == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session));
   }
-  txn::Session* s = it->second.session.get();
 
   TELEM_SPAN("executor.stdm_query");
   GS_ASSIGN_OR_RETURN(stdm::CalculusQuery query,
@@ -348,8 +364,8 @@ Status Executor::DecodeSchema(const std::string& blob) {
           auto method, compiler.CompileMethodSource(source, cls->oid()));
       const SymbolId selector =
           memory_.symbols().Intern(method->selector);
-      cls->InstallMethod(selector, method);
-      cls->SetMethodSource(selector, source);
+      GS_RETURN_IF_ERROR(memory_.classes().InstallMethod(
+          cls->oid(), selector, method, source));
     }
   }
   return Status::OK();

@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/result.h"
+#include "core/sync.h"
 #include "index/directory.h"
 #include "object/object_memory.h"
 #include "opal/compiler.h"
@@ -35,6 +37,16 @@ namespace gemstone::executor {
 /// Boxer/Linker/CommitManager pipeline, and `Recover` rebuilds the full
 /// image — objects, logical clock, user classes and their recompiled
 /// methods — from the platters.
+///
+/// Threading: the session table is internally synchronized, so
+/// Login/Logout and per-session calls may arrive from different threads
+/// concurrently. Calls *within* one session are not — the caller (the
+/// gateway's per-connection FIFO, or a single-threaded embedder) must
+/// never run two operations on the same SessionId at once, and must not
+/// Logout a session with an operation in flight. Raw Session/Interpreter
+/// pointers stay valid until that session's Logout: the map guarantees
+/// element stability across inserts, and entries are only destroyed by
+/// Logout.
 class Executor {
  public:
   /// Purely in-memory system.
@@ -101,6 +113,11 @@ class Executor {
   opal::GlobalEnv& globals() { return globals_; }
   txn::Session* session(SessionId id);
   opal::Interpreter* interpreter(SessionId id);
+  /// Whether `id` may run on the gateway's snapshot read path: true when
+  /// the session has a time dial set or its transaction has not yet
+  /// recorded any access (see txn::Session::SnapshotReadEligible).
+  /// Unknown sessions answer true — the dispatch itself reports NotFound.
+  bool SessionIsReadPathEligible(SessionId id);
   /// Safe to call from any thread: monitors observe the gateway tearing
   /// sessions down concurrently, so the count is a release/acquire atomic
   /// rather than a read of the (unsynchronized) session table.
@@ -134,8 +151,10 @@ class Executor {
   index::DirectoryManager directories_;
   txn::TransactionManager transactions_;
 
-  SessionId next_session_ = 1;
-  std::unordered_map<SessionId, SessionEntry> sessions_;
+  std::atomic<SessionId> next_session_{1};
+  mutable SharedMutex sessions_mu_;
+  std::unordered_map<SessionId, SessionEntry> sessions_
+      GS_GUARDED_BY(sessions_mu_);
   std::atomic<std::size_t> session_count_{0};
 };
 

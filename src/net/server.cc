@@ -10,9 +10,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <system_error>
 #include <utility>
+#include <vector>
 
 #include "executor/error_format.h"
 #include "telemetry/export.h"
@@ -131,6 +133,8 @@ Server::Server(executor::Executor* executor,
   idle_timeouts_ = registry.GetCounter("net.idle_timeouts");
   request_timeouts_ = registry.GetCounter("net.request_timeouts");
   slow_requests_ = registry.GetCounter("net.slow_requests");
+  read_path_requests_ = registry.GetCounter("net.read_path_requests");
+  read_path_retries_ = registry.GetCounter("net.read_path_retries");
   // Loopback stages sit in single-digit microseconds: these distributions
   // need the dense MicroLatencyBounds or the histogram cannot resolve
   // them (satellite fix — the default decade ladder put a 5 µs median in
@@ -606,34 +610,53 @@ void Server::MarkDead(Connection* conn, const std::string& reason) {
 }
 
 void Server::ReapDeadConnections() {
-  MutexLock table(conn_table_mu_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    Connection* conn = it->second.get();
-    bool reap = false;
+  // Unlink under the table lock; session teardown happens after it is
+  // released. Holding conn_table_mu_ across Logout would both stall the
+  // status page behind a slow abort and violate the lock-order contract
+  // (DESIGN.md §12: conn_table_mu_ is never held while entering the
+  // executor or transaction layer).
+  struct Reaped {
+    std::shared_ptr<Connection> conn;
     std::string reason;
-    {
-      MutexLock lock(conn->mu);
-      // A scheduled connection is still referenced by a worker; its
-      // teardown waits for the completion wakeup.
-      reap = conn->dead && !conn->scheduled;
-      reason = conn->close_reason;
+  };
+  std::vector<Reaped> reaped;
+  {
+    MutexLock table(conn_table_mu_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      Connection* conn = it->second.get();
+      bool reap = false;
+      std::string reason;
+      {
+        MutexLock lock(conn->mu);
+        // A scheduled connection is still referenced by a worker; its
+        // teardown waits for the completion wakeup.
+        reap = conn->dead && !conn->scheduled;
+        reason = conn->close_reason;
+      }
+      if (!reap) {
+        ++it;
+        continue;
+      }
+      reaped.push_back(Reaped{it->second, std::move(reason)});
+      it = connections_.erase(it);
     }
-    if (!reap) {
-      ++it;
-      continue;
-    }
-    const SessionId session = conn->session.load(std::memory_order_relaxed);
-    if (conn->logged_in.load(std::memory_order_relaxed)) {
-      MutexLock lock(executor_mu_);
+  }
+  for (Reaped& r : reaped) {
+    const SessionId session =
+        r.conn->session.load(std::memory_order_relaxed);
+    if (r.conn->logged_in.load(std::memory_order_relaxed)) {
       // Logout aborts any transaction the disconnected client left open.
+      // `dead && !scheduled` guarantees no worker still references the
+      // session, and the Executor's session table is internally
+      // synchronized, so no executor_mu_ — a reap never waits behind a
+      // long-running request.
       (void)executor_->Logout(session);
     }
     connections_gauge_->Add(-1);
     telemetry::FlightRecorder::Global().Record(
         telemetry::FlightEventKind::kNetConnClose, session,
-        conn->bytes_in.load(std::memory_order_relaxed),
-        conn->bytes_out.load(std::memory_order_relaxed), reason);
-    it = connections_.erase(it);
+        r.conn->bytes_in.load(std::memory_order_relaxed),
+        r.conn->bytes_out.load(std::memory_order_relaxed), r.reason);
   }
 }
 
@@ -717,7 +740,12 @@ void Server::HandleRequest(Connection* conn, Request&& request) {
 
   const telemetry::IoTally io_before = telemetry::ThreadIoTally();
   Reply reply;
-  std::uint64_t lock_acquired_ns = dequeue_ns;
+  // A request may run in two legs (optimistic read path, then the
+  // exclusive retry), so lock-wait and execute accumulate piecewise; the
+  // stage telescoping (total = queue + lock_wait + execute + serialize +
+  // flush) holds over the sums.
+  std::uint64_t lock_wait_ns = 0;
+  std::uint64_t execute_ns = 0;
 
   const std::uint64_t timeout_ns = options_.request_timeout_ms * 1'000'000;
   if (timeout_ns > 0 && dequeue_ns - request.received_ns > timeout_ns) {
@@ -733,6 +761,7 @@ void Server::HandleRequest(Connection* conn, Request&& request) {
     conn->inflight_stage.store(
         static_cast<std::uint8_t>(RequestStage::kExecute),
         std::memory_order_relaxed);
+    const std::uint64_t exec_start = telemetry::TraceNowNs();
     const std::uint8_t format =
         request.payload.empty()
             ? kStatsText
@@ -750,18 +779,49 @@ void Server::HandleRequest(Connection* conn, Request&& request) {
       }
     }
     reply = Reply{MsgType::kOk, std::move(text)};
+    execute_ns = telemetry::TraceNowNs() - exec_start;
+  } else if (ReadPathEligible(conn, request)) {
+    // Snapshot read path: no executor lock. If the code turns out to
+    // write, the pinned session answers kReadOnlyRetry before mutating
+    // anything and the request reruns below on the exclusive path.
+    read_path_requests_->Increment();
+    conn->inflight_stage.store(
+        static_cast<std::uint8_t>(RequestStage::kExecute),
+        std::memory_order_relaxed);
+    const std::uint64_t exec_start = telemetry::TraceNowNs();
+    reply = DispatchReadOnly(conn, request);
+    execute_ns += telemetry::TraceNowNs() - exec_start;
+    if (reply.retry_exclusive) {
+      read_path_retries_->Increment();
+      conn->inflight_stage.store(
+          static_cast<std::uint8_t>(RequestStage::kLockWait),
+          std::memory_order_relaxed);
+      const std::uint64_t wait_start = telemetry::TraceNowNs();
+      MutexLock lock(executor_mu_);
+      const std::uint64_t retry_start = telemetry::TraceNowNs();
+      lock_wait_ns += retry_start - wait_start;
+      conn->inflight_stage.store(
+          static_cast<std::uint8_t>(RequestStage::kExecute),
+          std::memory_order_relaxed);
+      reply = DispatchLocked(conn, request);
+      execute_ns += telemetry::TraceNowNs() - retry_start;
+    }
   } else {
     MutexLock lock(executor_mu_);
-    lock_acquired_ns = telemetry::TraceNowNs();
+    const std::uint64_t lock_acquired_ns = telemetry::TraceNowNs();
+    lock_wait_ns = lock_acquired_ns - dequeue_ns;
     conn->inflight_stage.store(
         static_cast<std::uint8_t>(RequestStage::kExecute),
         std::memory_order_relaxed);
     reply = DispatchLocked(conn, request);
+    execute_ns = telemetry::TraceNowNs() - lock_acquired_ns;
   }
 
-  const std::uint64_t execute_done_ns = telemetry::TraceNowNs();
-  stage_lock_wait_us_->Observe((lock_acquired_ns - dequeue_ns) / 1000);
-  stage_execute_us_->Observe((execute_done_ns - lock_acquired_ns) / 1000);
+  // Synthetic boundary: any instrumentation gap folds into serialize.
+  const std::uint64_t execute_done_ns =
+      dequeue_ns + lock_wait_ns + execute_ns;
+  stage_lock_wait_us_->Observe(lock_wait_ns / 1000);
+  stage_execute_us_->Observe(execute_ns / 1000);
   const telemetry::IoTally io_after = telemetry::ThreadIoTally();
   const telemetry::IoTally io = telemetry::IoDelta(io_before, io_after);
 
@@ -782,8 +842,8 @@ void Server::HandleRequest(Connection* conn, Request&& request) {
   pf.seq = request.seq;
   pf.type = request.type;
   pf.queue_us = (dequeue_ns - request.received_ns) / 1000;
-  pf.lock_wait_us = (lock_acquired_ns - dequeue_ns) / 1000;
-  pf.execute_us = (execute_done_ns - lock_acquired_ns) / 1000;
+  pf.lock_wait_us = lock_wait_ns / 1000;
+  pf.execute_us = execute_ns / 1000;
   pf.serialize_us = (serialized_ns - execute_done_ns) / 1000;
   pf.tracks_read = io.tracks_read;
   pf.tracks_written = io.tracks_written;
@@ -894,26 +954,8 @@ Server::Reply Server::DispatchLocked(Connection* conn,
       return Reply{MsgType::kOk, ""};
     }
 
-    case MsgType::kSetTimeDial: {
-      if (request.payload.empty()) {
-        return ErrorReply(Status::InvalidArgument(
-            "SetTimeDial payload must carry a mode byte"));
-      }
-      const auto mode = static_cast<std::uint8_t>(request.payload[0]);
-      if (mode == kDialClear && request.payload.size() == 1) {
-        session->ClearTimeDial();
-      } else if (mode == kDialSafeTime && request.payload.size() == 1) {
-        session->SetTimeDialToSafeTime();
-      } else if (mode == kDialExplicit && request.payload.size() == 9) {
-        std::uint64_t time = 0;
-        ReadU64(request.payload, 1, &time);
-        session->SetTimeDial(time);
-      } else {
-        return ErrorReply(
-            Status::InvalidArgument("malformed SetTimeDial payload"));
-      }
-      return Reply{MsgType::kOk, ""};
-    }
+    case MsgType::kSetTimeDial:
+      return DispatchTimeDial(session, request);
 
     case MsgType::kExplain: {
       if (request.payload.empty()) {
@@ -936,6 +978,141 @@ Server::Reply Server::DispatchLocked(Connection* conn,
                     static_cast<unsigned>(request.type));
       return Reply{MsgType::kProtocolError,
                    std::string("unknown message type ") + hex};
+    }
+  }
+}
+
+Server::Reply Server::DispatchTimeDial(txn::Session* session,
+                                       const Request& request) {
+  if (request.payload.empty()) {
+    return ErrorReply(Status::InvalidArgument(
+        "SetTimeDial payload must carry a mode byte"));
+  }
+  const auto mode = static_cast<std::uint8_t>(request.payload[0]);
+  if (mode == kDialClear && request.payload.size() == 1) {
+    session->ClearTimeDial();
+  } else if (mode == kDialSafeTime && request.payload.size() == 1) {
+    session->SetTimeDialToSafeTime();
+  } else if (mode == kDialExplicit && request.payload.size() == 9) {
+    std::uint64_t time = 0;
+    ReadU64(request.payload, 1, &time);
+    session->SetTimeDial(time);
+  } else {
+    return ErrorReply(
+        Status::InvalidArgument("malformed SetTimeDial payload"));
+  }
+  return Reply{MsgType::kOk, ""};
+}
+
+bool Server::ReadPathEligible(Connection* conn, const Request& request) {
+  switch (request.type) {
+    case MsgType::kExecuteOpal:
+    case MsgType::kStdmQuery:
+    case MsgType::kExplain:
+    case MsgType::kSetTimeDial:
+    case MsgType::kCommit:
+      break;
+    default:
+      return false;
+  }
+  if (!conn->logged_in.load(std::memory_order_relaxed)) return false;
+  return executor_->SessionIsReadPathEligible(
+      conn->session.load(std::memory_order_relaxed));
+}
+
+Server::Reply Server::DispatchReadOnly(Connection* conn,
+                                       const Request& request) {
+  const SessionId conn_session =
+      conn->session.load(std::memory_order_relaxed);
+  txn::Session* session = executor_->session(conn_session);
+  if (session == nullptr) {
+    return ErrorReply(Status::NotFound("no such session: " +
+                                       std::to_string(conn_session)));
+  }
+  SessionOwnerBinding owner(session);
+
+  switch (request.type) {
+    // Queries run pinned to the SafeTime commit snapshot (the pin is a
+    // no-op view change when a dial is already set, so skip it): reads
+    // resolve against committed history under the store's shared lock and
+    // record nothing, so they can neither conflict nor be invalidated by
+    // concurrent commits.
+    case MsgType::kExecuteOpal: {
+      std::optional<txn::SnapshotPin> pin;
+      if (!session->DialSet()) {
+        pin.emplace(session, executor_->transactions().SafeTime());
+      }
+      auto result = executor_->ExecuteToString(conn_session, request.payload);
+      if (!result.ok()) {
+        if (result.status().IsReadOnlyRetry()) {
+          Reply retry;
+          retry.retry_exclusive = true;
+          return retry;
+        }
+        return ErrorReply(result.status());
+      }
+      return Reply{MsgType::kOk, std::move(result.value())};
+    }
+
+    case MsgType::kStdmQuery: {
+      std::optional<txn::SnapshotPin> pin;
+      if (!session->DialSet()) {
+        pin.emplace(session, executor_->transactions().SafeTime());
+      }
+      auto result = executor_->ExecuteStdm(conn_session, request.payload);
+      if (!result.ok()) {
+        if (result.status().IsReadOnlyRetry()) {
+          Reply retry;
+          retry.retry_exclusive = true;
+          return retry;
+        }
+        return ErrorReply(result.status());
+      }
+      return Reply{MsgType::kOk, std::move(result.value())};
+    }
+
+    case MsgType::kExplain: {
+      if (request.payload.empty()) {
+        return ErrorReply(Status::InvalidArgument(
+            "Explain payload must carry an analyze byte and a query"));
+      }
+      std::optional<txn::SnapshotPin> pin;
+      if (!session->DialSet()) {
+        pin.emplace(session, executor_->transactions().SafeTime());
+      }
+      const bool analyze = request.payload[0] != 0;
+      auto result = executor_->ExplainStdm(
+          conn_session, std::string_view(request.payload).substr(1), analyze);
+      if (!result.ok()) {
+        if (result.status().IsReadOnlyRetry()) {
+          Reply retry;
+          retry.retry_exclusive = true;
+          return retry;
+        }
+        return ErrorReply(result.status());
+      }
+      return Reply{MsgType::kOk, std::move(result.value())};
+    }
+
+    // Session-local control: the dial and an access-free commit touch
+    // only the session and the (thread-safe) transaction manager. An
+    // eligible session's commit takes the manager's lock-free tier.
+    case MsgType::kSetTimeDial:
+      return DispatchTimeDial(session, request);
+
+    case MsgType::kCommit: {
+      Status s = session->Commit();
+      if (!s.ok()) return ErrorReply(s);
+      std::string payload;
+      AppendU64(&payload, executor_->transactions().Now());
+      return Reply{MsgType::kOk, std::move(payload)};
+    }
+
+    default: {
+      // Unreachable: ReadPathEligible admits only the types above.
+      Reply retry;
+      retry.retry_exclusive = true;
+      return retry;
     }
   }
 }
@@ -967,7 +1144,9 @@ std::string Server::StatusJson() const {
       << ",\"protocol_errors\":" << protocol_errors_->value()
       << ",\"backpressure_stalls\":" << backpressure_stalls_->value()
       << ",\"request_timeouts\":" << request_timeouts_->value()
-      << ",\"slow_requests\":" << slow_requests_->value() << "}";
+      << ",\"slow_requests\":" << slow_requests_->value()
+      << ",\"read_path_requests\":" << read_path_requests_->value()
+      << ",\"read_path_retries\":" << read_path_retries_->value() << "}";
 
   const auto hist_json = [&out](const char* name,
                                 const telemetry::Histogram* hist) {

@@ -30,9 +30,11 @@ struct ServerOptions {
   /// (Server::port() reports the choice).
   std::uint16_t port = 0;
 
-  /// Worker threads executing requests. Dispatch into the Executor is
-  /// serialized (see DESIGN.md §10); extra workers still overlap framing,
-  /// response writes, and queue handoff with execution.
+  /// Worker threads executing requests. Read-shaped requests (queries,
+  /// non-writing OPAL, EXPLAIN) run concurrently on the snapshot read
+  /// path; writes and commits serialize on the exclusive path (DESIGN.md
+  /// §10, §12). Extra workers also overlap framing, response writes, and
+  /// queue handoff with execution.
   int workers = 4;
 
   /// Accepted connections beyond this are answered with a kProtocolError
@@ -86,11 +88,15 @@ std::string_view RequestStageName(RequestStage stage);
 /// dies. Failures of user code travel back as error frames — the gateway
 /// never answers an OPAL/STDM failure with a disconnect.
 ///
-/// Threading model (DESIGN.md §10): one event-loop thread owns every
-/// socket; `workers` threads own request execution. A connection is in
-/// the dispatch queue at most once, so its requests execute in order and
-/// its Session is never touched by two workers at once (enforced in
-/// GS_THREAD_SAFETY builds by the Session owner assertion).
+/// Threading model (DESIGN.md §10, §12): one event-loop thread owns
+/// every socket; `workers` threads own request execution. A connection is
+/// in the dispatch queue at most once, so its requests execute in order
+/// and its Session is never touched by two workers at once (enforced in
+/// GS_THREAD_SAFETY builds by the Session owner assertion). Dispatch
+/// splits per request: read-shaped requests on an access-free session run
+/// pinned to the SafeTime commit snapshot without executor_mu_ (retrying
+/// on the exclusive path if the code turns out to write); everything else
+/// serializes under executor_mu_.
 class Server {
  public:
   /// `executor` must outlive the server. `auth`, when non-null, is
@@ -138,6 +144,11 @@ class Server {
   struct Reply {
     MsgType type = MsgType::kOk;
     std::string payload;
+    /// Set by DispatchReadOnly when the request hit a side effect under
+    /// the snapshot pin (kReadOnlyRetry): the caller discards this reply
+    /// and re-runs the request under executor_mu_. Never leaves the
+    /// server — the client sees only the retried outcome.
+    bool retry_exclusive = false;
   };
 
   /// Stage timings and identity of one response waiting in the outbox for
@@ -178,6 +189,18 @@ class Server {
   void HandleRequest(Connection* conn, Request&& request);
   Reply DispatchLocked(Connection* conn, const Request& request)
       GS_REQUIRES(executor_mu_);
+  /// True when `request` may try the snapshot read path: a read-shaped
+  /// type on a logged-in connection whose session has a time dial or a
+  /// transaction with no recorded accesses. Decided outside any lock —
+  /// only this connection's worker mutates that state (per-connection
+  /// FIFO), so the answer cannot go stale before dispatch.
+  bool ReadPathEligible(Connection* conn, const Request& request);
+  /// Runs a read-shaped request without executor_mu_, pinned to the
+  /// commit snapshot at SafeTime (unless a dial already fixes the view).
+  /// Answers retry_exclusive when the code attempted a side effect.
+  Reply DispatchReadOnly(Connection* conn, const Request& request);
+  /// Shared SetTimeDial decode/apply (both dispatch paths).
+  Reply DispatchTimeDial(txn::Session* session, const Request& request);
   /// Renders a failure as a kError reply (and counts it).
   Reply ErrorReply(const Status& status);
   /// Completes flushed responses on `conn`: pops every PendingFlush whose
@@ -203,10 +226,13 @@ class Server {
   std::thread loop_thread_;
   std::vector<std::thread> worker_threads_;
 
-  /// Serializes every call into the Executor: its session table, compiler,
-  /// class registry, and interpreters are session-confined or shared
-  /// without locks; the TransactionManager below is thread-safe, so this
-  /// is the gateway's single coarse lock (see DESIGN.md §10).
+  /// Serializes the *write path* into the Executor: mutating OPAL,
+  /// transaction control, login/logout. The Executor's shared structures
+  /// (session table, class registry, globals, TransactionManager) are
+  /// internally synchronized, so snapshot read-path requests bypass this
+  /// lock entirely (DESIGN.md §12); it survives as the serialization
+  /// point for writers and as the fallback for reads that turn out to
+  /// write. Lock order: never while holding conn_table_mu_ or conn->mu.
   Mutex executor_mu_;
 
   /// Dispatch queue: connections with pending requests, each present at
@@ -245,6 +271,9 @@ class Server {
   telemetry::Counter* idle_timeouts_;
   telemetry::Counter* request_timeouts_;
   telemetry::Counter* slow_requests_;
+  /// Requests served on (or bounced off) the snapshot read path.
+  telemetry::Counter* read_path_requests_;
+  telemetry::Counter* read_path_retries_;
   /// End-to-end latency (socket read to response flushed) and the five
   /// stage histograms it telescopes into: total = queue + lock_wait +
   /// execute + serialize + flush for every request, by construction.

@@ -5,6 +5,7 @@ namespace gemstone {
 Result<Oid> ClassRegistry::DefineClass(
     Oid oid, std::string_view name, Oid superclass, ObjectFormat format,
     const std::vector<std::string>& inst_var_names) {
+  WriterMutexLock lock(mu_);
   std::string key(name);
   if (by_name_.count(key) != 0) {
     return Status::AlreadyExists("class already defined: " + key);
@@ -21,7 +22,7 @@ Result<Oid> ClassRegistry::DefineClass(
     }
     // Shadowing an inherited variable is disallowed (strict hierarchy).
     for (Oid c = superclass; !c.IsNil();) {
-      const GsClass* ancestor = Get(c);
+      const GsClass* ancestor = GetLocked(c);
       if (ancestor->declares_inst_var(sym)) {
         return Status::InvalidArgument("instance variable '" + var +
                                        "' already declared by ancestor " +
@@ -33,17 +34,19 @@ Result<Oid> ClassRegistry::DefineClass(
   }
   classes_.emplace(oid.raw, std::move(cls));
   by_name_.emplace(std::move(key), oid);
+  version_.fetch_add(1, std::memory_order_release);
   return oid;
 }
 
 Status ClassRegistry::AddInstVar(Oid class_oid, std::string_view name) {
-  GsClass* cls = Get(class_oid);
+  WriterMutexLock lock(mu_);
+  GsClass* cls = GetLocked(class_oid);
   if (cls == nullptr) {
     return Status::NotFound("no such class: " + class_oid.ToString());
   }
   SymbolId sym = symbols_->Intern(name);
   for (Oid c = class_oid; !c.IsNil();) {
-    const GsClass* ancestor = Get(c);
+    const GsClass* ancestor = GetLocked(c);
     if (ancestor->declares_inst_var(sym)) {
       return Status::AlreadyExists("instance variable exists: " +
                                    std::string(name));
@@ -51,34 +54,68 @@ Status ClassRegistry::AddInstVar(Oid class_oid, std::string_view name) {
     c = ancestor->superclass();
   }
   cls->add_inst_var(sym);
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
-GsClass* ClassRegistry::Get(Oid oid) {
+Status ClassRegistry::InstallMethod(Oid class_oid, SymbolId selector,
+                                    std::shared_ptr<const MethodHandle> method,
+                                    std::optional<std::string> source) {
+  WriterMutexLock lock(mu_);
+  GsClass* cls = GetLocked(class_oid);
+  if (cls == nullptr) {
+    return Status::NotFound("no such class: " + class_oid.ToString());
+  }
+  auto existing = cls->methods().find(selector);
+  if (existing != cls->methods().end()) {
+    retired_methods_.push_back(existing->second);
+  }
+  cls->InstallMethod(selector, std::move(method));
+  if (source.has_value()) {
+    cls->SetMethodSource(selector, std::move(*source));
+  }
+  version_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
+}
+
+GsClass* ClassRegistry::GetLocked(Oid oid) {
   auto it = classes_.find(oid.raw);
   return it == classes_.end() ? nullptr : it->second.get();
+}
+
+const GsClass* ClassRegistry::GetLocked(Oid oid) const {
+  auto it = classes_.find(oid.raw);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+GsClass* ClassRegistry::Get(Oid oid) {
+  ReaderMutexLock lock(mu_);
+  return GetLocked(oid);
 }
 
 const GsClass* ClassRegistry::Get(Oid oid) const {
-  auto it = classes_.find(oid.raw);
-  return it == classes_.end() ? nullptr : it->second.get();
+  ReaderMutexLock lock(mu_);
+  return GetLocked(oid);
 }
 
 GsClass* ClassRegistry::FindByName(std::string_view name) {
+  ReaderMutexLock lock(mu_);
   auto it = by_name_.find(std::string(name));
-  return it == by_name_.end() ? nullptr : Get(it->second);
+  return it == by_name_.end() ? nullptr : GetLocked(it->second);
 }
 
 const GsClass* ClassRegistry::FindByName(std::string_view name) const {
+  ReaderMutexLock lock(mu_);
   auto it = by_name_.find(std::string(name));
-  return it == by_name_.end() ? nullptr : Get(it->second);
+  return it == by_name_.end() ? nullptr : GetLocked(it->second);
 }
 
 std::vector<SymbolId> ClassRegistry::AllInstVars(Oid class_oid) const {
+  ReaderMutexLock lock(mu_);
   // Collect the chain root-first so inherited variables come before own.
   std::vector<const GsClass*> chain;
   for (Oid c = class_oid; !c.IsNil();) {
-    const GsClass* cls = Get(c);
+    const GsClass* cls = GetLocked(c);
     if (cls == nullptr) break;
     chain.push_back(cls);
     c = cls->superclass();
@@ -92,9 +129,10 @@ std::vector<SymbolId> ClassRegistry::AllInstVars(Oid class_oid) const {
 }
 
 bool ClassRegistry::IsKindOf(Oid class_oid, Oid ancestor) const {
+  ReaderMutexLock lock(mu_);
   for (Oid c = class_oid; !c.IsNil();) {
     if (c == ancestor) return true;
-    const GsClass* cls = Get(c);
+    const GsClass* cls = GetLocked(c);
     if (cls == nullptr) return false;
     c = cls->superclass();
   }
@@ -110,8 +148,14 @@ const MethodHandle* ClassRegistry::LookupMethod(Oid class_oid,
 const MethodHandle* ClassRegistry::LookupMethodFrom(Oid class_oid,
                                                     SymbolId selector,
                                                     Oid* defining_class) const {
+  ReaderMutexLock lock(mu_);
+  return LookupMethodFromLocked(class_oid, selector, defining_class);
+}
+
+const MethodHandle* ClassRegistry::LookupMethodFromLocked(
+    Oid class_oid, SymbolId selector, Oid* defining_class) const {
   for (Oid c = class_oid; !c.IsNil();) {
-    const GsClass* cls = Get(c);
+    const GsClass* cls = GetLocked(c);
     if (cls == nullptr) return nullptr;
     if (const MethodHandle* method = cls->OwnMethod(selector)) {
       *defining_class = c;
@@ -123,6 +167,7 @@ const MethodHandle* ClassRegistry::LookupMethodFrom(Oid class_oid,
 }
 
 std::vector<std::string> ClassRegistry::ClassNames() const {
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(by_name_.size());
   for (const auto& [name, oid] : by_name_) names.push_back(name);

@@ -1,16 +1,20 @@
 #ifndef GEMSTONE_OBJECT_CLASS_REGISTRY_H_
 #define GEMSTONE_OBJECT_CLASS_REGISTRY_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/ids.h"
 #include "core/result.h"
 #include "core/status.h"
+#include "core/sync.h"
 #include "object/symbol_table.h"
 
 namespace gemstone {
@@ -102,9 +106,15 @@ class GsClass {
 /// §2C: classes can gain instance variables after instances exist, with
 /// no restructuring (instances store elements sparsely).
 ///
-/// Not internally synchronized for writes: class definition happens on
-/// the Executor's schema path under the TransactionManager's commit lock;
-/// concurrent readers are safe once a class is published.
+/// Internally synchronized: the gateway's snapshot read path sends
+/// messages (method lookup, inst-var resolution) concurrently with schema
+/// mutation on the exclusive write path, so every lookup holds the shared
+/// lock and every mutation the exclusive one. GsClass pointers returned
+/// by Get/FindByName stay valid forever (classes are never erased), and a
+/// replaced method's handle is retired, not destroyed, so an interpreter
+/// mid-execution of the old version never dangles. Runtime method
+/// installs must go through InstallMethod/SetMethodSource here — not the
+/// GsClass setters — to get that protection.
 class ClassRegistry {
  public:
   explicit ClassRegistry(SymbolTable* symbols) : symbols_(symbols) {}
@@ -120,6 +130,14 @@ class ClassRegistry {
   /// Adds an instance variable to an existing class; existing instances
   /// acquire the element lazily on first write (no reformatting — §2C).
   Status AddInstVar(Oid class_oid, std::string_view name);
+
+  /// Installs (or replaces) `selector` on `class_oid` under the exclusive
+  /// lock; a replaced handle is retired so concurrent executions of the
+  /// old method stay valid. `source`, when present, is kept for schema
+  /// export (compiled OPAL methods); primitives pass nullopt.
+  Status InstallMethod(Oid class_oid, SymbolId selector,
+                       std::shared_ptr<const MethodHandle> method,
+                       std::optional<std::string> source = std::nullopt);
 
   GsClass* Get(Oid oid);
   const GsClass* Get(Oid oid) const;
@@ -142,15 +160,43 @@ class ClassRegistry {
   const MethodHandle* LookupMethodFrom(Oid class_oid, SymbolId selector,
                                        Oid* defining_class) const;
 
-  std::size_t size() const { return classes_.size(); }
+  std::size_t size() const {
+    ReaderMutexLock lock(mu_);
+    return classes_.size();
+  }
+
+  /// Monotonic schema version, bumped by every successful DefineClass /
+  /// AddInstVar / InstallMethod. Interpreters key their session-local
+  /// send caches on it: one atomic load per send instead of a
+  /// shared-lock acquisition, which the snapshot read path hammers from
+  /// every worker at once. Retired method handles outlive their
+  /// replacement, so a cache that is one version stale still points at
+  /// live (merely superseded) methods.
+  std::uint64_t SchemaVersion() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Names of every registered class (diagnostics).
   std::vector<std::string> ClassNames() const;
 
  private:
+  // Unlocked variants for use while already holding mu_.
+  GsClass* GetLocked(Oid oid) GS_REQUIRES_SHARED(mu_);
+  const GsClass* GetLocked(Oid oid) const GS_REQUIRES_SHARED(mu_);
+  const MethodHandle* LookupMethodFromLocked(Oid class_oid, SymbolId selector,
+                                             Oid* defining_class) const
+      GS_REQUIRES_SHARED(mu_);
+
   SymbolTable* symbols_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<GsClass>> classes_;
-  std::unordered_map<std::string, Oid> by_name_;
+  std::atomic<std::uint64_t> version_{1};
+  mutable SharedMutex mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<GsClass>> classes_
+      GS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Oid> by_name_ GS_GUARDED_BY(mu_);
+  /// Replaced method handles, kept alive for the process: a send resolved
+  /// to a method just before a recompile may still be executing it.
+  std::vector<std::shared_ptr<const MethodHandle>> retired_methods_
+      GS_GUARDED_BY(mu_);
 };
 
 }  // namespace gemstone

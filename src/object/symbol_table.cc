@@ -16,23 +16,31 @@ SymbolId SymbolTable::InternLocked(std::string_view text, bool alias) {
 }
 
 SymbolId SymbolTable::Intern(std::string_view text) {
-  MutexLock lock(mu_);
+  const std::string key(text);
+  {
+    // Fast path: the overwhelmingly common case is a spelling that is
+    // already interned, which needs no mutation at all.
+    ReaderMutexLock lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  WriterMutexLock lock(mu_);
   return InternLocked(text, /*alias=*/false);
 }
 
 SymbolId SymbolTable::Lookup(std::string_view text) const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = ids_.find(std::string(text));
   return it == ids_.end() ? kInvalidSymbol : it->second;
 }
 
 const std::string& SymbolTable::Name(SymbolId id) const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return names_.at(id);
 }
 
 SymbolId SymbolTable::GenerateAlias() {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   std::string name;
   do {
     name = "_a" + std::to_string(next_alias_++);
@@ -41,17 +49,17 @@ SymbolId SymbolTable::GenerateAlias() {
 }
 
 SymbolId SymbolTable::InternAlias(std::string_view text) {
-  MutexLock lock(mu_);
+  WriterMutexLock lock(mu_);
   return InternLocked(text, /*alias=*/true);
 }
 
 bool SymbolTable::IsAlias(SymbolId id) const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return id < is_alias_.size() && is_alias_[id];
 }
 
 std::size_t SymbolTable::size() const {
-  MutexLock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return names_.size();
 }
 

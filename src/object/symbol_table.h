@@ -20,11 +20,15 @@ namespace gemstone {
 /// the "arbitrary aliases" §5.1 requires as element names for unlabeled
 /// set members.
 ///
-/// Thread-safe. Every mutation is a single critical section, so two
-/// sessions interning the same spelling concurrently always agree on the
-/// id. Interned spellings live in a deque and are immutable afterwards,
-/// so the reference Name() returns stays valid (and its characters
-/// stable) for the table's lifetime, even while other threads intern.
+/// Thread-safe. Lookups of already-interned spellings take only the
+/// reader side of a shared mutex (the snapshot read path interns the
+/// same few selectors thousands of times per request, concurrently
+/// across workers); a first-sight intern upgrades to the writer side
+/// and re-checks, so two sessions interning the same spelling
+/// concurrently always agree on the id. Interned spellings live in a
+/// deque and are immutable afterwards, so the reference Name() returns
+/// stays valid (and its characters stable) for the table's lifetime,
+/// even while other threads intern.
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -60,7 +64,7 @@ class SymbolTable {
   SymbolId InternLocked(std::string_view text, bool alias)
       GS_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   // Deque: interned spellings never move, so Name() references survive
   // concurrent interning.
   std::deque<std::string> names_ GS_GUARDED_BY(mu_);

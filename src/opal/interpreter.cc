@@ -60,13 +60,30 @@ Result<Value> Interpreter::Send(const Value& receiver, SymbolId selector,
 Result<Oid> Interpreter::ClassOfValue(const Value& value) {
   if (value.IsHandle()) return memory_->kernel().block;
   if (value.IsRef()) {
-    // A reference to a class behaves as an instance of Class.
-    if (memory_->classes().Get(value.ref()) != nullptr) {
-      return memory_->kernel().metaclass;
+    // A reference to a class behaves as an instance of Class. Class-ness
+    // is cached per schema version so the hot path doesn't take the
+    // registry lock for every receiver.
+    RefreshSendCache();
+    auto it = class_oid_cache_.find(value.ref().raw);
+    if (it == class_oid_cache_.end()) {
+      it = class_oid_cache_
+               .emplace(value.ref().raw,
+                        memory_->classes().Get(value.ref()) != nullptr)
+               .first;
     }
+    if (it->second) return memory_->kernel().metaclass;
     return session_->ClassOfObject(value.ref());
   }
   return memory_->ClassOf(value);
+}
+
+void Interpreter::RefreshSendCache() {
+  const std::uint64_t version = memory_->classes().SchemaVersion();
+  if (version != send_cache_version_) {
+    send_cache_.clear();
+    class_oid_cache_.clear();
+    send_cache_version_ = version;
+  }
 }
 
 std::string Interpreter::ClassNameOf(const Value& value) {
@@ -135,9 +152,20 @@ Result<Value> Interpreter::DispatchSend(const Value& receiver,
   } else {
     GS_ASSIGN_OR_RETURN(lookup_class, ClassOfValue(receiver));
   }
+  RefreshSendCache();
   Oid found_in;
-  const MethodHandle* method =
-      memory_->classes().LookupMethodFrom(lookup_class, selector, &found_in);
+  const MethodHandle* method = nullptr;
+  const SendCacheKey key{lookup_class.raw, selector};
+  if (auto cached = send_cache_.find(key); cached != send_cache_.end()) {
+    method = cached->second.method;
+    found_in = cached->second.defining_class;
+  } else {
+    method =
+        memory_->classes().LookupMethodFrom(lookup_class, selector, &found_in);
+    if (method != nullptr) {
+      send_cache_.emplace(key, SendCacheEntry{method, found_in});
+    }
+  }
   if (method == nullptr) {
     return Status::DoesNotUnderstand(
         ClassNameOf(receiver) + " does not understand #" +
@@ -272,6 +300,10 @@ Result<Value> Interpreter::Execute(Frame& frame) {
         break;
       }
       case Op::kStoreGlobal: {
+        if (session_->SnapshotPinned()) {
+          return Status::ReadOnlyRetry(
+              "global assignment on the snapshot read path");
+        }
         const Value& name = literals[u16()];
         globals_->Set(name.symbol(), stack.back());
         break;

@@ -42,15 +42,17 @@ class BlockClosure : public RuntimeHandle {
 /// Shared global namespace ("UserGlobals"): symbol -> value. Class names
 /// resolve through the ClassRegistry before this table is consulted.
 /// Thread-safe: one GlobalEnv is shared by every session's interpreter
-/// (the Interpreter itself is session-confined).
+/// (the Interpreter itself is session-confined). Reads take the shared
+/// side: snapshot-path readers resolve the same globals every bytecode
+/// loop, so an exclusive lock here would re-serialize the read path.
 class GlobalEnv {
  public:
   void Set(SymbolId name, Value value) {
-    MutexLock lock(mu_);
+    WriterMutexLock lock(mu_);
     values_[name] = std::move(value);
   }
   bool Get(SymbolId name, Value* out) const {
-    MutexLock lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = values_.find(name);
     if (it == values_.end()) return false;
     *out = it->second;
@@ -58,7 +60,7 @@ class GlobalEnv {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable SharedMutex mu_;
   std::unordered_map<SymbolId, Value> values_ GS_GUARDED_BY(mu_);
 };
 
@@ -164,6 +166,40 @@ class Interpreter {
   std::uint64_t nlr_target_ = 0;
   Value nlr_value_;
   int depth_ = 0;
+
+  /// Session-confined send cache: (lookup class, selector) -> resolved
+  /// method and its defining class, valid for one ClassRegistry schema
+  /// version. Sends are the hottest operation in the system, and the
+  /// snapshot read path (DESIGN.md §12) runs many interpreters at once —
+  /// without the cache every send takes the registry's shared lock,
+  /// whose cache-line traffic alone serializes the workers. Entries
+  /// cleared on a version bump still point at live methods (the registry
+  /// retires replaced handles, never destroys them).
+  struct SendCacheKey {
+    std::uint64_t class_oid;
+    SymbolId selector;
+    bool operator==(const SendCacheKey& o) const {
+      return class_oid == o.class_oid && selector == o.selector;
+    }
+  };
+  struct SendCacheKeyHash {
+    std::size_t operator()(const SendCacheKey& k) const {
+      std::uint64_t x = k.class_oid * 0x9e3779b97f4a7c15ull + k.selector;
+      x ^= x >> 32;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  struct SendCacheEntry {
+    const MethodHandle* method;
+    Oid defining_class;
+  };
+  /// Drops stale entries when the registry's schema version moved.
+  void RefreshSendCache();
+  std::unordered_map<SendCacheKey, SendCacheEntry, SendCacheKeyHash>
+      send_cache_;
+  /// Oids known to name classes / known not to, same schema version.
+  std::unordered_map<std::uint64_t, bool> class_oid_cache_;
+  std::uint64_t send_cache_version_ = 0;
 };
 
 /// Installs the kernel primitive methods (Object, Boolean, Number,

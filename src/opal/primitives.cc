@@ -843,9 +843,22 @@ Result<Value> PrimClassInstVarNames(Interpreter& interp,
   return Value::Ref(array);
 }
 
+/// Schema mutation touches shared state outside the transaction
+/// workspace, so it may only run on the gateway's exclusive write path; a
+/// snapshot-pinned evaluation bounces with kReadOnlyRetry before mutating
+/// anything.
+Status RequireSchemaWritable(Interpreter& interp, const char* what) {
+  if (interp.session().SnapshotPinned()) {
+    return Status::ReadOnlyRetry(std::string(what) +
+                                 " on the snapshot read path");
+  }
+  return Status::OK();
+}
+
 Result<Value> DefineSubclass(Interpreter& interp, const Value& receiver,
                              const Value& name_value,
                              const std::vector<std::string>& inst_vars) {
+  GS_RETURN_IF_ERROR(RequireSchemaWritable(interp, "class definition"));
   GS_ASSIGN_OR_RETURN(GsClass * super, ReceiverClass(interp, receiver));
   if (!name_value.IsString()) {
     return Status::TypeMismatch("subclass: needs a String name");
@@ -882,6 +895,8 @@ Result<Value> PrimSubclassInstVars(Interpreter& interp, const Value& receiver,
 
 Result<Value> PrimAddInstVarName(Interpreter& interp, const Value& receiver,
                                  std::vector<Value>& args) {
+  GS_RETURN_IF_ERROR(
+      RequireSchemaWritable(interp, "instance variable addition"));
   GS_ASSIGN_OR_RETURN(GsClass * cls, ReceiverClass(interp, receiver));
   bool ok;
   const std::string name = StringOrSymbolText(interp, args[0], &ok);
@@ -892,6 +907,7 @@ Result<Value> PrimAddInstVarName(Interpreter& interp, const Value& receiver,
 
 Result<Value> PrimCompileMethod(Interpreter& interp, const Value& receiver,
                                 std::vector<Value>& args) {
+  GS_RETURN_IF_ERROR(RequireSchemaWritable(interp, "method compilation"));
   GS_ASSIGN_OR_RETURN(GsClass * cls, ReceiverClass(interp, receiver));
   if (!args[0].IsString()) {
     return Status::TypeMismatch("compileMethod: needs source text");
@@ -902,8 +918,10 @@ Result<Value> PrimCompileMethod(Interpreter& interp, const Value& receiver,
                                                    cls->oid()));
   const SymbolId selector =
       interp.memory().symbols().Intern(method->selector);
-  cls->InstallMethod(selector, method);
-  cls->SetMethodSource(selector, args[0].string());
+  // Through the registry: the install takes the exclusive class lock and
+  // retires any replaced handle a concurrent reader may be executing.
+  GS_RETURN_IF_ERROR(interp.memory().classes().InstallMethod(
+      cls->oid(), selector, method, args[0].string()));
   return Value::Symbol(selector);
 }
 
@@ -974,6 +992,7 @@ Result<Value> PrimSysStatsJson(Interpreter&, const Value&,
 Result<Value> PrimSysCreateDirectoryOn(Interpreter& interp, const Value&,
                                        std::vector<Value>& args) {
   // System createDirectoryOn: aCollection path: #(step1 step2)
+  GS_RETURN_IF_ERROR(RequireSchemaWritable(interp, "directory creation"));
   if (interp.directories() == nullptr) {
     return Status::Unavailable("no directory manager in this session");
   }
@@ -1516,8 +1535,9 @@ void InstallKernelPrimitives(ObjectMemory* memory) {
   const KernelClasses& kernel = memory->kernel();
 
   auto install = [&](Oid class_oid, const char* selector, PrimitiveFn fn) {
-    classes.Get(class_oid)->InstallMethod(
-        symbols.Intern(selector), std::make_shared<PrimitiveMethod>(fn));
+    Status s = classes.InstallMethod(class_oid, symbols.Intern(selector),
+                                     std::make_shared<PrimitiveMethod>(fn));
+    (void)s;  // kernel classes always exist at boot
   };
 
   // Object protocol (inherited everywhere).

@@ -113,6 +113,10 @@ Status Session::RequireWritable() const {
     return Status::TransactionState(
         "cannot write while the time dial is set to a past state");
   }
+  if (snapshot_.has_value()) {
+    return Status::ReadOnlyRetry(
+        "write attempted on the snapshot read path");
+  }
   return Status::OK();
 }
 

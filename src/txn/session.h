@@ -53,8 +53,43 @@ class Session {
   void SetTimeDialToSafeTime() { dial_ = manager_->SafeTime(); }
   bool DialSet() const { return dial_.has_value(); }
 
-  /// The time every read resolves at: the dial if set, else now.
-  TxnTime EffectiveTime() const { return dial_.value_or(kTimeNow); }
+  /// The time every read resolves at: the dial if set, else the snapshot
+  /// pin if one is active, else now.
+  TxnTime EffectiveTime() const {
+    if (dial_.has_value()) return *dial_;
+    return snapshot_.value_or(kTimeNow);
+  }
+
+  // --- Snapshot pin (the gateway's lock-free read path) -----------------------
+  //
+  // Pinning behaves like a transient time dial at SafeTime: every read
+  // resolves against the pinned committed state (so it records nothing in
+  // the read set and never consults the workspace), and every side effect
+  // — object writes, creates, global assignment, schema or directory
+  // mutation — fails with kReadOnlyRetry instead of executing. The
+  // gateway pins before running a request optimistically outside the
+  // executor lock; a retry status means "this block writes after all",
+  // and the request reruns on the exclusive path.
+  //
+  // Only pin a session whose transaction is fresh (nothing read at now,
+  // nothing written or created): pinned reads escape commit-time
+  // validation, which is only serializable when the transaction has no
+  // writes that could depend on them.
+
+  void PinSnapshot(TxnTime t) { snapshot_ = t; }
+  void UnpinSnapshot() { snapshot_.reset(); }
+  bool SnapshotPinned() const { return snapshot_.has_value(); }
+
+  /// True when the session can serve a request on the snapshot read path:
+  /// the dial already fixes an immutable view, there is no active
+  /// transaction (reads will fail identically on either path), or the
+  /// transaction has recorded no accesses yet.
+  bool SnapshotReadEligible() const {
+    if (dial_.has_value()) return true;
+    if (txn_ == nullptr || !txn_->active()) return true;
+    return txn_->read_set_size() == 0 && txn_->dirty_object_count() == 0 &&
+           txn_->created_count() == 0 && txn_->workspace_size() == 0;
+  }
 
   // --- Data access (forwarders applying the time dial) ------------------------
 
@@ -117,12 +152,29 @@ class Session {
   UserId user_;
   std::unique_ptr<Transaction> txn_;
   std::optional<TxnTime> dial_;
+  std::optional<TxnTime> snapshot_;
 
 #ifdef GS_THREAD_SAFETY
   mutable std::atomic<std::size_t> owner_{0};  // thread token; 0 = unowned
   mutable std::atomic<std::uint32_t> owner_depth_{0};
   mutable std::atomic<bool> owner_bound_{false};
 #endif
+};
+
+/// RAII snapshot pin: pins on entry, unpins on scope exit. The gateway
+/// wraps each optimistic read-path dispatch in one of these so a retry
+/// (or an early return) can never leave the session pinned.
+class SnapshotPin {
+ public:
+  SnapshotPin(Session* session, TxnTime t) : session_(session) {
+    session_->PinSnapshot(t);
+  }
+  ~SnapshotPin() { session_->UnpinSnapshot(); }
+  SnapshotPin(const SnapshotPin&) = delete;
+  SnapshotPin& operator=(const SnapshotPin&) = delete;
+
+ private:
+  Session* session_;
 };
 
 }  // namespace gemstone::txn

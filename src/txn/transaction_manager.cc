@@ -23,7 +23,19 @@ TransactionManager::TransactionManager(ObjectMemory* memory,
             sink->Counter("txn.conflicts", conflicts_.value());
             sink->Counter("txn.commit_storage_failures",
                           commit_storage_failures_.value());
+            sink->Gauge("txn.read_set_peak",
+                        static_cast<std::int64_t>(read_set_peak_.load(
+                            std::memory_order_relaxed)));
           })) {}
+
+void TransactionManager::NoteReadRecorded(const Transaction& txn) {
+  const std::uint64_t n = txn.read_set_.size();
+  std::uint64_t peak = read_set_peak_.load(std::memory_order_relaxed);
+  while (n > peak &&
+         !read_set_peak_.compare_exchange_weak(peak, n,
+                                               std::memory_order_relaxed)) {
+  }
+}
 
 std::unique_ptr<Transaction> TransactionManager::Begin(SessionId session,
                                                        UserId user) {
@@ -73,6 +85,37 @@ bool TransactionManager::HasConflictLocked(const Transaction& txn,
   return it != last_commit_.end() && it->second > txn.start_time();
 }
 
+Status TransactionManager::AbortConflictedLocked(Transaction* txn,
+                                                 std::uint64_t raw,
+                                                 const char* what) {
+  // Counter order (aborted, then the cause with release) upholds the
+  // TxnStats snapshot invariants.
+  txn->state_ = TxnState::kAborted;
+  txn->working_.clear();
+  aborted_.Increment(1, std::memory_order_release);
+  conflicts_.Increment(1, std::memory_order_release);
+  // Per-object contention evidence (ConflictHotspots); store_mu_ is held
+  // exclusively here.
+  auto hot = conflict_by_oid_.find(raw);
+  if (hot != conflict_by_oid_.end()) {
+    ++hot->second;
+  } else if (conflict_by_oid_.size() < kConflictHotspotCap) {
+    conflict_by_oid_.emplace(raw, 1);
+  } else {
+    static telemetry::Counter* dropped =
+        telemetry::MetricsRegistry::Global().GetCounter(
+            "txn.conflict_oids_dropped");
+    dropped->Increment();
+  }
+  telemetry::FlightRecorder::Global().Record(
+      telemetry::FlightEventKind::kTxnConflict, txn->session(), raw, 0,
+      std::string(what) + " object " + Oid(raw).ToString() +
+          " changed since start");
+  return Status::TransactionConflict(std::string(what) + " object " +
+                                     Oid(raw).ToString() +
+                                     " changed since start");
+}
+
 Status TransactionManager::Commit(Transaction* txn) {
   TELEM_SPAN("txn.commit");
   const auto commit_start = std::chrono::steady_clock::now();
@@ -82,54 +125,65 @@ Status TransactionManager::Commit(Transaction* txn) {
             std::chrono::steady_clock::now() - commit_start)
             .count()));
   };
-  WriterMutexLock lock(store_mu_);
+  // Transaction state is session-confined; no lock needed to inspect it.
   if (!txn->active()) {
     return Status::TransactionState("commit of a finished transaction");
   }
 
-  // Backward validation: any accessed object committed after our start is
-  // a conflict ("validates them for consistency when a transaction
-  // commits", §6). Counter order (aborted, then the cause with release)
-  // upholds the TxnStats snapshot invariants.
-  auto abort_conflicted = [&](std::uint64_t raw, const char* what) {
-    txn->state_ = TxnState::kAborted;
-    txn->working_.clear();
-    aborted_.Increment(1, std::memory_order_release);
-    conflicts_.Increment(1, std::memory_order_release);
-    // Per-object contention evidence (ConflictHotspots). We already hold
-    // store_mu_ exclusively on the commit path.
-    auto hot = conflict_by_oid_.find(raw);
-    if (hot != conflict_by_oid_.end()) {
-      ++hot->second;
-    } else if (conflict_by_oid_.size() < kConflictHotspotCap) {
-      conflict_by_oid_.emplace(raw, 1);
-    } else {
-      static telemetry::Counter* dropped =
-          telemetry::MetricsRegistry::Global().GetCounter(
-              "txn.conflict_oids_dropped");
-      dropped->Increment();
-    }
-    telemetry::FlightRecorder::Global().Record(
-        telemetry::FlightEventKind::kTxnConflict, txn->session(), raw, 0,
-        std::string(what) + " object " + Oid(raw).ToString() +
-            " changed since start");
-    return Status::TransactionConflict(std::string(what) + " object " +
-                                       Oid(raw).ToString() +
-                                       " changed since start");
-  };
-  for (std::uint64_t raw : txn->read_set_) {
-    if (HasConflictLocked(*txn, raw)) return abort_conflicted(raw, "read");
-  }
-  for (const auto& [raw, marks] : txn->dirty_) {
-    if (HasConflictLocked(*txn, raw)) return abort_conflicted(raw, "written");
-  }
-
-  // Nothing to publish: a read-only transaction commits trivially.
-  if (txn->dirty_.empty() && txn->created_.empty()) {
+  auto release_read_only = [&] {
     txn->state_ = TxnState::kCommitted;
+    txn->working_.clear();
     committed_.Increment(1, std::memory_order_release);
     observe_latency();
     return Status::OK();
+  };
+
+  // A transaction that recorded nothing (the gateway's snapshot read path
+  // resolves every read at a pinned past time) releases without touching
+  // the store lock at all — there is nothing to validate or publish.
+  if (txn->read_set_.empty() && txn->dirty_.empty() &&
+      txn->created_.empty()) {
+    return release_read_only();
+  }
+
+  // Read-only with a recorded read set: validation only compares
+  // `last_commit_` stamps, so the shared lock suffices — concurrent
+  // readers and other read-only commits proceed, only writers exclude us.
+  // If a writer commits after we validate, we simply serialize before it.
+  if (txn->dirty_.empty() && txn->created_.empty()) {
+    bool conflict = false;
+    std::uint64_t conflicted = 0;
+    {
+      ReaderMutexLock lock(store_mu_);
+      for (std::uint64_t raw : txn->read_set_) {
+        if (HasConflictLocked(*txn, raw)) {
+          conflict = true;
+          conflicted = raw;
+          break;
+        }
+      }
+    }
+    if (!conflict) return release_read_only();
+    // Conflicts are the rare path: re-acquire exclusively for the abort
+    // bookkeeping (the hotspot tally mutates shared state).
+    WriterMutexLock lock(store_mu_);
+    return AbortConflictedLocked(txn, conflicted, "read");
+  }
+
+  WriterMutexLock lock(store_mu_);
+
+  // Backward validation: any accessed object committed after our start is
+  // a conflict ("validates them for consistency when a transaction
+  // commits", §6).
+  for (std::uint64_t raw : txn->read_set_) {
+    if (HasConflictLocked(*txn, raw)) {
+      return AbortConflictedLocked(txn, raw, "read");
+    }
+  }
+  for (const auto& [raw, marks] : txn->dirty_) {
+    if (HasConflictLocked(*txn, raw)) {
+      return AbortConflictedLocked(txn, raw, "written");
+    }
   }
 
   const TxnTime commit_time = clock_.load() + 1;
@@ -340,7 +394,10 @@ Result<Value> TransactionManager::ReadNamed(Transaction* txn, Oid oid,
   }
   GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
   GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
-  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  if (at == kTimeNow) {
+    txn->read_set_.insert(oid.raw);
+    NoteReadRecorded(*txn);
+  }
   const Value* value = object->ReadNamed(name, at);
   return value ? *value : Value::Nil();
 }
@@ -366,7 +423,10 @@ Result<Value> TransactionManager::ReadIndexed(Transaction* txn, Oid oid,
   }
   GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
   GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
-  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  if (at == kTimeNow) {
+    txn->read_set_.insert(oid.raw);
+    NoteReadRecorded(*txn);
+  }
   if (index >= object->IndexedSizeAt(at)) {
     return Status::OutOfRange("index " + std::to_string(index) +
                               " beyond size " +
@@ -413,7 +473,10 @@ Result<std::size_t> TransactionManager::IndexedSize(Transaction* txn, Oid oid,
   }
   GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
   GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
-  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  if (at == kTimeNow) {
+    txn->read_set_.insert(oid.raw);
+    NoteReadRecorded(*txn);
+  }
   return object->IndexedSizeAt(at);
 }
 
@@ -434,7 +497,10 @@ Result<std::vector<std::pair<SymbolId, Value>>> TransactionManager::ListNamed(
   }
   GS_RETURN_IF_ERROR(CheckReadAccess(txn, oid));
   GS_ASSIGN_OR_RETURN(const GsObject* object, ViewLocked(txn, oid, at));
-  if (at == kTimeNow) txn->read_set_.insert(oid.raw);
+  if (at == kTimeNow) {
+    txn->read_set_.insert(oid.raw);
+    NoteReadRecorded(*txn);
+  }
   std::vector<std::pair<SymbolId, Value>> out;
   for (const NamedElement& element : object->named_elements()) {
     const Value* value = element.table.ValueAt(at);

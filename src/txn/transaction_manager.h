@@ -170,9 +170,23 @@ class TransactionManager {
 
   /// Backward validation for one accessed object: true when it committed
   /// after `txn` started (created objects are invisible to others and
-  /// never conflict). Commit-path only.
+  /// never conflict). Commit-path only; validation only reads
+  /// `last_commit_`, so a read-only commit may run it under the shared
+  /// lock.
   bool HasConflictLocked(const Transaction& txn, std::uint64_t raw) const
-      GS_REQUIRES(store_mu_);
+      GS_REQUIRES_SHARED(store_mu_);
+
+  /// Aborts `txn` because `raw` changed since it started: flips state,
+  /// bumps the abort/conflict counters, tallies the hotspot, records the
+  /// flight event, and returns the conflict status.
+  Status AbortConflictedLocked(Transaction* txn, std::uint64_t raw,
+                               const char* what) GS_REQUIRES(store_mu_);
+
+  /// Tracks the high-water mark of any transaction's read set
+  /// (`txn.read_set_peak`): evidence for how much validation state
+  /// long-lived mutating sessions accumulate. Snapshot-pinned reads
+  /// resolve at a past time and record nothing, so they never move this.
+  void NoteReadRecorded(const Transaction& txn);
 
   /// Authorization hooks: a transaction's own created objects are always
   /// accessible (they join a segment only after publication).
@@ -194,6 +208,9 @@ class TransactionManager {
   static constexpr std::size_t kConflictHotspotCap = 4096;
   std::unordered_map<std::uint64_t, std::uint64_t> conflict_by_oid_
       GS_GUARDED_BY(store_mu_);
+
+  /// Largest read set any transaction has accumulated (relaxed max).
+  std::atomic<std::uint64_t> read_set_peak_{0};
 
   telemetry::Counter begun_;
   telemetry::Counter committed_;
