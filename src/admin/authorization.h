@@ -71,7 +71,7 @@ class AuthorizationManager : public AccessController {
   AccessRight RightOf(const Segment& segment, UserId user) const
       GS_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kAuthorization, "admin.authorization_mu"};
   std::unordered_map<SegmentId, Segment> segments_ GS_GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, SegmentId> object_segment_
       GS_GUARDED_BY(mu_);

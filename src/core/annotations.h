@@ -1,0 +1,44 @@
+#ifndef GEMSTONE_CORE_ANNOTATIONS_H_
+#define GEMSTONE_CORE_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis attributes (DESIGN.md §8). Under Clang
+/// with -Wthread-safety (the GS_THREAD_SAFETY CMake option turns findings
+/// into errors) these annotations are statically checked; under other
+/// compilers they expand to nothing and the code is unchanged.
+///
+/// Naming follows the capability vocabulary of the analysis:
+///   GS_GUARDED_BY(mu)       data member readable/writable only with mu held
+///   GS_REQUIRES(mu)         function needs mu held exclusively on entry
+///   GS_REQUIRES_SHARED(mu)  function needs mu held at least shared
+///   GS_ACQUIRE / GS_RELEASE lock/unlock functions of a capability type
+///   GS_CAPABILITY           a lockable type the analysis tracks
+///   GS_SCOPED_CAPABILITY    an RAII lock holder
+
+#if defined(__clang__)
+#define GS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define GS_CAPABILITY(x) GS_THREAD_ANNOTATION(capability(x))
+#define GS_SCOPED_CAPABILITY GS_THREAD_ANNOTATION(scoped_lockable)
+#define GS_GUARDED_BY(x) GS_THREAD_ANNOTATION(guarded_by(x))
+#define GS_PT_GUARDED_BY(x) GS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GS_REQUIRES(...) \
+  GS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GS_REQUIRES_SHARED(...) \
+  GS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define GS_ACQUIRE(...) \
+  GS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GS_ACQUIRE_SHARED(...) \
+  GS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define GS_RELEASE(...) \
+  GS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GS_RELEASE_SHARED(...) \
+  GS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define GS_EXCLUDES(...) GS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GS_RETURN_CAPABILITY(x) GS_THREAD_ANNOTATION(lock_returned(x))
+#define GS_NO_THREAD_SAFETY_ANALYSIS \
+  GS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // GEMSTONE_CORE_ANNOTATIONS_H_

@@ -11,8 +11,10 @@ namespace gemstone {
 
 /// A value-or-Status, modeled on arrow::Result. The invariant is that a
 /// Result either holds a value (and `ok()` is true) or a non-OK Status.
+/// [[nodiscard]] for the same reason Status is: dropping one on the
+/// floor silently discards the error alternative.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -40,7 +40,11 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// An OK status carries no allocation at all; error states hold a
 /// heap-allocated code + message record shared across copies.
-class Status {
+///
+/// [[nodiscard]] at class scope: a dropped Status is a swallowed error,
+/// so every call returning one must consume it (test, propagate with
+/// GS_RETURN_IF_ERROR, or annotate a deliberate drop).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

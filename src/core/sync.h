@@ -1,0 +1,134 @@
+#ifndef GEMSTONE_CORE_SYNC_H_
+#define GEMSTONE_CORE_SYNC_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/annotations.h"
+#include "core/lock_rank.h"
+
+namespace gemstone {
+
+/// std::mutex with a capability annotation so Clang's thread-safety
+/// analysis can pair it with GS_GUARDED_BY / GS_REQUIRES (DESIGN.md §8),
+/// plus a mandatory LockRank + display name feeding the runtime
+/// lock-order validator (DESIGN.md §13). Construction:
+///   mutable Mutex mu_{LockRank::kTxnStore, "txn.store_mu"};
+/// There is deliberately no default constructor — a mutex that does not
+/// declare its place in the lattice does not compile, and gs_lint
+/// rejects declarations whose initializer omits a LockRank.
+class GS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GS_ACQUIRE() {
+#if GS_LOCK_ORDER_VALIDATION
+    lock_order::NoteAcquire(rank_, name_, /*shared=*/false);
+#endif
+    mu_.lock();
+  }
+  void Unlock() GS_RELEASE() {
+    mu_.unlock();
+#if GS_LOCK_ORDER_VALIDATION
+    lock_order::NoteRelease(rank_, name_);
+#endif
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// std::shared_mutex with the same treatment: writers take it exclusive
+/// (WriterMutexLock), readers shared (ReaderMutexLock). Shared and
+/// exclusive holds rank identically — a reader-held lock constrains what
+/// may be acquired beneath it exactly as a writer-held one does.
+class GS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() GS_ACQUIRE() {
+#if GS_LOCK_ORDER_VALIDATION
+    lock_order::NoteAcquire(rank_, name_, /*shared=*/false);
+#endif
+    mu_.lock();
+  }
+  void Unlock() GS_RELEASE() {
+    mu_.unlock();
+#if GS_LOCK_ORDER_VALIDATION
+    lock_order::NoteRelease(rank_, name_);
+#endif
+  }
+  void LockShared() GS_ACQUIRE_SHARED() {
+#if GS_LOCK_ORDER_VALIDATION
+    lock_order::NoteAcquire(rank_, name_, /*shared=*/true);
+#endif
+    mu_.lock_shared();
+  }
+  void UnlockShared() GS_RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if GS_LOCK_ORDER_VALIDATION
+    lock_order::NoteRelease(rank_, name_);
+#endif
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const LockRank rank_;
+  const char* const name_;
+};
+
+/// Scoped exclusive hold of a Mutex.
+class GS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() GS_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive hold of a SharedMutex (the writer side).
+class GS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) GS_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() GS_RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared hold of a SharedMutex (the reader side).
+class GS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) GS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() GS_RELEASE() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace gemstone
+
+#endif  // GEMSTONE_CORE_SYNC_H_

@@ -152,7 +152,8 @@ class Executor {
   txn::TransactionManager transactions_;
 
   std::atomic<SessionId> next_session_{1};
-  mutable SharedMutex sessions_mu_;
+  mutable SharedMutex sessions_mu_{LockRank::kExecutorSessions,
+                                   "executor.sessions_mu"};
   std::unordered_map<SessionId, SessionEntry> sessions_
       GS_GUARDED_BY(sessions_mu_);
   std::atomic<std::size_t> session_count_{0};

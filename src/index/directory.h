@@ -77,7 +77,7 @@ class Directory {
   Oid collection_;
   std::vector<SymbolId> path_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kDirectory, "index.directory_mu"};
   // Ordered so range probes walk a contiguous key span.
   std::map<std::string, std::vector<Posting>> postings_ GS_GUARDED_BY(mu_);
   // member -> key of its currently-open posting (for Remove/Re-Add).
@@ -128,7 +128,8 @@ class DirectoryManager {
 
  private:
   ObjectMemory* memory_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kDirectoryManager,
+                    "index.directory_manager_mu"};
   // Directories are never destroyed once registered, so the raw pointers
   // Find hands out stay valid without holding mu_; Directory itself is
   // internally synchronized.

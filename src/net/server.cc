@@ -103,7 +103,7 @@ struct Server::Connection {
   std::atomic<std::uint64_t> inflight_trace_id{0};
   std::atomic<std::uint8_t> inflight_type{0};  // MsgType
 
-  mutable Mutex mu;
+  mutable Mutex mu{LockRank::kNetConnection, "net.conn_mu"};
   std::deque<Request> pending GS_GUARDED_BY(mu);
   std::string outbox GS_GUARDED_BY(mu);
   /// Cumulative bytes ever appended to / flushed out of the outbox; a
@@ -1224,7 +1224,35 @@ std::string Server::StatusJson() const {
       out << "{\"oid\":" << oid << ",\"conflicts\":" << count << "}";
     }
   }
-  out << "]}";
+  out << "]";
+
+  // The lock-order validator's view (DESIGN.md §13): whether this build
+  // validates at all, the observed rank->rank acquisition edges, and
+  // whether the observed graph is still a DAG. In release builds the
+  // section reports validated=false with an empty edge set.
+  {
+    std::string cycle;
+    const bool acyclic = lock_order::GraphIsAcyclic(&cycle);
+    out << ",\"lock_order\":{\"validated\":"
+        << (GS_LOCK_ORDER_VALIDATION ? "true" : "false")
+        << ",\"acquisitions\":" << lock_order::AcquisitionCount()
+        << ",\"violations\":" << lock_order::ViolationCount()
+        << ",\"acyclic\":" << (acyclic ? "true" : "false");
+    if (!acyclic) {
+      out << ",\"cycle\":\"" << telemetry::JsonEscape(cycle) << "\"";
+    }
+    out << ",\"edges\":[";
+    bool first = true;
+    for (const lock_order::Edge& edge : lock_order::AcquisitionEdges()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"holder\":\"" << LockRankName(edge.holder)
+          << "\",\"acquired\":\"" << LockRankName(edge.acquired)
+          << "\",\"count\":" << edge.count << "}";
+    }
+    out << "]}";
+  }
+  out << "}";
   return out.str();
 }
 

@@ -233,12 +233,14 @@ class Server {
   /// lock entirely (DESIGN.md §12); it survives as the serialization
   /// point for writers and as the fallback for reads that turn out to
   /// write. Lock order: never while holding conn_table_mu_ or conn->mu.
-  Mutex executor_mu_;
+  Mutex executor_mu_{LockRank::kNetExecutor, "net.executor_mu"};
 
   /// Dispatch queue: connections with pending requests, each present at
   /// most once. Guarded by queue_mu_ — a raw std::mutex (invisible to the
-  /// thread-safety analysis) because the workers block on a condvar.
-  std::mutex queue_mu_;
+  /// thread-safety analysis and the lock-order validator) because the
+  /// workers block on a condvar. It is a leaf by inspection: no queue_mu_
+  /// section acquires anything.
+  std::mutex queue_mu_;  // gs_lint: allow(raw-mutex)
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Connection>> queue_;
   bool queue_closed_ = false;
@@ -247,7 +249,8 @@ class Server {
   /// thread) reads it, so the table itself is lock-protected. Lock order:
   /// conn_table_mu_ before conn->mu and before executor_mu_; workers take
   /// it only from the (otherwise lock-free) status path.
-  mutable Mutex conn_table_mu_;
+  mutable Mutex conn_table_mu_{LockRank::kNetConnTable,
+                               "net.conn_table_mu"};
   std::map<int, std::shared_ptr<Connection>> connections_
       GS_GUARDED_BY(conn_table_mu_);
   std::uint64_t next_conn_id_ GS_GUARDED_BY(conn_table_mu_) = 1;

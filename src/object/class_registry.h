@@ -189,7 +189,8 @@ class ClassRegistry {
 
   SymbolTable* symbols_;
   std::atomic<std::uint64_t> version_{1};
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kClassRegistry,
+                          "object.class_registry_mu"};
   std::unordered_map<std::uint64_t, std::unique_ptr<GsClass>> classes_
       GS_GUARDED_BY(mu_);
   std::unordered_map<std::string, Oid> by_name_ GS_GUARDED_BY(mu_);

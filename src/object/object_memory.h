@@ -139,7 +139,7 @@ class ObjectMemory {
   KernelClasses kernel_;
   std::atomic<std::uint64_t> next_oid_{1};
 
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kObjectMemory, "object.memory_mu"};
   // The global object table ("GOOP ... resolved through a global object
   // table", §6): identity -> object representation.
   std::unordered_map<std::uint64_t, std::unique_ptr<GsObject>> objects_

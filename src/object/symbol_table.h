@@ -64,7 +64,8 @@ class SymbolTable {
   SymbolId InternLocked(std::string_view text, bool alias)
       GS_REQUIRES(mu_);
 
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kSymbolTable,
+                          "object.symbol_table_mu"};
   // Deque: interned spellings never move, so Name() references survive
   // concurrent interning.
   std::deque<std::string> names_ GS_GUARDED_BY(mu_);

@@ -60,7 +60,7 @@ class GlobalEnv {
   }
 
  private:
-  mutable SharedMutex mu_;
+  mutable SharedMutex mu_{LockRank::kOpalGlobals, "opal.globals_mu"};
   std::unordered_map<SymbolId, Value> values_ GS_GUARDED_BY(mu_);
 };
 

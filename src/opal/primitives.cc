@@ -1535,6 +1535,7 @@ void InstallKernelPrimitives(ObjectMemory* memory) {
   const KernelClasses& kernel = memory->kernel();
 
   auto install = [&](Oid class_oid, const char* selector, PrimitiveFn fn) {
+    // gs_lint: allow(read-path-retry): boot-time install, no session yet
     Status s = classes.InstallMethod(class_oid, symbols.Intern(selector),
                                      std::make_shared<PrimitiveMethod>(fn));
     (void)s;  // kernel classes always exist at boot

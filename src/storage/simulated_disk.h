@@ -95,7 +95,7 @@ class SimulatedDisk {
   /// What an armed write fault does when its countdown reaches zero.
   enum class WriteFault : std::uint8_t { kNone, kFail, kTear };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStorageDevice, "storage.disk_mu"};
   std::vector<std::vector<std::uint8_t>> tracks_ GS_GUARDED_BY(mu_);
   mutable TrackId last_track_ GS_GUARDED_BY(mu_) = 0;
   WriteFault write_fault_ GS_GUARDED_BY(mu_) = WriteFault::kNone;

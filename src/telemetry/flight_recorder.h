@@ -113,7 +113,8 @@ class FlightRecorder {
 
  private:
   struct Slot {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kFlightRecorderSlot,
+                     "telemetry.flightrec_slot_mu"};
     FlightEvent event GS_GUARDED_BY(mu);  // seq 0 = never written
   };
 
@@ -122,7 +123,8 @@ class FlightRecorder {
   std::atomic<std::uint64_t> slow_op_threshold_ns_{kDefaultSlowOpNs};
   std::unique_ptr<Slot[]> slots_;
 
-  mutable Mutex config_mu_;
+  mutable Mutex config_mu_{LockRank::kFlightRecorderConfig,
+                           "telemetry.flightrec_config_mu"};
   std::string auto_dump_path_ GS_GUARDED_BY(config_mu_);
 };
 

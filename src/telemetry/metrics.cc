@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/lock_rank.h"
+
 namespace gemstone::telemetry {
 
 double HistogramSnapshot::Percentile(double p) const {
@@ -228,6 +230,15 @@ telemetry::Snapshot MetricsRegistry::Snapshot() const {
   }
   SnapshotSink sink(&snap);
   for (const auto& [id, fn] : collectors_) fn(&sink);
+  // The lock-order validator's observed-acquisition graph (DESIGN.md
+  // §13): distinct rank->rank edges, total acquisitions noted, and
+  // out-of-order acquisitions survived (only possible with aborting
+  // off). All three read relaxed atomics; all three are zero in release
+  // builds, where validation is compiled out.
+  snap.gauges["sync.lock_edges"] +=
+      static_cast<std::int64_t>(lock_order::EdgeCount());
+  snap.counters["sync.lock_acquisitions"] += lock_order::AcquisitionCount();
+  snap.counters["sync.lock_order_violations"] += lock_order::ViolationCount();
   return snap;
 }
 

@@ -199,7 +199,8 @@ class MetricsRegistry {
   /// Validates (and when invalid, sanitizes + counts) a requested name.
   std::string AdmitNameLocked(const std::string& name) GS_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTelemetryMetrics,
+                    "telemetry.metrics_registry_mu"};
   std::map<std::string, std::unique_ptr<Counter>> counters_ GS_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GS_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_

@@ -94,7 +94,8 @@ class Profiler {
 
   static std::atomic<bool> enabled_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTelemetryProfiler,
+                    "telemetry.profiler_mu"};
   // Keyed "caller\x1f callee": selectors never contain \x1f.
   std::map<std::string, Cell> edges_ GS_GUARDED_BY(mu_);
 };

@@ -51,7 +51,7 @@ class TraceBuffer {
 
  private:
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTelemetryTrace, "telemetry.trace_mu"};
   std::vector<SpanRecord> ring_ GS_GUARDED_BY(mu_);
   std::size_t next_ GS_GUARDED_BY(mu_) = 0;  // slot the next record lands in
   std::uint64_t recorded_ GS_GUARDED_BY(mu_) = 0;

@@ -197,7 +197,7 @@ class TransactionManager {
   storage::StorageEngine* engine_;
   const AccessController* access_ = nullptr;
 
-  mutable SharedMutex store_mu_;
+  mutable SharedMutex store_mu_{LockRank::kTxnStore, "txn.store_mu"};
   std::atomic<TxnTime> clock_{0};
   std::unordered_map<std::uint64_t, TxnTime> last_commit_
       GS_GUARDED_BY(store_mu_);

@@ -115,13 +115,13 @@ TEST(TxnStress, ContendedIncrementsVsReaders) {
           Oid oid = oids[(w + i) % kObjects];
           auto read = manager.ReadNamed(txn.get(), oid, field);
           if (!read.ok()) {
-            manager.Abort(txn.get());
+            (void)manager.Abort(txn.get());
             continue;
           }
           Status wrote = manager.WriteNamed(
               txn.get(), oid, field, Value::Integer(read.value().integer() + 1));
           if (wrote.ok() && manager.Commit(txn.get()).ok()) break;
-          if (txn->active()) manager.Abort(txn.get());
+          if (txn->active()) (void)manager.Abort(txn.get());
         }
       }
     });
@@ -141,7 +141,7 @@ TEST(TxnStress, ContendedIncrementsVsReaders) {
         }
         // Read-only transactions abort: their read set may have been
         // overtaken, and they publish nothing anyway.
-        manager.Abort(txn.get());
+        (void)manager.Abort(txn.get());
       }
     });
   }
@@ -157,7 +157,7 @@ TEST(TxnStress, ContendedIncrementsVsReaders) {
     ASSERT_TRUE(read.ok());
     total += read.value().integer();
   }
-  manager.Abort(txn.get());
+  (void)manager.Abort(txn.get());
 
   EXPECT_EQ(total, kWriters * kIncrementsPerWriter);
   EXPECT_EQ(reader_errors.load(), 0);
@@ -208,7 +208,7 @@ TEST(TxnStress, StatsSnapshotInvariantsUnderLoad) {
                                    Value::Integer(read.value().integer() + 1));
           (void)manager.Commit(txn.get());
         }
-        if (txn->active()) manager.Abort(txn.get());
+        if (txn->active()) (void)manager.Abort(txn.get());
       }
     });
   }

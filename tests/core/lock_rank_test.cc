@@ -1,0 +1,190 @@
+#include "core/lock_rank.h"
+
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/sync.h"
+
+// The whole point of this binary is exercising the validator, so it is
+// compiled with GS_LOCK_ORDER_VALIDATION=1 regardless of build type
+// (tests/CMakeLists.txt) — fail loudly if that wiring ever breaks.
+static_assert(GS_LOCK_ORDER_VALIDATION == 1,
+              "lock_rank_test must build with the validator enabled");
+
+namespace gemstone {
+namespace {
+
+using lock_order::Held;
+
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lock_order::ResetGraphForTest();
+    ASSERT_EQ(lock_order::HeldCount(), 0u)
+        << "a previous test leaked a held lock";
+  }
+};
+
+TEST_F(LockRankTest, RankNamesAreStable) {
+  EXPECT_EQ(LockRankName(LockRank::kNetConnTable), "net.conn_table");
+  EXPECT_EQ(LockRankName(LockRank::kTxnStore), "txn.store");
+  EXPECT_EQ(LockRankName(LockRank::kLeaf), "leaf");
+  // Every rank below the sentinel has a real name.
+  for (std::uint8_t r = 0;
+       r < static_cast<std::uint8_t>(LockRank::kRankCount); ++r) {
+    EXPECT_NE(LockRankName(static_cast<LockRank>(r)), "unknown")
+        << "rank " << int{r} << " is missing from LockRankName";
+  }
+}
+
+TEST_F(LockRankTest, StackPushPopTracksHeldLocks) {
+  lock_order::NoteAcquire(LockRank::kNetConnTable, "t.outer", false);
+  lock_order::NoteAcquire(LockRank::kTxnStore, "t.inner", false);
+  EXPECT_EQ(lock_order::HeldCount(), 2u);
+
+  std::vector<Held> held = lock_order::HeldLocks();
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held[0].rank, LockRank::kNetConnTable);
+  EXPECT_STREQ(held[0].name, "t.outer");
+  EXPECT_EQ(held[1].rank, LockRank::kTxnStore);
+
+  lock_order::NoteRelease(LockRank::kTxnStore, "t.inner");
+  EXPECT_EQ(lock_order::HeldCount(), 1u);
+  lock_order::NoteRelease(LockRank::kNetConnTable, "t.outer");
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+}
+
+TEST_F(LockRankTest, OutOfOrderReleaseIsTolerated) {
+  lock_order::NoteAcquire(LockRank::kNetConnTable, "t.outer", false);
+  lock_order::NoteAcquire(LockRank::kTxnStore, "t.inner", false);
+  // Release the outer lock first: the inner hold must survive.
+  lock_order::NoteRelease(LockRank::kNetConnTable, "t.outer");
+  std::vector<Held> held = lock_order::HeldLocks();
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].rank, LockRank::kTxnStore);
+  lock_order::NoteRelease(LockRank::kTxnStore, "t.inner");
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+}
+
+TEST_F(LockRankTest, HeldStackIsPerThread) {
+  lock_order::NoteAcquire(LockRank::kTxnStore, "t.main", false);
+  std::thread other([] {
+    EXPECT_EQ(lock_order::HeldCount(), 0u);
+    lock_order::NoteAcquire(LockRank::kObjectMemory, "t.other", false);
+    EXPECT_EQ(lock_order::HeldCount(), 1u);
+    lock_order::NoteRelease(LockRank::kObjectMemory, "t.other");
+  });
+  other.join();
+  EXPECT_EQ(lock_order::HeldCount(), 1u);
+  lock_order::NoteRelease(LockRank::kTxnStore, "t.main");
+}
+
+TEST_F(LockRankTest, InOrderAcquisitionThroughMutexes) {
+  Mutex outer{LockRank::kNetConnTable, "t.conn_table"};
+  Mutex inner{LockRank::kTxnStore, "t.store"};
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+    EXPECT_EQ(lock_order::HeldCount(), 2u);
+  }
+  EXPECT_EQ(lock_order::HeldCount(), 0u);
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+  EXPECT_EQ(lock_order::EdgeCount(), 1u);  // conn_table -> store
+}
+
+TEST_F(LockRankTest, SharedAndExclusiveHoldsRankIdentically) {
+  SharedMutex store{LockRank::kTxnStore, "t.store"};
+  Mutex memory{LockRank::kObjectMemory, "t.memory"};
+
+  {
+    ReaderMutexLock r(store);
+    std::vector<Held> held = lock_order::HeldLocks();
+    ASSERT_EQ(held.size(), 1u);
+    EXPECT_TRUE(held[0].shared);
+    MutexLock m(memory);  // inner acquisition under a shared hold: legal
+  }
+  {
+    WriterMutexLock w(store);
+    std::vector<Held> held = lock_order::HeldLocks();
+    ASSERT_EQ(held.size(), 1u);
+    EXPECT_FALSE(held[0].shared);
+    MutexLock m(memory);
+  }
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+
+  // A reader-held lock constrains acquisitions exactly as a writer-held
+  // one: store -> conn_table is inverted either way.
+  const bool prev = lock_order::SetAbortOnViolation(false);
+  Mutex conn_table{LockRank::kNetConnTable, "t.conn_table"};
+  {
+    ReaderMutexLock r(store);
+    MutexLock bad(conn_table);
+  }
+  EXPECT_EQ(lock_order::ViolationCount(), 1u);
+  lock_order::SetAbortOnViolation(prev);
+}
+
+TEST_F(LockRankTest, EqualRankNestingIsAViolation) {
+  const bool prev = lock_order::SetAbortOnViolation(false);
+  Mutex a{LockRank::kLeaf, "t.leaf_a"};
+  Mutex b{LockRank::kLeaf, "t.leaf_b"};
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // same rank nested: the ABBA shape
+  }
+  EXPECT_EQ(lock_order::ViolationCount(), 1u);
+  lock_order::SetAbortOnViolation(prev);
+}
+
+TEST_F(LockRankTest, GraphRecordsEdgesAndDetectsCycles) {
+  const bool prev = lock_order::SetAbortOnViolation(false);
+  // Legal chain: conn_table -> store.
+  lock_order::NoteAcquire(LockRank::kNetConnTable, "t.a", false);
+  lock_order::NoteAcquire(LockRank::kTxnStore, "t.b", false);
+  lock_order::NoteRelease(LockRank::kTxnStore, "t.b");
+  lock_order::NoteRelease(LockRank::kNetConnTable, "t.a");
+  EXPECT_TRUE(lock_order::GraphIsAcyclic(nullptr));
+  EXPECT_EQ(lock_order::EdgeCount(), 1u);
+
+  // Another thread once did store -> conn_table: now the union of the
+  // two observed orders is a cycle even though neither run deadlocked.
+  lock_order::NoteAcquire(LockRank::kTxnStore, "t.b", false);
+  lock_order::NoteAcquire(LockRank::kNetConnTable, "t.a", false);
+  lock_order::NoteRelease(LockRank::kNetConnTable, "t.a");
+  lock_order::NoteRelease(LockRank::kTxnStore, "t.b");
+
+  std::string cycle;
+  EXPECT_FALSE(lock_order::GraphIsAcyclic(&cycle));
+  EXPECT_NE(cycle.find("net.conn_table"), std::string::npos);
+  EXPECT_NE(cycle.find("txn.store"), std::string::npos);
+  EXPECT_EQ(lock_order::ViolationCount(), 1u);
+  lock_order::SetAbortOnViolation(prev);
+}
+
+TEST_F(LockRankTest, AcquisitionCountAdvances) {
+  const std::uint64_t before = lock_order::AcquisitionCount();
+  Mutex leaf{LockRank::kLeaf, "t.leaf"};
+  { MutexLock l(leaf); }
+  EXPECT_EQ(lock_order::AcquisitionCount(), before + 1);
+}
+
+// The acceptance test for the tentpole: an inverted acquisition through
+// the real Mutex path must abort with both lock names in the message.
+using LockRankDeathTest = LockRankTest;
+
+TEST_F(LockRankDeathTest, InvertedAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex store{LockRank::kTxnStore, "t.store"};
+  Mutex conn_table{LockRank::kNetConnTable, "t.conn_table"};
+  EXPECT_DEATH(
+      {
+        MutexLock inner_first(store);
+        MutexLock outer_second(conn_table);  // upward: must die
+      },
+      "lock-order violation.*t\\.conn_table.*t\\.store");
+}
+
+}  // namespace
+}  // namespace gemstone

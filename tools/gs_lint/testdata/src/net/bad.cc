@@ -1,0 +1,10 @@
+void Server::Broken() {
+  MutexLock table(conn_table_mu_);
+  for (auto& [id, conn] : connections_) {
+    conn->session->Logout();
+  }
+}
+void Server::Fine() {
+  MutexLock table(conn_table_mu_);
+  count = connections_.size();
+}

@@ -1,0 +1,6 @@
+#include "core/sync.h"
+class Foo {
+  Mutex mu_;
+  std::mutex raw_;
+  SharedMutex ok_{LockRank::kLeaf, "test.ok"};
+};

@@ -1,0 +1,9 @@
+Result<Value> PrimEvil(Interpreter& interp, const Value&, std::vector<Value>&) {
+  GS_RETURN_IF_ERROR(interp.memory().classes().InstallMethod(a, b, c));
+  return Value::Nil();
+}
+Result<Value> PrimGood(Interpreter& interp, const Value&, std::vector<Value>&) {
+  GS_RETURN_IF_ERROR(RequireSchemaWritable(interp, "x"));
+  GS_RETURN_IF_ERROR(interp.memory().classes().InstallMethod(a, b, c));
+  return Value::Nil();
+}
