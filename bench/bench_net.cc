@@ -18,6 +18,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "telemetry/metrics.h"
+#include "telemetry/observatory.h"
 
 namespace {
 
@@ -235,7 +236,15 @@ int main(int argc, char** argv) {
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  // Bench with the Observatory sampler live at its production cadence:
+  // the read-path scaling gate in CI then doubles as the "sampling costs
+  // under 1% of throughput" acceptance check — a sampler that stalls the
+  // gateway shows up as a scaling regression, not as a silent tax.
+  gemstone::telemetry::Observatory observatory(300);
+  observatory.Start(std::chrono::seconds(1));
   ::benchmark::RunSpecifiedBenchmarks();
+  observatory.Stop();
 
   // requests/sec observed by the gateway itself over the whole run.
   auto& registry = gemstone::telemetry::MetricsRegistry::Global();

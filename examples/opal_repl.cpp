@@ -14,6 +14,9 @@
 //   :stats json  the same snapshot as JSON
 //   :stats prom  the same snapshot in Prometheus text format
 //   :spans       recent trace spans (most recent last) + drop count
+//   :trace             index of request traces in the span ring
+//   :trace <id>        one request as Chrome trace-event JSON (Perfetto)
+//   :trace all         the whole span ring in the same format
 //   :profile on|off|reset      toggle / clear the execution profiler
 //   :profile [json]            hot selectors and call edges
 //   :explain <query>           set-algebra plan for a §5.1 calculus query
@@ -38,6 +41,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/profiler.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_export.h"
 
 using gemstone::SessionId;
 using gemstone::executor::Executor;
@@ -83,6 +87,20 @@ int main() {
       }
       std::cout << "(" << buffer.total_recorded() << " recorded, "
                 << buffer.dropped() << " dropped by ring wrap)\n";
+      continue;
+    }
+    if (line.rfind(":trace", 0) == 0) {
+      const auto spans = gemstone::telemetry::TraceBuffer::Global().Snapshot();
+      std::string arg = line.size() > 6 ? line.substr(7) : "";
+      while (!arg.empty() && arg.front() == ' ') arg.erase(0, 1);
+      if (arg.empty()) {
+        std::cout << gemstone::telemetry::TraceIndexJson(spans, 64) << "\n";
+      } else if (arg == "all") {
+        std::cout << gemstone::telemetry::TraceEventsJson(spans, 0) << "\n";
+      } else {
+        const std::uint64_t id = std::strtoull(arg.c_str(), nullptr, 10);
+        std::cout << gemstone::telemetry::TraceEventsJson(spans, id) << "\n";
+      }
       continue;
     }
     if (line.rfind(":profile", 0) == 0) {

@@ -59,7 +59,29 @@ HttpEndpoint::~HttpEndpoint() { Stop(); }
 void HttpEndpoint::AddRoute(const std::string& path,
                             const std::string& content_type,
                             Handler handler) {
+  AddRoute(path, content_type,
+           QueryHandler([handler = std::move(handler)](
+                            const QueryParams&) { return handler(); }));
+}
+
+void HttpEndpoint::AddRoute(const std::string& path,
+                            const std::string& content_type,
+                            QueryHandler handler) {
   routes_[path] = Route{content_type, std::move(handler)};
+}
+
+std::size_t HttpEndpoint::UintParam(const QueryParams& params,
+                                    const std::string& name,
+                                    std::size_t fallback, std::size_t max) {
+  const auto it = params.find(name);
+  if (it == params.end() || it->second.empty()) return fallback;
+  std::size_t value = 0;
+  for (char c : it->second) {
+    if (c < '0' || c > '9') return fallback;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    if (value > max) return max;
+  }
+  return value;
 }
 
 Status HttpEndpoint::Start() {
@@ -158,8 +180,26 @@ bool HttpEndpoint::BuildResponse(const std::string& in,
                         "only GET is served here\n");
     return true;
   }
+  QueryParams params;
   const std::size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
+  if (query != std::string::npos) {
+    std::size_t pos = query + 1;
+    while (pos <= target.size()) {
+      std::size_t amp = target.find('&', pos);
+      if (amp == std::string::npos) amp = target.size();
+      const std::string pair = target.substr(pos, amp - pos);
+      if (!pair.empty()) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          params[pair] = "";
+        } else {
+          params[pair.substr(0, eq)] = pair.substr(eq + 1);
+        }
+      }
+      pos = amp + 1;
+    }
+    target.resize(query);
+  }
 
   const auto route = routes_.find(target);
   if (route == routes_.end()) {
@@ -169,7 +209,7 @@ bool HttpEndpoint::BuildResponse(const std::string& in,
     return true;
   }
   *out = HttpResponse(200, "OK", route->second.content_type,
-                      route->second.handler());
+                      route->second.handler(params));
   return true;
 }
 

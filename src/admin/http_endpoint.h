@@ -44,6 +44,12 @@ class HttpEndpoint {
  public:
   using Handler = std::function<std::string()>;
 
+  /// Decoded `?key=value&...` pairs of the request target. Keys without
+  /// '=' map to "". No percent-decoding: admin params are numbers and
+  /// identifiers by contract.
+  using QueryParams = std::map<std::string, std::string>;
+  using QueryHandler = std::function<std::string(const QueryParams&)>;
+
   explicit HttpEndpoint(HttpEndpointOptions options = {});
   ~HttpEndpoint();
 
@@ -55,6 +61,17 @@ class HttpEndpoint {
   /// Start(); the route table is immutable while the endpoint runs.
   void AddRoute(const std::string& path, const std::string& content_type,
                 Handler handler);
+
+  /// Same, for handlers that read query params (`/timeseries?window=30`).
+  void AddRoute(const std::string& path, const std::string& content_type,
+                QueryHandler handler);
+
+  /// `params[name]` parsed as a non-negative integer, clamped to
+  /// [0, max]; `fallback` when absent or unparsable. The shared idiom for
+  /// the bounded `?limit=`/`?window=` knobs.
+  static std::size_t UintParam(const QueryParams& params,
+                               const std::string& name, std::size_t fallback,
+                               std::size_t max);
 
   /// Binds 127.0.0.1:port, starts the serving thread.
   Status Start();
@@ -70,7 +87,7 @@ class HttpEndpoint {
  private:
   struct Route {
     std::string content_type;
-    Handler handler;
+    QueryHandler handler;  // plain Handlers are wrapped at AddRoute
   };
 
   void Serve();

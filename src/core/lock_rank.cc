@@ -21,6 +21,8 @@ std::string_view LockRankName(LockRank rank) {
     case LockRank::kDirectory: return "index.directory";
     case LockRank::kAuthorization: return "admin.authorization";
     case LockRank::kStorageDevice: return "storage.device";
+    case LockRank::kStorageHeatmap: return "storage.heatmap";
+    case LockRank::kTelemetryObservatory: return "telemetry.observatory";
     case LockRank::kTelemetryMetrics: return "telemetry.metrics";
     case LockRank::kTelemetryTrace: return "telemetry.trace";
     case LockRank::kTelemetryProfiler: return "telemetry.profiler";

@@ -64,7 +64,11 @@ enum class LockRank : std::uint8_t {
   kAuthorization,      // admin::AuthorizationManager::mu_ (ACL checks run
                        // under store_mu_)
   kStorageDevice,      // storage::SimulatedDisk::mu_
+  kStorageHeatmap,     // storage::TrackHeatmap::mu_ (recorded from under
+                       // the device lock and from txn historical reads)
   // -- Telemetry leaves (recordable from under any lock above) --------------
+  kTelemetryObservatory,  // telemetry::Observatory::mu_ (the ring; never
+                          // held while sampling the registry)
   kTelemetryMetrics,   // telemetry::MetricsRegistry::mu_
   kTelemetryTrace,     // telemetry::TraceBuffer::mu_
   kTelemetryProfiler,  // telemetry::Profiler::mu_

@@ -20,6 +20,7 @@
 #include "telemetry/export.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/io_attribution.h"
+#include "telemetry/observatory.h"
 #include "telemetry/trace.h"
 
 namespace gemstone::net {
@@ -731,6 +732,10 @@ void Server::HandleRequest(Connection* conn, Request&& request) {
   // Everything this thread records while serving the request — spans,
   // flight events, slow-op captures — now names the owning request.
   telemetry::TraceContextScope trace(request.trace_id);
+  // Root of the request's span tree: every span opened below (executor,
+  // txn, commit, disk) parent-links under it, so /trace?id= exports the
+  // whole request as one nested flame.
+  TELEM_SPAN("net.request");
   conn->inflight_trace_id.store(request.trace_id, std::memory_order_relaxed);
   conn->inflight_type.store(static_cast<std::uint8_t>(request.type),
                             std::memory_order_relaxed);
@@ -1252,6 +1257,13 @@ std::string Server::StatusJson() const {
     }
     out << "]}";
   }
+
+  // Recent-rate sparklines from the Observatory ring (empty object until
+  // the sampler has two samples). Queried without any server lock held —
+  // the Observatory has its own.
+  out << ",\"recent_rates\":"
+      << telemetry::Observatory::Global().SparklineJson(
+             {"net.", "txn.", "disk.", "storage."});
   out << "}";
   return out.str();
 }

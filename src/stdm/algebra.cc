@@ -47,6 +47,21 @@ void Indent(int indent, std::string* out) {
   out->append(static_cast<std::size_t>(indent) * 2, ' ');
 }
 
+/// Per-collection cardinality accounting (ROADMAP item 5): each scan
+/// publishes the observed member count of its range source as
+/// `stdm.cardinality.<source>` and counts executions in
+/// `stdm.scans.<source>`. Source spellings carry `!` and friends, so
+/// they are sanitized *before* registration — debug builds abort on an
+/// invalid spelling reaching the registry.
+void NoteScanCardinality(const Term& source, std::size_t members) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const std::string suffix =
+      telemetry::SanitizeMetricName(source.ToString());
+  registry.GetGauge("stdm.cardinality." + suffix)
+      ->Set(static_cast<std::int64_t>(members));
+  registry.GetCounter("stdm.scans." + suffix)->Increment();
+}
+
 std::string FormatMs(std::uint64_t ns) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
@@ -151,6 +166,7 @@ Result<std::vector<Row>> ScanNode::Execute(const std::vector<std::string>&,
     rows.push_back(std::move(row));
   }
   if (stats != nullptr) stats->rows_scanned += rows.size();
+  NoteScanCardinality(source_, source.size());
   return rows;
 }
 
@@ -184,6 +200,9 @@ Result<std::vector<Row>> DependentScanNode::Execute(
     }
   }
   if (stats != nullptr) stats->rows_scanned += rows.size();
+  // For a dependent range the observable is total fanout per execution —
+  // the join-cardinality input the cost model wants.
+  NoteScanCardinality(source_, rows.size());
   return rows;
 }
 
@@ -205,6 +224,15 @@ Result<std::vector<Row>> FilterNode::Execute(
     GS_ASSIGN_OR_RETURN(bool keep, EvalPredicate(predicate_, env, &sub));
     if (stats != nullptr) stats->predicate_evals += sub.predicate_evals;
     if (keep) rows.push_back(std::move(row));
+  }
+  // Observed selectivity in percent — the distribution the optimizer's
+  // future cost model (ROADMAP item 5) reads back out of telemetry.
+  if (!input.empty()) {
+    static telemetry::Histogram* selectivity =
+        telemetry::MetricsRegistry::Global().GetHistogram(
+            "stdm.filter_selectivity_pct",
+            {1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+    selectivity->Observe(rows.size() * 100 / input.size());
   }
   return rows;
 }

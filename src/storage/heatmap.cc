@@ -1,0 +1,220 @@
+#include "storage/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/trace.h"
+
+namespace gemstone::storage {
+
+TrackHeatmap::TrackHeatmap(TrackId num_tracks, std::uint64_t half_life_ns)
+    : num_tracks_(num_tracks),
+      half_life_ns_(half_life_ns == 0 ? kDefaultHalfLifeNs : half_life_ns),
+      cells_(num_tracks) {}
+
+void TrackHeatmap::DecayTo(Cell* cell, std::uint64_t now_ns) const {
+  if (now_ns <= cell->last_ns) return;  // clock went sideways: no decay
+  const double dt = static_cast<double>(now_ns - cell->last_ns);
+  // heat' = heat * 2^(-dt / half_life); exp2 of the negative ratio.
+  const double factor =
+      std::exp2(-dt / static_cast<double>(half_life_ns_));
+  cell->read_heat *= factor;
+  cell->write_heat *= factor;
+  cell->historical_heat *= factor;
+  cell->last_ns = now_ns;
+}
+
+void TrackHeatmap::Deposit(TrackId track, Access access, bool historical,
+                           std::uint64_t now_ns) {
+  if (track >= num_tracks_) return;
+  if (now_ns == 0) now_ns = telemetry::TraceNowNs();
+  if (historical) {
+    historical_accesses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    current_accesses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double total = 0;
+  bool first_touch = false;
+  {
+    MutexLock lock(mu_);
+    Cell& cell = cells_[track];
+    DecayTo(&cell, now_ns);
+    switch (access) {
+      case Access::kRead:
+        ++cell.reads;
+        if (historical) {
+          cell.historical_heat += 1.0;
+        } else {
+          cell.read_heat += 1.0;
+        }
+        break;
+      case Access::kWrite:
+        ++cell.writes;
+        if (historical) {
+          cell.historical_heat += 1.0;
+        } else {
+          cell.write_heat += 1.0;
+        }
+        break;
+      case Access::kSeek:
+        ++cell.seeks;
+        break;
+    }
+    if (!cell.touched) {
+      cell.touched = true;
+      first_touch = true;
+    }
+    total = cell.read_heat + cell.write_heat + cell.historical_heat;
+  }
+  if (first_touch) touched_tracks_.fetch_add(1, std::memory_order_relaxed);
+  // Approximate hottest-track mirror: monotone max of decayed deposit
+  // heat. Slightly stale by design (it never decays downward); the JSON
+  // view recomputes precisely. Store milliheat so the atomic is integral.
+  const std::uint64_t milliheat = static_cast<std::uint64_t>(total * 1000.0);
+  std::uint64_t prev =
+      hot_track_milliheat_.load(std::memory_order_relaxed);
+  while (milliheat > prev &&
+         !hot_track_milliheat_.compare_exchange_weak(
+             prev, milliheat, std::memory_order_relaxed)) {
+  }
+  if (milliheat > prev) {
+    hot_track_.store(track, std::memory_order_relaxed);
+  }
+}
+
+void TrackHeatmap::RecordRead(TrackId track, bool historical,
+                              std::uint64_t now_ns) {
+  Deposit(track, Access::kRead, historical, now_ns);
+}
+
+void TrackHeatmap::RecordWrite(TrackId track, bool historical,
+                               std::uint64_t now_ns) {
+  Deposit(track, Access::kWrite, historical, now_ns);
+}
+
+void TrackHeatmap::RecordSeek(TrackId track, std::uint64_t now_ns) {
+  if (track >= num_tracks_) return;
+  if (now_ns == 0) now_ns = telemetry::TraceNowNs();
+  MutexLock lock(mu_);
+  Cell& cell = cells_[track];
+  DecayTo(&cell, now_ns);
+  ++cell.seeks;
+}
+
+std::vector<TrackHeatmap::TrackHeat> TrackHeatmap::Hottest(
+    std::size_t limit, std::uint64_t now_ns) const {
+  if (now_ns == 0) now_ns = telemetry::TraceNowNs();
+  std::vector<TrackHeat> all;
+  {
+    MutexLock lock(mu_);
+    for (TrackId t = 0; t < num_tracks_; ++t) {
+      const Cell& cell = cells_[t];
+      if (!cell.touched) continue;
+      Cell decayed = cell;
+      DecayTo(&decayed, now_ns);
+      TrackHeat heat;
+      heat.track = t;
+      heat.read_heat = decayed.read_heat;
+      heat.write_heat = decayed.write_heat;
+      heat.historical_heat = decayed.historical_heat;
+      heat.reads = decayed.reads;
+      heat.writes = decayed.writes;
+      heat.seeks = decayed.seeks;
+      all.push_back(heat);
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TrackHeat& a, const TrackHeat& b) {
+                     return a.read_heat + a.write_heat + a.historical_heat >
+                            b.read_heat + b.write_heat + b.historical_heat;
+                   });
+  if (limit != 0 && all.size() > limit) all.resize(limit);
+  return all;
+}
+
+std::vector<TrackHeatmap::TrackHeat> TrackHeatmap::Segments(
+    std::size_t n, std::uint64_t now_ns) const {
+  if (n == 0) n = kDefaultSegments;
+  if (now_ns == 0) now_ns = telemetry::TraceNowNs();
+  if (num_tracks_ == 0) return {};
+  n = std::min<std::size_t>(n, num_tracks_);
+  std::vector<TrackHeat> segments(n);
+  const std::size_t per = (num_tracks_ + n - 1) / n;
+  MutexLock lock(mu_);
+  for (TrackId t = 0; t < num_tracks_; ++t) {
+    const Cell& cell = cells_[t];
+    if (!cell.touched) continue;
+    Cell decayed = cell;
+    DecayTo(&decayed, now_ns);
+    TrackHeat& seg = segments[std::min<std::size_t>(t / per, n - 1)];
+    seg.read_heat += decayed.read_heat;
+    seg.write_heat += decayed.write_heat;
+    seg.historical_heat += decayed.historical_heat;
+    seg.reads += decayed.reads;
+    seg.writes += decayed.writes;
+    seg.seeks += decayed.seeks;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    segments[i].track = static_cast<TrackId>(i * per);  // segment start
+  }
+  return segments;
+}
+
+namespace {
+void AppendHeat(std::ostringstream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
+}
+}  // namespace
+
+std::string TrackHeatmap::ToJson(std::size_t track_limit,
+                                 std::size_t segments,
+                                 std::uint64_t now_ns) const {
+  if (track_limit == 0) track_limit = kDefaultTrackLimit;
+  track_limit = std::min(track_limit, kMaxTrackLimit);
+  if (now_ns == 0) now_ns = telemetry::TraceNowNs();
+
+  std::ostringstream os;
+  os << "{\"num_tracks\":" << num_tracks_
+     << ",\"half_life_ms\":" << half_life_ns_ / 1000000
+     << ",\"current_accesses\":" << current_accesses()
+     << ",\"historical_accesses\":" << historical_accesses()
+     << ",\"touched_tracks\":" << touched_tracks();
+
+  const std::vector<TrackHeat> hottest = Hottest(track_limit, now_ns);
+  os << ",\"hottest\":[";
+  for (std::size_t i = 0; i < hottest.size(); ++i) {
+    const TrackHeat& h = hottest[i];
+    if (i > 0) os << ',';
+    os << "{\"track\":" << h.track << ",\"read_heat\":";
+    AppendHeat(os, h.read_heat);
+    os << ",\"write_heat\":";
+    AppendHeat(os, h.write_heat);
+    os << ",\"historical_heat\":";
+    AppendHeat(os, h.historical_heat);
+    os << ",\"reads\":" << h.reads << ",\"writes\":" << h.writes
+       << ",\"seeks\":" << h.seeks << '}';
+  }
+  os << ']';
+
+  const std::vector<TrackHeat> segs = Segments(segments, now_ns);
+  os << ",\"segments\":[";
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const TrackHeat& s = segs[i];
+    if (i > 0) os << ',';
+    os << "{\"start_track\":" << s.track << ",\"read_heat\":";
+    AppendHeat(os, s.read_heat);
+    os << ",\"write_heat\":";
+    AppendHeat(os, s.write_heat);
+    os << ",\"historical_heat\":";
+    AppendHeat(os, s.historical_heat);
+    os << ",\"reads\":" << s.reads << ",\"writes\":" << s.writes << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace gemstone::storage

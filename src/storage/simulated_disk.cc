@@ -9,12 +9,24 @@ SimulatedDisk::SimulatedDisk(TrackId num_tracks, std::size_t track_capacity)
     : num_tracks_(num_tracks),
       track_capacity_(track_capacity),
       tracks_(num_tracks),
+      heatmap_(num_tracks),
       telemetry_(telemetry::MetricsRegistry::Global().Register(
           [this](telemetry::SampleSink* sink) {
             sink->Counter("disk.tracks_read", tracks_read_.value());
             sink->Counter("disk.tracks_written", tracks_written_.value());
             sink->Counter("disk.seeks", seeks_.value());
             sink->Counter("disk.seek_distance", seek_distance_.value());
+            // Heatmap aggregates come from the lock-free mirrors — the
+            // collector runs under the registry lock and must not take
+            // the heatmap mutex (rank inversion).
+            sink->Counter("storage.heatmap.current_accesses",
+                          heatmap_.current_accesses());
+            sink->Counter("storage.heatmap.historical_accesses",
+                          heatmap_.historical_accesses());
+            sink->Gauge("storage.heatmap.hot_track",
+                        static_cast<std::int64_t>(heatmap_.hot_track()));
+            sink->Gauge("storage.heatmap.touched_tracks",
+                        static_cast<std::int64_t>(heatmap_.touched_tracks()));
           })) {}
 
 void SimulatedDisk::AccountSeek(TrackId track) const {
@@ -24,6 +36,7 @@ void SimulatedDisk::AccountSeek(TrackId track) const {
   if (delta > 1) {
     seeks_.Increment();
     ++telemetry::ThreadIoTally().seeks;
+    heatmap_.RecordSeek(track);
   }
   seek_distance_.Increment(delta);
   last_track_ = track;
@@ -46,6 +59,7 @@ Result<std::vector<std::uint8_t>> SimulatedDisk::ReadTrack(
   AccountSeek(track);
   tracks_read_.Increment();
   ++telemetry::ThreadIoTally().tracks_read;
+  heatmap_.RecordRead(track, telemetry::ThreadAccessIsHistorical());
   return tracks_[track];
 }
 
@@ -69,6 +83,7 @@ Status SimulatedDisk::WriteTrack(TrackId track,
         AccountSeek(track);
         tracks_written_.Increment();
         ++telemetry::ThreadIoTally().tracks_written;
+        heatmap_.RecordWrite(track, telemetry::ThreadAccessIsHistorical());
         tracks_[track] = std::move(data);
         telemetry::FlightRecorder::Global().Record(
             telemetry::FlightEventKind::kStorageFault, 0, track, 0,
@@ -87,6 +102,7 @@ Status SimulatedDisk::WriteTrack(TrackId track,
   AccountSeek(track);
   tracks_written_.Increment();
   ++telemetry::ThreadIoTally().tracks_written;
+  heatmap_.RecordWrite(track, telemetry::ThreadAccessIsHistorical());
   tracks_[track] = std::move(data);
   return Status::OK();
 }

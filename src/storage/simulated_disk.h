@@ -9,6 +9,7 @@
 #include "core/result.h"
 #include "core/status.h"
 #include "core/sync.h"
+#include "storage/heatmap.h"
 #include "telemetry/metrics.h"
 
 namespace gemstone::storage {
@@ -88,6 +89,12 @@ class SimulatedDisk {
   DiskStats stats() const;
   void ResetStats();
 
+  /// Per-track access heat (reads/writes/seeks with exponential decay,
+  /// current vs. historical split). Thread-safe; the /heatmap admin route
+  /// and the compaction policy both read it.
+  const TrackHeatmap& heatmap() const { return heatmap_; }
+  TrackHeatmap& heatmap() { return heatmap_; }
+
  private:
   const TrackId num_tracks_;
   const std::size_t track_capacity_;
@@ -102,6 +109,8 @@ class SimulatedDisk {
   std::uint64_t writes_until_failure_ GS_GUARDED_BY(mu_) = 0;
   std::size_t tear_keep_bytes_ GS_GUARDED_BY(mu_) = 0;
   std::unordered_set<TrackId> read_faults_ GS_GUARDED_BY(mu_);
+
+  mutable TrackHeatmap heatmap_;
 
   mutable telemetry::Counter tracks_read_;
   mutable telemetry::Counter tracks_written_;

@@ -333,4 +333,13 @@ std::vector<Oid> StorageEngine::CatalogOids() const {
   return oids;
 }
 
+void StorageEngine::NoteHistoricalObjectAccess(Oid oid) {
+  const Extent* extent = catalog_.Find(oid);
+  if (extent == nullptr) return;
+  TrackHeatmap& heatmap = disk_->heatmap();
+  for (TrackId track : extent->tracks) {
+    heatmap.RecordRead(track, /*historical=*/true);
+  }
+}
+
 }  // namespace gemstone::storage

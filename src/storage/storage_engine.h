@@ -76,6 +76,16 @@ class StorageEngine {
   bool Contains(Oid oid) const { return catalog_.Contains(oid); }
   std::vector<Oid> CatalogOids() const;
 
+  /// Marks a time-dial read of `oid` on the heatmap: its extent tracks
+  /// gain *historical* heat even when the object's past states were
+  /// served from memory and no device read happened. This is how the
+  /// current/historical split stays honest for in-memory history walks —
+  /// the compaction signal (ROADMAP item 4) wants where the *audit*
+  /// traffic lands, not just where its cache misses land. No-op for
+  /// unknown oids. Caller holds whatever serializes catalog access (the
+  /// TransactionManager's store lock).
+  void NoteHistoricalObjectAccess(Oid oid);
+
   std::size_t free_track_count() const { return free_tracks_.size(); }
 
  private:

@@ -123,14 +123,26 @@ std::string DumpEventsJson(std::size_t capacity, std::uint64_t recorded,
 
 }  // namespace
 
-std::string FlightRecorder::DumpJson() const {
-  const std::vector<FlightEvent> events = Snapshot();
+namespace {
+/// Keeps the newest `limit` events (Snapshot is sequence-ordered).
+void TrimToNewest(std::vector<FlightEvent>* events, std::size_t limit) {
+  if (limit != 0 && events->size() > limit) {
+    events->erase(events->begin(),
+                  events->end() - static_cast<std::ptrdiff_t>(limit));
+  }
+}
+}  // namespace
+
+std::string FlightRecorder::DumpJson(std::size_t limit) const {
+  std::vector<FlightEvent> events = Snapshot();
   const std::uint64_t recorded = total_recorded();
-  return DumpEventsJson(capacity_, recorded, recorded - events.size(),
-                        events);
+  const std::uint64_t dropped = recorded - events.size();
+  TrimToNewest(&events, limit);
+  return DumpEventsJson(capacity_, recorded, dropped, events);
 }
 
-std::string FlightRecorder::DumpJsonOfKind(FlightEventKind kind) const {
+std::string FlightRecorder::DumpJsonOfKind(FlightEventKind kind,
+                                           std::size_t limit) const {
   std::vector<FlightEvent> events = Snapshot();
   const std::uint64_t recorded = total_recorded();
   const std::uint64_t dropped = recorded - events.size();
@@ -139,6 +151,7 @@ std::string FlightRecorder::DumpJsonOfKind(FlightEventKind kind) const {
                                 return e.kind != kind;
                               }),
                events.end());
+  TrimToNewest(&events, limit);
   return DumpEventsJson(capacity_, recorded, dropped, events);
 }
 

@@ -76,11 +76,14 @@ class FlightRecorder {
   std::vector<FlightEvent> Snapshot() const;
 
   /// {"capacity":..,"recorded":..,"dropped":..,"events":[{..},..]}.
-  std::string DumpJson() const;
+  /// `limit` keeps only the newest events (0 = all retained); the
+  /// /flightrec admin route passes its `?limit=` through here.
+  std::string DumpJson(std::size_t limit = 0) const;
 
   /// DumpJson restricted to one event kind — the `:slowlog` dump is
-  /// DumpJsonOfKind(kSlowRequest).
-  std::string DumpJsonOfKind(FlightEventKind kind) const;
+  /// DumpJsonOfKind(kSlowRequest). `limit` as in DumpJson.
+  std::string DumpJsonOfKind(FlightEventKind kind, std::size_t limit = 0)
+      const;
 
   /// Writes DumpJson() to `path` (truncating). Returns false on I/O error
   /// — callers on failure paths cannot do much about it, but tests can.

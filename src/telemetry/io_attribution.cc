@@ -7,4 +7,19 @@ IoTally& ThreadIoTally() {
   return tally;
 }
 
+namespace {
+thread_local bool tls_historical_access = false;
+}  // namespace
+
+bool ThreadAccessIsHistorical() { return tls_historical_access; }
+
+HistoricalAccessScope::HistoricalAccessScope()
+    : saved_(tls_historical_access) {
+  tls_historical_access = true;
+}
+
+HistoricalAccessScope::~HistoricalAccessScope() {
+  tls_historical_access = saved_;
+}
+
 }  // namespace gemstone::telemetry

@@ -20,6 +20,27 @@ struct IoTally {
 /// This thread's monotonic I/O tally. Never resets; take deltas.
 IoTally& ThreadIoTally();
 
+/// True while the calling thread is serving a time-dial read — a view of
+/// the past, not of current state. The storage layer reads this flag to
+/// classify each track access into the heatmap's current/historical
+/// split, which is what lets compaction (ROADMAP item 4) distinguish
+/// "hot because the workload lives here" from "hot because someone is
+/// auditing last week".
+bool ThreadAccessIsHistorical();
+
+/// RAII: marks the calling thread's storage accesses historical for the
+/// scope's lifetime. Nests; the previous classification is restored.
+class HistoricalAccessScope {
+ public:
+  HistoricalAccessScope();
+  ~HistoricalAccessScope();
+  HistoricalAccessScope(const HistoricalAccessScope&) = delete;
+  HistoricalAccessScope& operator=(const HistoricalAccessScope&) = delete;
+
+ private:
+  bool saved_;
+};
+
 /// `after - before`, field-wise.
 inline IoTally IoDelta(const IoTally& before, const IoTally& after) {
   IoTally d;

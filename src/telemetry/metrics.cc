@@ -1,6 +1,9 @@
 #include "telemetry/metrics.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/lock_rank.h"
 
@@ -128,8 +131,33 @@ std::string SanitizeMetricName(std::string_view name) {
   return out;
 }
 
+namespace {
+// Debug builds abort on an invalid registration — a bad literal is a bug
+// at the call site, and sanitize-and-continue would hide it until an
+// operator greps for the metric and finds the mangled spelling. Release
+// builds keep the forgiving behavior: never crash production telemetry.
+// Tests flip this off to exercise the sanitize path itself.
+#if defined(NDEBUG)
+std::atomic<bool> abort_on_invalid_name{false};
+#else
+std::atomic<bool> abort_on_invalid_name{true};
+#endif
+}  // namespace
+
+bool SetAbortOnInvalidMetricName(bool value) {
+  return abort_on_invalid_name.exchange(value, std::memory_order_relaxed);
+}
+
 std::string MetricsRegistry::AdmitNameLocked(const std::string& name) {
   if (IsValidMetricName(name)) return name;
+  if (abort_on_invalid_name.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "invalid metric name \"%s\" (want [a-zA-Z_][a-zA-Z0-9_.]*); "
+                 "fix the registration site\n",
+                 name.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
   // Rejected: the instrument registers under the sanitized spelling and
   // the rejection itself is observable (telemetry.invalid_metric_names).
   auto& rejected = counters_["telemetry.invalid_metric_names"];

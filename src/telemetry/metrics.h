@@ -163,6 +163,15 @@ bool IsValidMetricName(std::string_view name);
 /// when the first character cannot start a name).
 std::string SanitizeMetricName(std::string_view name);
 
+/// Registration fail-fast policy. Debug builds default to true: asking
+/// the registry for an invalid name prints the offending spelling and
+/// aborts, so a bad literal dies in the first test run instead of
+/// shipping as a silently sanitized metric. Release builds default to
+/// false (sanitize, count `telemetry.invalid_metric_names`, continue).
+/// Returns the previous setting; tests flip it off to exercise the
+/// sanitize path.
+bool SetAbortOnInvalidMetricName(bool abort_on_invalid);
+
 /// The process-wide metric namespace. Thread-safe.
 class MetricsRegistry {
  public:

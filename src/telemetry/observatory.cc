@@ -1,0 +1,369 @@
+#include "telemetry/observatory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/export.h"
+#include "telemetry/trace.h"
+
+namespace gemstone::telemetry {
+
+namespace {
+
+/// Rate points per window are derived pairwise, so `window` intervals
+/// need `window + 1` samples.
+std::size_t ClampWindow(std::size_t window) {
+  if (window == 0) window = Observatory::kDefaultWindow;
+  return std::min(window, Observatory::kMaxWindow);
+}
+
+void AppendDouble(std::ostringstream& os, double v) {
+  // Emit with limited precision; rates don't need 17 digits and the
+  // payload is size-bounded by contract.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+Observatory& Observatory::Global() {
+  static Observatory* instance = new Observatory();  // never dies
+  return *instance;
+}
+
+Observatory::Observatory(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      samples_counter_(
+          MetricsRegistry::Global().GetCounter("observatory.samples")),
+      sample_cost_us_(MetricsRegistry::Global().GetHistogram(
+          "observatory.sample_cost_us")) {
+  ring_.reserve(capacity_);
+}
+
+Observatory::~Observatory() { Stop(); }
+
+void Observatory::Start(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  if (interval.count() <= 0) interval = kDefaultInterval;
+  interval_ = interval;
+  if (running_) return;
+  // A previous sampler that was asked to stop may not be joined yet.
+  if (sampler_.joinable()) sampler_.join();
+  stop_requested_ = false;
+  running_ = true;
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void Observatory::Stop() {
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    // Only the sampler clears running_ (on its way out). Setting it here
+    // would stomp a Start() that raced in between this unlock and the
+    // join below and launched a fresh sampler.
+    if (sampler_.joinable()) {
+      stop_requested_ = true;
+      cv_.notify_all();
+      to_join = std::move(sampler_);
+    }
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+bool Observatory::running() const {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  return running_ && !stop_requested_;
+}
+
+std::chrono::milliseconds Observatory::interval() const {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  return interval_;
+}
+
+void Observatory::SamplerLoop() {
+  for (;;) {
+    SampleNow();
+    std::unique_lock<std::mutex> lock(thread_mu_);
+    cv_.wait_for(lock, interval_, [this] { return stop_requested_; });
+    if (stop_requested_) {
+      running_ = false;
+      return;
+    }
+  }
+}
+
+void Observatory::SampleNow() {
+  const std::uint64_t begin_ns = TraceNowNs();
+  // Registry snapshot first, ring lock second — never both at once, so
+  // the sampler can never stall a recording thread behind the ring.
+  const telemetry::Snapshot snap = MetricsRegistry::Global().Snapshot();
+  ObservatorySample sample;
+  sample.ts_ns = begin_ns;
+  sample.counters = snap.counters;
+  sample.gauges = snap.gauges;
+  for (const auto& [name, hist] : snap.histograms) {
+    SampledHistogram s;
+    s.count = hist.count;
+    s.sum = hist.sum;
+    s.p50 = hist.p50();
+    s.p95 = hist.p95();
+    s.p99 = hist.p99();
+    sample.histograms.emplace(name, s);
+  }
+  {
+    MutexLock lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(sample));
+    } else {
+      ring_[next_] = std::move(sample);
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_samples_;
+  }
+  samples_counter_->Increment();
+  sample_cost_us_->Observe((TraceNowNs() - begin_ns) / 1000);
+}
+
+std::vector<ObservatorySample> Observatory::Ring(std::size_t limit) const {
+  std::vector<ObservatorySample> out;
+  MutexLock lock(mu_);
+  const std::size_t n = ring_.size();
+  const std::size_t want = (limit == 0 || limit > n) ? n : limit;
+  out.reserve(want);
+  if (n < capacity_) {
+    out.assign(ring_.end() - static_cast<std::ptrdiff_t>(want), ring_.end());
+  } else {
+    // next_ is the oldest slot once wrapped; take the newest `want`.
+    for (std::size_t i = n - want; i < n; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::size_t Observatory::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t Observatory::total_samples() const {
+  MutexLock lock(mu_);
+  return total_samples_;
+}
+
+std::vector<double> Observatory::RateSeries(const std::string& name,
+                                            std::size_t window) const {
+  const std::vector<ObservatorySample> samples =
+      Ring(ClampWindow(window) + 1);
+  std::vector<double> rates;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const auto prev = samples[i - 1].counters.find(name);
+    const auto cur = samples[i].counters.find(name);
+    if (prev == samples[i - 1].counters.end() ||
+        cur == samples[i].counters.end()) {
+      rates.push_back(0.0);
+      continue;
+    }
+    const std::uint64_t elapsed_ns = samples[i].ts_ns - samples[i - 1].ts_ns;
+    if (elapsed_ns == 0 || cur->second < prev->second) {
+      rates.push_back(0.0);  // clock hiccup or counter reset (tests)
+      continue;
+    }
+    rates.push_back(static_cast<double>(cur->second - prev->second) * 1e9 /
+                    static_cast<double>(elapsed_ns));
+  }
+  return rates;
+}
+
+double Observatory::LatestRate(const std::string& name) const {
+  const std::vector<double> rates = RateSeries(name, 1);
+  return rates.empty() ? 0.0 : rates.back();
+}
+
+std::string Observatory::Sparkline(const std::vector<double>& series) {
+  static constexpr char kLadder[] = " .:-=+*#@";
+  static constexpr std::size_t kLevels = sizeof(kLadder) - 2;  // top index
+  double max = 0;
+  for (double v : series) max = std::max(max, v);
+  std::string out;
+  out.reserve(series.size());
+  for (double v : series) {
+    if (max <= 0 || v <= 0) {
+      out.push_back(kLadder[0]);
+    } else {
+      const std::size_t level = 1 + static_cast<std::size_t>(
+                                        (v / max) * (kLevels - 1) + 0.5);
+      out.push_back(kLadder[std::min(level, kLevels)]);
+    }
+  }
+  return out;
+}
+
+std::string Observatory::TimeSeriesJson(std::size_t window,
+                                        std::size_t series_limit) const {
+  window = ClampWindow(window);
+  if (series_limit == 0) series_limit = kDefaultSeriesLimit;
+  series_limit = std::min(series_limit, kMaxSeriesLimit);
+
+  const std::vector<ObservatorySample> samples = Ring(window + 1);
+  std::ostringstream os;
+  os << "{\"interval_ms\":" << interval().count()
+     << ",\"samples\":" << samples.size() << ",\"window\":" << window;
+  if (samples.empty()) {
+    os << ",\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+    return os.str();
+  }
+  os << ",\"start_ts_ns\":" << samples.front().ts_ns
+     << ",\"end_ts_ns\":" << samples.back().ts_ns;
+
+  const ObservatorySample& newest = samples.back();
+
+  // Counters: windowed per-second rates, oldest interval first. A series
+  // that never moved inside the window is elided — the document is about
+  // the live workload, and this is the main payload bound.
+  os << ",\"counters\":{";
+  std::size_t emitted = 0;
+  bool truncated = false;
+  bool first = true;
+  for (const auto& [name, total] : newest.counters) {
+    std::vector<double> rates;
+    bool moved = false;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const auto prev = samples[i - 1].counters.find(name);
+      const auto cur = samples[i].counters.find(name);
+      double rate = 0.0;
+      if (prev != samples[i - 1].counters.end() &&
+          cur != samples[i].counters.end() && cur->second > prev->second) {
+        const std::uint64_t elapsed = samples[i].ts_ns - samples[i - 1].ts_ns;
+        if (elapsed > 0) {
+          rate = static_cast<double>(cur->second - prev->second) * 1e9 /
+                 static_cast<double>(elapsed);
+          moved = true;
+        }
+      }
+      rates.push_back(rate);
+    }
+    if (!moved) continue;
+    if (emitted >= series_limit) {
+      truncated = true;
+      break;
+    }
+    if (!first) os << ',';
+    first = false;
+    ++emitted;
+    os << '"' << JsonEscape(name) << "\":{\"total\":" << total
+       << ",\"rates\":[";
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      if (i > 0) os << ',';
+      AppendDouble(os, rates[i]);
+    }
+    os << "]}";
+  }
+  os << '}';
+
+  // Gauges: raw value trajectory (levels, not rates).
+  os << ",\"gauges\":{";
+  emitted = 0;
+  first = true;
+  for (const auto& [name, value] : newest.gauges) {
+    if (emitted >= series_limit) {
+      truncated = true;
+      break;
+    }
+    if (!first) os << ',';
+    first = false;
+    ++emitted;
+    os << '"' << JsonEscape(name) << "\":{\"value\":" << value
+       << ",\"values\":[";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) os << ',';
+      const auto it = samples[i].gauges.find(name);
+      os << (it != samples[i].gauges.end() ? it->second : 0);
+    }
+    os << "]}";
+  }
+  os << '}';
+
+  // Histograms: percentile trajectories. Only series that observed
+  // something inside the window (count moved) are emitted.
+  os << ",\"histograms\":{";
+  emitted = 0;
+  first = true;
+  for (const auto& [name, hist] : newest.histograms) {
+    const auto oldest = samples.front().histograms.find(name);
+    const std::uint64_t old_count =
+        oldest != samples.front().histograms.end() ? oldest->second.count : 0;
+    if (hist.count == old_count && samples.size() > 1) continue;
+    if (emitted >= series_limit) {
+      truncated = true;
+      break;
+    }
+    if (!first) os << ',';
+    first = false;
+    ++emitted;
+    os << '"' << JsonEscape(name) << "\":{\"count\":" << hist.count
+       << ",\"p50\":[";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) os << ',';
+      const auto it = samples[i].histograms.find(name);
+      AppendDouble(os, it != samples[i].histograms.end() ? it->second.p50 : 0);
+    }
+    os << "],\"p95\":[";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) os << ',';
+      const auto it = samples[i].histograms.find(name);
+      AppendDouble(os, it != samples[i].histograms.end() ? it->second.p95 : 0);
+    }
+    os << "],\"p99\":[";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) os << ',';
+      const auto it = samples[i].histograms.find(name);
+      AppendDouble(os, it != samples[i].histograms.end() ? it->second.p99 : 0);
+    }
+    os << "]}";
+  }
+  os << '}';
+  os << ",\"truncated\":" << (truncated ? "true" : "false") << '}';
+  return os.str();
+}
+
+std::string Observatory::SparklineJson(
+    const std::vector<std::string>& prefixes, std::size_t window) const {
+  window = ClampWindow(window);
+  const std::vector<ObservatorySample> samples = Ring(window + 1);
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  if (!samples.empty()) {
+    for (const auto& [name, total] : samples.back().counters) {
+      bool wanted = false;
+      for (const std::string& prefix : prefixes) {
+        if (name.compare(0, prefix.size(), prefix) == 0) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+      const std::vector<double> rates = RateSeries(name, window);
+      bool moved = false;
+      for (double r : rates) {
+        if (r > 0) {
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) continue;
+      if (!first) os << ',';
+      first = false;
+      os << '"' << JsonEscape(name) << "\":{\"rate\":";
+      AppendDouble(os, rates.empty() ? 0.0 : rates.back());
+      os << ",\"spark\":\"" << Sparkline(rates) << "\"}";
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace gemstone::telemetry

@@ -1,0 +1,154 @@
+#ifndef GEMSTONE_TELEMETRY_OBSERVATORY_H_
+#define GEMSTONE_TELEMETRY_OBSERVATORY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotations.h"
+#include "core/sync.h"
+#include "telemetry/metrics.h"
+
+namespace gemstone::telemetry {
+
+/// The workload observatory (DESIGN.md §14): a background sampler thread
+/// snapshots the whole MetricsRegistry every `interval` (default 1 s)
+/// into a fixed ring, so every cumulative-since-boot counter gains a
+/// recent history — windowed per-second rates, gauge trajectories, and
+/// percentile-over-time for histograms — without any instrument changing
+/// how it records. The admin `/timeseries` route and the `/statusz`
+/// sparkline column are both views over this ring.
+///
+/// Locking: `mu_` (rank telemetry.observatory) guards only the ring.
+/// Sampling takes the registry snapshot *before* acquiring `mu_`, so the
+/// registry lock and the ring lock are never held together and recording
+/// threads are never behind the sampler. Start/Stop serialize on a raw
+/// std::mutex + condvar pair (outside the rank lattice, like the server's
+/// work queue) because the sampler sleeps on it.
+
+/// The derived view of one histogram at one sampling instant. Percentiles
+/// are of the cumulative distribution at that instant; the *trajectory*
+/// across samples is what the time-series view charts.
+struct SampledHistogram {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// One ring entry: everything the registry knew at `ts_ns`.
+struct ObservatorySample {
+  std::uint64_t ts_ns = 0;  // TraceNowNs() at snapshot time
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, SampledHistogram> histograms;
+};
+
+class Observatory {
+ public:
+  /// ~10 minutes of history at the default 1 s cadence. Sizing rationale
+  /// in DESIGN.md §14 — long enough to see a workload shift, small enough
+  /// (a few MB at a few hundred metrics) to forget about.
+  static constexpr std::size_t kDefaultCapacity = 600;
+  static constexpr std::chrono::milliseconds kDefaultInterval{1000};
+
+  /// Admin-facing payload caps (satellite: bounded admin responses).
+  static constexpr std::size_t kDefaultWindow = 60;
+  static constexpr std::size_t kMaxWindow = kDefaultCapacity;
+  static constexpr std::size_t kDefaultSeriesLimit = 200;
+  static constexpr std::size_t kMaxSeriesLimit = 2000;
+
+  static Observatory& Global();
+
+  explicit Observatory(std::size_t capacity = kDefaultCapacity);
+  ~Observatory();
+  Observatory(const Observatory&) = delete;
+  Observatory& operator=(const Observatory&) = delete;
+
+  /// Launches the sampler thread. Idempotent while running; after Stop()
+  /// a new Start() relaunches (restart-safe). Thread-safe.
+  void Start(std::chrono::milliseconds interval = kDefaultInterval);
+
+  /// Stops and joins the sampler. Idempotent. The ring is retained, so a
+  /// stopped observatory still serves its recorded history.
+  void Stop();
+
+  bool running() const;
+  std::chrono::milliseconds interval() const;
+
+  /// Takes one sample synchronously on the calling thread — what the
+  /// sampler thread does each tick. Public so tests (and the REPL, which
+  /// has no background thread) can drive deterministic histories.
+  void SampleNow();
+
+  /// Oldest-to-newest copy of the newest `limit` ring entries (0 = all).
+  std::vector<ObservatorySample> Ring(std::size_t limit = 0) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t total_samples() const;
+
+  /// Per-second rates of counter `name` across the newest `window`
+  /// sampling intervals, oldest first. Uses each interval's measured
+  /// elapsed time, not the nominal cadence. Missing counters and
+  /// single-sample rings yield an empty vector.
+  std::vector<double> RateSeries(const std::string& name,
+                                 std::size_t window) const;
+
+  /// The newest interval's per-second rate of counter `name` (0 when the
+  /// ring holds fewer than two samples).
+  double LatestRate(const std::string& name) const;
+
+  /// ASCII sparkline (one char per point, ladder " .:-=+*#@") scaled to
+  /// the series max — embeds into JSON/terminal output without quoting
+  /// issues.
+  static std::string Sparkline(const std::vector<double>& series);
+
+  /// The `/timeseries` document: windowed counter rates, gauge values,
+  /// and histogram percentile trajectories over the newest `window`
+  /// intervals, at most `series_limit` series per section (alphabetical;
+  /// "truncated" flags when the cap bit). Counters that never moved in
+  /// the window are elided — rate columns stay about the live workload.
+  std::string TimeSeriesJson(std::size_t window = kDefaultWindow,
+                             std::size_t series_limit = kDefaultSeriesLimit)
+      const;
+
+  /// The `/statusz` sparkline section: rate series + sparkline for the
+  /// counters matching any prefix in `prefixes`, as a JSON object.
+  std::string SparklineJson(const std::vector<std::string>& prefixes,
+                            std::size_t window = kDefaultWindow) const;
+
+ private:
+  void SamplerLoop();
+
+  const std::size_t capacity_;
+
+  mutable Mutex mu_{LockRank::kTelemetryObservatory,
+                    "telemetry.observatory_mu"};
+  std::vector<ObservatorySample> ring_ GS_GUARDED_BY(mu_);
+  std::size_t next_ GS_GUARDED_BY(mu_) = 0;
+  std::uint64_t total_samples_ GS_GUARDED_BY(mu_) = 0;
+
+  // Sampler thread lifecycle. Raw primitives: the sampler *sleeps* on
+  // cv_, and gs::Mutex deliberately has no condvar support (§13).
+  mutable std::mutex thread_mu_;  // gs_lint: allow(raw-mutex)
+  std::condition_variable cv_;
+  std::thread sampler_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::chrono::milliseconds interval_{kDefaultInterval};
+
+  // Self-accounting (resolved once; instruments are process-lifetime).
+  Counter* samples_counter_;
+  Histogram* sample_cost_us_;
+};
+
+}  // namespace gemstone::telemetry
+
+#endif  // GEMSTONE_TELEMETRY_OBSERVATORY_H_

@@ -1,5 +1,7 @@
 #include "telemetry/trace.h"
 
+#include <atomic>
+
 #include "telemetry/flight_recorder.h"
 
 namespace gemstone::telemetry {
@@ -7,6 +9,16 @@ namespace gemstone::telemetry {
 namespace {
 thread_local std::uint32_t tls_span_depth = 0;
 thread_local std::uint64_t tls_trace_id = 0;
+// Innermost live span on this thread — the parent of the next span (or of
+// any non-span record, e.g. disk I/O) opened here. 0 = at top level.
+thread_local std::uint64_t tls_span_id = 0;
+
+// Span ids are process-unique and monotone; 0 is reserved for "no span".
+std::atomic<std::uint64_t> next_span_id{1};
+// Dense thread ordinals so trace exports get small stable tids instead of
+// opaque pthread handles.
+std::atomic<std::uint32_t> next_thread_ordinal{1};
+thread_local std::uint32_t tls_thread_ordinal = 0;
 
 std::chrono::steady_clock::time_point TraceEpoch() {
   static const std::chrono::steady_clock::time_point epoch =
@@ -14,6 +26,16 @@ std::chrono::steady_clock::time_point TraceEpoch() {
   return epoch;
 }
 }  // namespace
+
+std::uint64_t CurrentSpanId() { return tls_span_id; }
+
+std::uint32_t CurrentThreadOrdinal() {
+  if (tls_thread_ordinal == 0) {
+    tls_thread_ordinal =
+        next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_ordinal;
+}
 
 std::uint64_t TraceNowNs() {
   return static_cast<std::uint64_t>(
@@ -102,24 +124,27 @@ ScopedSpan::ScopedSpan(const char* name, Histogram* latency_us)
     : name_(name),
       latency_us_(latency_us),
       depth_(tls_span_depth++),
-      start_(std::chrono::steady_clock::now()) {}
+      span_id_(next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_span_id_(tls_span_id),
+      // TraceNowNs (not a raw clock read) so the very first span pins the
+      // trace epoch and still gets a well-ordered start.
+      start_ns_(TraceNowNs()) {
+  tls_span_id = span_id_;
+}
 
 ScopedSpan::~ScopedSpan() {
-  const auto end = std::chrono::steady_clock::now();
+  const std::uint64_t end_ns = TraceNowNs();
   --tls_span_depth;
+  tls_span_id = parent_span_id_;
   SpanRecord span;
   span.name = name_;
   span.depth = depth_;
   span.trace_id = tls_trace_id;
-  // The epoch initializes lazily, so the very first span can start a hair
-  // before it; clamp instead of wrapping the unsigned subtraction.
-  const auto start_rel = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             start_ - TraceEpoch())
-                             .count();
-  span.start_ns = start_rel > 0 ? static_cast<std::uint64_t>(start_rel) : 0;
-  const std::uint64_t duration_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
-          .count());
+  span.span_id = span_id_;
+  span.parent_span_id = parent_span_id_;
+  span.thread_id = CurrentThreadOrdinal();
+  span.start_ns = start_ns_;
+  const std::uint64_t duration_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
   span.duration_ns = duration_ns;
   TraceBuffer::Global().Record(span);
   if (latency_us_ != nullptr) latency_us_->Observe(duration_ns / 1000);

@@ -13,15 +13,25 @@
 namespace gemstone::telemetry {
 
 /// One completed scoped span. `depth` is the nesting level on the
-/// recording thread at the time the span opened (0 = outermost), so a
-/// drained buffer reconstructs the call tree without parent pointers.
+/// recording thread at the time the span opened (0 = outermost).
 /// `trace_id` names the wire request the span served (0 = none bound).
+///
+/// Spans are parent-linked: every live ScopedSpan gets a process-unique
+/// `span_id`, and `parent_span_id` is the id of the span that was
+/// innermost on the same thread when this one opened (0 = a root). A
+/// drained buffer therefore reassembles the exact call tree of one
+/// request — across the threads its trace id visited — without guessing
+/// from depths or timestamps (telemetry/trace_export.h).
 struct SpanRecord {
   const char* name = "";  // must point at a string literal
   std::uint32_t depth = 0;
   std::uint64_t start_ns = 0;  // since process trace epoch (steady clock)
   std::uint64_t duration_ns = 0;
   std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;         // process-unique, never 0 once recorded
+  std::uint64_t parent_span_id = 0;  // 0 = root of its thread's tree
+  std::uint32_t thread_id = 0;       // small per-thread ordinal (tid in
+                                     // the Chrome trace-event export)
 };
 
 /// Bounded ring of recently completed spans. When full, the oldest record
@@ -73,11 +83,23 @@ class ScopedSpan {
   const char* name_;
   Histogram* latency_us_;
   std::uint32_t depth_;
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t span_id_;
+  std::uint64_t parent_span_id_;
+  std::uint64_t start_ns_;  // TraceNowNs at construction
 };
 
 /// Nanoseconds since the process trace epoch (first use of the clock).
 std::uint64_t TraceNowNs();
+
+/// The span id of the innermost live ScopedSpan on this thread (0 = none).
+/// Lets non-span records (disk I/O attribution, flight events) point at
+/// the span tree node they happened under.
+std::uint64_t CurrentSpanId();
+
+/// Small dense ordinal for the calling thread (assigned on first use).
+/// Stable for the thread's lifetime; used as the `tid` of exported trace
+/// events so Perfetto lays each thread out on its own row.
+std::uint32_t CurrentThreadOrdinal();
 
 // --- Request trace context ---------------------------------------------------
 //

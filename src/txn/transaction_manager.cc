@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "telemetry/flight_recorder.h"
+#include "telemetry/io_attribution.h"
 #include "telemetry/profiler.h"
 #include "telemetry/trace.h"
 
@@ -23,10 +24,21 @@ TransactionManager::TransactionManager(ObjectMemory* memory,
             sink->Counter("txn.conflicts", conflicts_.value());
             sink->Counter("txn.commit_storage_failures",
                           commit_storage_failures_.value());
+            sink->Counter("txn.historical_reads", historical_reads_.value());
             sink->Gauge("txn.read_set_peak",
                         static_cast<std::int64_t>(read_set_peak_.load(
                             std::memory_order_relaxed)));
           })) {}
+
+void TransactionManager::NoteHistoricalRead(Oid oid) {
+  historical_reads_.Increment();
+  if (engine_ != nullptr) {
+    // Marks the access historical for any device I/O this read causes
+    // *and* heats the extent tracks directly for the in-memory case.
+    telemetry::HistoricalAccessScope historical;
+    engine_->NoteHistoricalObjectAccess(oid);
+  }
+}
 
 void TransactionManager::NoteReadRecorded(const Transaction& txn) {
   const std::uint64_t n = txn.read_set_.size();
@@ -397,6 +409,8 @@ Result<Value> TransactionManager::ReadNamed(Transaction* txn, Oid oid,
   if (at == kTimeNow) {
     txn->read_set_.insert(oid.raw);
     NoteReadRecorded(*txn);
+  } else {
+    NoteHistoricalRead(oid);
   }
   const Value* value = object->ReadNamed(name, at);
   return value ? *value : Value::Nil();
@@ -426,6 +440,8 @@ Result<Value> TransactionManager::ReadIndexed(Transaction* txn, Oid oid,
   if (at == kTimeNow) {
     txn->read_set_.insert(oid.raw);
     NoteReadRecorded(*txn);
+  } else {
+    NoteHistoricalRead(oid);
   }
   if (index >= object->IndexedSizeAt(at)) {
     return Status::OutOfRange("index " + std::to_string(index) +
@@ -476,6 +492,8 @@ Result<std::size_t> TransactionManager::IndexedSize(Transaction* txn, Oid oid,
   if (at == kTimeNow) {
     txn->read_set_.insert(oid.raw);
     NoteReadRecorded(*txn);
+  } else {
+    NoteHistoricalRead(oid);
   }
   return object->IndexedSizeAt(at);
 }
@@ -500,6 +518,8 @@ Result<std::vector<std::pair<SymbolId, Value>>> TransactionManager::ListNamed(
   if (at == kTimeNow) {
     txn->read_set_.insert(oid.raw);
     NoteReadRecorded(*txn);
+  } else {
+    NoteHistoricalRead(oid);
   }
   std::vector<std::pair<SymbolId, Value>> out;
   for (const NamedElement& element : object->named_elements()) {
@@ -526,6 +546,7 @@ Result<std::vector<Association>> TransactionManager::History(Transaction* txn,
   if (table == nullptr) {
     return Status::NotFound("element never bound");
   }
+  NoteHistoricalRead(oid);  // a history walk is time-dial traffic
   return table->entries();
 }
 

@@ -188,6 +188,12 @@ class TransactionManager {
   /// resolve at a past time and record nothing, so they never move this.
   void NoteReadRecorded(const Transaction& txn);
 
+  /// Accounts one time-dial read: bumps `txn.historical_reads` and, when
+  /// an engine is attached, deposits historical heat on `oid`'s extent
+  /// tracks (see StorageEngine::NoteHistoricalObjectAccess) — history
+  /// served from memory still shows up on the heatmap's time-dial side.
+  void NoteHistoricalRead(Oid oid) GS_REQUIRES_SHARED(store_mu_);
+
   /// Authorization hooks: a transaction's own created objects are always
   /// accessible (they join a segment only after publication).
   Status CheckReadAccess(const Transaction* txn, Oid oid) const;
@@ -217,6 +223,7 @@ class TransactionManager {
   telemetry::Counter aborted_;
   telemetry::Counter conflicts_;
   telemetry::Counter commit_storage_failures_;
+  telemetry::Counter historical_reads_;
   telemetry::Histogram* commit_latency_us_;  // registry-owned
   telemetry::Registration telemetry_;  // after the counters it samples
 };

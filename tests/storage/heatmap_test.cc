@@ -1,0 +1,139 @@
+// TrackHeatmap decay math (DESIGN.md §14). Every test drives the decay
+// clock explicitly (now_ns parameters), so halving is exact and the
+// assertions are deterministic.
+
+#include "storage/heatmap.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace gemstone::storage {
+namespace {
+
+constexpr std::uint64_t kHalfLife = 1'000'000'000;  // 1 s, for easy math
+constexpr std::uint64_t kT0 = 1;                    // decay clock origin
+
+TEST(TrackHeatmapTest, DepositLeavesOneUnitOfHeat) {
+  TrackHeatmap map(8, kHalfLife);
+  map.RecordRead(3, /*historical=*/false, kT0);
+  const auto hottest = map.Hottest(8, kT0);
+  ASSERT_EQ(hottest.size(), 1u);
+  EXPECT_EQ(hottest[0].track, 3u);
+  EXPECT_DOUBLE_EQ(hottest[0].read_heat, 1.0);
+  EXPECT_DOUBLE_EQ(hottest[0].write_heat, 0.0);
+  EXPECT_EQ(hottest[0].reads, 1u);
+}
+
+TEST(TrackHeatmapTest, HeatHalvesEveryHalfLife) {
+  TrackHeatmap map(8, kHalfLife);
+  map.RecordRead(0, false, kT0);
+  auto at = [&](std::uint64_t dt) {
+    return map.Hottest(1, kT0 + dt)[0].read_heat;
+  };
+  EXPECT_DOUBLE_EQ(at(0), 1.0);
+  EXPECT_DOUBLE_EQ(at(kHalfLife), 0.5);
+  EXPECT_DOUBLE_EQ(at(2 * kHalfLife), 0.25);
+  EXPECT_DOUBLE_EQ(at(4 * kHalfLife), 0.0625);
+}
+
+TEST(TrackHeatmapTest, DepositsCompoundOnTheDecayedValue) {
+  TrackHeatmap map(8, kHalfLife);
+  map.RecordWrite(5, false, kT0);
+  map.RecordWrite(5, false, kT0 + kHalfLife);  // 1*0.5 + 1
+  const auto hottest = map.Hottest(1, kT0 + kHalfLife);
+  ASSERT_EQ(hottest.size(), 1u);
+  EXPECT_DOUBLE_EQ(hottest[0].write_heat, 1.5);
+  EXPECT_EQ(hottest[0].writes, 2u);
+}
+
+TEST(TrackHeatmapTest, RawCountsNeverDecay) {
+  TrackHeatmap map(8, kHalfLife);
+  map.RecordRead(2, false, kT0);
+  map.RecordSeek(2, kT0);
+  const auto later = map.Hottest(1, kT0 + 100 * kHalfLife);
+  ASSERT_EQ(later.size(), 1u);
+  EXPECT_LT(later[0].read_heat, 1e-9);
+  EXPECT_EQ(later[0].reads, 1u);
+  EXPECT_EQ(later[0].seeks, 1u);
+}
+
+TEST(TrackHeatmapTest, HistoricalAccessesHeatTheirOwnChannel) {
+  TrackHeatmap map(8, kHalfLife);
+  map.RecordRead(4, /*historical=*/true, kT0);
+  map.RecordRead(4, /*historical=*/false, kT0);
+  const auto hottest = map.Hottest(1, kT0);
+  ASSERT_EQ(hottest.size(), 1u);
+  EXPECT_DOUBLE_EQ(hottest[0].historical_heat, 1.0);
+  EXPECT_DOUBLE_EQ(hottest[0].read_heat, 1.0);
+  EXPECT_EQ(hottest[0].reads, 2u) << "raw counts include both kinds";
+  EXPECT_EQ(map.current_accesses(), 1u);
+  EXPECT_EQ(map.historical_accesses(), 1u);
+}
+
+TEST(TrackHeatmapTest, HottestOrdersByTotalDecayedHeat) {
+  TrackHeatmap map(16, kHalfLife);
+  map.RecordRead(1, false, kT0);                // decays to 0.5 by query time
+  map.RecordRead(9, false, kT0 + kHalfLife);    // fresh: 1.0
+  map.RecordWrite(9, false, kT0 + kHalfLife);   // and 1.0 write heat
+  const auto hottest = map.Hottest(16, kT0 + kHalfLife);
+  ASSERT_EQ(hottest.size(), 2u);
+  EXPECT_EQ(hottest[0].track, 9u);
+  EXPECT_EQ(hottest[1].track, 1u);
+  EXPECT_EQ(map.Hottest(1, kT0 + kHalfLife).size(), 1u);
+}
+
+TEST(TrackHeatmapTest, UntouchedTracksNeverAppear) {
+  TrackHeatmap map(1024, kHalfLife);
+  map.RecordRead(512, false, kT0);
+  EXPECT_EQ(map.Hottest(1024, kT0).size(), 1u);
+  EXPECT_EQ(map.touched_tracks(), 1u);
+  map.RecordRead(512, false, kT0);  // same track: still one touched
+  EXPECT_EQ(map.touched_tracks(), 1u);
+}
+
+TEST(TrackHeatmapTest, SegmentsAggregateTrackRanges) {
+  TrackHeatmap map(8, kHalfLife);
+  map.RecordRead(0, false, kT0);
+  map.RecordRead(1, false, kT0);
+  map.RecordWrite(7, false, kT0);
+  const auto segments = map.Segments(4, kT0);  // 2 tracks per segment
+  ASSERT_EQ(segments.size(), 4u);
+  EXPECT_DOUBLE_EQ(segments[0].read_heat, 2.0);
+  EXPECT_EQ(segments[0].reads, 2u);
+  EXPECT_DOUBLE_EQ(segments[1].read_heat, 0.0);
+  EXPECT_DOUBLE_EQ(segments[3].write_heat, 1.0);
+}
+
+TEST(TrackHeatmapTest, HotTrackMirrorTracksTheBiggestDeposit) {
+  TrackHeatmap map(32, kHalfLife);
+  map.RecordRead(7, false, kT0);
+  map.RecordRead(21, false, kT0);
+  map.RecordRead(21, false, kT0);
+  EXPECT_EQ(map.hot_track(), 21u);
+}
+
+TEST(TrackHeatmapTest, ToJsonCarriesShapeAggregatesAndHotTracks) {
+  TrackHeatmap map(8, kHalfLife);
+  map.RecordRead(3, false, kT0);
+  map.RecordWrite(3, true, kT0);
+  const std::string json = map.ToJson(4, 2, kT0);
+  EXPECT_NE(json.find("\"num_tracks\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"half_life_ms\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"current_accesses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"historical_accesses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"touched_tracks\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"hottest\":["), std::string::npos);
+  EXPECT_NE(json.find("\"track\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"segments\":["), std::string::npos);
+}
+
+TEST(TrackHeatmapTest, OutOfRangeTracksAreIgnored) {
+  TrackHeatmap map(4, kHalfLife);
+  map.RecordRead(99, false, kT0);
+  EXPECT_EQ(map.Hottest(4, kT0).size(), 0u);
+  EXPECT_EQ(map.touched_tracks(), 0u);
+}
+
+}  // namespace
+}  // namespace gemstone::storage

@@ -59,7 +59,28 @@ TEST(MetricNameHygieneTest, SanitizerProducesValidNames) {
   EXPECT_TRUE(IsValidMetricName(SanitizeMetricName("x\ny{z} ")));
 }
 
+/// RAII guard: run a block with fail-fast registration disabled, so the
+/// sanitize-and-count path is testable in debug builds too.
+class ScopedSanitizeMode {
+ public:
+  ScopedSanitizeMode() : saved_(SetAbortOnInvalidMetricName(false)) {}
+  ~ScopedSanitizeMode() { SetAbortOnInvalidMetricName(saved_); }
+
+ private:
+  bool saved_;
+};
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(MetricNameHygieneDeathTest, DebugBuildsAbortOnInvalidRegistration) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      MetricsRegistry::Global().GetCounter("hygiene death{bad}"),
+      "invalid metric name");
+}
+#endif
+
 TEST(MetricNameHygieneTest, RegistryRejectsInvalidSpellingsAtRegistration) {
+  ScopedSanitizeMode sanitize_mode;
   MetricsRegistry& registry = MetricsRegistry::Global();
   const std::uint64_t before =
       registry.Snapshot().counters["telemetry.invalid_metric_names"];

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""bench_diff: compare a fresh BENCH_<name>.json telemetry dump against
+the committed baseline in bench/baseline/.
+
+Only iteration-invariant metrics are compared: histogram percentiles
+(*.p50/*.p95/*.p99, per-op latencies) and gauges (unit "value", e.g. the
+net.bench_read_mix_rps_* throughput gauges). Raw counters scale with the
+benchmark's measuring budget — CI smoke runs at --benchmark_min_time=0.01
+while baselines are recorded at 0.05 — so their absolute values diff
+meaninglessly and are skipped.
+
+Deviations beyond the tolerance (default ±20%) print as warnings; the
+exit status stays 0 unless --strict. Timing percentiles vary with host
+load, so the step is advisory by design — it exists to make a 3x
+regression impossible to miss in the CI log, not to flake on 25%.
+
+  bench_diff.py --baseline bench/baseline --fresh bench-out [--tolerance 0.2]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_dump(path):
+    metrics = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            metrics[row["metric"]] = (float(row["value"]), row.get("unit", ""))
+    return metrics
+
+
+def comparable(metric, unit):
+    if metric.endswith((".p50", ".p95", ".p99")):
+        return True
+    return unit == "value"  # gauges: levels and derived rates, not counts
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding this run's BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="relative deviation that warns (default 0.2)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when any warning fires")
+    args = parser.parse_args(argv)
+
+    warnings = 0
+    compared = 0
+    dumps = sorted(f for f in os.listdir(args.baseline)
+                   if f.startswith("BENCH_") and f.endswith(".json"))
+    if not dumps:
+        print("bench_diff: no baselines found", file=sys.stderr)
+        return 1
+    for name in dumps:
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            print(f"bench_diff: {name}: no fresh dump (bench not run)")
+            continue
+        base = load_dump(os.path.join(args.baseline, name))
+        fresh = load_dump(fresh_path)
+        for metric, (base_value, unit) in sorted(base.items()):
+            if not comparable(metric, unit):
+                continue
+            if metric not in fresh:
+                warnings += 1
+                print(f"WARN {name}: {metric} missing from fresh dump")
+                continue
+            fresh_value = fresh[metric][0]
+            compared += 1
+            if base_value == 0.0:
+                if fresh_value != 0.0:
+                    warnings += 1
+                    print(f"WARN {name}: {metric} was 0, now {fresh_value}")
+                continue
+            deviation = (fresh_value - base_value) / base_value
+            if abs(deviation) > args.tolerance:
+                warnings += 1
+                print(f"WARN {name}: {metric} {base_value:g} -> "
+                      f"{fresh_value:g} ({deviation:+.0%})")
+    print(f"bench_diff: {compared} metrics compared, {warnings} warning(s) "
+          f"(tolerance ±{args.tolerance:.0%})")
+    return 1 if (args.strict and warnings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

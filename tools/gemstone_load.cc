@@ -1,0 +1,152 @@
+// gemstone_load: a small mixed-workload driver for a running
+// gemstone_serve — the traffic generator behind CI's observability smoke
+// (drive a 90/10 read/write mix plus a few time-dial reads, then assert
+// /timeseries shows rate windows and /heatmap shows hot tracks).
+//
+//   gemstone_load --port 7844 --clients 2 --requests 200
+//
+// Each client is one connection/session (§6: one host terminal, one
+// session). The mix per client: reads of a shared box, every 10th
+// request a write+commit, and every 25th a dialed-back historical read,
+// so the storage heatmap sees both current and time-dial traffic.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+
+namespace {
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--clients N] [--requests N]\n"
+               "(requests are per client; the mix is ~90%% reads, ~10%%\n"
+               " write+commit, plus a time-dial read every 25 requests)\n",
+               argv0);
+  return 2;
+}
+
+struct Tally {
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t port = 0;
+  std::uint64_t clients = 2;
+  std::uint64_t requests = 200;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) return Usage(argv[0]);
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    std::uint64_t n = 0;
+    if (value == nullptr || !ParseUint(value, &n)) return Usage(argv[0]);
+    ++i;
+    if (std::strcmp(arg, "--port") == 0) {
+      port = n;
+    } else if (std::strcmp(arg, "--clients") == 0) {
+      clients = n == 0 ? 1 : n;
+    } else if (std::strcmp(arg, "--requests") == 0) {
+      requests = n;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port == 0 || port > 65535) return Usage(argv[0]);
+
+  // Seed the shared box and one commit the time-dial reads can dial back
+  // to; LoadBox is visible to every session through UserGlobals.
+  std::uint64_t dial_time = 0;
+  {
+    gemstone::net::Client setup;
+    if (!setup.Connect(static_cast<std::uint16_t>(port)).ok() ||
+        !setup.Login().ok()) {
+      std::fprintf(stderr, "gemstone_load: cannot reach 127.0.0.1:%llu\n",
+                   static_cast<unsigned long long>(port));
+      return 1;
+    }
+    if (!setup.Execute("LoadBox := Object new. "
+                       "LoadBox instVarNamed: 'v' put: 1")
+             .ok()) {
+      std::fprintf(stderr, "gemstone_load: seed execute failed\n");
+      return 1;
+    }
+    auto committed = setup.Commit();
+    if (!committed.ok()) {
+      std::fprintf(stderr, "gemstone_load: seed commit failed\n");
+      return 1;
+    }
+    dial_time = committed.value();
+    (void)setup.Logout();
+  }
+
+  std::vector<Tally> tallies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::uint64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Tally& tally = tallies[c];
+      gemstone::net::Client client;
+      if (!client.Connect(static_cast<std::uint16_t>(port)).ok() ||
+          !client.Login().ok()) {
+        tally.failed += requests;
+        return;
+      }
+      for (std::uint64_t i = 0; i < requests; ++i) {
+        bool ok = false;
+        if (i % 25 == 24) {
+          // Historical read: dial back to the seed commit, read, return
+          // to the present. Time-dial traffic classifies as historical
+          // in the storage heatmap.
+          ok = client.SetTimeDial(dial_time).ok() &&
+               client.Execute("LoadBox instVarNamed: 'v'").ok() &&
+               client.ClearTimeDial().ok();
+        } else if (i % 10 == 9) {
+          ok = client.Execute("LoadBox instVarNamed: 'v' put: 2").ok();
+          // A lost commit race against the other clients is healthy
+          // contention, not a workload failure — but the session must
+          // re-arm either way or every later request errors out.
+          (void)client.Commit();
+          (void)client.Begin();
+        } else {
+          ok = client.Execute("LoadBox instVarNamed: 'v'").ok();
+        }
+        if (ok) {
+          ++tally.ok;
+        } else {
+          ++tally.failed;
+        }
+      }
+      (void)client.Logout();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  Tally total;
+  for (const Tally& tally : tallies) {
+    total.ok += tally.ok;
+    total.failed += tally.failed;
+  }
+  std::printf("gemstone_load: %llu ok, %llu failed (%llu clients x %llu)\n",
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.failed),
+              static_cast<unsigned long long>(clients),
+              static_cast<unsigned long long>(requests));
+  // Commit conflicts between clients are expected under contention; fail
+  // only when the workload mostly failed (server unreachable/broken).
+  return total.ok >= total.failed ? 0 : 1;
+}

@@ -1,23 +1,35 @@
 // gemstone_serve: the GemStone system side of §6's network link. Stands up
-// an in-memory database behind a gemstone::net gateway on 127.0.0.1 and
-// serves until SIGINT/SIGTERM, then drains in-flight commits and exits.
+// a disk-backed database (SimulatedDisk + StorageEngine) behind a
+// gemstone::net gateway on 127.0.0.1 and serves until SIGINT/SIGTERM,
+// then drains in-flight commits and exits.
 //
 //   gemstone_serve --port 7844 --workers 4 --max-conns 64
 //                  --idle-timeout-ms 60000 --request-timeout-ms 0
 //                  --admin-port 7845 --slow-request-us 100000
+//                  --sample-interval-ms 1000 --dump-trace trace.json
 //
 // --admin-port (0 = ephemeral, prints the choice; omit to disable)
 // stands up the HTTP observability endpoint beside the wire gateway:
-//   curl http://127.0.0.1:7845/metrics    Prometheus scrape
-//   curl http://127.0.0.1:7845/statusz    live JSON status page
-//   curl http://127.0.0.1:7845/flightrec  flight-recorder dump
-//   curl http://127.0.0.1:7845/slowlog    slow-request events only
+//   curl http://127.0.0.1:7845/metrics     Prometheus scrape
+//   curl http://127.0.0.1:7845/statusz     live JSON status page
+//   curl http://127.0.0.1:7845/timeseries  windowed rates from the
+//                                          Observatory ring (?window=&limit=)
+//   curl http://127.0.0.1:7845/heatmap     storage access heat (?limit=&segments=)
+//   curl http://127.0.0.1:7845/trace       trace index; ?id=N exports one
+//                                          request as Perfetto-loadable JSON
+//   curl http://127.0.0.1:7845/flightrec   flight-recorder dump (?limit=)
+//   curl http://127.0.0.1:7845/slowlog     slow-request events only (?limit=)
+//
+// --dump-trace PATH writes the full span ring as Chrome trace-event JSON
+// on shutdown — drag it into ui.perfetto.dev.
 
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -25,9 +37,13 @@
 #include "admin/http_endpoint.h"
 #include "executor/executor.h"
 #include "net/server.h"
+#include "storage/simulated_disk.h"
+#include "storage/storage_engine.h"
 #include "telemetry/export.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
+#include "telemetry/observatory.h"
+#include "telemetry/trace_export.h"
 
 namespace {
 
@@ -48,8 +64,12 @@ int Usage(const char* argv0) {
                "usage: %s [--port N] [--workers N] [--max-conns N]\n"
                "          [--idle-timeout-ms N] [--request-timeout-ms N]\n"
                "          [--slow-request-us N] [--admin-port N]\n"
+               "          [--sample-interval-ms N] [--tracks N]\n"
+               "          [--in-memory] [--dump-trace PATH]\n"
                "(--port/--admin-port 0 pick ephemeral ports and print them;\n"
-               " omit --admin-port to disable the HTTP admin endpoint)\n",
+               " omit --admin-port to disable the HTTP admin endpoint;\n"
+               " --in-memory skips the simulated disk — no durability,\n"
+               " no /heatmap data)\n",
                argv0);
   return 2;
 }
@@ -60,15 +80,28 @@ int main(int argc, char** argv) {
   gemstone::net::ServerOptions options;
   options.port = 7844;
   bool admin_enabled = false;
+  bool in_memory = false;
+  std::uint64_t num_tracks = 2048;
+  std::uint64_t sample_interval_ms = 1000;
+  std::string dump_trace_path;
   gemstone::admin::HttpEndpointOptions admin_options;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
-    std::uint64_t n = 0;
     if (std::strcmp(arg, "--help") == 0) return Usage(argv[0]);
-    if (value == nullptr || !ParseUint(value, &n)) return Usage(argv[0]);
+    if (std::strcmp(arg, "--in-memory") == 0) {
+      in_memory = true;
+      continue;
+    }
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (value == nullptr) return Usage(argv[0]);
     ++i;
+    if (std::strcmp(arg, "--dump-trace") == 0) {
+      dump_trace_path = value;
+      continue;
+    }
+    std::uint64_t n = 0;
+    if (!ParseUint(value, &n)) return Usage(argv[0]);
     if (std::strcmp(arg, "--port") == 0) {
       options.port = static_cast<std::uint16_t>(n);
     } else if (std::strcmp(arg, "--workers") == 0) {
@@ -84,14 +117,38 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--admin-port") == 0) {
       admin_enabled = true;
       admin_options.port = static_cast<std::uint16_t>(n);
+    } else if (std::strcmp(arg, "--sample-interval-ms") == 0) {
+      sample_interval_ms = n;
+    } else if (std::strcmp(arg, "--tracks") == 0) {
+      num_tracks = n;
     } else {
       return Usage(argv[0]);
     }
   }
 
-  gemstone::executor::Executor executor;
+  // Disk-backed by default: commits persist through the Boxer/Linker
+  // pipeline, and the heatmap has a real device to chart.
+  std::unique_ptr<gemstone::storage::SimulatedDisk> disk;
+  std::unique_ptr<gemstone::storage::StorageEngine> engine;
+  std::unique_ptr<gemstone::executor::Executor> executor;
+  if (in_memory) {
+    executor = std::make_unique<gemstone::executor::Executor>();
+  } else {
+    disk = std::make_unique<gemstone::storage::SimulatedDisk>(
+        static_cast<gemstone::storage::TrackId>(num_tracks), 8192);
+    engine = std::make_unique<gemstone::storage::StorageEngine>(disk.get());
+    gemstone::Status storage_ok = engine->Format();
+    if (storage_ok.ok()) storage_ok = engine->Open();
+    if (!storage_ok.ok()) {
+      std::fprintf(stderr, "gemstone_serve: storage: %s\n",
+                   storage_ok.ToString().c_str());
+      return 1;
+    }
+    executor =
+        std::make_unique<gemstone::executor::Executor>(engine.get());
+  }
   gemstone::admin::AuthorizationManager auth;
-  gemstone::net::Server server(&executor, &auth, options);
+  gemstone::net::Server server(executor.get(), &auth, options);
 
   const gemstone::Status started = server.Start();
   if (!started.ok()) {
@@ -99,21 +156,81 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The workload observatory: samples the whole registry into the
+  // time-series ring for /timeseries and the /statusz sparklines.
+  auto& observatory = gemstone::telemetry::Observatory::Global();
+  observatory.Start(std::chrono::milliseconds(sample_interval_ms));
+
   gemstone::admin::HttpEndpoint admin(admin_options);
   if (admin_enabled) {
+    using gemstone::admin::HttpEndpoint;
     admin.AddRoute("/metrics", "text/plain; version=0.0.4", [] {
       return gemstone::telemetry::ToPrometheus(
           gemstone::telemetry::MetricsRegistry::Global().Snapshot());
     });
     admin.AddRoute("/statusz", "application/json",
                    [&server] { return server.StatusJson(); });
-    admin.AddRoute("/flightrec", "application/json", [] {
-      return gemstone::telemetry::FlightRecorder::Global().DumpJson();
-    });
-    admin.AddRoute("/slowlog", "application/json", [] {
-      return gemstone::telemetry::FlightRecorder::Global().DumpJsonOfKind(
-          gemstone::telemetry::FlightEventKind::kSlowRequest);
-    });
+    admin.AddRoute(
+        "/timeseries", "application/json",
+        HttpEndpoint::QueryHandler([&observatory](
+                                       const HttpEndpoint::QueryParams& q) {
+          using gemstone::telemetry::Observatory;
+          const std::size_t window = HttpEndpoint::UintParam(
+              q, "window", Observatory::kDefaultWindow,
+              Observatory::kMaxWindow);
+          const std::size_t limit = HttpEndpoint::UintParam(
+              q, "limit", Observatory::kDefaultSeriesLimit,
+              Observatory::kMaxSeriesLimit);
+          return observatory.TimeSeriesJson(window, limit);
+        }));
+    gemstone::storage::SimulatedDisk* heat_disk = disk.get();
+    admin.AddRoute(
+        "/heatmap", "application/json",
+        HttpEndpoint::QueryHandler(
+            [heat_disk](const HttpEndpoint::QueryParams& q) -> std::string {
+              using gemstone::storage::TrackHeatmap;
+              if (heat_disk == nullptr) {
+                return "{\"error\":\"server is running --in-memory; no "
+                       "device to chart\"}";
+              }
+              const std::size_t limit = HttpEndpoint::UintParam(
+                  q, "limit", TrackHeatmap::kDefaultTrackLimit,
+                  TrackHeatmap::kMaxTrackLimit);
+              const std::size_t segments = HttpEndpoint::UintParam(
+                  q, "segments", TrackHeatmap::kDefaultSegments, 256);
+              return heat_disk->heatmap().ToJson(limit, segments);
+            }));
+    admin.AddRoute(
+        "/trace", "application/json",
+        HttpEndpoint::QueryHandler([](const HttpEndpoint::QueryParams& q) {
+          const auto spans =
+              gemstone::telemetry::TraceBuffer::Global().Snapshot();
+          const std::size_t limit =
+              HttpEndpoint::UintParam(q, "limit", 64, 4096);
+          const auto it = q.find("id");
+          if (it == q.end()) {
+            return gemstone::telemetry::TraceIndexJson(spans, limit);
+          }
+          std::uint64_t id = 0;
+          ParseUint(it->second.c_str(), &id);
+          return gemstone::telemetry::TraceEventsJson(spans, id, 0);
+        }));
+    admin.AddRoute(
+        "/flightrec", "application/json",
+        HttpEndpoint::QueryHandler([](const HttpEndpoint::QueryParams& q) {
+          const std::size_t limit =
+              HttpEndpoint::UintParam(q, "limit", 256, 4096);
+          return gemstone::telemetry::FlightRecorder::Global().DumpJson(
+              limit);
+        }));
+    admin.AddRoute(
+        "/slowlog", "application/json",
+        HttpEndpoint::QueryHandler([](const HttpEndpoint::QueryParams& q) {
+          const std::size_t limit =
+              HttpEndpoint::UintParam(q, "limit", 256, 4096);
+          return gemstone::telemetry::FlightRecorder::Global().DumpJsonOfKind(
+              gemstone::telemetry::FlightEventKind::kSlowRequest, limit);
+        }));
     admin.AddRoute("/healthz", "text/plain", [] { return "ok\n"; });
     const gemstone::Status admin_started = admin.Start();
     if (!admin_started.ok()) {
@@ -126,8 +243,9 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  std::printf("gemstone_serve: listening on 127.0.0.1:%u (%d workers)\n",
-              static_cast<unsigned>(server.port()), options.workers);
+  std::printf("gemstone_serve: listening on 127.0.0.1:%u (%d workers, %s)\n",
+              static_cast<unsigned>(server.port()), options.workers,
+              in_memory ? "in-memory" : "disk-backed");
   if (admin_enabled) {
     std::printf("gemstone_serve: admin endpoint on http://127.0.0.1:%u\n",
                 static_cast<unsigned>(admin.port()));
@@ -141,5 +259,21 @@ int main(int argc, char** argv) {
   std::printf("gemstone_serve: draining and shutting down\n");
   admin.Stop();
   server.Stop();
+  observatory.Stop();
+
+  if (!dump_trace_path.empty()) {
+    const std::string json = gemstone::telemetry::TraceEventsJson(
+        gemstone::telemetry::TraceBuffer::Global().Snapshot(), 0);
+    std::ofstream file(dump_trace_path, std::ios::trunc);
+    file << json << "\n";
+    if (file) {
+      std::printf("gemstone_serve: wrote trace to %s (load in "
+                  "ui.perfetto.dev)\n",
+                  dump_trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "gemstone_serve: failed writing %s\n",
+                   dump_trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -60,6 +60,21 @@ BLOCKING_CALL_RE = re.compile(
     r"\b(?:Logout|Commit|SendAll|FlushOutbox)\s*\(|::send\s*\(|\bexecutor_->"
 )
 
+# -- metric-name -------------------------------------------------------------
+# Registering a metric whose spelling breaks the registry grammar
+# ([a-zA-Z_][a-zA-Z0-9_.]*) aborts debug builds at the call site
+# (AdmitNameLocked). Catch literal misspellings before the build does.
+# A literal prefix of a concatenated name is checked the same way (the
+# grammar permits any prefix of a valid name, so "txn." + suffix is
+# fine); fully dynamic names must route through SanitizeMetricName.
+METRIC_CALL_RE = re.compile(r"\bGet(?:Counter|Gauge|Histogram)\s*\(")
+# [\s\\]* also skips macro line-continuation backslashes (TELEM_SPAN).
+METRIC_LITERAL_RE = re.compile(
+    r"\bGet(?:Counter|Gauge|Histogram)\s*\([\s\\]*"
+    r"(?:std::string\s*\([\s\\]*)?\"((?:[^\"\\]|\\.)*)\""
+)
+METRIC_NAME_OK_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
 # -- read-path-retry ---------------------------------------------------------
 # Mutation channels: calls that change schema, globals, directories, or
 # object state. Confined to the layers the snapshot read path can reach
@@ -282,11 +297,57 @@ def check_read_path_retry(path, raw_lines, code_lines, findings):
         i += 1
 
 
+def check_metric_name(path, raw_lines, code_lines, findings):
+    # The registry's own declarations/forwarders take `name` parameters.
+    if path.endswith("telemetry/metrics.h") or path.endswith(
+        "telemetry/metrics.cc"
+    ):
+        return
+    for i, line in enumerate(code_lines):
+        if not METRIC_CALL_RE.search(line):
+            continue
+        # The literal lives in the raw line (strip_code blanks it); joins
+        # the next two raw lines because registrations often wrap.
+        window = " ".join(raw_lines[i : i + 3])
+        m = METRIC_LITERAL_RE.search(window)
+        if m is None:
+            if "Sanitize" not in window and not allowed(
+                "metric-name", raw_lines, i + 1
+            ):
+                findings.append(
+                    Finding(
+                        path,
+                        i + 1,
+                        "metric-name",
+                        "metric registered under a computed name with no "
+                        "literal prefix; pass it through "
+                        "SanitizeMetricName first (debug builds abort on "
+                        "invalid spellings)",
+                    )
+                )
+            continue
+        name = m.group(1)
+        if not METRIC_NAME_OK_RE.match(name) and not allowed(
+            "metric-name", raw_lines, i + 1
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    i + 1,
+                    "metric-name",
+                    f'metric name "{name}" breaks the registry grammar '
+                    "[a-zA-Z_][a-zA-Z0-9_.]* — debug builds abort here "
+                    "(AdmitNameLocked); rename it",
+                )
+            )
+
+
 CHECKS = (
     check_ranked_mutex_decl,
     check_raw_mutex,
     check_conn_table_blocking,
     check_read_path_retry,
+    check_metric_name,
 )
 
 

@@ -1,0 +1,8 @@
+void RegisterBadMetric() {
+  // Space in the name: AdmitNameLocked aborts debug builds on this.
+  counter_ = MetricsRegistry::Global().GetCounter("net bytes{in}");
+  // Valid spelling and a sanitized dynamic name: both clean.
+  gauge_ = MetricsRegistry::Global().GetGauge("net.bytes_in");
+  other_ = MetricsRegistry::Global().GetGauge("net.conns." + suffix);
+  dyn_ = MetricsRegistry::Global().GetCounter(SanitizeMetricName(raw));
+}
