@@ -86,10 +86,42 @@ void BM_RootFlip(benchmark::State& state) {
   }
 }
 
+// Work-shape gauges for the CI bench gate: a FIXED workload (64 groups
+// of 8 objects on a fresh device) whose I/O counts are pure SimulatedDisk
+// arithmetic — identical on every host and measuring budget, unlike the
+// wall-clock span percentiles. bench_diff fails the run when a gated
+// dump's `*.bench.*` metric drifts past tolerance.
+void BM_CommitWorkShape(benchmark::State& state) {
+  for (auto _ : state) {
+    storage::SimulatedDisk disk(65536, 8192);
+    storage::StorageEngine engine(&disk);
+    if (!engine.Format().ok()) return;
+    ObjectMemory memory;
+    constexpr int kGroups = 64;
+    constexpr int kGroupSize = 8;
+    std::uint64_t base = 1000;
+    for (int g = 0; g < kGroups; ++g) {
+      std::vector<GsObject> batch = MakeBatch(memory, base, kGroupSize);
+      base += kGroupSize;
+      std::vector<const GsObject*> ptrs;
+      for (const auto& o : batch) ptrs.push_back(&o);
+      if (!engine.CommitObjects(ptrs, memory.symbols()).ok()) return;
+    }
+    const storage::DiskStats stats = disk.stats();
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetGauge("commit.bench.tracks_per_commit_x1000")
+        ->Set(static_cast<std::int64_t>(stats.tracks_written * 1000 /
+                                        kGroups));
+    registry.GetGauge("commit.bench.seek_distance_per_commit")
+        ->Set(static_cast<std::int64_t>(stats.seek_distance / kGroups));
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_GroupCommit)->Arg(1)->Arg(8)->Arg(64)->Arg(512);
 BENCHMARK(BM_SingleObjectCommits);
 BENCHMARK(BM_RootFlip);
+BENCHMARK(BM_CommitWorkShape)->Iterations(1);
 
 GS_BENCH_MAIN("commit");

@@ -77,11 +77,29 @@ void BM_ImageBytesPerVersion(benchmark::State& state) {
       static_cast<double>(bytes) / static_cast<double>(versions);
 }
 
+// Work-shape gauges for the CI bench gate (see bench_commit.cc): the
+// serialized image size of a fixed 1000-version history is a pure
+// function of the codec — any drift is a format regression.
+void BM_HistoryWorkShape(benchmark::State& state) {
+  for (auto _ : state) {
+    ObjectMemory memory;
+    constexpr int kVersions = 1000;
+    GsObject object = BuildHistory(memory, kVersions);
+    const auto image = storage::SerializeObject(object, memory.symbols());
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetGauge("history.bench.image_bytes_v1000")
+        ->Set(static_cast<std::int64_t>(image.size()));
+    registry.GetGauge("history.bench.bytes_per_version_x1000")
+        ->Set(static_cast<std::int64_t>(image.size() * 1000 / kVersions));
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_ReadCurrent)->Arg(1)->Arg(100)->Arg(10000)->Arg(1000000);
 BENCHMARK(BM_ReadPast)->Arg(1)->Arg(100)->Arg(10000)->Arg(1000000);
 BENCHMARK(BM_WriteNewVersion)->Arg(1000);
 BENCHMARK(BM_ImageBytesPerVersion)->Arg(10)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_HistoryWorkShape)->Iterations(1);
 
 GS_BENCH_MAIN("history");

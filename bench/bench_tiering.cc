@@ -1,0 +1,178 @@
+// The levelled temporal track store's headline claim (DESIGN.md §15):
+// historical-read latency stays FLAT as an object's history grows ~100x,
+// because demoted history lives in sorted cold runs probed through a
+// fence index (log-time), while the resident image keeps only the tail.
+// Contrast: without tiering the resident association table — and with it
+// the serialized image a node must page — grows linearly forever.
+//
+// The telemetry dump records one latency histogram per history scale
+// (storage.tier.bench.cold_read_us.x4/.x40/.x400 — 160 to 16000
+// versions, 100x). All three scales sit in the merged-run regime (a
+// single batch would resolve from a raw L1 run, a cheaper shallow
+// path), so their p95s land within ±20% of each other; the committed
+// baseline records that plateau and CI's gated bench_diff keeps every
+// point pinned to it.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_telemetry.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "object/object_memory.h"
+#include "storage/archival_store.h"
+#include "storage/simulated_disk.h"
+#include "storage/storage_engine.h"
+#include "storage/tier/compactor.h"
+#include "storage/tier/tier_store.h"
+#include "txn/transaction_manager.h"
+
+using namespace gemstone;  // NOLINT
+
+namespace {
+
+constexpr int kBaseVersions = 40;  // one demotion batch; x400 = 16000
+
+// One database with a tier store attached, grown to `versions` commits
+// of obj.x with a demotion pass after every batch so the resident tail
+// stays bounded — exactly the steady state gemstone_serve converges to.
+struct TieredStore {
+  storage::SimulatedDisk disk{1024, 4096};
+  storage::StorageEngine engine{&disk};
+  ObjectMemory memory;
+  txn::TransactionManager manager{&memory, &engine};
+  storage::ArchivalStore archive;
+  std::unique_ptr<storage::tier::TierStore> tiers;
+  std::unique_ptr<storage::tier::TierCompactor> compactor;
+  Oid oid;
+  SymbolId x;
+  std::vector<TxnTime> times;  // commit time of every version
+
+  explicit TieredStore(int versions, bool tiered = true) {
+    (void)engine.Format();
+    (void)engine.Open();
+    storage::tier::TierOptions topts;
+    topts.cold_levels = 3;
+    topts.tracks_per_level = 512;
+    topts.track_capacity = 8192;
+    storage::tier::CompactorOptions copts;
+    copts.min_versions = 8;
+    // The measurement loop below hammers the time dial; without a lifted
+    // ceiling the heat policy would (correctly) pin everything resident.
+    copts.max_historical_heat = 1e18;
+    if (tiered) {
+      tiers = std::make_unique<storage::tier::TierStore>(&memory.symbols(),
+                                                         &archive, topts);
+      (void)tiers->Format();
+      manager.AttachTierStore(tiers.get());
+      compactor = std::make_unique<storage::tier::TierCompactor>(
+          tiers.get(), &manager, copts);
+    }
+    x = memory.symbols().Intern("x");
+    {
+      auto txn = manager.Begin(0);
+      oid = manager.CreateObject(txn.get(), memory.kernel().object).value();
+      (void)manager.Commit(txn.get());
+    }
+    for (int i = 0; i < versions; ++i) {
+      auto txn = manager.Begin(0);
+      (void)manager.WriteNamed(txn.get(), oid, x, Value::Integer(i));
+      (void)manager.Commit(txn.get());
+      times.push_back(manager.Now());
+      // Demote in batches: the resident image never carries more than a
+      // batch of history, no matter how long the total history grows.
+      if (compactor && times.size() % kBaseVersions == 0) {
+        (void)compactor->RunOncePass();
+      }
+    }
+  }
+};
+
+// Time-dial reads across the whole history, answered from the cold runs
+// for everything below the floor. One histogram per scale factor.
+// Benchmark re-invokes the function while calibrating iteration counts;
+// the stores are pure setup (thousands of commits), so build each scale
+// once and reuse it across calls.
+TieredStore& CachedStore(int versions, bool tiered) {
+  static std::map<std::pair<int, bool>, std::unique_ptr<TieredStore>> cache;
+  auto& slot = cache[{versions, tiered}];
+  if (!slot) slot = std::make_unique<TieredStore>(versions, tiered);
+  return *slot;
+}
+
+void BM_TieredHistoricalRead(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  TieredStore& store = CachedStore(kBaseVersions * scale, /*tiered=*/true);
+  telemetry::Histogram* hist = telemetry::MetricsRegistry::Global().GetHistogram(
+      "storage.tier.bench.cold_read_us.x" + std::to_string(scale),
+      telemetry::Histogram::MicroLatencyBounds());
+  auto reader = store.manager.Begin(9);
+  std::uint64_t rng = 0x243f6a8885a308d3ull;
+  for (auto _ : state) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    // Probe the oldest third — demoted at every scale, so the answer
+    // comes from the sorted runs regardless of where the floor sits.
+    const TxnTime at = store.times[(rng >> 33) % (store.times.size() / 3)];
+    const auto start = std::chrono::steady_clock::now();
+    auto got = store.manager.ReadNamed(reader.get(), store.oid, store.x, at);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    hist->Observe(static_cast<std::uint64_t>(us));
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetLabel("history=" + std::to_string(store.times.size()) +
+                 " migrations=" +
+                 std::to_string(store.tiers->counters().migrations));
+}
+
+// The foil: the same workload with no tier store attached. The read cost
+// itself only grows logarithmically (binary search), but the resident
+// image a commit must re-serialize grows linearly — that is the bytes
+// curve the tier flattens.
+void BM_ResidentHistoricalRead(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  TieredStore& store =
+      CachedStore(kBaseVersions * scale, /*tiered=*/false);
+  auto reader = store.manager.Begin(9);
+  std::uint64_t rng = 0x13198a2e03707344ull;
+  for (auto _ : state) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const TxnTime at = store.times[(rng >> 33) % (store.times.size() / 3)];
+    benchmark::DoNotOptimize(
+        store.manager.ReadNamed(reader.get(), store.oid, store.x, at));
+  }
+  state.SetLabel("history=" + std::to_string(store.times.size()));
+}
+
+// Demotion pass throughput: how many records one synchronous pass moves
+// and how long it takes — the budget the background thread spends per
+// wakeup while commits run.
+void BM_DemotionPass(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TieredStore store(kBaseVersions);
+    // Grow one more undemoted batch so the timed pass has work.
+    for (int i = 0; i < kBaseVersions; ++i) {
+      auto txn = store.manager.Begin(0);
+      (void)store.manager.WriteNamed(txn.get(), store.oid, store.x,
+                                     Value::Integer(1000 + i));
+      (void)store.manager.Commit(txn.get());
+    }
+    state.ResumeTiming();
+    auto demoted = store.compactor->RunOncePass();
+    benchmark::DoNotOptimize(demoted);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_TieredHistoricalRead)->Arg(4)->Arg(40)->Arg(400);
+BENCHMARK(BM_ResidentHistoricalRead)->Arg(1)->Arg(10)->Arg(100);
+BENCHMARK(BM_DemotionPass);
+
+GS_BENCH_MAIN("tiering");

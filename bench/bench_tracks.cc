@@ -100,9 +100,74 @@ void BM_ScatteredBatchRead(benchmark::State& state) {
       static_cast<double>(state.iterations() * batch);
 }
 
+// Work-shape gauges for the CI bench gate (see bench_commit.cc): fixed
+// 256-record workloads, clustered vs scattered, whose track/seek counts
+// are deterministic SimulatedDisk arithmetic on every host.
+void BM_TracksWorkShape(benchmark::State& state) {
+  for (auto _ : state) {
+    constexpr int kBatch = 256;
+    auto& registry = telemetry::MetricsRegistry::Global();
+    {
+      storage::SimulatedDisk disk(16384, 8192);
+      storage::StorageEngine engine(&disk);
+      if (!engine.Format().ok()) return;
+      ObjectMemory memory;
+      std::vector<GsObject> objects;
+      std::vector<const GsObject*> ptrs;
+      for (int i = 0; i < kBatch; ++i) {
+        objects.push_back(
+            MakeRecord(memory, 100 + static_cast<unsigned>(i), i));
+      }
+      for (const auto& o : objects) ptrs.push_back(&o);
+      if (!engine.CommitObjects(ptrs, memory.symbols()).ok()) return;
+      std::vector<Oid> wanted;
+      for (int i = 0; i < kBatch; ++i) {
+        wanted.push_back(Oid(100 + static_cast<unsigned>(i)));
+      }
+      disk.ResetStats();
+      if (!engine.LoadObjects(wanted, &memory.symbols()).ok()) return;
+      registry.GetGauge("tracks.bench.clustered_reads_per_object_x1000")
+          ->Set(static_cast<std::int64_t>(disk.stats().tracks_read * 1000 /
+                                          kBatch));
+      registry.GetGauge("tracks.bench.clustered_seeks_per_object_x1000")
+          ->Set(static_cast<std::int64_t>(disk.stats().seeks * 1000 /
+                                          kBatch));
+    }
+    {
+      storage::SimulatedDisk disk(16384, 8192);
+      storage::StorageEngine engine(&disk);
+      if (!engine.Format().ok()) return;
+      ObjectMemory memory;
+      std::vector<GsObject> churn_keepalive;
+      for (int i = 0; i < kBatch; ++i) {
+        GsObject object =
+            MakeRecord(memory, 100 + static_cast<unsigned>(i), i);
+        if (!engine.CommitObjects({&object}, memory.symbols()).ok()) return;
+        churn_keepalive.push_back(
+            MakeRecord(memory, 100000 + static_cast<unsigned>(i), i));
+        GsObject* churn = &churn_keepalive.back();
+        if (!engine.CommitObjects({churn}, memory.symbols()).ok()) return;
+      }
+      std::vector<Oid> wanted;
+      for (int i = 0; i < kBatch; ++i) {
+        wanted.push_back(Oid(100 + static_cast<unsigned>(i)));
+      }
+      disk.ResetStats();
+      if (!engine.LoadObjects(wanted, &memory.symbols()).ok()) return;
+      registry.GetGauge("tracks.bench.scattered_reads_per_object_x1000")
+          ->Set(static_cast<std::int64_t>(disk.stats().tracks_read * 1000 /
+                                          kBatch));
+      registry.GetGauge("tracks.bench.scattered_seeks_per_object_x1000")
+          ->Set(static_cast<std::int64_t>(disk.stats().seeks * 1000 /
+                                          kBatch));
+    }
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_ClusteredBatchRead)->Arg(64)->Arg(512);
 BENCHMARK(BM_ScatteredBatchRead)->Arg(64)->Arg(512);
+BENCHMARK(BM_TracksWorkShape)->Iterations(1);
 
 GS_BENCH_MAIN("tracks");

@@ -14,6 +14,7 @@ std::string_view LockRankName(LockRank rank) {
     case LockRank::kExecutorSessions: return "executor.sessions";
     case LockRank::kOpalGlobals: return "opal.globals";
     case LockRank::kTxnStore: return "txn.store";
+    case LockRank::kStorageTier: return "storage.tier";
     case LockRank::kClassRegistry: return "object.class_registry";
     case LockRank::kObjectMemory: return "object.memory";
     case LockRank::kSymbolTable: return "object.symbol_table";

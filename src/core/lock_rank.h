@@ -55,6 +55,11 @@ enum class LockRank : std::uint8_t {
   kOpalGlobals,        // opal::GlobalEnv::mu_
   // -- Transaction & object layer -------------------------------------------
   kTxnStore,           // txn::TransactionManager::store_mu_
+  kStorageTier,        // storage::tier::TierStore::mu_ (level catalogs;
+                       // taken from under store_mu_ by the time-dial
+                       // resolver, lock-free by the compactor; inner work
+                       // touches the symbol table and tier devices, so it
+                       // sits just inside txn.store)
   kClassRegistry,      // ClassRegistry::mu_ (interns symbols inside)
   kObjectMemory,       // ObjectMemory::mu_
   kSymbolTable,        // SymbolTable::mu_

@@ -1264,8 +1264,19 @@ std::string Server::StatusJson() const {
   out << ",\"recent_rates\":"
       << telemetry::Observatory::Global().SparklineJson(
              {"net.", "txn.", "disk.", "storage."});
+
+  // Optional subsystem sections (SetStatusSection) — e.g. "tiers" from
+  // the temporal track store when gemstone_serve enables it.
+  for (const auto& [key, fn] : status_sections_) {
+    out << ",\"" << key << "\":" << fn();
+  }
   out << "}";
   return out.str();
+}
+
+void Server::SetStatusSection(const std::string& key,
+                              std::function<std::string()> fn) {
+  status_sections_[key] = std::move(fn);
 }
 
 }  // namespace gemstone::net

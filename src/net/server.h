@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -134,6 +135,15 @@ class Server {
   /// thread while the server runs.
   std::string StatusJson() const;
 
+  /// Registers an extra top-level `"key": <fn()>` section appended to
+  /// StatusJson() — how optional subsystems (the tier store, say) join
+  /// the status page without the server linking against them. `fn` must
+  /// return a complete JSON value and be callable from any thread. Must
+  /// be called before Start(); the section table is immutable while the
+  /// server runs.
+  void SetStatusSection(const std::string& key,
+                        std::function<std::string()> fn);
+
  private:
   struct Connection;
   struct Request;
@@ -211,6 +221,9 @@ class Server {
   executor::Executor* executor_;
   admin::AuthorizationManager* auth_;
   const ServerOptions options_;
+
+  /// Extra StatusJson sections (SetStatusSection); frozen at Start().
+  std::map<std::string, std::function<std::string()>> status_sections_;
 
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;

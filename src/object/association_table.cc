@@ -21,6 +21,24 @@ void AssociationTable::Bind(TxnTime time, Value value) {
   }
 }
 
+std::size_t AssociationTable::CountTruncatableBelow(TxnTime boundary) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), boundary,
+      [](TxnTime t, const Association& a) { return t < a.time; });
+  const std::size_t prefix =
+      static_cast<std::size_t>(std::distance(entries_.begin(), it));
+  return prefix <= 2 ? 0 : prefix - 2;
+}
+
+std::size_t AssociationTable::TruncateBelow(TxnTime boundary) {
+  const std::size_t removable = CountTruncatableBelow(boundary);
+  if (removable == 0) return 0;
+  // Keep entries_[0] (creation marker) and the last prefix entry (the
+  // carry-forward); drop everything between them.
+  entries_.erase(entries_.begin() + 1, entries_.begin() + 1 + removable);
+  return removable;
+}
+
 const Value* AssociationTable::ValueAt(TxnTime time) const {
   // Find the last entry with entry.time <= time.
   auto it = std::upper_bound(

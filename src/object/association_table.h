@@ -62,6 +62,19 @@ class AssociationTable {
   /// Full history, ascending by time.
   const std::vector<Association>& entries() const { return entries_; }
 
+  /// Bindings that TruncateBelow(boundary) would drop: every entry at or
+  /// before `boundary` except the first (the creation marker, which keeps
+  /// FirstBoundAt/IndexedSizeAt exact) and the last (the carry-forward
+  /// that keeps reads at times >= boundary resolving in memory).
+  std::size_t CountTruncatableBelow(TxnTime boundary) const;
+
+  /// Drops the truncatable prefix (see CountTruncatableBelow). The caller
+  /// must have emitted every entry at or before `boundary` to a cold run
+  /// first — after this, reads at times < boundary may resolve to the
+  /// creation marker instead of the true binding and must be routed to
+  /// the tier resolver. Returns the number of entries removed.
+  std::size_t TruncateBelow(TxnTime boundary);
+
  private:
   std::vector<Association> entries_;
 };

@@ -68,6 +68,29 @@ std::size_t GsObject::IndexedSizeAt(TxnTime time) const {
   return static_cast<std::size_t>(it - indexed_.begin());
 }
 
+std::size_t GsObject::CountTruncatableBelow(TxnTime boundary) const {
+  std::size_t count = 0;
+  for (const NamedElement& element : named_) {
+    count += element.table.CountTruncatableBelow(boundary);
+  }
+  for (const AssociationTable& table : indexed_) {
+    count += table.CountTruncatableBelow(boundary);
+  }
+  return count;
+}
+
+std::size_t GsObject::TruncateHistoryBelow(TxnTime boundary) {
+  std::size_t removed = 0;
+  for (NamedElement& element : named_) {
+    removed += element.table.TruncateBelow(boundary);
+  }
+  for (AssociationTable& table : indexed_) {
+    removed += table.TruncateBelow(boundary);
+  }
+  if (boundary > history_floor_) history_floor_ = boundary;
+  return removed;
+}
+
 std::size_t GsObject::TotalAssociations() const {
   std::size_t total = 0;
   for (const NamedElement& element : named_) {

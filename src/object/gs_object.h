@@ -88,6 +88,25 @@ class GsObject {
     return index < indexed_.size() ? &indexed_[index] : nullptr;
   }
 
+  // --- History tiering ------------------------------------------------------
+
+  /// Largest demotion boundary applied to this object: every binding at a
+  /// time strictly below the floor is complete only in the tier store's
+  /// cold runs (in memory each element keeps just its creation marker and
+  /// the carry-forward). 0 = full history resident. Reads at `t <
+  /// history_floor()` must consult the level resolver.
+  TxnTime history_floor() const { return history_floor_; }
+  void set_history_floor(TxnTime floor) { history_floor_ = floor; }
+
+  /// Bindings a demotion at `boundary` would move to cold storage.
+  std::size_t CountTruncatableBelow(TxnTime boundary) const;
+
+  /// Truncates every element's history below `boundary` (keeping creation
+  /// markers and carry-forwards) and raises the floor. The caller must
+  /// have durably emitted the full prefix at or before `boundary` first.
+  /// Returns the number of associations removed.
+  std::size_t TruncateHistoryBelow(TxnTime boundary);
+
   // --- Accounting ----------------------------------------------------------
 
   /// Total associations stored across every element (history bloat metric;
@@ -100,6 +119,7 @@ class GsObject {
  private:
   Oid oid_;
   Oid class_oid_;
+  TxnTime history_floor_ = 0;
   std::vector<NamedElement> named_;
   std::vector<AssociationTable> indexed_;
 };

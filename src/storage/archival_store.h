@@ -7,6 +7,7 @@
 
 #include "core/result.h"
 #include "object/object_memory.h"
+#include "telemetry/metrics.h"
 
 namespace gemstone::storage {
 
@@ -15,12 +16,20 @@ namespace gemstone::storage {
 /// conceptually the entire history of the database exists, some objects in
 /// it may become temporarily or permanently inaccessible."
 ///
-/// Archived objects leave the hot ObjectMemory (reads there report
-/// Unavailable) but keep their full history here as serialized images and
-/// can be restored by the administrator.
+/// Two kinds of payload live here:
+///  - whole objects, explicitly archived by the administrator (Archive /
+///    Restore / Peek), which leave the hot ObjectMemory entirely; and
+///  - cold-run blobs handed down by the tier store (StoreRun / ReadRun /
+///    DropRun) — the archive is the deepest level of the levelled history
+///    store, not a disconnected side-store.
+///
+/// Exports `storage.archive.*` registry metrics and records Archive /
+/// Restore flight events. Not internally synchronized: object moves run
+/// under the transaction store lock and run blobs under the tier store
+/// lock; the registry collector reads only the atomic mirrors.
 class ArchivalStore {
  public:
-  ArchivalStore() = default;
+  ArchivalStore();
 
   /// Detaches `oid` from `memory` and stores its serialized image.
   Status Archive(ObjectMemory* memory, Oid oid);
@@ -35,9 +44,43 @@ class ArchivalStore {
   std::size_t size() const { return images_.size(); }
   std::uint64_t total_bytes() const { return total_bytes_; }
 
+  // --- Cold-run blobs (the deepest tier level) ------------------------------
+
+  /// Stores a serialized cold run under `run_id` (tier-store run ids are
+  /// unique across levels for the life of the store).
+  Status StoreRun(std::uint64_t run_id, std::vector<std::uint8_t> bytes);
+
+  /// The stored blob, or NotFound.
+  Result<std::vector<std::uint8_t>> ReadRun(std::uint64_t run_id) const;
+
+  /// Discards a stored run (after a verified re-merge upward). NotFound
+  /// when absent.
+  Status DropRun(std::uint64_t run_id);
+
+  std::size_t run_count() const { return runs_.size(); }
+  std::uint64_t run_bytes() const { return run_bytes_; }
+
+  /// Every stored run id (unordered). Tier recovery uses this to garbage
+  /// collect blobs a crash orphaned between StoreRun and the catalog flip.
+  std::vector<std::uint64_t> RunIds() const;
+
  private:
+  void SyncMirrors();
+
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> images_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> runs_;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t run_bytes_ = 0;
+
+  telemetry::Counter archives_;
+  telemetry::Counter restores_;
+  // Mirrors of the non-atomic maps so the registry collector never races
+  // an archive operation.
+  telemetry::Gauge objects_gauge_;
+  telemetry::Gauge bytes_gauge_;
+  telemetry::Gauge runs_gauge_;
+  telemetry::Gauge run_bytes_gauge_;
+  telemetry::Registration telemetry_;  // after the instruments it samples
 };
 
 }  // namespace gemstone::storage

@@ -103,6 +103,26 @@ void TrackHeatmap::RecordSeek(TrackId track, std::uint64_t now_ns) {
   ++cell.seeks;
 }
 
+TrackHeatmap::TrackHeat TrackHeatmap::HeatOf(TrackId track,
+                                             std::uint64_t now_ns) const {
+  TrackHeat heat;
+  heat.track = track;
+  if (track >= num_tracks_) return heat;
+  if (now_ns == 0) now_ns = telemetry::TraceNowNs();
+  MutexLock lock(mu_);
+  const Cell& cell = cells_[track];
+  if (!cell.touched) return heat;
+  Cell decayed = cell;
+  DecayTo(&decayed, now_ns);
+  heat.read_heat = decayed.read_heat;
+  heat.write_heat = decayed.write_heat;
+  heat.historical_heat = decayed.historical_heat;
+  heat.reads = decayed.reads;
+  heat.writes = decayed.writes;
+  heat.seeks = decayed.seeks;
+  return heat;
+}
+
 std::vector<TrackHeatmap::TrackHeat> TrackHeatmap::Hottest(
     std::size_t limit, std::uint64_t now_ns) const {
   if (now_ns == 0) now_ns = telemetry::TraceNowNs();

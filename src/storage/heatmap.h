@@ -70,6 +70,11 @@ class TrackHeatmap {
   std::vector<TrackHeat> Hottest(std::size_t limit,
                                  std::uint64_t now_ns = 0) const;
 
+  /// One track's decayed heat at the query instant (zeros for an
+  /// out-of-range or never-touched track). The point query the compaction
+  /// policy runs per candidate object extent.
+  TrackHeat HeatOf(TrackId track, std::uint64_t now_ns = 0) const;
+
   /// One segment = 1/n of the track space, heats summed. The coarse view
   /// that makes a 10k-track device printable.
   std::vector<TrackHeat> Segments(std::size_t n,

@@ -91,8 +91,6 @@ std::uint64_t Fnv1a(std::span<const std::uint8_t> bytes) {
   return hash;
 }
 
-namespace {
-
 void WriteValue(const Value& v, const SymbolTable& symbols, ByteWriter* out) {
   switch (v.tag()) {
     case ValueTag::kNil:
@@ -165,6 +163,8 @@ Result<Value> ReadValue(ByteReader* in, SymbolTable* symbols) {
                             std::to_string(raw_tag));
 }
 
+namespace {
+
 void WriteTable(const AssociationTable& table, const SymbolTable& symbols,
                 ByteWriter* out) {
   out->PutU32(static_cast<std::uint32_t>(table.history_size()));
@@ -193,6 +193,7 @@ std::vector<std::uint8_t> SerializeObject(const GsObject& object,
   out.PutU32(kObjectMagic);
   out.PutU64(object.oid().raw);
   out.PutU64(object.class_oid().raw);
+  out.PutU64(object.history_floor());
   out.PutU32(static_cast<std::uint32_t>(object.named_elements().size()));
   for (const NamedElement& element : object.named_elements()) {
     out.PutString(symbols.Name(element.name));
@@ -223,7 +224,9 @@ Result<GsObject> DeserializeObject(std::span<const std::uint8_t> bytes,
   if (magic != kObjectMagic) return Status::Corruption("bad object magic");
   GS_ASSIGN_OR_RETURN(std::uint64_t oid, in.GetU64());
   GS_ASSIGN_OR_RETURN(std::uint64_t class_oid, in.GetU64());
+  GS_ASSIGN_OR_RETURN(std::uint64_t history_floor, in.GetU64());
   GsObject object{Oid(oid), Oid(class_oid)};
+  object.set_history_floor(history_floor);
 
   GS_ASSIGN_OR_RETURN(std::uint32_t num_named, in.GetU32());
   for (std::uint32_t i = 0; i < num_named; ++i) {

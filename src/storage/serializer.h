@@ -63,6 +63,12 @@ class ByteReader {
 /// FNV-1a over `bytes`; the storage layer's integrity check.
 std::uint64_t Fnv1a(std::span<const std::uint8_t> bytes);
 
+/// The tagged value wire codec shared by object images and the tier
+/// store's cold-run records. Symbols are stored as text so the encoding
+/// survives re-interning after recovery.
+void WriteValue(const Value& v, const SymbolTable& symbols, ByteWriter* out);
+Result<Value> ReadValue(ByteReader* in, SymbolTable* symbols);
+
 /// Serializes a full object — identity, class, and the complete
 /// association-table history of every element — with a trailing checksum.
 /// Symbol names are stored as text so images survive re-interning.

@@ -5,11 +5,14 @@
 
 namespace gemstone::storage {
 
-SimulatedDisk::SimulatedDisk(TrackId num_tracks, std::size_t track_capacity)
+SimulatedDisk::SimulatedDisk(TrackId num_tracks, std::size_t track_capacity,
+                             std::uint64_t heatmap_half_life_ns)
     : num_tracks_(num_tracks),
       track_capacity_(track_capacity),
       tracks_(num_tracks),
-      heatmap_(num_tracks),
+      heatmap_(num_tracks, heatmap_half_life_ns == 0
+                               ? TrackHeatmap::kDefaultHalfLifeNs
+                               : heatmap_half_life_ns),
       telemetry_(telemetry::MetricsRegistry::Global().Register(
           [this](telemetry::SampleSink* sink) {
             sink->Counter("disk.tracks_read", tracks_read_.value());

@@ -41,7 +41,11 @@ struct DiskStats {
 /// state and re-opening a StorageEngine over the same SimulatedDisk.
 class SimulatedDisk {
  public:
-  SimulatedDisk(TrackId num_tracks, std::size_t track_capacity);
+  /// `heatmap_half_life_ns` tunes the access-heat decay (0 = the heatmap
+  /// default) — gemstone_serve plumbs --heatmap-half-life-ms down here so
+  /// compaction tuning experiments don't need rebuilds.
+  SimulatedDisk(TrackId num_tracks, std::size_t track_capacity,
+                std::uint64_t heatmap_half_life_ns = 0);
   SimulatedDisk(const SimulatedDisk&) = delete;
   SimulatedDisk& operator=(const SimulatedDisk&) = delete;
 

@@ -333,6 +333,17 @@ std::vector<Oid> StorageEngine::CatalogOids() const {
   return oids;
 }
 
+double StorageEngine::HistoricalHeatOf(Oid oid) const {
+  const Extent* extent = catalog_.Find(oid);
+  if (extent == nullptr) return 0;
+  const TrackHeatmap& heatmap = disk_->heatmap();
+  double heat = 0;
+  for (TrackId track : extent->tracks) {
+    heat += heatmap.HeatOf(track).historical_heat;
+  }
+  return heat;
+}
+
 void StorageEngine::NoteHistoricalObjectAccess(Oid oid) {
   const Extent* extent = catalog_.Find(oid);
   if (extent == nullptr) return;

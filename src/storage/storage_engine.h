@@ -86,6 +86,13 @@ class StorageEngine {
   /// TransactionManager's store lock).
   void NoteHistoricalObjectAccess(Oid oid);
 
+  /// Decayed *historical-channel* heat summed over `oid`'s extent tracks —
+  /// the compaction policy's per-object demotion signal (an object whose
+  /// history the time dial still visits regularly should keep it resident).
+  /// 0 for unknown oids. Same synchronization contract as
+  /// NoteHistoricalObjectAccess.
+  double HistoricalHeatOf(Oid oid) const;
+
   std::size_t free_track_count() const { return free_tracks_.size(); }
 
  private:

@@ -1,0 +1,95 @@
+#include "storage/tier/cold_run.h"
+
+namespace gemstone::storage::tier {
+
+namespace {
+constexpr std::uint32_t kRunMagic = 0x47535231;  // "GSR1"
+}  // namespace
+
+void EncodeRecord(const VersionRecord& record, const SymbolTable& symbols,
+                  ByteWriter* out) {
+  out->PutU64(record.oid.raw);
+  out->PutU8(record.kind);
+  if (record.kind == VersionRecord::kNamed) {
+    out->PutU8(record.alias ? 1 : 0);
+    out->PutString(record.name);
+  } else {
+    out->PutU64(record.index);
+  }
+  out->PutU64(record.time);
+  WriteValue(record.value, symbols, out);
+}
+
+Result<VersionRecord> DecodeRecord(ByteReader* in, SymbolTable* symbols) {
+  VersionRecord record;
+  GS_ASSIGN_OR_RETURN(std::uint64_t oid, in->GetU64());
+  record.oid = Oid(oid);
+  GS_ASSIGN_OR_RETURN(record.kind, in->GetU8());
+  if (record.kind == VersionRecord::kNamed) {
+    GS_ASSIGN_OR_RETURN(std::uint8_t alias, in->GetU8());
+    record.alias = alias != 0;
+    GS_ASSIGN_OR_RETURN(record.name, in->GetString());
+  } else if (record.kind == VersionRecord::kIndexed) {
+    GS_ASSIGN_OR_RETURN(record.index, in->GetU64());
+  } else {
+    return Status::Corruption("cold run record with unknown element kind " +
+                              std::to_string(record.kind));
+  }
+  GS_ASSIGN_OR_RETURN(record.time, in->GetU64());
+  GS_ASSIGN_OR_RETURN(record.value, ReadValue(in, symbols));
+  return record;
+}
+
+EncodedRun EncodeRun(std::uint64_t run_id,
+                     const std::vector<VersionRecord>& records,
+                     const SymbolTable& symbols) {
+  EncodedRun run;
+  ByteWriter out;
+  out.PutU32(kRunMagic);
+  out.PutU64(run_id);
+  out.PutU32(static_cast<std::uint32_t>(records.size()));
+  run.offsets.reserve(records.size());
+  for (const VersionRecord& record : records) {
+    run.offsets.push_back(out.size());
+    EncodeRecord(record, symbols, &out);
+  }
+  const std::uint64_t checksum = Fnv1a(out.bytes());
+  out.PutU64(checksum);
+  run.bytes = out.Take();
+  return run;
+}
+
+Result<DecodedRun> DecodeRun(std::span<const std::uint8_t> bytes,
+                             SymbolTable* symbols) {
+  if (bytes.size() < 8 + 16) {
+    return Status::Corruption("cold run shorter than header + footer");
+  }
+  const auto body = bytes.first(bytes.size() - 8);
+  ByteReader tail(bytes.subspan(bytes.size() - 8));
+  GS_ASSIGN_OR_RETURN(std::uint64_t stored, tail.GetU64());
+  if (Fnv1a(body) != stored) {
+    return Status::Corruption("cold run checksum mismatch");
+  }
+  ByteReader in(body);
+  GS_ASSIGN_OR_RETURN(std::uint32_t magic, in.GetU32());
+  if (magic != kRunMagic) {
+    return Status::Corruption("cold run magic mismatch");
+  }
+  DecodedRun run;
+  GS_ASSIGN_OR_RETURN(run.run_id, in.GetU64());
+  GS_ASSIGN_OR_RETURN(std::uint32_t count, in.GetU32());
+  run.records.reserve(count);
+  run.offsets.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    run.offsets.push_back(in.position());
+    GS_ASSIGN_OR_RETURN(VersionRecord record, DecodeRecord(&in, symbols));
+    run.records.push_back(std::move(record));
+  }
+  if (in.remaining() != 0) {
+    return Status::Corruption("cold run has trailing bytes");
+  }
+  run.body_end = body.size();
+  return run;
+}
+
+}  // namespace gemstone::storage::tier

@@ -1,0 +1,61 @@
+#ifndef GEMSTONE_STORAGE_TIER_COLD_RUN_H_
+#define GEMSTONE_STORAGE_TIER_COLD_RUN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/result.h"
+#include "object/symbol_table.h"
+#include "storage/serializer.h"
+#include "storage/tier/version_record.h"
+
+namespace gemstone::storage::tier {
+
+/// Cold-run wire format:
+///
+///   header   : magic "GSR1" (u32) | run_id (u64) | record_count (u32)
+///   records  : record_count encoded VersionRecords, RecordOrder-sorted
+///   footer   : FNV-1a over everything above (u64)
+///
+/// A run is immutable once written; integrity is the trailing checksum
+/// (verified by DecodeRun and by catalog recovery). Values reuse the
+/// object-image value codec; symbols travel as text.
+
+/// The encoded run plus the byte offset of each record — offsets feed the
+/// in-memory fence index, which is rebuilt (not persisted) at Open.
+struct EncodedRun {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> offsets;  // one per record, into `bytes`
+};
+
+/// A decoded run: records in stored order with their byte offsets, plus
+/// where the record region ends (the checksum footer's offset).
+struct DecodedRun {
+  std::uint64_t run_id = 0;
+  std::vector<VersionRecord> records;
+  std::vector<std::size_t> offsets;
+  std::size_t body_end = 0;
+};
+
+/// Encodes one record (element key, time, value) at the writer's tail.
+void EncodeRecord(const VersionRecord& record, const SymbolTable& symbols,
+                  ByteWriter* out);
+
+/// Decodes one record; Corruption on malformed input.
+Result<VersionRecord> DecodeRecord(ByteReader* in, SymbolTable* symbols);
+
+/// Encodes `records` (must already be RecordOrder-sorted) as run
+/// `run_id`.
+EncodedRun EncodeRun(std::uint64_t run_id,
+                     const std::vector<VersionRecord>& records,
+                     const SymbolTable& symbols);
+
+/// Verifies the checksum and decodes every record. Symbols referenced by
+/// record values are re-interned into `symbols`.
+Result<DecodedRun> DecodeRun(std::span<const std::uint8_t> bytes,
+                             SymbolTable* symbols);
+
+}  // namespace gemstone::storage::tier
+
+#endif  // GEMSTONE_STORAGE_TIER_COLD_RUN_H_

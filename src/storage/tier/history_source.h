@@ -1,0 +1,61 @@
+#ifndef GEMSTONE_STORAGE_TIER_HISTORY_SOURCE_H_
+#define GEMSTONE_STORAGE_TIER_HISTORY_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "storage/tier/version_record.h"
+
+namespace gemstone::storage::tier {
+
+/// What the compactor asks of the layer that owns live history — in
+/// practice txn::TransactionManager. The interface points *upward* so the
+/// storage tier never includes txn headers: txn implements this and hands
+/// itself to the TierCompactor at wiring time.
+///
+/// Thread contract: every method is called from the compaction thread
+/// with NO locks held; implementations take their own locks (the txn
+/// store lock sits outside LockRank::kStorageTier, so an implementation
+/// may call into the TierStore while holding it — the compactor itself
+/// never does the reverse).
+class HistorySource {
+ public:
+  virtual ~HistorySource() = default;
+
+  /// An object whose resident history is worth demoting.
+  struct Candidate {
+    Oid oid;
+    std::uint64_t truncatable = 0;   // bindings a demotion would free
+    double historical_heat = 0.0;    // decayed time-dial traffic (engine)
+  };
+
+  /// The largest boundary B it is safe to demote below right now: every
+  /// binding at time <= B is final (no in-flight commit can produce one),
+  /// so a cold run sealed at B never misses a late write.
+  virtual TxnTime SafeDemotionBoundary() const = 0;
+
+  /// Up to `limit` objects with at least `min_truncatable` demotable
+  /// bindings below `boundary`, coldest-first by historical heat.
+  virtual std::vector<Candidate> DemotionCandidates(
+      TxnTime boundary, std::size_t limit, std::uint64_t min_truncatable) = 0;
+
+  /// Every binding of `oid` at time <= `boundary`, all elements, sorted
+  /// by RecordOrder. Includes the creation markers and carry-forwards the
+  /// object will also keep in memory — duplication is the crash-safety
+  /// margin, never a gap.
+  virtual Result<std::vector<VersionRecord>> CollectHistory(
+      Oid oid, TxnTime boundary) = 0;
+
+  /// Truncates `oid`'s resident history below `boundary` and raises its
+  /// history floor, durably (the permanent image is rewritten before the
+  /// in-memory copy changes). Called only after the records returned by
+  /// CollectHistory are durable in the tier store.
+  virtual Status ApplyDemotion(Oid oid, TxnTime boundary) = 0;
+};
+
+}  // namespace gemstone::storage::tier
+
+#endif  // GEMSTONE_STORAGE_TIER_HISTORY_SOURCE_H_

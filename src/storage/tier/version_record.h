@@ -1,0 +1,73 @@
+#ifndef GEMSTONE_STORAGE_TIER_VERSION_RECORD_H_
+#define GEMSTONE_STORAGE_TIER_VERSION_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/ids.h"
+#include "object/value.h"
+
+namespace gemstone::storage::tier {
+
+/// One demoted binding: (object, element, transaction time) -> value.
+///
+/// This is the unit the levelled store sorts, merges, and resolves. The
+/// element name travels as *text* (not SymbolId) so a cold run written
+/// before a crash decodes correctly against the re-interned symbol table
+/// after recovery — the same rule the object image codec follows.
+struct VersionRecord {
+  static constexpr std::uint8_t kNamed = 0;
+  static constexpr std::uint8_t kIndexed = 1;
+
+  Oid oid;
+  std::uint8_t kind = kNamed;
+  bool alias = false;       // named only: generated set-member alias
+  std::string name;         // named only
+  std::uint64_t index = 0;  // indexed only
+  TxnTime time = kTimeOrigin;
+  Value value;
+};
+
+/// The element an association belongs to, without the time — the probe
+/// key of a point lookup.
+struct ElementKey {
+  Oid oid;
+  std::uint8_t kind = VersionRecord::kNamed;
+  std::string_view name;    // named only
+  std::uint64_t index = 0;  // indexed only
+};
+
+/// Three-way comparison of a record's element against a probe key:
+/// (oid, kind, name|index) lexicographically.
+inline int CompareElement(const VersionRecord& r, const ElementKey& k) {
+  if (r.oid != k.oid) return r.oid < k.oid ? -1 : 1;
+  if (r.kind != k.kind) return r.kind < k.kind ? -1 : 1;
+  if (r.kind == VersionRecord::kNamed) {
+    const int c = std::string_view(r.name).compare(k.name);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (r.index != k.index) return r.index < k.index ? -1 : 1;
+  return 0;
+}
+
+/// The run sort order: by element, then ascending time. Resolution at
+/// time T scans an element's group and keeps the last binding <= T.
+inline bool RecordOrder(const VersionRecord& a, const VersionRecord& b) {
+  const ElementKey k{b.oid, b.kind, b.name, b.index};
+  const int c = CompareElement(a, k);
+  if (c != 0) return c < 0;
+  return a.time < b.time;
+}
+
+/// True when two records bind the same element at the same time — the
+/// duplicate shape repeated demotions produce (creation markers and
+/// carry-forwards are re-emitted by design; compaction folds them).
+inline bool SameBinding(const VersionRecord& a, const VersionRecord& b) {
+  const ElementKey k{b.oid, b.kind, b.name, b.index};
+  return CompareElement(a, k) == 0 && a.time == b.time;
+}
+
+}  // namespace gemstone::storage::tier
+
+#endif  // GEMSTONE_STORAGE_TIER_VERSION_RECORD_H_

@@ -22,6 +22,10 @@ std::string_view FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kNetConnOpen: return "net_conn_open";
     case FlightEventKind::kNetConnClose: return "net_conn_close";
     case FlightEventKind::kSlowRequest: return "slow_request";
+    case FlightEventKind::kArchive: return "archive";
+    case FlightEventKind::kRestore: return "restore";
+    case FlightEventKind::kTierMigration: return "tier_migration";
+    case FlightEventKind::kTierCompaction: return "tier_compaction";
   }
   return "unknown";
 }

@@ -29,6 +29,14 @@ enum class FlightEventKind : std::uint8_t {
                       // threshold; a = total us, b = seq; detail = the
                       // per-stage breakdown (queue/lock_wait/execute/
                       // serialize/flush) plus I/O tally
+  kArchive,           // object moved to archival media; a = raw oid,
+                      // b = image bytes
+  kRestore,           // object restored from archival media; a = raw oid,
+                      // b = image bytes
+  kTierMigration,     // versions demoted to a cold run; a = raw oid,
+                      // b = records moved; detail = boundary time
+  kTierCompaction,    // cold runs merged downward; a = source level,
+                      // b = records merged; detail = destination
 };
 
 std::string_view FlightEventKindName(FlightEventKind kind);

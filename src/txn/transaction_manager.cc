@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
+#include "storage/tier/tier_store.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/io_attribution.h"
 #include "telemetry/profiler.h"
@@ -25,6 +27,8 @@ TransactionManager::TransactionManager(ObjectMemory* memory,
             sink->Counter("txn.commit_storage_failures",
                           commit_storage_failures_.value());
             sink->Counter("txn.historical_reads", historical_reads_.value());
+            sink->Counter("txn.tier_routed_reads",
+                          tier_routed_reads_.value());
             sink->Gauge("txn.read_set_peak",
                         static_cast<std::int64_t>(read_set_peak_.load(
                             std::memory_order_relaxed)));
@@ -412,6 +416,16 @@ Result<Value> TransactionManager::ReadNamed(Transaction* txn, Oid oid,
   } else {
     NoteHistoricalRead(oid);
   }
+  if (RoutesToTierLocked(*object, at)) {
+    // Below the floor the resident table holds only the creation marker
+    // and carry-forward; the cold runs hold every binding <= the floor,
+    // so the level resolver's answer is authoritative here.
+    tier_routed_reads_.Increment();
+    GS_ASSIGN_OR_RETURN(
+        std::optional<Association> binding,
+        tiers_->ResolveNamed(oid, memory_->symbols().Name(name), at));
+    return binding.has_value() ? std::move(binding->value) : Value::Nil();
+  }
   const Value* value = object->ReadNamed(name, at);
   return value ? *value : Value::Nil();
 }
@@ -443,10 +457,18 @@ Result<Value> TransactionManager::ReadIndexed(Transaction* txn, Oid oid,
   } else {
     NoteHistoricalRead(oid);
   }
+  // The bounds check needs no tier trip: slot creation markers survive
+  // truncation, so IndexedSizeAt stays exact at every time.
   if (index >= object->IndexedSizeAt(at)) {
     return Status::OutOfRange("index " + std::to_string(index) +
                               " beyond size " +
                               std::to_string(object->IndexedSizeAt(at)));
+  }
+  if (RoutesToTierLocked(*object, at)) {
+    tier_routed_reads_.Increment();
+    GS_ASSIGN_OR_RETURN(std::optional<Association> binding,
+                        tiers_->ResolveIndexed(oid, index, at));
+    return binding.has_value() ? std::move(binding->value) : Value::Nil();
   }
   const Value* value = object->ReadIndexed(index, at);
   return value ? *value : Value::Nil();
@@ -522,6 +544,21 @@ Result<std::vector<std::pair<SymbolId, Value>>> TransactionManager::ListNamed(
     NoteHistoricalRead(oid);
   }
   std::vector<std::pair<SymbolId, Value>> out;
+  if (RoutesToTierLocked(*object, at)) {
+    // Element existence is resident (names are never truncated); each
+    // element's sub-floor value comes from the level resolver.
+    tier_routed_reads_.Increment();
+    for (const NamedElement& element : object->named_elements()) {
+      GS_ASSIGN_OR_RETURN(
+          std::optional<Association> binding,
+          tiers_->ResolveNamed(oid, memory_->symbols().Name(element.name),
+                               at));
+      if (!binding.has_value()) continue;
+      if (skip_unbound && binding->value.IsNil()) continue;
+      out.emplace_back(element.name, std::move(binding->value));
+    }
+    return out;
+  }
   for (const NamedElement& element : object->named_elements()) {
     const Value* value = element.table.ValueAt(at);
     if (value == nullptr) continue;
@@ -547,6 +584,24 @@ Result<std::vector<Association>> TransactionManager::History(Transaction* txn,
     return Status::NotFound("element never bound");
   }
   NoteHistoricalRead(oid);  // a history walk is time-dial traffic
+  if (tiers_ != nullptr && object->history_floor() > kTimeOrigin) {
+    // Merge the demoted prefix back in. Cold runs re-emit the creation
+    // marker and carry-forward the resident table also keeps, so fold by
+    // time — the duplicates are identical bindings by construction.
+    tier_routed_reads_.Increment();
+    GS_ASSIGN_OR_RETURN(
+        std::vector<Association> cold,
+        tiers_->NamedHistoryOf(oid, memory_->symbols().Name(name)));
+    std::map<TxnTime, Value> merged;
+    for (Association& a : cold) merged[a.time] = std::move(a.value);
+    for (const Association& a : table->entries()) merged[a.time] = a.value;
+    std::vector<Association> out;
+    out.reserve(merged.size());
+    for (auto& [time, value] : merged) {
+      out.push_back(Association{time, std::move(value)});
+    }
+    return out;
+  }
   return table->entries();
 }
 
@@ -584,19 +639,24 @@ bool TransactionManager::DeepEqualsLocked(
   (*assumed)[a.ref().raw] = b.ref().raw;
   bool equal = true;
 
+  // Element values resolve through the tier store below an object's
+  // history floor (Resolved*Locked); at other times they read the
+  // resident tables exactly as before.
   const GsClass* cls = memory_->classes().Get(oa->class_oid());
   const bool is_set = cls != nullptr && cls->format() == ObjectFormat::kSet;
   if (is_set) {
-    if (oa->CountBoundNamedAt(at) != ob->CountBoundNamedAt(at)) {
+    if (CountBoundNamedResolvedLocked(*oa, at) !=
+        CountBoundNamedResolvedLocked(*ob, at)) {
       equal = false;
     } else {
       for (const NamedElement& ea : oa->named_elements()) {
-        const Value* va = ea.table.ValueAt(at);
-        if (va == nullptr || va->IsNil()) continue;
+        const std::optional<Value> va = ResolvedNamedLocked(*oa, ea.name, at);
+        if (!va.has_value() || va->IsNil()) continue;
         bool found = false;
         for (const NamedElement& eb : ob->named_elements()) {
-          const Value* vb = eb.table.ValueAt(at);
-          if (vb == nullptr || vb->IsNil()) continue;
+          const std::optional<Value> vb =
+              ResolvedNamedLocked(*ob, eb.name, at);
+          if (!vb.has_value() || vb->IsNil()) continue;
           if (DeepEqualsLocked(txn, *va, *vb, at, assumed)) {
             found = true;
             break;
@@ -611,11 +671,10 @@ bool TransactionManager::DeepEqualsLocked(
   } else {
     auto bound_matches = [&](const GsObject& x, const GsObject& y) {
       for (const NamedElement& ex : x.named_elements()) {
-        const Value* vx = ex.table.ValueAt(at);
-        if (vx == nullptr || vx->IsNil()) continue;
-        const Value* vy = y.ReadNamed(ex.name, at);
-        Value nil;
-        if (vy == nullptr) vy = &nil;
+        const std::optional<Value> vx = ResolvedNamedLocked(x, ex.name, at);
+        if (!vx.has_value() || vx->IsNil()) continue;
+        std::optional<Value> vy = ResolvedNamedLocked(y, ex.name, at);
+        if (!vy.has_value()) vy = Value::Nil();
         if (!DeepEqualsLocked(txn, *vx, *vy, at, assumed)) return false;
       }
       return true;
@@ -630,17 +689,170 @@ bool TransactionManager::DeepEqualsLocked(
       equal = false;
     } else {
       for (std::size_t i = 0; i < na && equal; ++i) {
-        const Value* va = oa->ReadIndexed(i, at);
-        const Value* vb = ob->ReadIndexed(i, at);
-        Value nil;
-        if (va == nullptr) va = &nil;
-        if (vb == nullptr) vb = &nil;
+        std::optional<Value> va = ResolvedIndexedLocked(*oa, i, at);
+        std::optional<Value> vb = ResolvedIndexedLocked(*ob, i, at);
+        if (!va.has_value()) va = Value::Nil();
+        if (!vb.has_value()) vb = Value::Nil();
         equal = DeepEqualsLocked(txn, *va, *vb, at, assumed);
       }
     }
   }
   assumed->erase(a.ref().raw);
   return equal;
+}
+
+std::optional<Value> TransactionManager::ResolvedNamedLocked(
+    const GsObject& object, SymbolId name, TxnTime at) const {
+  if (tiers_ != nullptr && at != kTimeNow && at < object.history_floor()) {
+    auto resolved =
+        tiers_->ResolveNamed(object.oid(), memory_->symbols().Name(name), at);
+    if (!resolved.ok()) return std::nullopt;  // degrade: treat as unbound
+    std::optional<Association> binding = std::move(resolved).value();
+    if (!binding.has_value()) return std::nullopt;
+    return std::move(binding->value);
+  }
+  const Value* value = object.ReadNamed(name, at);
+  if (value == nullptr) return std::nullopt;
+  return *value;
+}
+
+std::optional<Value> TransactionManager::ResolvedIndexedLocked(
+    const GsObject& object, std::size_t index, TxnTime at) const {
+  if (tiers_ != nullptr && at != kTimeNow && at < object.history_floor()) {
+    auto resolved = tiers_->ResolveIndexed(object.oid(), index, at);
+    if (!resolved.ok()) return std::nullopt;
+    std::optional<Association> binding = std::move(resolved).value();
+    if (!binding.has_value()) return std::nullopt;
+    return std::move(binding->value);
+  }
+  const Value* value = object.ReadIndexed(index, at);
+  if (value == nullptr) return std::nullopt;
+  return *value;
+}
+
+std::size_t TransactionManager::CountBoundNamedResolvedLocked(
+    const GsObject& object, TxnTime at) const {
+  if (tiers_ == nullptr || at == kTimeNow || at >= object.history_floor()) {
+    return object.CountBoundNamedAt(at);
+  }
+  std::size_t count = 0;
+  for (const NamedElement& element : object.named_elements()) {
+    const std::optional<Value> value =
+        ResolvedNamedLocked(object, element.name, at);
+    if (value.has_value() && !value->IsNil()) ++count;
+  }
+  return count;
+}
+
+std::vector<storage::tier::HistorySource::Candidate>
+TransactionManager::DemotionCandidates(TxnTime boundary, std::size_t limit,
+                                       std::uint64_t min_truncatable) {
+  ReaderMutexLock lock(store_mu_);
+  std::vector<Candidate> out;
+  for (Oid oid : memory_->AllOids()) {
+    const GsObject* object = memory_->Find(oid);
+    if (object == nullptr) continue;
+    const std::uint64_t truncatable = object->CountTruncatableBelow(boundary);
+    if (truncatable == 0 || truncatable < min_truncatable) continue;
+    Candidate candidate;
+    candidate.oid = oid;
+    candidate.truncatable = truncatable;
+    candidate.historical_heat =
+        engine_ != nullptr ? engine_->HistoricalHeatOf(oid) : 0.0;
+    out.push_back(candidate);
+  }
+  // Coldest first — the compactor wants the history the time dial is NOT
+  // visiting; ties break toward the biggest space win.
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.historical_heat != b.historical_heat) {
+                return a.historical_heat < b.historical_heat;
+              }
+              if (a.truncatable != b.truncatable) {
+                return a.truncatable > b.truncatable;
+              }
+              return a.oid < b.oid;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+Result<std::vector<storage::tier::VersionRecord>>
+TransactionManager::CollectHistory(Oid oid, TxnTime boundary) {
+  ReaderMutexLock lock(store_mu_);
+  const GsObject* object = memory_->Find(oid);
+  if (object == nullptr) {
+    return Status::NotFound("no such object: " + oid.ToString());
+  }
+  // Emit the bindings in (history_floor, boundary] — everything at or
+  // below the floor is already durable in the tier (ApplyDemotion raises
+  // the floor only after AppendRun committed), so re-emitting the kept
+  // creation marker and carry-forward would give every run min_time ~=
+  // the object's birth and defeat the store's time-range run pruning.
+  // After a crash between the run flip and the truncation the floor is
+  // still old, so the next pass re-emits the window — duplicates, never
+  // a gap; resolution takes the max time <= T and compaction folds them.
+  const TxnTime floor = object->history_floor();
+  std::vector<storage::tier::VersionRecord> records;
+  const SymbolTable& symbols = memory_->symbols();
+  for (const NamedElement& element : object->named_elements()) {
+    const std::string& name = symbols.Name(element.name);
+    const bool alias = symbols.IsAlias(element.name);
+    for (const Association& a : element.table.entries()) {
+      if (a.time > boundary) break;
+      if (a.time <= floor) continue;  // already cold
+      storage::tier::VersionRecord record;
+      record.oid = oid;
+      record.kind = storage::tier::VersionRecord::kNamed;
+      record.alias = alias;
+      record.name = name;
+      record.time = a.time;
+      record.value = a.value;
+      records.push_back(std::move(record));
+    }
+  }
+  for (std::size_t i = 0; i < object->indexed_capacity(); ++i) {
+    for (const Association& a : object->IndexedHistory(i)->entries()) {
+      if (a.time > boundary) break;
+      if (a.time <= floor) continue;  // already cold
+      storage::tier::VersionRecord record;
+      record.oid = oid;
+      record.kind = storage::tier::VersionRecord::kIndexed;
+      record.index = i;
+      record.time = a.time;
+      record.value = a.value;
+      records.push_back(std::move(record));
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   storage::tier::RecordOrder);
+  return records;
+}
+
+Status TransactionManager::ApplyDemotion(Oid oid, TxnTime boundary) {
+  WriterMutexLock lock(store_mu_);
+  GsObject* permanent = memory_->FindMutable(oid);
+  if (permanent == nullptr) {
+    return Status::NotFound("no such object: " + oid.ToString());
+  }
+  if (boundary <= permanent->history_floor() &&
+      permanent->CountTruncatableBelow(boundary) == 0) {
+    return Status::OK();
+  }
+  // Durability order: the truncated image reaches the primary device
+  // before the resident copy changes. A crash on either side of the write
+  // recovers to pre- or post-truncation — the demoted bindings are
+  // already in the tier store either way, so reads never see a gap.
+  GsObject truncated = *permanent;
+  truncated.TruncateHistoryBelow(boundary);
+  if (engine_ != nullptr) {
+    GS_RETURN_IF_ERROR(
+        engine_->CommitObjects({&truncated}, memory_->symbols()));
+  }
+  *permanent = std::move(truncated);
+  // last_commit_ stays untouched: truncation changes no logical content,
+  // so in-flight transactions must not see phantom conflicts from it.
+  return Status::OK();
 }
 
 }  // namespace gemstone::txn

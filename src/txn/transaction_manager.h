@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -13,8 +14,13 @@
 #include "core/sync.h"
 #include "object/object_memory.h"
 #include "storage/storage_engine.h"
+#include "storage/tier/history_source.h"
 #include "telemetry/metrics.h"
 #include "txn/transaction.h"
+
+namespace gemstone::storage::tier {
+class TierStore;
+}  // namespace gemstone::storage::tier
 
 namespace gemstone::txn {
 
@@ -62,7 +68,16 @@ struct TxnStats {
 ///
 /// All element access from sessions goes through this class so that no
 /// raw object pointer outlives its lock scope.
-class TransactionManager {
+///
+/// As the storage::tier::HistorySource it is also the compaction thread's
+/// window onto live history: candidates are ranked by the engine's
+/// historical-channel heat, CollectHistory emits an object's cold prefix,
+/// and ApplyDemotion truncates the resident copy — durably — after the
+/// tier store has the records. Once an object's history floor rises,
+/// time-dial reads below it route through the attached TierStore (the
+/// tier mutex ranks directly inside store_mu_, so resolution nests
+/// cleanly under the reader lock).
+class TransactionManager : public storage::tier::HistorySource {
  public:
   /// `engine`, when non-null, must be open; every commit then also writes
   /// the changed objects durably before publishing them.
@@ -76,6 +91,27 @@ class TransactionManager {
   void set_access_controller(const AccessController* access) {
     access_ = access;
   }
+
+  /// Attaches the levelled history store: reads at times below an
+  /// object's history floor resolve through it, and the compactor's
+  /// HistorySource calls start demoting into it. Wire before sessions
+  /// start; null detaches (only safe while no object has a raised floor).
+  void AttachTierStore(storage::tier::TierStore* tiers) { tiers_ = tiers; }
+  storage::tier::TierStore* tier_store() const { return tiers_; }
+
+  // --- HistorySource (the compaction thread's view of live history) --------
+
+  /// SafeTime: every binding at or below it is final.
+  TxnTime SafeDemotionBoundary() const override { return clock_.load(); }
+
+  std::vector<Candidate> DemotionCandidates(
+      TxnTime boundary, std::size_t limit,
+      std::uint64_t min_truncatable) override;
+
+  Result<std::vector<storage::tier::VersionRecord>> CollectHistory(
+      Oid oid, TxnTime boundary) override;
+
+  Status ApplyDemotion(Oid oid, TxnTime boundary) override;
 
   // --- Lifecycle -------------------------------------------------------------
 
@@ -168,6 +204,31 @@ class TransactionManager {
       std::unordered_map<std::uint64_t, std::uint64_t>* assumed) const
       GS_REQUIRES_SHARED(store_mu_);
 
+  /// One element's committed value at `at`, consulting the tier store
+  /// when `at` lies below the object's history floor (where the resident
+  /// table keeps only the creation marker and carry-forward). nullopt =
+  /// not bound at `at`. Tier resolution errors degrade to nullopt here —
+  /// the fallible entry points route and surface errors themselves.
+  std::optional<Value> ResolvedNamedLocked(const GsObject& object,
+                                           SymbolId name, TxnTime at) const
+      GS_REQUIRES_SHARED(store_mu_);
+  std::optional<Value> ResolvedIndexedLocked(const GsObject& object,
+                                             std::size_t index,
+                                             TxnTime at) const
+      GS_REQUIRES_SHARED(store_mu_);
+
+  /// CountBoundNamedAt with sub-floor times routed through the tier.
+  std::size_t CountBoundNamedResolvedLocked(const GsObject& object,
+                                            TxnTime at) const
+      GS_REQUIRES_SHARED(store_mu_);
+
+  /// True when a read of `object` at `at` must consult the level
+  /// resolver instead of the resident association tables.
+  bool RoutesToTierLocked(const GsObject& object, TxnTime at) const
+      GS_REQUIRES_SHARED(store_mu_) {
+    return tiers_ != nullptr && at != kTimeNow && at < object.history_floor();
+  }
+
   /// Backward validation for one accessed object: true when it committed
   /// after `txn` started (created objects are invisible to others and
   /// never conflict). Commit-path only; validation only reads
@@ -201,6 +262,7 @@ class TransactionManager {
 
   ObjectMemory* memory_;
   storage::StorageEngine* engine_;
+  storage::tier::TierStore* tiers_ = nullptr;
   const AccessController* access_ = nullptr;
 
   mutable SharedMutex store_mu_{LockRank::kTxnStore, "txn.store_mu"};
@@ -224,6 +286,7 @@ class TransactionManager {
   telemetry::Counter conflicts_;
   telemetry::Counter commit_storage_failures_;
   telemetry::Counter historical_reads_;
+  telemetry::Counter tier_routed_reads_;  // time-dial reads below a floor
   telemetry::Histogram* commit_latency_us_;  // registry-owned
   telemetry::Registration telemetry_;  // after the counters it samples
 };

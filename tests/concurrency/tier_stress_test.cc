@@ -1,0 +1,135 @@
+// Compaction-vs-everything stress (run under ThreadSanitizer: the tsan
+// label): the background TierCompactor demotes history while writer
+// threads commit new versions and reader threads walk the time dial
+// across the moving history floor. End-state assertion: every committed
+// binding resolves to exactly the value written, wherever it migrated.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "object/object_memory.h"
+#include "storage/archival_store.h"
+#include "storage/storage_engine.h"
+#include "storage/tier/compactor.h"
+#include "storage/tier/tier_store.h"
+#include "txn/transaction_manager.h"
+
+namespace gemstone::storage::tier {
+namespace {
+
+TEST(TierStressTest, CompactionConcurrentWithCommitsAndTimeDialReads) {
+  SimulatedDisk disk(512, 4096);
+  StorageEngine engine(&disk);
+  ASSERT_TRUE(engine.Format().ok());
+  ASSERT_TRUE(engine.Open().ok());
+  ObjectMemory memory;
+  txn::TransactionManager manager(&memory, &engine);
+  ArchivalStore archive;
+  TierOptions topts;
+  topts.cold_levels = 2;
+  topts.tracks_per_level = 64;
+  topts.track_capacity = 2048;
+  topts.runs_per_level = 2;  // merges fire during the run
+  TierStore tiers(&memory.symbols(), &archive, topts);
+  ASSERT_TRUE(tiers.Format().ok());
+  manager.AttachTierStore(&tiers);
+
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 2;
+  constexpr int kCommitsPerWriter = 60;
+
+  // Each writer owns one object; contention comes from the shared store
+  // lock and the compactor, not from OCC conflicts.
+  std::vector<Oid> oids(kWriters);
+  const SymbolId x = memory.symbols().Intern("x");
+  for (int w = 0; w < kWriters; ++w) {
+    auto txn = manager.Begin(0);
+    oids[w] =
+        manager.CreateObject(txn.get(), memory.kernel().object).ValueOrDie();
+    ASSERT_TRUE(manager.Commit(txn.get()).ok());
+  }
+
+  CompactorOptions copts;
+  copts.interval_ms = 1;  // demote as aggressively as the thread can
+  copts.min_versions = 2;
+  copts.max_objects_per_pass = 8;
+  // The reader threads deliberately hammer the time dial; without a
+  // lifted ceiling the heat policy would (correctly) refuse to demote
+  // anything and the stress would never cross the floor.
+  copts.max_historical_heat = 1e18;
+  TierCompactor compactor(&tiers, &manager, copts);
+  compactor.Start();
+
+  std::vector<std::map<TxnTime, std::int64_t>> models(kWriters);
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        auto txn = manager.Begin(static_cast<SessionId>(w + 1));
+        const std::int64_t v = w * 100000 + i;
+        ASSERT_TRUE(
+            manager.WriteNamed(txn.get(), oids[w], x, Value::Integer(v))
+                .ok());
+        ASSERT_TRUE(manager.Commit(txn.get()).ok());
+        models[w][manager.Now()] = v;  // Now() >= this commit's time; the
+                                       // value at that instant is ours
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      std::uint64_t rng = 0x9e3779b97f4a7c15ull * (r + 1);
+      while (!writers_done.load(std::memory_order_acquire)) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const TxnTime now = manager.Now();
+        if (now == kTimeOrigin) continue;
+        const TxnTime at = 1 + (rng >> 33) % now;
+        auto txn = manager.Begin(static_cast<SessionId>(100 + r));
+        for (int w = 0; w < kWriters; ++w) {
+          // Any ok() answer is acceptable mid-flight; correctness of the
+          // values is asserted against the models once writers finish.
+          auto read = manager.ReadNamed(txn.get(), oids[w], x, at);
+          ASSERT_TRUE(read.ok()) << read.status().ToString();
+          // History may race the element's very first binding.
+          auto history = manager.History(txn.get(), oids[w], x);
+          ASSERT_TRUE(history.ok() || history.status().IsNotFound())
+              << history.status().ToString();
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  // A few more passes so the tail of the history migrates too, then stop.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(compactor.RunOncePass().ok());
+  compactor.Stop();
+  EXPECT_FALSE(compactor.running());
+  EXPECT_GT(compactor.stats().passes, 0u);
+
+  // End state: every model binding answers exactly, across the floor.
+  auto reader = manager.Begin(50);
+  for (int w = 0; w < kWriters; ++w) {
+    ASSERT_EQ(models[w].size(), static_cast<std::size_t>(kCommitsPerWriter));
+    for (const auto& [t, v] : models[w]) {
+      EXPECT_EQ(manager.ReadNamed(reader.get(), oids[w], x, t).ValueOrDie(),
+                Value::Integer(v))
+          << "writer " << w << " t=" << t;
+    }
+    const std::vector<Association> history =
+        manager.History(reader.get(), oids[w], x).ValueOrDie();
+    EXPECT_EQ(history.size(), static_cast<std::size_t>(kCommitsPerWriter))
+        << "writer " << w;
+  }
+  // The compactor actually moved history in this run.
+  EXPECT_GT(tiers.counters().migrations, 0u);
+}
+
+}  // namespace
+}  // namespace gemstone::storage::tier

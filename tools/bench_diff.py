@@ -14,7 +14,16 @@ exit status stays 0 unless --strict. Timing percentiles vary with host
 load, so the step is advisory by design — it exists to make a 3x
 regression impossible to miss in the CI log, not to flake on 25%.
 
-  bench_diff.py --baseline bench/baseline --fresh bench-out [--tolerance 0.2]
+The exception is --gate: a comma-separated list of bench names whose
+dumps carry `*.bench.*` work-shape gauges — fixed workloads whose
+track/seek/byte counts are pure SimulatedDisk arithmetic, identical on
+every host and measuring budget (see BM_CommitWorkShape). A >tolerance
+deviation on those is a real I/O regression and fails the run, as does
+a gated bench that produced no fresh dump at all. Wall-clock
+percentiles stay advisory even in gated dumps.
+
+  bench_diff.py --baseline bench/baseline --fresh bench-out \
+      [--tolerance 0.2] [--gate commit,tracks,history]
 """
 
 import argparse
@@ -51,9 +60,15 @@ def main(argv):
                         help="relative deviation that warns (default 0.2)")
     parser.add_argument("--strict", action="store_true",
                         help="exit nonzero when any warning fires")
+    parser.add_argument("--gate", default="",
+                        help="comma-separated bench names whose warnings "
+                             "fail the run (e.g. commit,tracks,history)")
     args = parser.parse_args(argv)
+    gated = {f"BENCH_{n.strip()}.json"
+             for n in args.gate.split(",") if n.strip()}
 
     warnings = 0
+    gated_warnings = 0
     compared = 0
     dumps = sorted(f for f in os.listdir(args.baseline)
                    if f.startswith("BENCH_") and f.endswith(".json"))
@@ -63,31 +78,46 @@ def main(argv):
     for name in dumps:
         fresh_path = os.path.join(args.fresh, name)
         if not os.path.exists(fresh_path):
-            print(f"bench_diff: {name}: no fresh dump (bench not run)")
+            if name in gated:
+                gated_warnings += 1
+                print(f"FAIL {name}: gated bench has no fresh dump")
+            else:
+                print(f"bench_diff: {name}: no fresh dump (bench not run)")
             continue
         base = load_dump(os.path.join(args.baseline, name))
         fresh = load_dump(fresh_path)
         for metric, (base_value, unit) in sorted(base.items()):
             if not comparable(metric, unit):
                 continue
+            # Only the deterministic work-shape gauges gate; timing
+            # percentiles warn everywhere.
+            gates = name in gated and ".bench." in metric
+            tag = "FAIL" if gates else "WARN"
             if metric not in fresh:
                 warnings += 1
-                print(f"WARN {name}: {metric} missing from fresh dump")
+                gated_warnings += gates
+                print(f"{tag} {name}: {metric} missing from fresh dump")
                 continue
             fresh_value = fresh[metric][0]
             compared += 1
             if base_value == 0.0:
                 if fresh_value != 0.0:
                     warnings += 1
-                    print(f"WARN {name}: {metric} was 0, now {fresh_value}")
+                    gated_warnings += gates
+                    print(f"{tag} {name}: {metric} was 0, now {fresh_value}")
                 continue
             deviation = (fresh_value - base_value) / base_value
             if abs(deviation) > args.tolerance:
                 warnings += 1
-                print(f"WARN {name}: {metric} {base_value:g} -> "
+                gated_warnings += gates
+                print(f"{tag} {name}: {metric} {base_value:g} -> "
                       f"{fresh_value:g} ({deviation:+.0%})")
     print(f"bench_diff: {compared} metrics compared, {warnings} warning(s) "
           f"(tolerance ±{args.tolerance:.0%})")
+    if gated_warnings:
+        print(f"bench_diff: {gated_warnings} warning(s) in gated benches "
+              f"({args.gate}): failing")
+        return 1
     return 1 if (args.strict and warnings) else 0
 
 

@@ -15,10 +15,26 @@
 //   curl http://127.0.0.1:7845/timeseries  windowed rates from the
 //                                          Observatory ring (?window=&limit=)
 //   curl http://127.0.0.1:7845/heatmap     storage access heat (?limit=&segments=)
+//   curl http://127.0.0.1:7845/tiers       temporal track store levels,
+//                                          migration counters, compactor
 //   curl http://127.0.0.1:7845/trace       trace index; ?id=N exports one
 //                                          request as Perfetto-loadable JSON
 //   curl http://127.0.0.1:7845/flightrec   flight-recorder dump (?limit=)
 //   curl http://127.0.0.1:7845/slowlog     slow-request events only (?limit=)
+//
+// --tier-levels N (N > 0) enables the levelled temporal track store
+// (DESIGN.md §15): a background compactor demotes cold object history —
+// ranked by the heatmap's historical channel — onto N secondary cold
+// platters, with the ArchivalStore as the deepest level. Time-dial reads
+// below an object's history floor route through the level resolver.
+// Tuning: --tier-tracks (tracks on the first cold platter; each deeper
+// level doubles it), --tier-run-limit (runs a level may hold before the
+// compactor merges it downward), --tier-compact-interval-ms (pass
+// cadence), --tier-demote-min-versions (bindings an object must be able
+// to shed before it is a demotion candidate), --tier-max-heat (objects
+// whose decayed historical-channel heat exceeds this stay resident),
+// --heatmap-half-life-ms (decay half-life for all access-heat channels;
+// 0 = never decays).
 //
 // --dump-trace PATH writes the full span ring as Chrome trace-event JSON
 // on shutdown — drag it into ui.perfetto.dev.
@@ -37,8 +53,11 @@
 #include "admin/http_endpoint.h"
 #include "executor/executor.h"
 #include "net/server.h"
+#include "storage/archival_store.h"
 #include "storage/simulated_disk.h"
 #include "storage/storage_engine.h"
+#include "storage/tier/compactor.h"
+#include "storage/tier/tier_store.h"
 #include "telemetry/export.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
@@ -65,11 +84,18 @@ int Usage(const char* argv0) {
                "          [--idle-timeout-ms N] [--request-timeout-ms N]\n"
                "          [--slow-request-us N] [--admin-port N]\n"
                "          [--sample-interval-ms N] [--tracks N]\n"
+               "          [--heatmap-half-life-ms N]\n"
+               "          [--tier-levels N] [--tier-tracks N]\n"
+               "          [--tier-run-limit N]\n"
+               "          [--tier-compact-interval-ms N]\n"
+               "          [--tier-demote-min-versions N]\n"
+               "          [--tier-max-heat X]\n"
                "          [--in-memory] [--dump-trace PATH]\n"
                "(--port/--admin-port 0 pick ephemeral ports and print them;\n"
                " omit --admin-port to disable the HTTP admin endpoint;\n"
                " --in-memory skips the simulated disk — no durability,\n"
-               " no /heatmap data)\n",
+               " no /heatmap data; --tier-levels N>0 enables the levelled\n"
+               " temporal track store and its background compactor)\n",
                argv0);
   return 2;
 }
@@ -83,6 +109,10 @@ int main(int argc, char** argv) {
   bool in_memory = false;
   std::uint64_t num_tracks = 2048;
   std::uint64_t sample_interval_ms = 1000;
+  std::uint64_t heatmap_half_life_ms = 0;
+  std::uint64_t tier_levels = 0;  // 0 = tiering off
+  gemstone::storage::tier::TierOptions tier_options;
+  gemstone::storage::tier::CompactorOptions compactor_options;
   std::string dump_trace_path;
   gemstone::admin::HttpEndpointOptions admin_options;
 
@@ -98,6 +128,12 @@ int main(int argc, char** argv) {
     ++i;
     if (std::strcmp(arg, "--dump-trace") == 0) {
       dump_trace_path = value;
+      continue;
+    }
+    if (std::strcmp(arg, "--tier-max-heat") == 0) {
+      char* end = nullptr;
+      compactor_options.max_historical_heat = std::strtod(value, &end);
+      if (end == value || *end != '\0') return Usage(argv[0]);
       continue;
     }
     std::uint64_t n = 0;
@@ -121,6 +157,18 @@ int main(int argc, char** argv) {
       sample_interval_ms = n;
     } else if (std::strcmp(arg, "--tracks") == 0) {
       num_tracks = n;
+    } else if (std::strcmp(arg, "--heatmap-half-life-ms") == 0) {
+      heatmap_half_life_ms = n;
+    } else if (std::strcmp(arg, "--tier-levels") == 0) {
+      tier_levels = n;
+    } else if (std::strcmp(arg, "--tier-tracks") == 0) {
+      tier_options.tracks_per_level = n;
+    } else if (std::strcmp(arg, "--tier-run-limit") == 0) {
+      tier_options.runs_per_level = n;
+    } else if (std::strcmp(arg, "--tier-compact-interval-ms") == 0) {
+      compactor_options.interval_ms = n;
+    } else if (std::strcmp(arg, "--tier-demote-min-versions") == 0) {
+      compactor_options.min_versions = n;
     } else {
       return Usage(argv[0]);
     }
@@ -131,11 +179,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<gemstone::storage::SimulatedDisk> disk;
   std::unique_ptr<gemstone::storage::StorageEngine> engine;
   std::unique_ptr<gemstone::executor::Executor> executor;
+  const std::uint64_t half_life_ns = heatmap_half_life_ms * 1'000'000ull;
   if (in_memory) {
     executor = std::make_unique<gemstone::executor::Executor>();
   } else {
     disk = std::make_unique<gemstone::storage::SimulatedDisk>(
-        static_cast<gemstone::storage::TrackId>(num_tracks), 8192);
+        static_cast<gemstone::storage::TrackId>(num_tracks), 8192,
+        half_life_ns);
     engine = std::make_unique<gemstone::storage::StorageEngine>(disk.get());
     gemstone::Status storage_ok = engine->Format();
     if (storage_ok.ok()) storage_ok = engine->Open();
@@ -149,6 +199,34 @@ int main(int argc, char** argv) {
   }
   gemstone::admin::AuthorizationManager auth;
   gemstone::net::Server server(executor.get(), &auth, options);
+
+  // The levelled temporal track store (DESIGN.md §15): cold platters
+  // behind the primary device, the archival store as the deepest level,
+  // and a background compactor demoting heat-ranked cold history.
+  std::unique_ptr<gemstone::storage::ArchivalStore> archive;
+  std::unique_ptr<gemstone::storage::tier::TierStore> tiers;
+  std::unique_ptr<gemstone::storage::tier::TierCompactor> compactor;
+  if (tier_levels > 0) {
+    tier_options.cold_levels = tier_levels;
+    tier_options.heatmap_half_life_ns = half_life_ns;
+    archive = std::make_unique<gemstone::storage::ArchivalStore>();
+    auto& transactions = executor->transactions();
+    tiers = std::make_unique<gemstone::storage::tier::TierStore>(
+        &transactions.memory().symbols(), archive.get(), tier_options);
+    const gemstone::Status tiers_ok = tiers->Format();
+    if (!tiers_ok.ok()) {
+      std::fprintf(stderr, "gemstone_serve: tier store: %s\n",
+                   tiers_ok.ToString().c_str());
+      return 1;
+    }
+    transactions.AttachTierStore(tiers.get());
+    compactor = std::make_unique<gemstone::storage::tier::TierCompactor>(
+        tiers.get(), &transactions, compactor_options);
+    server.SetStatusSection("tiers", [&tiers, &compactor] {
+      return "{\"store\":" + tiers->StatusJson() +
+             ",\"compactor\":" + compactor->StatusJson() + "}";
+    });
+  }
 
   const gemstone::Status started = server.Start();
   if (!started.ok()) {
@@ -200,6 +278,18 @@ int main(int argc, char** argv) {
                   q, "segments", TrackHeatmap::kDefaultSegments, 256);
               return heat_disk->heatmap().ToJson(limit, segments);
             }));
+    gemstone::storage::tier::TierStore* tier_ptr = tiers.get();
+    gemstone::storage::tier::TierCompactor* compactor_ptr = compactor.get();
+    admin.AddRoute("/tiers", "application/json",
+                   [tier_ptr, compactor_ptr]() -> std::string {
+                     if (tier_ptr == nullptr) {
+                       return "{\"error\":\"tiering disabled; start with "
+                              "--tier-levels N\"}";
+                     }
+                     return "{\"store\":" + tier_ptr->StatusJson() +
+                            ",\"compactor\":" + compactor_ptr->StatusJson() +
+                            "}";
+                   });
     admin.AddRoute(
         "/trace", "application/json",
         HttpEndpoint::QueryHandler([](const HttpEndpoint::QueryParams& q) {
@@ -241,6 +331,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (compactor != nullptr) {
+    compactor->Start();
+    std::printf("gemstone_serve: tier compactor running (%llu cold "
+                "levels, pass every %llu ms)\n",
+                static_cast<unsigned long long>(tier_levels),
+                static_cast<unsigned long long>(
+                    compactor_options.interval_ms));
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::printf("gemstone_serve: listening on 127.0.0.1:%u (%d workers, %s)\n",
@@ -257,6 +356,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("gemstone_serve: draining and shutting down\n");
+  if (compactor != nullptr) compactor->Stop();
   admin.Stop();
   server.Stop();
   observatory.Stop();

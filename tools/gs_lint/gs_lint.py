@@ -18,6 +18,10 @@ that generic tools cannot know about (DESIGN.md §12–§13):
                        read path must bounce kReadOnlyRetry (call a
                        RequireWritable / RequireSchemaWritable /
                        SnapshotPinned guard) before mutating.
+  tier-isolation       Compaction-thread code (src/storage/tier/) lives
+                       strictly below the executor lattice: it may not
+                       acquire a gateway/executor/opal LockRank, nor
+                       include those layers' headers (DESIGN.md §15).
 
 A finding can be waived at the site with a comment on the same or the
 preceding line:
@@ -93,6 +97,19 @@ MUTATOR_RE = re.compile(
 GUARD_RE = re.compile(
     r"\bRequire(?:Schema)?Writable\s*\(|\bSnapshotPinned\s*\(|ReadOnlyRetry"
 )
+
+# -- tier-isolation ----------------------------------------------------------
+# The online compactor runs concurrently with every gateway request; the
+# deadlock-freedom argument (DESIGN.md §13/§15) needs tier code to stay
+# strictly below the executor lattice in the lock-rank order. Referencing
+# an upper-lattice rank — or including a header that could re-enter one —
+# breaks the argument even if today's call graph happens not to.
+TIER_FILES_RE = re.compile(r"src/storage/tier/[^/]+\.(?:h|cc)$")
+TIER_RANK_RE = re.compile(
+    r"\bLockRank::k(?:NetConnTable|NetConnection|NetExecutor|"
+    r"ExecutorSessions|OpalGlobals)\b"
+)
+TIER_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"((?:net|executor|opal)/[^"]*)"')
 
 
 class Finding:
@@ -342,12 +359,48 @@ def check_metric_name(path, raw_lines, code_lines, findings):
             )
 
 
+def check_tier_isolation(path, raw_lines, code_lines, findings):
+    if not TIER_FILES_RE.search(path.replace(os.sep, "/")):
+        return
+    for i, line in enumerate(code_lines):
+        # Include paths are string literals (blanked in code_lines), so
+        # match them on the raw line; rank references on stripped code so
+        # comments don't count.
+        m = TIER_RANK_RE.search(line)
+        if m and not allowed("tier-isolation", raw_lines, i + 1):
+            findings.append(
+                Finding(
+                    path,
+                    i + 1,
+                    "tier-isolation",
+                    f"tier code references executor-lattice rank "
+                    f"'{m.group(0)}'; the compaction thread must stay "
+                    "below kTxnStore (DESIGN.md §15)",
+                )
+            )
+            continue
+        if "#" in line and "include" in line:
+            m = TIER_INCLUDE_RE.match(raw_lines[i])
+            if m and not allowed("tier-isolation", raw_lines, i + 1):
+                findings.append(
+                    Finding(
+                        path,
+                        i + 1,
+                        "tier-isolation",
+                        f'tier code includes "{m.group(1)}"; the '
+                        "gateway/executor/opal layers may call into the "
+                        "tier, never the reverse (DESIGN.md §15)",
+                    )
+                )
+
+
 CHECKS = (
     check_ranked_mutex_decl,
     check_raw_mutex,
     check_conn_table_blocking,
     check_read_path_retry,
     check_metric_name,
+    check_tier_isolation,
 )
 
 
